@@ -1,0 +1,37 @@
+//! Criterion ablation benches: QVStore search cost for pruned vs. full
+//! action lists (the latency rationale of §4.3.2) and plane-count scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia_core::{PythiaConfig, QvStore};
+
+fn bench_action_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("argmax_by_action_count");
+    for (label, actions) in
+        [("pruned_16", PythiaConfig::basic_actions()), ("full_127", PythiaConfig::full_actions())]
+    {
+        let cfg = PythiaConfig::basic().with_actions(actions);
+        let store = QvStore::new(&cfg);
+        let state = vec![99u64, 7u64];
+        group.bench_with_input(BenchmarkId::from_parameter(label), &store, |b, store| {
+            b.iter(|| std::hint::black_box(store.argmax(std::hint::black_box(&state))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("argmax_by_planes");
+    for planes in [1usize, 3, 6] {
+        let mut cfg = PythiaConfig::basic();
+        cfg.planes = planes;
+        let store = QvStore::new(&cfg);
+        let state = vec![99u64, 7u64];
+        group.bench_with_input(BenchmarkId::from_parameter(planes), &store, |b, store| {
+            b.iter(|| std::hint::black_box(store.argmax(std::hint::black_box(&state))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_action_list, bench_planes);
+criterion_main!(benches);

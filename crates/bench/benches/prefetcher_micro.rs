@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks: per-demand cost of each prefetcher and the
+//! QVStore lookup/update primitives (the software analogue of the §4.2.2
+//! latency discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia::runner::build_prefetcher;
+use pythia_sim::prefetch::{DemandAccess, SystemFeedback};
+
+fn demand(i: u64) -> DemandAccess {
+    let addr = (i % 4096) * 64 + (i / 4096) * 4096 * 64;
+    DemandAccess {
+        pc: 0x400000 + (i % 8) * 4,
+        addr,
+        line: addr >> 6,
+        is_write: false,
+        cycle: i * 40,
+        missed: true,
+    }
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_demand");
+    for name in ["stride", "streamer", "spp", "bingo", "mlop", "dspatch", "ipcp", "pythia"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            let mut p = build_prefetcher(name, 1).unwrap();
+            let fb = SystemFeedback::idle();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(p.on_demand(&demand(i), &fb));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qvstore(c: &mut Criterion) {
+    use pythia_core::{PythiaConfig, QvStore};
+    let cfg = PythiaConfig::basic();
+    let mut store = QvStore::new(&cfg);
+    let s1 = vec![123u64, 456u64];
+    let s2 = vec![124u64, 457u64];
+    c.bench_function("qvstore_argmax", |b| {
+        b.iter(|| std::hint::black_box(store.argmax(std::hint::black_box(&s1))))
+    });
+    c.bench_function("qvstore_sarsa_update", |b| {
+        b.iter(|| store.sarsa_update(&s1, 3, 12.0, &s2, 5, cfg.alpha, cfg.gamma))
+    });
+}
+
+criterion_group!(benches, bench_prefetchers, bench_qvstore);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 7 — single-core coverage and overprediction per suite, measured at
+//! the LLC–main-memory boundary.
+
+use pythia_bench::{evaluate, spec, weighted_coverage, Budget};
+use pythia_stats::metrics::geomean;
+use pythia_stats::report::{frac_pct, Table};
+use pythia_workloads::Suite;
+
+fn main() {
+    let run = spec(Budget::Headline);
+    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
+    let suites =
+        [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite];
+    let mut t = Table::new(&["suite", "prefetcher", "coverage", "overprediction"]);
+    let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> =
+        prefetchers.iter().map(|p| (p.to_string(), vec![], vec![])).collect();
+    for s in suites {
+        let results = evaluate(&[s], &prefetchers, &run);
+        for (pi, p) in prefetchers.iter().enumerate() {
+            let (cov, over) = weighted_coverage(&results, p);
+            t.row(&[
+                s.label().to_string(),
+                p.to_string(),
+                frac_pct(cov),
+                frac_pct(over),
+            ]);
+            avg[pi].1.push(cov);
+            avg[pi].2.push(over);
+        }
+    }
+    for (p, covs, overs) in &avg {
+        t.row(&[
+            "AVG".into(),
+            p.clone(),
+            frac_pct(covs.iter().sum::<f64>() / covs.len() as f64),
+            frac_pct(overs.iter().sum::<f64>() / overs.len() as f64),
+        ]);
+    }
+    let _ = geomean(&[]);
+    println!("# Fig. 7 — coverage and overprediction per suite (single-core)\n");
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,37 @@
+//! Fig. 15 — basic vs. strict Pythia across the Ligra suite: reward-level
+//! customization via configuration registers (§6.6.1).
+
+use pythia::runner::{run_workload, RunSpec};
+use pythia_bench::{budget, Budget};
+use pythia_stats::metrics::{compare, geomean};
+use pythia_stats::report::Table;
+use pythia_workloads::suites::ligra;
+
+fn main() {
+    let (wu, me) = budget(Budget::Sweep);
+    let run = RunSpec::single_core().with_budget(wu, me);
+    let mut t = Table::new(&["workload", "basic pythia", "strict pythia", "strict vs basic"]);
+    let mut basics = Vec::new();
+    let mut stricts = Vec::new();
+    for w in ligra() {
+        let baseline = run_workload(&w, "none", &run);
+        let basic = compare(&baseline, &run_workload(&w, "pythia", &run)).speedup;
+        let strict = compare(&baseline, &run_workload(&w, "pythia_strict", &run)).speedup;
+        basics.push(basic);
+        stricts.push(strict);
+        t.row(&[
+            w.name.clone(),
+            format!("{basic:.3}"),
+            format!("{strict:.3}"),
+            format!("{:+.1}%", (strict / basic - 1.0) * 100.0),
+        ]);
+    }
+    t.row(&[
+        "GEOMEAN".into(),
+        format!("{:.3}", geomean(&basics)),
+        format!("{:.3}", geomean(&stricts)),
+        format!("{:+.1}%", (geomean(&stricts) / geomean(&basics) - 1.0) * 100.0),
+    ]);
+    println!("# Fig. 15 — basic vs strict Pythia on the Ligra suite\n");
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,33 @@
+//! Figs. 17/18 — per-trace performance line graphs (s-curves): speedups of
+//! every prefetcher on every workload, sorted by Pythia's speedup.
+
+use pythia::runner::run_workload;
+use pythia_bench::{spec, Budget};
+use pythia_stats::metrics::compare;
+use pythia_stats::report::Table;
+use pythia_workloads::all_suites;
+
+fn main() {
+    let run = spec(Budget::Sweep);
+    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for w in all_suites() {
+        let baseline = run_workload(&w, "none", &run);
+        let mut speeds = Vec::new();
+        for p in prefetchers {
+            speeds.push(compare(&baseline, &run_workload(&w, p, &run)).speedup);
+        }
+        rows.push((w.name.clone(), speeds));
+    }
+    rows.sort_by(|a, b| a.1[3].partial_cmp(&b.1[3]).unwrap());
+    let mut t = Table::new(&["workload", "spp", "bingo", "mlop", "pythia"]);
+    for (name, speeds) in &rows {
+        let mut row = vec![name.clone()];
+        row.extend(speeds.iter().map(|s| format!("{s:.3}")));
+        t.row(&row);
+    }
+    println!("# Fig. 17 — single-core s-curve (sorted by Pythia speedup)\n");
+    println!("{}", t.to_markdown());
+    let above: usize = rows.iter().filter(|(_, s)| s[3] > 1.0).count();
+    println!("Pythia speeds up {above}/{} workloads", rows.len());
+}

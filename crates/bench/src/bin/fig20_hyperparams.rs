@@ -1,0 +1,48 @@
+//! Fig. 20 — sensitivity of Pythia's performance to the exploration rate ε
+//! and the learning rate α.
+
+use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
+use pythia_bench::{budget, Budget};
+use pythia_core::PythiaConfig;
+use pythia_stats::metrics::{compare, geomean};
+use pythia_stats::report::Table;
+use pythia_workloads::all_suites;
+
+fn main() {
+    let (wu, me) = budget(Budget::Sweep);
+    let run = RunSpec::single_core().with_budget(wu, me);
+    let names =
+        ["459.GemsFDTD-765B", "462.libquantum-714B", "482.sphinx3-417B", "Ligra-CC", "429.mcf-184B"];
+    let pool = all_suites();
+
+    let eval = |mutate: &dyn Fn(&mut PythiaConfig)| -> f64 {
+        let mut speeds = Vec::new();
+        for name in names {
+            let w = pool.iter().find(|w| w.name == name).unwrap();
+            let baseline = run_workload(w, "none", &run);
+            let trace = w.trace((wu + me) as usize);
+            let mut cfg = PythiaConfig::basic();
+            mutate(&mut cfg);
+            let report =
+                run_traces_with(vec![trace], &run, move |_| build_pythia_with(cfg.clone()));
+            speeds.push(compare(&baseline, &report).speedup);
+        }
+        geomean(&speeds)
+    };
+
+    println!("# Fig. 20(a) — sensitivity to exploration rate ε\n");
+    let mut t = Table::new(&["epsilon", "geomean speedup"]);
+    for eps in [1e-5f32, 1e-4, 1e-3, 2e-3, 1e-2, 1e-1, 0.5, 1.0] {
+        let s = eval(&|c: &mut PythiaConfig| c.epsilon = eps);
+        t.row(&[format!("{eps:e}"), format!("{s:.3}")]);
+    }
+    println!("{}", t.to_markdown());
+
+    println!("# Fig. 20(b) — sensitivity to learning rate α\n");
+    let mut t = Table::new(&["alpha", "geomean speedup"]);
+    for alpha in [1e-5f32, 1e-4, 1e-3, 0.0065, 1e-2, 1e-1, 1.0] {
+        let s = eval(&|c: &mut PythiaConfig| c.alpha = alpha);
+        t.row(&[format!("{alpha:e}"), format!("{s:.3}")]);
+    }
+    println!("{}", t.to_markdown());
+}

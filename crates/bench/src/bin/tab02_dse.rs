@@ -1,0 +1,86 @@
+//! Table 2 / Fig. 19 — automated design-space exploration (§4.3), scaled
+//! down: feature selection over a candidate shortlist, action-list pruning,
+//! and the two-phase hyperparameter grid search.
+
+use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
+use pythia_bench::{budget, Budget};
+use pythia_core::tuning::{self, HyperPoint};
+use pythia_core::{ControlFlow, DataFlow, Feature, PythiaConfig};
+use pythia_stats::metrics::{compare, geomean};
+use pythia_stats::report::Table;
+use pythia_workloads::all_suites;
+
+fn main() {
+    let (wu, me) = budget(Budget::MultiCore); // cheapest budget: many evals
+    let run = RunSpec::single_core().with_budget(wu, me);
+    let names = ["459.GemsFDTD-765B", "462.libquantum-714B", "482.sphinx3-417B", "429.mcf-184B"];
+    let pool = all_suites();
+    let baselines: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let w = pool.iter().find(|w| w.name == *n).unwrap();
+            (w.clone(), run_workload(w, "none", &run))
+        })
+        .collect();
+
+    let eval_cfg = |cfg: &PythiaConfig| -> f64 {
+        let mut speeds = Vec::new();
+        for (w, baseline) in &baselines {
+            let trace = w.trace((wu + me) as usize);
+            let c = cfg.clone();
+            let report = run_traces_with(vec![trace], &run, move |_| build_pythia_with(c.clone()));
+            speeds.push(compare(baseline, &report).speedup);
+        }
+        geomean(&speeds)
+    };
+
+    // ---- Feature selection (Fig. 19 / Table 2 features) ----
+    println!("# §4.3.1 feature selection (shortlisted candidates)\n");
+    let candidates = vec![
+        Feature::PC_DELTA,
+        Feature::LAST_4_DELTAS,
+        Feature { control: ControlFlow::Pc, data: DataFlow::PageOffset },
+        Feature { control: ControlFlow::None, data: DataFlow::LastFourOffsets },
+        Feature { control: ControlFlow::Pc, data: DataFlow::CachelineAddress },
+        Feature { control: ControlFlow::PcPath, data: DataFlow::Delta },
+    ];
+    let result = tuning::select_features(&candidates, |features| {
+        eval_cfg(&PythiaConfig::tuned().with_features(features.to_vec()))
+    });
+    let mut t = Table::new(&["state vector", "geomean speedup"]);
+    let mut sorted = result.evaluated.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (features, score) in sorted.iter().take(8) {
+        let label: Vec<String> = features.iter().map(|f| f.label()).collect();
+        t.row(&[label.join(" ; "), format!("{score:.3}")]);
+    }
+    println!("{}", t.to_markdown());
+    let winner: Vec<String> = result.winner.iter().map(|f| f.label()).collect();
+    println!("winner: {}\n", winner.join(" ; "));
+
+    // ---- Action pruning (§4.3.2) ----
+    println!("# §4.3.2 action pruning (from a 33-offset list)\n");
+    let full: Vec<i32> = (-8..=24).collect();
+    let pruned = tuning::prune_actions(&full, 0.005, |actions| {
+        eval_cfg(&PythiaConfig::tuned().with_actions(actions.to_vec()))
+    });
+    println!("pruned list ({} offsets): {:?}", pruned.winner.len(), pruned.winner);
+    println!("score {:.3} (full-list score {:.3})\n", pruned.score, pruned.evaluated[0].1);
+
+    // ---- Hyperparameter grid (§4.3.3) ----
+    println!("# §4.3.3 hyperparameter grid search (4 levels, top-5 confirm)\n");
+    let grid = tuning::exponential_grid(4);
+    let eval_hp = |p: &HyperPoint| {
+        let mut cfg = PythiaConfig::tuned();
+        cfg.alpha = p.alpha;
+        cfg.gamma = p.gamma;
+        cfg.epsilon = p.epsilon;
+        eval_cfg(&cfg)
+    };
+    let result = tuning::grid_search(&grid, 5, eval_hp, eval_hp);
+    println!(
+        "winner: alpha={:.4} gamma={:.3} epsilon={:.4} (speedup {:.3})",
+        result.winner.alpha, result.winner.gamma, result.winner.epsilon, result.score
+    );
+    println!("(paper's Table 2: alpha=0.0065 gamma=0.556 epsilon=0.002)");
+}

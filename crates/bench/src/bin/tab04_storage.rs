@@ -1,0 +1,73 @@
+//! Tables 4, 7 and 8 — storage, prefetcher configurations, and area/power
+//! overheads.
+
+use pythia::runner::build_prefetcher;
+use pythia_core::hw_model::{anchors, estimate_overhead, storage};
+use pythia_core::pipeline::SearchPipeline;
+use pythia_core::PythiaConfig;
+use pythia_stats::report::Table;
+
+fn main() {
+    let cfg = PythiaConfig::basic();
+
+    println!("# Table 4 — Pythia storage overhead\n");
+    let s = storage(&cfg);
+    let mut t = Table::new(&["structure", "size"]);
+    t.row(&["QVStore".into(), format!("{:.1} KB", s.qvstore_bits as f64 / 8192.0)]);
+    t.row(&["EQ".into(), format!("{:.1} KB", s.eq_bits as f64 / 8192.0)]);
+    t.row(&["Total".into(), format!("{:.1} KB", s.total_kb())]);
+    println!("{}", t.to_markdown());
+
+    println!("# Table 7 — evaluated prefetcher storage (our estimates)\n");
+    let mut t = Table::new(&["prefetcher", "estimated size", "paper"]);
+    let paper: &[(&str, &str)] = &[
+        ("spp", "6.2 KB"),
+        ("bingo", "46 KB"),
+        ("mlop", "8 KB"),
+        ("dspatch", "3.6 KB"),
+        ("spp+ppf", "39.3 KB"),
+    ];
+    for (name, paper_kb) in paper {
+        let p = build_prefetcher(name, 0).unwrap();
+        t.row(&[
+            name.to_string(),
+            format!("{:.1} KB", p.storage_bits() as f64 / 8192.0),
+            paper_kb.to_string(),
+        ]);
+    }
+    let pythia = build_prefetcher("pythia", 0).unwrap();
+    t.row(&[
+        "pythia".into(),
+        format!("{:.1} KB", pythia.storage_bits() as f64 / 8192.0),
+        "25.5 KB".into(),
+    ]);
+    println!("{}", t.to_markdown());
+
+    println!("# Table 8 — area & power overhead (anchored to §6.7 synthesis)\n");
+    let o = estimate_overhead(&cfg);
+    let mut t = Table::new(&["processor", "area overhead", "power overhead"]);
+    // Die areas/power implied by the paper's percentages.
+    for (name, cores, die_mm2, tdp_w) in [
+        ("4-core Skylake D-2123IT (60W)", 4usize, 128.2, 60.0),
+        ("18-core Skylake 6150 (165W)", 18, 485.0, 165.0),
+        ("28-core Skylake 8180M (205W)", 28, 694.0, 205.0),
+    ] {
+        let area_pct = o.area_overhead_pct(cores, die_mm2);
+        let power_pct = o.power_mw * cores as f64 / (tdp_w * 1000.0) * 100.0;
+        t.row(&[name.into(), format!("{area_pct:.2}%"), format!("{power_pct:.2}%")]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "Pythia per core: {:.2} mm^2, {:.2} mW (anchors: {:.2} mm^2, {:.2} mW)",
+        o.area_mm2, o.power_mw, anchors::AREA_MM2, anchors::POWER_MW
+    );
+
+    println!("\n# §4.2.2 pipelined QVStore search\n");
+    let pl = SearchPipeline::new(&cfg);
+    println!("search latency: {} cycles (16 actions, 5-stage pipeline)", pl.search_latency());
+    let full = PythiaConfig::basic().with_actions(PythiaConfig::full_actions());
+    println!(
+        "unpruned action list would take {} cycles",
+        SearchPipeline::new(&full).search_latency()
+    );
+}

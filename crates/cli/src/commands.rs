@@ -1,0 +1,172 @@
+//! Subcommand implementations for `pythia-cli`.
+
+use std::io::Write as _;
+
+use pythia::runner::{build_prefetcher, run_workload, RunSpec};
+use pythia_core::hw_model;
+use pythia_core::PythiaConfig;
+use pythia_sim::config::SystemConfig;
+use pythia_sim::trace::encode_trace;
+use pythia_stats::metrics::compare as compare_metrics;
+use pythia_stats::report::Table;
+use pythia_workloads::suites::{all_suites, cvp_unseen};
+use pythia_workloads::Workload;
+
+use crate::args::ParsedArgs;
+
+/// Help text shown by `pythia-cli` with no arguments.
+pub const HELP: &str = "\
+pythia-cli — Pythia reproduction driver
+
+USAGE:
+  pythia-cli list                               list workloads and prefetchers
+  pythia-cli run <workload> <prefetcher>        simulate one configuration
+      [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
+  pythia-cli compare <workload>                 race prefetchers on a workload
+      [--prefetchers spp,bingo,mlop,pythia] [--warmup N] [--measure N]
+  pythia-cli trace <workload> <out-file>        write a binary trace file
+      [--instructions N]
+  pythia-cli storage                            print storage/overhead tables
+";
+
+fn find_workload(name: &str) -> Result<Workload, String> {
+    let mut pool = all_suites();
+    pool.extend(cvp_unseen());
+    pool.iter()
+        .find(|w| w.name == name)
+        .cloned()
+        .ok_or_else(|| format!("unknown workload {name:?}; see `pythia-cli list`"))
+}
+
+fn spec_from(args: &ParsedArgs) -> Result<RunSpec, String> {
+    let warmup = args.opt_num("warmup", 100_000u64)?;
+    let measure = args.opt_num("measure", 400_000u64)?;
+    let mut system = SystemConfig::single_core();
+    if let Some(mtps) = args.opt("mtps") {
+        system.dram.mtps = mtps.parse().map_err(|_| format!("--mtps: bad value {mtps:?}"))?;
+    }
+    if let Some(kb) = args.opt("llc-kb") {
+        let kb: u64 = kb.parse().map_err(|_| format!("--llc-kb: bad value {kb:?}"))?;
+        system.llc.size_bytes = kb * 1024;
+    }
+    Ok(RunSpec::single_core().with_system(system).with_budget(warmup, measure))
+}
+
+/// `pythia-cli list [--names]`
+pub fn list(args: &ParsedArgs) -> Result<(), String> {
+    let mut pool = all_suites();
+    pool.extend(cvp_unseen());
+    if args.flag("names") {
+        for w in &pool {
+            println!("{}", w.name);
+        }
+        return Ok(());
+    }
+    println!("# Workloads (Table 6 suites + unseen)\n");
+    let mut t = Table::new(&["workload", "suite", "pattern"]);
+    for w in &pool {
+        t.row(&[
+            w.name.clone(),
+            w.suite.label().to_string(),
+            format!("{:?}", std::mem::discriminant(&w.spec.kind)),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!("# Prefetchers\n");
+    let mut names: Vec<&str> = pythia_prefetchers::available().to_vec();
+    names.extend(["pythia", "pythia_strict", "pythia_bw_oblivious", "stride+pythia"]);
+    for n in names {
+        println!("  {n}");
+    }
+    Ok(())
+}
+
+/// `pythia-cli run <workload> <prefetcher>`
+pub fn run(args: &ParsedArgs) -> Result<(), String> {
+    let [workload, prefetcher] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli run <workload> <prefetcher> [options]".into());
+    };
+    if build_prefetcher(prefetcher, 0).is_none() {
+        return Err(format!("unknown prefetcher {prefetcher:?}; see `pythia-cli list`"));
+    }
+    let w = find_workload(workload)?;
+    let spec = spec_from(args)?;
+    let baseline = run_workload(&w, "none", &spec);
+    let report = run_workload(&w, prefetcher, &spec);
+    let m = compare_metrics(&baseline, &report);
+    println!("workload        : {}", w.name);
+    println!("prefetcher      : {prefetcher}");
+    println!("baseline IPC    : {:.4}", baseline.geomean_ipc());
+    println!("IPC             : {:.4}", report.geomean_ipc());
+    println!("speedup         : {:.4}x", m.speedup);
+    println!("coverage        : {:.1}%", m.coverage * 100.0);
+    println!("overprediction  : {:.1}%", m.overprediction * 100.0);
+    println!("accuracy        : {:.1}%", m.accuracy * 100.0);
+    println!("baseline MPKI   : {:.1}", m.baseline_mpki);
+    println!("prefetches      : {}", report.prefetches_issued());
+    Ok(())
+}
+
+/// `pythia-cli compare <workload>`
+pub fn compare_cmd_default_prefetchers() -> &'static str {
+    "spp,bingo,mlop,pythia"
+}
+
+/// `pythia-cli compare <workload>`
+pub fn compare(args: &ParsedArgs) -> Result<(), String> {
+    let [workload] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli compare <workload> [--prefetchers a,b,c]".into());
+    };
+    let w = find_workload(workload)?;
+    let spec = spec_from(args)?;
+    let list = args.opt("prefetchers").unwrap_or(compare_cmd_default_prefetchers()).to_string();
+    let baseline = run_workload(&w, "none", &spec);
+    let mut t = Table::new(&["prefetcher", "speedup", "coverage", "overprediction", "accuracy"]);
+    for p in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if build_prefetcher(p, 0).is_none() {
+            return Err(format!("unknown prefetcher {p:?}"));
+        }
+        let m = compare_metrics(&baseline, &run_workload(&w, p, &spec));
+        t.row(&[
+            p.to_string(),
+            format!("{:.3}", m.speedup),
+            format!("{:.1}%", m.coverage * 100.0),
+            format!("{:.1}%", m.overprediction * 100.0),
+            format!("{:.1}%", m.accuracy * 100.0),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    Ok(())
+}
+
+/// `pythia-cli trace <workload> <out-file>`
+pub fn trace(args: &ParsedArgs) -> Result<(), String> {
+    let [workload, out_file] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli trace <workload> <out-file> [--instructions N]".into());
+    };
+    let w = find_workload(workload)?;
+    let n = args.opt_num("instructions", 500_000usize)?;
+    let records = w.trace(n);
+    let bytes = encode_trace(&records);
+    let mut f = std::fs::File::create(out_file).map_err(|e| format!("{out_file}: {e}"))?;
+    f.write_all(&bytes).map_err(|e| format!("{out_file}: {e}"))?;
+    println!("wrote {} instructions ({} bytes) to {out_file}", records.len(), bytes.len());
+    Ok(())
+}
+
+/// `pythia-cli storage`
+pub fn storage(_args: &ParsedArgs) -> Result<(), String> {
+    let cfg = PythiaConfig::basic();
+    let s = hw_model::storage(&cfg);
+    println!("Pythia metadata: {:.1} KB (QVStore {:.1} KB + EQ {:.1} KB)",
+        s.total_kb(), s.qvstore_bits as f64 / 8192.0, s.eq_bits as f64 / 8192.0);
+    let o = hw_model::estimate_overhead(&cfg);
+    println!("Per-core estimate: {:.2} mm^2, {:.2} mW (14nm anchors, §6.7)", o.area_mm2, o.power_mw);
+    let mut t = Table::new(&["prefetcher", "metadata"]);
+    for name in ["stride", "streamer", "spp", "dspatch", "mlop", "ipcp", "spp+ppf", "pythia", "bingo"] {
+        let p = build_prefetcher(name, 0).expect("known prefetcher");
+        t.row(&[name.to_string(), format!("{:.1} KB", p.storage_bits() as f64 / 8192.0)]);
+    }
+    println!("{}", t.to_markdown());
+    Ok(())
+}

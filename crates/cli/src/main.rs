@@ -1,0 +1,44 @@
+//! `pythia-cli` — command-line front end for the Pythia reproduction.
+//!
+//! ```text
+//! pythia-cli list                              # workloads and prefetchers
+//! pythia-cli run <workload> <prefetcher> [--warmup N] [--measure N]
+//!                [--mtps N] [--llc-kb N] [--cores N]
+//! pythia-cli compare <workload> [--prefetchers a,b,c] [...]
+//! pythia-cli trace <workload> <out-file> [--instructions N]
+//! pythia-cli storage                           # Tables 4/7/8 summary
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("list") => commands::list(&parsed),
+        Some("run") => commands::run(&parsed),
+        Some("compare") => commands::compare(&parsed),
+        Some("trace") => commands::trace(&parsed),
+        Some("storage") => commands::storage(&parsed),
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `pythia-cli help`")),
+        None => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

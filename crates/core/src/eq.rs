@@ -1,0 +1,307 @@
+//! EQ: the evaluation queue (§4.2.3, Fig. 4).
+//!
+//! A FIFO of Pythia's recently taken actions. Rewards are assigned in three
+//! ways:
+//!
+//! 1. **At insertion** — no-prefetch actions (R_NP^H/L) and out-of-page
+//!    actions (R_CL) get their reward immediately.
+//! 2. **During residency** — when a demand hits an entry's prefetch
+//!    address, the entry earns R_AT (demand after fill) or R_AL (before
+//!    fill). The "filled bit" of the paper is realized as the fill's ready
+//!    timestamp, set by the prefetch-fill notification.
+//! 3. **At eviction** — entries that never got a reward were inaccurate:
+//!    R_IN^H/L depending on current bandwidth usage.
+//!
+//! The evicted entry, together with the (new) EQ head, feeds the SARSA
+//! update (Algorithm 1, lines 23–29).
+
+use std::collections::VecDeque;
+
+/// One queued action awaiting its reward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqEntry {
+    /// State vector at the time the action was taken.
+    pub state: Vec<u64>,
+    /// Index of the taken action in the action list.
+    pub action: usize,
+    /// Prefetched line for real prefetch actions; `None` for no-prefetch or
+    /// suppressed (out-of-page) actions.
+    pub prefetch_line: Option<u64>,
+    /// Assigned reward, if any.
+    pub reward: Option<i16>,
+    /// Cycle at which the prefetch fill delivers data (the "filled bit"
+    /// with its timestamp).
+    pub fill_ready: Option<u64>,
+    /// Cycle the action was taken.
+    pub issued_at: u64,
+}
+
+impl EqEntry {
+    /// Creates an entry with no reward assigned yet.
+    pub fn new(state: Vec<u64>, action: usize, prefetch_line: Option<u64>, issued_at: u64) -> Self {
+        Self { state, action, prefetch_line, reward: None, fill_ready: None, issued_at }
+    }
+
+    /// Whether a reward has been assigned.
+    pub fn has_reward(&self) -> bool {
+        self.reward.is_some()
+    }
+}
+
+/// Outcome of probing the EQ with a demand address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandMatch {
+    /// The demand hit a prefetch issued earlier and the fill had completed:
+    /// accurate and timely.
+    AccurateTimely,
+    /// The demand hit a prefetch whose fill had not completed: accurate but
+    /// late.
+    AccurateLate,
+    /// No matching entry.
+    Miss,
+}
+
+/// The evaluation queue.
+#[derive(Debug, Clone)]
+pub struct EvaluationQueue {
+    entries: VecDeque<EqEntry>,
+    capacity: usize,
+}
+
+impl EvaluationQueue {
+    /// Creates an EQ with the given capacity (256 in the basic config).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EQ capacity must be non-zero");
+        Self { entries: VecDeque::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Number of entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Searches for an un-rewarded entry whose prefetch address matches the
+    /// demanded `line` (Algorithm 1, lines 6–11). On a match, assigns
+    /// R_AT/R_AL (passed in by the caller from its reward levels) and
+    /// reports which was applied.
+    pub fn reward_demand_hit(
+        &mut self,
+        line: u64,
+        cycle: u64,
+        r_at: i16,
+        r_al: i16,
+    ) -> DemandMatch {
+        for e in self.entries.iter_mut() {
+            if e.reward.is_none() && e.prefetch_line == Some(line) {
+                let filled = e.fill_ready.is_some_and(|t| t <= cycle);
+                e.reward = Some(if filled { r_at } else { r_al });
+                return if filled { DemandMatch::AccurateTimely } else { DemandMatch::AccurateLate };
+            }
+        }
+        DemandMatch::Miss
+    }
+
+    /// Like [`EvaluationQueue::reward_demand_hit`], but with the paper's
+    /// footnote-3 extension: a late prefetch's reward is graded between
+    /// `r_al` and `r_at` by how far through its flight the demand arrived
+    /// (`t_demand` relative to `t_issue`..`t_fill`). A demand immediately
+    /// after issue earns `r_al`; a demand just before the fill earns almost
+    /// `r_at`.
+    pub fn reward_demand_hit_graded(
+        &mut self,
+        line: u64,
+        cycle: u64,
+        r_at: i16,
+        r_al: i16,
+    ) -> DemandMatch {
+        for e in self.entries.iter_mut() {
+            if e.reward.is_none() && e.prefetch_line == Some(line) {
+                let (reward, timely) = match e.fill_ready {
+                    Some(fill) if fill <= cycle => (r_at, true),
+                    Some(fill) => {
+                        let flight = fill.saturating_sub(e.issued_at).max(1);
+                        let progressed = cycle.saturating_sub(e.issued_at).min(flight);
+                        let frac = progressed as f64 / flight as f64;
+                        let graded =
+                            r_al as f64 + (r_at - r_al) as f64 * frac;
+                        (graded.round() as i16, false)
+                    }
+                    None => (r_al, false),
+                };
+                e.reward = Some(reward);
+                return if timely {
+                    DemandMatch::AccurateTimely
+                } else {
+                    DemandMatch::AccurateLate
+                };
+            }
+        }
+        DemandMatch::Miss
+    }
+
+    /// Records a prefetch fill (Algorithm 1, line 32): sets the fill
+    /// timestamp of the matching entry.
+    pub fn mark_filled(&mut self, line: u64, ready_at: u64) {
+        for e in self.entries.iter_mut() {
+            if e.prefetch_line == Some(line) && e.fill_ready.is_none() {
+                e.fill_ready = Some(ready_at);
+                return;
+            }
+        }
+    }
+
+    /// Inserts an entry; if the queue is at capacity, evicts and returns the
+    /// oldest entry (Algorithm 1, line 23).
+    pub fn insert(&mut self, entry: EqEntry) -> Option<EqEntry> {
+        let evicted =
+            if self.entries.len() >= self.capacity { self.entries.pop_front() } else { None };
+        self.entries.push_back(entry);
+        evicted
+    }
+
+    /// The current head (oldest entry) — the (S₂, A₂) of the SARSA update.
+    pub fn head(&self) -> Option<&EqEntry> {
+        self.entries.front()
+    }
+
+    /// Clears the queue (Algorithm 1, line 3).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: Option<u64>, t: u64) -> EqEntry {
+        EqEntry::new(vec![1, 2], 0, line, t)
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut eq = EvaluationQueue::new(2);
+        assert!(eq.insert(entry(Some(10), 0)).is_none());
+        assert!(eq.insert(entry(Some(11), 1)).is_none());
+        let ev = eq.insert(entry(Some(12), 2)).expect("eviction at capacity");
+        assert_eq!(ev.prefetch_line, Some(10));
+        assert_eq!(eq.head().unwrap().prefetch_line, Some(11));
+    }
+
+    #[test]
+    fn demand_after_fill_is_timely() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(100), 0));
+        eq.mark_filled(100, 50);
+        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateTimely);
+        assert_eq!(eq.head().unwrap().reward, Some(20));
+    }
+
+    #[test]
+    fn demand_before_fill_is_late() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(100), 0));
+        eq.mark_filled(100, 500);
+        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateLate);
+        assert_eq!(eq.head().unwrap().reward, Some(12));
+    }
+
+    #[test]
+    fn unfilled_entry_is_late() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(100), 0));
+        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateLate);
+    }
+
+    #[test]
+    fn rewarded_entry_not_rewarded_twice() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(100), 0));
+        eq.mark_filled(100, 10);
+        assert_eq!(eq.reward_demand_hit(100, 20, 20, 12), DemandMatch::AccurateTimely);
+        // Second demand to the same line: entry already rewarded.
+        assert_eq!(eq.reward_demand_hit(100, 30, 20, 12), DemandMatch::Miss);
+    }
+
+    #[test]
+    fn miss_on_unrelated_line() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(100), 0));
+        assert_eq!(eq.reward_demand_hit(999, 10, 20, 12), DemandMatch::Miss);
+    }
+
+    #[test]
+    fn no_prefetch_entries_never_match_demands() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(None, 0));
+        assert_eq!(eq.reward_demand_hit(0, 10, 20, 12), DemandMatch::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "EQ capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EvaluationQueue::new(0);
+    }
+
+    #[test]
+    fn graded_reward_interpolates_lateness() {
+        // Prefetch issued at 0, fills at 100.
+        let mk = || {
+            let mut eq = EvaluationQueue::new(4);
+            eq.insert(EqEntry::new(vec![1], 0, Some(7), 0));
+            eq.mark_filled(7, 100);
+            eq
+        };
+        // Demand right after issue: fully late -> R_AL.
+        let mut eq = mk();
+        assert_eq!(eq.reward_demand_hit_graded(7, 1, 20, 12), DemandMatch::AccurateLate);
+        let early = eq.head().unwrap().reward.unwrap();
+        assert!(early <= 13, "barely-started flight earns ~R_AL, got {early}");
+        // Demand just before the fill: almost timely -> near R_AT.
+        let mut eq = mk();
+        eq.reward_demand_hit_graded(7, 99, 20, 12);
+        let near = eq.head().unwrap().reward.unwrap();
+        assert!(near >= 19, "nearly-filled flight earns ~R_AT, got {near}");
+        // Demand after fill: full R_AT and classified timely.
+        let mut eq = mk();
+        assert_eq!(eq.reward_demand_hit_graded(7, 150, 20, 12), DemandMatch::AccurateTimely);
+        assert_eq!(eq.head().unwrap().reward, Some(20));
+        // Unfilled entry: plain R_AL.
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(EqEntry::new(vec![1], 0, Some(9), 0));
+        eq.reward_demand_hit_graded(9, 50, 20, 12);
+        assert_eq!(eq.head().unwrap().reward, Some(12));
+    }
+
+    #[test]
+    fn graded_reward_monotone_in_demand_time() {
+        let mut last = i16::MIN;
+        for demand in [5u64, 25, 50, 75, 95] {
+            let mut eq = EvaluationQueue::new(4);
+            eq.insert(EqEntry::new(vec![1], 0, Some(7), 0));
+            eq.mark_filled(7, 100);
+            eq.reward_demand_hit_graded(7, demand, 20, 12);
+            let r = eq.head().unwrap().reward.unwrap();
+            assert!(r >= last, "graded reward must be monotone: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut eq = EvaluationQueue::new(4);
+        eq.insert(entry(Some(1), 0));
+        eq.clear();
+        assert!(eq.is_empty());
+        assert!(eq.head().is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! # pythia-core
+//!
+//! Rust implementation of **Pythia**, the reinforcement-learning hardware
+//! prefetcher of Bera et al., *"Pythia: A Customizable Hardware Prefetching
+//! Framework Using Online Reinforcement Learning"*, MICRO 2021.
+//!
+//! Pythia formulates prefetching as an RL problem (§3 of the paper):
+//!
+//! * **State** — a k-dimensional vector of program features, each composed
+//!   of a control-flow and a data-flow component ([`features`], Table 3).
+//! * **Action** — a prefetch offset from a pruned candidate list
+//!   ([`config::PythiaConfig::actions`], Table 2); offset 0 means "do not
+//!   prefetch".
+//! * **Reward** — discrete levels evaluating accuracy, timeliness and
+//!   *memory bandwidth usage* ([`config::RewardLevels`]):
+//!   R_AT, R_AL, R_CL, R_IN^H/L, R_NP^H/L.
+//!
+//! Q-values live in the hierarchical, table-based [`qvstore::QvStore`]
+//! (one *vault* per feature, each vault a set of tile-coded *planes*,
+//! Fig. 5), and recent actions wait for their rewards in the FIFO
+//! [`eq::EvaluationQueue`] (Fig. 4). On every EQ eviction the evicted
+//! state-action pair receives a SARSA update against the current EQ head
+//! (Algorithm 1, lines 23–29).
+//!
+//! The whole design is runtime-customizable through [`config::PythiaConfig`]
+//! — the paper's "configuration registers": feature selection, action list,
+//! reward values and hyperparameters can all be changed without touching the
+//! code, which is what §6.6 exploits ([`config::PythiaConfig::strict`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use pythia_core::{Pythia, PythiaConfig};
+//! use pythia_sim::prefetch::{DemandAccess, Prefetcher, SystemFeedback};
+//!
+//! let mut pythia = Pythia::new(PythiaConfig::basic());
+//! let access = DemandAccess {
+//!     pc: 0x400000,
+//!     addr: 0xdead_0000,
+//!     line: 0xdead_0000u64 >> 6,
+//!     is_write: false,
+//!     cycle: 0,
+//!     missed: true,
+//! };
+//! let requests = pythia.on_demand(&access, &SystemFeedback::idle());
+//! assert!(requests.len() <= 1); // Pythia takes one action per demand
+//! ```
+
+pub mod agent;
+pub mod config;
+pub mod eq;
+pub mod features;
+pub mod hw_model;
+pub mod pipeline;
+pub mod qvstore;
+pub mod tuning;
+
+pub use agent::Pythia;
+pub use config::{PythiaConfig, RewardLevels, VaultCombine};
+pub use features::{ControlFlow, DataFlow, Feature, FeatureContext};
+pub use qvstore::QvStore;

@@ -1,0 +1,96 @@
+//! Cycle model of the pipelined QVStore search (§4.2.2, Fig. 6).
+//!
+//! To find `argmax_a Q(S, a)` the hardware iterates over the action list
+//! through a five-stage pipeline:
+//!
+//! | Stage | Work |
+//! |---|---|
+//! | 0 | index generation for each plane of each feature |
+//! | 1 | retrieve partial feature-action Q-values |
+//! | 2 | sum partial Q-values per feature (longest stage) |
+//! | 3 | max across features → state-action Q-value |
+//! | 4 | compare against the running max |
+//!
+//! One action enters the pipeline per cycle (initiation interval 1), so a
+//! full search over `n` actions takes `n - 1 + depth` cycles. This module
+//! reproduces that arithmetic so experiments can report prediction latency
+//! for arbitrary configurations.
+
+use crate::config::PythiaConfig;
+
+/// Number of pipeline stages (Fig. 6: Stage 0 through Stage 4).
+pub const STAGES: u64 = 5;
+
+/// Latency model of the QVStore search pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchPipeline {
+    actions: u64,
+    /// Adder-tree depth of Stage 2 (log2 of planes, at least 1).
+    sum_depth: u64,
+    /// Comparator-tree depth of Stage 3 (log2 of vaults, at least 1).
+    max_depth: u64,
+}
+
+impl SearchPipeline {
+    /// Builds the pipeline model for a configuration.
+    pub fn new(config: &PythiaConfig) -> Self {
+        Self {
+            actions: config.actions.len() as u64,
+            sum_depth: (config.planes as u64).next_power_of_two().trailing_zeros().max(1) as u64,
+            max_depth: (config.features.len() as u64)
+                .next_power_of_two()
+                .trailing_zeros()
+                .max(1) as u64,
+        }
+    }
+
+    /// Cycles from presenting a state to knowing the best action, assuming
+    /// one action issues per cycle.
+    pub fn search_latency(&self) -> u64 {
+        STAGES + self.actions - 1
+    }
+
+    /// Latency of retrieving a single action's Q-value.
+    pub fn single_lookup_latency(&self) -> u64 {
+        STAGES
+    }
+
+    /// The pipeline's critical stage depth in "logic levels" — Stage 2's
+    /// adder tree per the paper ("the longest stage ... dictates the
+    /// pipeline's throughput").
+    pub fn critical_stage_depth(&self) -> u64 {
+        self.sum_depth.max(self.max_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_search_is_20_cycles() {
+        // 16 actions through a 5-stage pipeline: 5 + 15 = 20 cycles.
+        let p = SearchPipeline::new(&PythiaConfig::basic());
+        assert_eq!(p.search_latency(), 20);
+        assert_eq!(p.single_lookup_latency(), 5);
+    }
+
+    #[test]
+    fn full_action_list_is_much_slower() {
+        let full = PythiaConfig::basic().with_actions(PythiaConfig::full_actions());
+        let p = SearchPipeline::new(&full);
+        assert_eq!(p.search_latency(), 5 + 127 - 1);
+        // This is the latency argument for action pruning (§4.3.2).
+        assert!(p.search_latency() > 6 * SearchPipeline::new(&PythiaConfig::basic()).search_latency());
+    }
+
+    #[test]
+    fn critical_stage_reflects_plane_count() {
+        let p = SearchPipeline::new(&PythiaConfig::basic());
+        assert!(p.critical_stage_depth() >= 1);
+        let mut cfg = PythiaConfig::basic();
+        cfg.planes = 8;
+        let deep = SearchPipeline::new(&cfg);
+        assert!(deep.critical_stage_depth() >= p.critical_stage_depth());
+    }
+}

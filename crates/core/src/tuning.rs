@@ -1,0 +1,268 @@
+//! Automated design-space exploration (§4.3): feature selection, action
+//! pruning, and reward/hyperparameter grid search.
+//!
+//! The paper ran these searches over 150 traces on a ten-machine cluster
+//! (44 hours); this module implements the same *procedures* generically
+//! over an objective function `eval: candidate → performance score`, so the
+//! experiment harness can plug in scaled-down simulations (Table 2 / Figs.
+//! 19–20 regeneration) and tests can plug in synthetic objectives.
+
+use crate::features::Feature;
+
+/// Result of a search: the winning candidate and its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult<T> {
+    /// The best candidate found.
+    pub winner: T,
+    /// Its objective score (higher is better).
+    pub score: f64,
+    /// Every evaluated `(candidate, score)` pair, in evaluation order —
+    /// Fig. 19 plots exactly this.
+    pub evaluated: Vec<(T, f64)>,
+}
+
+/// §4.3.1 feature selection: evaluates every one-feature and two-feature
+/// combination from `candidates` and returns the winner.
+///
+/// (The paper also explores three-feature combinations via linear
+/// regression pre-filtering; pass a pre-filtered candidate list to keep the
+/// cubic term tractable, or use [`select_features_k`].)
+pub fn select_features(
+    candidates: &[Feature],
+    mut eval: impl FnMut(&[Feature]) -> f64,
+) -> SearchResult<Vec<Feature>> {
+    let mut evaluated = Vec::new();
+    for (i, &f) in candidates.iter().enumerate() {
+        let cand = vec![f];
+        let score = eval(&cand);
+        evaluated.push((cand, score));
+        for &g in candidates.iter().skip(i + 1) {
+            let cand = vec![f, g];
+            let score = eval(&cand);
+            evaluated.push((cand, score));
+        }
+    }
+    pick_best(evaluated)
+}
+
+/// Greedy forward selection up to `k` features (the scalable variant for
+/// three-feature state vectors).
+pub fn select_features_k(
+    candidates: &[Feature],
+    k: usize,
+    mut eval: impl FnMut(&[Feature]) -> f64,
+) -> SearchResult<Vec<Feature>> {
+    let mut current: Vec<Feature> = Vec::new();
+    let mut evaluated = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+    for _ in 0..k {
+        let mut round_best: Option<(Feature, f64)> = None;
+        for &f in candidates {
+            if current.contains(&f) {
+                continue;
+            }
+            let mut cand = current.clone();
+            cand.push(f);
+            let score = eval(&cand);
+            evaluated.push((cand, score));
+            if round_best.is_none_or(|(_, s)| score > s) {
+                round_best = Some((f, score));
+            }
+        }
+        match round_best {
+            Some((f, s)) if s > best_score => {
+                current.push(f);
+                best_score = s;
+            }
+            _ => break, // no improvement: stop growing the vector
+        }
+    }
+    SearchResult { winner: current, score: best_score, evaluated }
+}
+
+/// §4.3.2 action pruning: starting from `full`, repeatedly drops the action
+/// whose removal costs the least performance, while the loss against the
+/// full list stays within `tolerance` (relative). Returns the pruned list.
+pub fn prune_actions(
+    full: &[i32],
+    tolerance: f64,
+    mut eval: impl FnMut(&[i32]) -> f64,
+) -> SearchResult<Vec<i32>> {
+    let base = eval(full);
+    let mut current: Vec<i32> = full.to_vec();
+    let mut evaluated = vec![(current.clone(), base)];
+    loop {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut best_drop: Option<(usize, f64)> = None;
+        for i in 0..current.len() {
+            if current[i] == 0 {
+                continue; // never prune the no-prefetch action
+            }
+            let mut cand = current.clone();
+            cand.remove(i);
+            let score = eval(&cand);
+            if best_drop.is_none_or(|(_, s)| score > s) {
+                best_drop = Some((i, score));
+            }
+        }
+        match best_drop {
+            Some((i, score)) if score >= base * (1.0 - tolerance) => {
+                current.remove(i);
+                evaluated.push((current.clone(), score));
+            }
+            _ => break,
+        }
+    }
+    let score = evaluated.last().map(|(_, s)| *s).unwrap_or(base);
+    SearchResult { winner: current, score, evaluated }
+}
+
+/// One point of the §4.3.3 hyperparameter grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperPoint {
+    /// Learning rate α.
+    pub alpha: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Exploration rate ε.
+    pub epsilon: f32,
+}
+
+/// The exponential grid of §4.3.3: each hyperparameter takes values
+/// `1e0, 1e-1, ..., 1e-(levels-1)`, yielding `levels³` points.
+pub fn exponential_grid(levels: u32) -> Vec<HyperPoint> {
+    let values: Vec<f32> = (0..levels).map(|i| 10f32.powi(-(i as i32))).collect();
+    let mut out = Vec::with_capacity(values.len().pow(3));
+    for &alpha in &values {
+        for &gamma in &values {
+            for &epsilon in &values {
+                // γ must stay below 1 for Q-init; clamp the 1e0 level.
+                out.push(HyperPoint { alpha, gamma: gamma.min(0.9), epsilon });
+            }
+        }
+    }
+    out
+}
+
+/// §4.3.3 two-phase tuning: evaluate every grid point with the (cheap)
+/// `screen` objective, keep the `top_k`, then re-evaluate those with the
+/// (expensive) `confirm` objective and return the winner.
+pub fn grid_search(
+    grid: &[HyperPoint],
+    top_k: usize,
+    mut screen: impl FnMut(&HyperPoint) -> f64,
+    mut confirm: impl FnMut(&HyperPoint) -> f64,
+) -> SearchResult<HyperPoint> {
+    let mut screened: Vec<(HyperPoint, f64)> =
+        grid.iter().map(|p| (*p, screen(p))).collect();
+    screened.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    screened.truncate(top_k.max(1));
+    let evaluated: Vec<(HyperPoint, f64)> =
+        screened.iter().map(|(p, _)| (*p, confirm(p))).collect();
+    pick_best(evaluated)
+}
+
+fn pick_best<T: Clone>(evaluated: Vec<(T, f64)>) -> SearchResult<T> {
+    let (winner, score) = evaluated
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .cloned()
+        .expect("at least one candidate evaluated");
+    SearchResult { winner, score, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{ControlFlow, DataFlow};
+
+    #[test]
+    fn select_features_finds_known_best_pair() {
+        let candidates = Feature::all();
+        // Synthetic objective: the paper's winning pair scores highest.
+        let result = select_features(&candidates[..8], |fs| {
+            let mut s = fs.len() as f64 * 0.1;
+            if fs.contains(&Feature { control: ControlFlow::Pc, data: DataFlow::Delta }) {
+                s += 1.0;
+            }
+            if fs.contains(&Feature {
+                control: ControlFlow::Pc,
+                data: DataFlow::PageNumber,
+            }) {
+                s += 0.5;
+            }
+            s
+        });
+        assert_eq!(result.winner.len(), 2);
+        assert!(result
+            .winner
+            .contains(&Feature { control: ControlFlow::Pc, data: DataFlow::Delta }));
+        // 8 singles + 28 pairs evaluated.
+        assert_eq!(result.evaluated.len(), 8 + 28);
+    }
+
+    #[test]
+    fn greedy_selection_stops_when_no_gain() {
+        let candidates = &Feature::all()[..6];
+        let result = select_features_k(candidates, 3, |fs| {
+            // Only the first feature helps; extras hurt.
+            if fs.contains(&candidates[2]) {
+                2.0 - 0.5 * (fs.len() as f64 - 1.0)
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(result.winner, vec![candidates[2]]);
+    }
+
+    #[test]
+    fn prune_actions_drops_useless_offsets() {
+        let full: Vec<i32> = (-4..=4).collect();
+        // Objective: only offsets {0, 1, 2} matter; others are free to drop.
+        let result = prune_actions(&full, 0.01, |acts| {
+            let mut s = 0.0;
+            for &a in acts {
+                if a == 1 || a == 2 {
+                    s += 1.0;
+                }
+            }
+            s
+        });
+        assert!(result.winner.contains(&1));
+        assert!(result.winner.contains(&2));
+        assert!(result.winner.contains(&0), "no-prefetch is never pruned");
+        assert!(result.winner.len() < full.len());
+    }
+
+    #[test]
+    fn prune_respects_tolerance() {
+        let full = vec![0, 1, 2, 3];
+        // Every action contributes equally; any drop loses 25%.
+        let result = prune_actions(&full, 0.05, |acts| acts.len() as f64);
+        assert_eq!(result.winner, full, "5% tolerance cannot absorb a 25% loss");
+    }
+
+    #[test]
+    fn exponential_grid_has_levels_cubed_points() {
+        let grid = exponential_grid(10);
+        assert_eq!(grid.len(), 1000);
+        assert!(grid.iter().all(|p| p.gamma < 1.0));
+    }
+
+    #[test]
+    fn grid_search_two_phase() {
+        let grid = exponential_grid(5);
+        let target = HyperPoint { alpha: 1e-2, gamma: 1e-1, epsilon: 1e-3 };
+        let dist = |p: &HyperPoint| {
+            -(((p.alpha.log10() - target.alpha.log10()).powi(2)
+                + (p.gamma.log10() - target.gamma.log10()).powi(2)
+                + (p.epsilon.log10() - target.epsilon.log10()).powi(2)) as f64)
+        };
+        let result = grid_search(&grid, 25, dist, dist);
+        assert!((result.winner.alpha - target.alpha).abs() < 1e-6);
+        assert!((result.winner.epsilon - target.epsilon).abs() < 1e-6);
+        assert_eq!(result.evaluated.len(), 25);
+    }
+}

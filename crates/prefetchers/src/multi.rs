@@ -1,0 +1,147 @@
+//! Composition of several prefetchers running concurrently, with request
+//! deduplication — the `St`, `St+S`, `St+S+B`, `St+S+B+D`, `St+S+B+D+M`
+//! ladders of Figs. 9(b) and 10(b) in the Pythia paper.
+//!
+//! The paper's observation: combining prefetchers adds their coverage but
+//! *also adds their overpredictions*, which hurts in bandwidth-constrained
+//! systems; Pythia exploits the same features within one agent instead.
+
+use pythia_sim::prefetch::{DemandAccess, FillEvent, PrefetchRequest, Prefetcher, SystemFeedback};
+use pythia_sim::stats::PrefetcherStats;
+
+use std::collections::HashSet;
+
+/// Runs multiple prefetchers side by side, deduplicating their requests.
+pub struct Multi {
+    name: String,
+    parts: Vec<Box<dyn Prefetcher>>,
+    stats: PrefetcherStats,
+}
+
+impl std::fmt::Debug for Multi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Multi").field("name", &self.name).field("parts", &self.parts.len()).finish()
+    }
+}
+
+impl Multi {
+    /// Composes the given prefetchers. The composite's name joins the part
+    /// names with `+`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn new(parts: Vec<Box<dyn Prefetcher>>) -> Self {
+        assert!(!parts.is_empty(), "Multi needs at least one component");
+        let name = parts.iter().map(|p| p.name()).collect::<Vec<_>>().join("+");
+        Self { name, parts, stats: PrefetcherStats::default() }
+    }
+}
+
+impl Prefetcher for Multi {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut out = Vec::new();
+        for p in &mut self.parts {
+            for req in p.on_demand(access, feedback) {
+                if seen.insert(req.line) {
+                    out.push(req);
+                } else if req.fill_l2 {
+                    // Upgrade an LLC-only duplicate to fill L2.
+                    if let Some(existing) = out.iter_mut().find(|r| r.line == req.line) {
+                        existing.fill_l2 = true;
+                    }
+                }
+            }
+        }
+        self.stats.issued += out.len() as u64;
+        out
+    }
+
+    fn on_fill(&mut self, event: &FillEvent) {
+        for p in &mut self.parts {
+            p.on_fill(event);
+        }
+    }
+
+    fn on_useful(&mut self, line: u64) {
+        self.stats.useful += 1;
+        for p in &mut self.parts {
+            p.on_useful(line);
+        }
+    }
+
+    fn on_useless(&mut self, line: u64) {
+        self.stats.useless += 1;
+        for p in &mut self.parts {
+            p.on_useless(line);
+        }
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PrefetcherStats::default();
+        for p in &mut self.parts {
+            p.reset_stats();
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.parts.iter().map(|p| p.storage_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::next_line::NextLine;
+    use crate::stride::StridePrefetcher;
+    use crate::test_access;
+
+    #[test]
+    fn composes_names_and_storage() {
+        let m = Multi::new(vec![
+            Box::new(StridePrefetcher::default()),
+            Box::new(NextLine::default()),
+        ]);
+        assert_eq!(m.name(), "stride+next_line");
+        assert_eq!(
+            m.storage_bits(),
+            StridePrefetcher::default().storage_bits() + NextLine::default().storage_bits()
+        );
+    }
+
+    #[test]
+    fn deduplicates_overlapping_requests() {
+        // Two next-line prefetchers produce identical requests; the
+        // composite must emit each line once.
+        let mut m = Multi::new(vec![Box::new(NextLine::new(2)), Box::new(NextLine::new(3))]);
+        let out = m.on_demand(&test_access(0, 0x1000), &SystemFeedback::idle());
+        let mut lines: Vec<u64> = out.iter().map(|r| r.line).collect();
+        let before = lines.len();
+        lines.dedup();
+        assert_eq!(before, lines.len(), "duplicate lines emitted");
+        assert_eq!(before, 3, "union of degree-2 and degree-3 is 3 lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_composition_rejected() {
+        let _ = Multi::new(vec![]);
+    }
+
+    #[test]
+    fn feedback_propagates_to_parts() {
+        let mut m = Multi::new(vec![Box::new(NextLine::new(1))]);
+        m.on_demand(&test_access(0, 0x1000), &SystemFeedback::idle());
+        m.on_useful(65);
+        assert_eq!(m.stats().useful, 1);
+    }
+}

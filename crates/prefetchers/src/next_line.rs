@@ -1,0 +1,84 @@
+//! Degree-N next-line prefetcher — the simplest possible spatial prefetcher,
+//! used in tests and as a worked example of the [`Prefetcher`] trait.
+
+use pythia_sim::prefetch::{DemandAccess, PrefetchRequest, Prefetcher, SystemFeedback};
+use pythia_sim::stats::PrefetcherStats;
+
+use crate::util::push_in_page;
+
+/// Prefetches the next `degree` sequential lines after every demand.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: u32,
+    stats: PrefetcherStats,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher of the given degree.
+    pub fn new(degree: u32) -> Self {
+        Self { degree, stats: PrefetcherStats::default() }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &str {
+        "next_line"
+    }
+
+    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for d in 1..=self.degree as i32 {
+            push_in_page(&mut out, access.line, d, true);
+        }
+        self.stats.issued += out.len() as u64;
+        out
+    }
+
+    fn on_useful(&mut self, _line: u64) {
+        self.stats.useful += 1;
+    }
+
+    fn on_useless(&mut self, _line: u64) {
+        self.stats.useless += 1;
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PrefetcherStats::default();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        32 // a degree register
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_access;
+
+    #[test]
+    fn emits_next_lines_in_page() {
+        let mut p = NextLine::new(2);
+        let out = p.on_demand(&test_access(0, 0x1000), &SystemFeedback::idle());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, pythia_sim::addr::line_of(0x1000) + 1);
+    }
+
+    #[test]
+    fn stops_at_page_end() {
+        let mut p = NextLine::new(4);
+        // Last line of a page: nothing to prefetch.
+        let out = p.on_demand(&test_access(0, 0x1fc0), &SystemFeedback::idle());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Address arithmetic shared by the whole workspace.
+//!
+//! The paper assumes traditionally-sized 4 KB physical pages and 64 B
+//! cachelines (§3.1), giving 64 lines per page and prefetch offsets in
+//! `[-63, 63]`.
+
+/// Size of a cacheline in bytes.
+pub const LINE_SIZE: u64 = 64;
+/// Size of a physical page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Number of cachelines in a physical page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Returns the cacheline index (byte address divided by the line size).
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr >> LINE_SHIFT
+}
+
+/// Returns the byte address of the first byte of the line containing `addr`.
+#[inline]
+pub fn line_base(addr: u64) -> u64 {
+    addr & !(LINE_SIZE - 1)
+}
+
+/// Returns the physical page number of `addr`.
+#[inline]
+pub fn page_of(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Returns the physical page number of a *line index* (not a byte address).
+#[inline]
+pub fn page_of_line(line: u64) -> u64 {
+    line >> (PAGE_SHIFT - LINE_SHIFT)
+}
+
+/// Returns the line offset within its page, in `0..64`.
+#[inline]
+pub fn page_offset_of_line(line: u64) -> u64 {
+    line & (LINES_PER_PAGE - 1)
+}
+
+/// Returns the line offset within its page for a byte address, in `0..64`.
+#[inline]
+pub fn page_offset(addr: u64) -> u64 {
+    page_offset_of_line(line_of(addr))
+}
+
+/// Applies a signed line offset to a line index, saturating at zero.
+///
+/// Offsets model the paper's prefetch actions: a delta, in cachelines,
+/// between the demanded line and the prefetched line.
+#[inline]
+pub fn apply_offset(line: u64, offset: i32) -> u64 {
+    if offset >= 0 {
+        line.saturating_add(offset as u64)
+    } else {
+        line.saturating_sub((-offset) as u64)
+    }
+}
+
+/// Returns `true` if `line + offset` stays within the same 4 KB page.
+#[inline]
+pub fn offset_stays_in_page(line: u64, offset: i32) -> bool {
+    let target = apply_offset(line, offset);
+    page_of_line(target) == page_of_line(line) && (offset >= 0 || line >= (-offset) as u64)
+}
+
+/// Signed delta, in cachelines, between two lines in the same page.
+#[inline]
+pub fn line_delta(from_line: u64, to_line: u64) -> i64 {
+    to_line as i64 - from_line as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_arithmetic() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(page_of(4095), 0);
+        assert_eq!(page_of(4096), 1);
+        assert_eq!(LINES_PER_PAGE, 64);
+    }
+
+    #[test]
+    fn page_offsets_cover_zero_to_sixty_three() {
+        for b in 0..PAGE_SIZE {
+            let off = page_offset(b);
+            assert!(off < LINES_PER_PAGE);
+        }
+        assert_eq!(page_offset(0), 0);
+        assert_eq!(page_offset(4032), 63);
+    }
+
+    #[test]
+    fn offsets_within_page_detected() {
+        // Line 0 of some page: positive offsets up to 63 stay in page.
+        let line = line_of(0x10000);
+        assert!(offset_stays_in_page(line, 63));
+        assert!(!offset_stays_in_page(line, 64));
+        assert!(!offset_stays_in_page(line, -1));
+        // Last line of page: negative offsets down to -63 stay in page.
+        let last = line + 63;
+        assert!(offset_stays_in_page(last, -63));
+        assert!(!offset_stays_in_page(last, 1));
+    }
+
+    #[test]
+    fn apply_offset_saturates() {
+        assert_eq!(apply_offset(0, -5), 0);
+        assert_eq!(apply_offset(10, -5), 5);
+        assert_eq!(apply_offset(10, 5), 15);
+    }
+
+    #[test]
+    fn line_base_is_aligned() {
+        assert_eq!(line_base(0x1234), 0x1200);
+        assert_eq!(line_base(0x1200), 0x1200);
+    }
+
+    #[test]
+    fn line_delta_signed() {
+        assert_eq!(line_delta(10, 33), 23);
+        assert_eq!(line_delta(33, 10), -23);
+        assert_eq!(line_delta(5, 5), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Set-associative cache model with MSHRs and pluggable replacement.
+//!
+//! The hierarchy built from this model mirrors Table 5 of the paper:
+//! private L1D and L2 with LRU replacement, and a shared LLC running
+//! SHiP (signature-based hit prediction, Wu et al. MICRO'11).
+//!
+//! Timing is "latency-tagged" rather than event-driven: every line carries a
+//! `ready_at` cycle so that demands hitting an in-flight (e.g. prefetched)
+//! line pay the residual latency — this is how accurate-but-late prefetches
+//! are detected.
+
+mod mshr;
+mod replacement;
+
+pub use mshr::MshrFile;
+pub use replacement::ReplacementKind;
+
+use replacement::ShipState;
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// The kind of request presented to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load from the core.
+    DemandLoad,
+    /// A demand store (read-for-ownership).
+    DemandStore,
+    /// A prefetch request.
+    Prefetch,
+    /// A writeback of a dirty line evicted from an upper level.
+    Writeback,
+}
+
+impl AccessKind {
+    /// Whether the access is a demand (load or store).
+    pub fn is_demand(self) -> bool {
+        matches!(self, Self::DemandLoad | Self::DemandStore)
+    }
+}
+
+/// Result of probing a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line is present; data is available at `ready_at` (which may be in
+    /// the future for in-flight prefetches). `was_prefetched` is `true` on
+    /// the first demand touch of a prefetched line.
+    Hit { ready_at: u64, was_prefetched: bool },
+    /// The line is absent.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    demanded: bool,
+    ready_at: u64,
+    lru: u64,
+    rrpv: u8,
+    ship_sig: u16,
+}
+
+/// A line evicted by a fill; dirty evictions become DRAM writebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line index of the victim.
+    pub line: u64,
+    /// Whether the victim was dirty.
+    pub dirty: bool,
+    /// Whether the victim was a prefetched line that was never demanded
+    /// (an overprediction; reported to the prefetcher as useless).
+    pub unused_prefetch: bool,
+}
+
+/// A set-associative cache level.
+#[derive(Debug)]
+pub struct Cache {
+    name: &'static str,
+    sets: Vec<Vec<Line>>,
+    /// Fast-path mask when the set count is a power of two; otherwise the
+    /// index falls back to a modulo (e.g. the 24 MB LLC of a 12-core
+    /// system has 24576 sets).
+    set_mask: Option<u64>,
+    ways: usize,
+    latency: u64,
+    clock: u64,
+    replacement: ReplacementKind,
+    ship: ShipState,
+    mshr: MshrFile,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets.
+    pub fn new(name: &'static str, config: &CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0, "{name}: cache must have at least one set");
+        Self {
+            name,
+            sets: vec![vec![Line::default(); config.ways]; sets],
+            set_mask: if sets.is_power_of_two() { Some(sets as u64 - 1) } else { None },
+            ways: config.ways,
+            latency: config.latency,
+            clock: 0,
+            replacement: config.replacement,
+            ship: ShipState::new(),
+            mshr: MshrFile::new(config.mshrs),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Hit latency of this level in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The cache's name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Immutable view of the accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (between warmup and measurement) without touching
+    /// cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Exclusive access to the MSHR file.
+    pub fn mshr_mut(&mut self) -> &mut MshrFile {
+        &mut self.mshr
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.sets.len() as u64) as usize,
+        }
+    }
+
+    /// Probes for `line` without modifying any state (used to drop redundant
+    /// prefetches).
+    pub fn probe(&self, line: u64) -> bool {
+        let set = &self.sets[self.set_index(line)];
+        set.iter().any(|l| l.valid && l.tag == line)
+    }
+
+    /// Accesses the cache at `cycle`. Updates replacement/dirty state and
+    /// statistics, and returns whether the line was present.
+    pub fn access(&mut self, line: u64, kind: AccessKind, cycle: u64) -> Lookup {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_index(line);
+        let way = self.sets[set_idx].iter().position(|l| l.valid && l.tag == line);
+        match way {
+            Some(w) => {
+                let replacement = self.replacement;
+                let slot = &mut self.sets[set_idx][w];
+                let first_demand_touch = kind.is_demand() && slot.prefetched && !slot.demanded;
+                if kind.is_demand() {
+                    slot.demanded = true;
+                }
+                if kind == AccessKind::DemandStore || kind == AccessKind::Writeback {
+                    slot.dirty = true;
+                }
+                slot.lru = clock;
+                slot.rrpv = 0;
+                let sig = slot.ship_sig;
+                let ready_at = slot.ready_at;
+                let late = first_demand_touch && ready_at > cycle;
+                if replacement == ReplacementKind::Ship && kind.is_demand() {
+                    self.ship.on_reuse(sig);
+                }
+                self.record_access(kind, true, first_demand_touch, late);
+                Lookup::Hit { ready_at, was_prefetched: first_demand_touch }
+            }
+            None => {
+                self.record_access(kind, false, false, false);
+                Lookup::Miss
+            }
+        }
+    }
+
+    fn record_access(&mut self, kind: AccessKind, hit: bool, useful_prefetch: bool, late: bool) {
+        match kind {
+            AccessKind::DemandLoad => {
+                self.stats.demand_loads += 1;
+                if hit {
+                    self.stats.demand_load_hits += 1;
+                } else {
+                    self.stats.demand_load_misses += 1;
+                }
+            }
+            AccessKind::DemandStore => {
+                self.stats.demand_stores += 1;
+                if hit {
+                    self.stats.demand_store_hits += 1;
+                } else {
+                    self.stats.demand_store_misses += 1;
+                }
+            }
+            AccessKind::Prefetch => {
+                if hit {
+                    self.stats.prefetch_redundant += 1;
+                }
+            }
+            AccessKind::Writeback => {}
+        }
+        if useful_prefetch {
+            self.stats.useful_prefetches += 1;
+            if late {
+                self.stats.late_prefetch_hits += 1;
+            }
+        }
+    }
+
+    /// Fills `line` into the cache, returning the eviction it caused (if the
+    /// victim way held a valid line).
+    ///
+    /// `ready_at` is the cycle the data actually arrives (DRAM completion);
+    /// `prefetched` marks prefetch fills for usefulness accounting;
+    /// `pc_sig` is the SHiP signature (hash of the triggering PC).
+    pub fn fill(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        kind: AccessKind,
+        pc_sig: u16,
+    ) -> Option<Eviction> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_index(line);
+
+        // Fill into an existing copy (e.g. prefetch raced with demand): just
+        // refresh readiness.
+        if let Some(slot) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == line) {
+            slot.ready_at = slot.ready_at.min(ready_at);
+            return None;
+        }
+
+        let way = self.choose_victim(set_idx);
+        let replacement = self.replacement;
+        let victim = self.sets[set_idx][way];
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            let unused_prefetch = victim.prefetched && !victim.demanded;
+            if unused_prefetch {
+                self.stats.useless_prefetches += 1;
+            }
+            if replacement == ReplacementKind::Ship && !victim.demanded {
+                // Line evicted without reuse: train SHCT down.
+                self.ship.on_eviction_unused(victim.ship_sig);
+            }
+            Some(Eviction { line: victim.tag, dirty: victim.dirty, unused_prefetch })
+        } else {
+            None
+        };
+
+        let prefetched = kind == AccessKind::Prefetch;
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let insert_rrpv = if replacement == ReplacementKind::Ship {
+            self.ship.insertion_rrpv(pc_sig, prefetched)
+        } else {
+            0
+        };
+        self.sets[set_idx][way] = Line {
+            tag: line,
+            valid: true,
+            dirty: kind == AccessKind::Writeback || kind == AccessKind::DemandStore,
+            prefetched,
+            demanded: kind.is_demand(),
+            ready_at,
+            lru: clock,
+            rrpv: insert_rrpv,
+            ship_sig: pc_sig,
+        };
+        evicted
+    }
+
+    /// Invalidates `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set_idx = self.set_index(line);
+        for slot in &mut self.sets[set_idx] {
+            if slot.valid && slot.tag == line {
+                slot.valid = false;
+                return Some(slot.dirty);
+            }
+        }
+        None
+    }
+
+    fn choose_victim(&mut self, set_idx: usize) -> usize {
+        // Prefer invalid ways.
+        if let Some(w) = self.sets[set_idx].iter().position(|l| !l.valid) {
+            return w;
+        }
+        match self.replacement {
+            ReplacementKind::Lru => self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(w, _)| w)
+                .expect("non-empty set"),
+            ReplacementKind::Ship => {
+                // SRRIP victim search: find RRPV==3, aging all ways until one
+                // appears.
+                loop {
+                    if let Some(w) = self.sets[set_idx].iter().position(|l| l.rrpv >= 3) {
+                        return w;
+                    }
+                    for l in &mut self.sets[set_idx] {
+                        l.rrpv = (l.rrpv + 1).min(3);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident (for tests/diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(replacement: ReplacementKind) -> Cache {
+        let cfg = CacheConfig {
+            size_bytes: 4 * 64 * 2, // 4 sets x 2 ways
+            ways: 2,
+            latency: 4,
+            mshrs: 4,
+            replacement,
+        };
+        Cache::new("test", &cfg)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        assert_eq!(c.access(100, AccessKind::DemandLoad, 0), Lookup::Miss);
+        c.fill(100, 10, AccessKind::DemandLoad, 0);
+        match c.access(100, AccessKind::DemandLoad, 20) {
+            Lookup::Hit { ready_at, .. } => assert_eq!(ready_at, 10),
+            Lookup::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().demand_loads, 2);
+        assert_eq!(c.stats().demand_load_hits, 1);
+        assert_eq!(c.stats().demand_load_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.fill(0, 0, AccessKind::DemandLoad, 0);
+        c.fill(4, 0, AccessKind::DemandLoad, 0);
+        // Touch line 0 so 4 is LRU.
+        c.access(0, AccessKind::DemandLoad, 1);
+        let ev = c.fill(8, 0, AccessKind::DemandLoad, 0).expect("eviction");
+        assert_eq!(ev.line, 4);
+        assert!(c.probe(0));
+        assert!(c.probe(8));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn useful_and_useless_prefetch_accounting() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 0, AccessKind::Prefetch, 0);
+        c.fill(4, 0, AccessKind::Prefetch, 0);
+        // Demand 0 -> useful, counted once.
+        c.access(0, AccessKind::DemandLoad, 1);
+        c.access(0, AccessKind::DemandLoad, 2);
+        assert_eq!(c.stats().useful_prefetches, 1);
+        // Evict 4 unused -> useless. Fill two more lines in set 0.
+        c.fill(8, 0, AccessKind::DemandLoad, 0);
+        c.fill(12, 0, AccessKind::DemandLoad, 0);
+        assert_eq!(c.stats().useless_prefetches, 1);
+        assert_eq!(c.stats().prefetch_fills, 2);
+    }
+
+    #[test]
+    fn late_prefetch_detected() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 1000, AccessKind::Prefetch, 0);
+        match c.access(0, AccessKind::DemandLoad, 500) {
+            Lookup::Hit { ready_at, was_prefetched } => {
+                assert_eq!(ready_at, 1000);
+                assert!(was_prefetched);
+            }
+            Lookup::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().late_prefetch_hits, 1);
+    }
+
+    #[test]
+    fn store_marks_dirty_and_writeback_on_eviction() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 0, AccessKind::DemandStore, 0);
+        c.fill(4, 0, AccessKind::DemandLoad, 0);
+        // Evict line 0 (LRU).
+        let ev = c.fill(8, 0, AccessKind::DemandLoad, 0).expect("eviction");
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn prefetch_probe_redundant() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 0, AccessKind::DemandLoad, 0);
+        assert!(matches!(c.access(0, AccessKind::Prefetch, 1), Lookup::Hit { .. }));
+        assert_eq!(c.stats().prefetch_redundant, 1);
+    }
+
+    #[test]
+    fn ship_cache_basic_operation() {
+        let mut c = tiny_cache(ReplacementKind::Ship);
+        for i in 0..16u64 {
+            c.access(i, AccessKind::DemandLoad, i);
+            c.fill(i, i, AccessKind::DemandLoad, (i % 4) as u16);
+        }
+        // All sets full; cache still functions and evicts.
+        assert_eq!(c.resident_lines(), c.capacity_lines());
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 0, AccessKind::DemandStore, 0);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.probe(0));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn duplicate_fill_keeps_earliest_ready() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 100, AccessKind::Prefetch, 0);
+        c.fill(0, 50, AccessKind::DemandLoad, 0);
+        match c.access(0, AccessKind::DemandLoad, 0) {
+            Lookup::Hit { ready_at, .. } => assert_eq!(ready_at, 50),
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = tiny_cache(ReplacementKind::Lru);
+        c.fill(0, 0, AccessKind::DemandLoad, 0);
+        c.access(0, AccessKind::DemandLoad, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().demand_loads, 0);
+        assert!(c.probe(0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Miss-status holding registers.
+//!
+//! A cache can track only a bounded number of outstanding misses (Table 5:
+//! 16 for L1, 32 for L2, 64 per LLC bank). When the file is full, the next
+//! miss must wait for the earliest outstanding miss to complete; the wait is
+//! charged to the access latency. This is the mechanism that bounds
+//! memory-level parallelism in the latency-tagged timing model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A bounded file of outstanding-miss completion times.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    // Completion cycles of in-flight misses (min-heap).
+    inflight: BinaryHeap<Reverse<u64>>,
+    stalls: u64,
+    stall_cycles: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one register");
+        Self {
+            capacity,
+            inflight: BinaryHeap::with_capacity(capacity + 1),
+            stalls: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Allocates a register for a miss issued at `cycle` that will complete
+    /// at `completion`. Returns the extra cycles the miss had to wait for a
+    /// free register (zero when one was available).
+    pub fn allocate(&mut self, cycle: u64, completion: u64) -> u64 {
+        // Retire registers whose misses have completed.
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t <= cycle {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        let wait = if self.inflight.len() >= self.capacity {
+            let Reverse(earliest) = self.inflight.pop().expect("non-empty at capacity");
+            let wait = earliest.saturating_sub(cycle);
+            if wait > 0 {
+                self.stalls += 1;
+                self.stall_cycles += wait;
+            }
+            wait
+        } else {
+            0
+        };
+        self.inflight.push(Reverse(completion + wait));
+        wait
+    }
+
+    /// Number of registers currently in flight at `cycle`.
+    pub fn occupancy(&mut self, cycle: u64) -> usize {
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t <= cycle {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        self.inflight.len()
+    }
+
+    /// Total number of allocations that had to wait.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total cycles spent waiting for a register.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Capacity of the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears stall statistics (between warmup and measurement).
+    pub fn reset_stats(&mut self) {
+        self.stalls = 0;
+        self.stall_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_wait_when_capacity_available() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0, 100), 0);
+        assert_eq!(m.allocate(0, 100), 0);
+        assert_eq!(m.occupancy(0), 2);
+    }
+
+    #[test]
+    fn waits_when_full() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0, 100), 0);
+        // Second miss at cycle 10 must wait until 100.
+        assert_eq!(m.allocate(10, 110), 90);
+        assert_eq!(m.stalls(), 1);
+        assert_eq!(m.stall_cycles(), 90);
+    }
+
+    #[test]
+    fn completed_misses_free_registers() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0, 50);
+        // At cycle 60 the first miss has completed; no wait.
+        assert_eq!(m.allocate(60, 160), 0);
+    }
+
+    #[test]
+    fn waited_miss_completion_shifts() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0, 100);
+        // Waits 100 cycles; its own completion shifts to 200+100... i.e.
+        // completion passed in (200) plus the wait (100).
+        assert_eq!(m.allocate(0, 200), 100);
+        // A third miss at cycle 0 waits until 300.
+        assert_eq!(m.allocate(0, 400), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn occupancy_drains_over_time() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0, 10);
+        m.allocate(0, 20);
+        m.allocate(0, 30);
+        assert_eq!(m.occupancy(15), 2);
+        assert_eq!(m.occupancy(25), 1);
+        assert_eq!(m.occupancy(35), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # pythia-sim
+//!
+//! A trace-driven multi-core cache-hierarchy and DRAM simulator, rebuilt from
+//! scratch as the evaluation substrate for the Rust reproduction of
+//! *Pythia: A Customizable Hardware Prefetching Framework Using Online
+//! Reinforcement Learning* (Bera et al., MICRO 2021).
+//!
+//! The paper evaluates on ChampSim; this crate provides the equivalent
+//! machinery:
+//!
+//! * an out-of-order core timing model bounded by ROB/LQ/SQ occupancy
+//!   ([`cpu`]),
+//! * a three-level cache hierarchy with MSHRs, LRU and SHiP replacement
+//!   ([`cache`]),
+//! * a DDR4-style DRAM model with channels, ranks, banks, row buffers and a
+//!   bandwidth-capped data bus ([`dram`]),
+//! * a bandwidth-usage monitor that feeds system-level feedback to
+//!   prefetchers ([`dram::BandwidthMonitor`]),
+//! * the [`prefetch::Prefetcher`] trait that both the baselines
+//!   (`pythia-prefetchers`) and Pythia itself (`pythia-core`) implement, and
+//! * a [`system::System`] that assembles 1–12 core configurations per
+//!   Table 5 of the paper and produces [`stats::SimReport`]s.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pythia_sim::config::SystemConfig;
+//! use pythia_sim::system::System;
+//! use pythia_sim::trace::TraceRecord;
+//!
+//! // A tiny streaming trace: one load per instruction, consecutive lines.
+//! let trace: Vec<TraceRecord> = (0..10_000u64)
+//!     .map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64))
+//!     .collect();
+//! let config = SystemConfig::single_core();
+//! let mut system = System::new(config, vec![trace]);
+//! let report = system.run(1_000, 8_000);
+//! assert!(report.cores[0].ipc() > 0.0);
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod dram;
+pub mod prefetch;
+pub mod stats;
+pub mod system;
+pub mod trace;
+
+pub use addr::{LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE};
+pub use config::SystemConfig;
+pub use prefetch::{DemandAccess, PrefetchRequest, Prefetcher, SystemFeedback};
+pub use stats::SimReport;
+pub use system::System;
+pub use trace::TraceRecord;

@@ -1,0 +1,209 @@
+//! The prefetcher interface.
+//!
+//! Per §5.2 of the paper, every evaluated prefetcher is trained on the
+//! L1-cache miss stream (i.e. the L2's demand accesses) and fills prefetched
+//! lines into the L2 and the LLC. The simulator calls
+//! [`Prefetcher::on_demand`] for each such access and issues the returned
+//! [`PrefetchRequest`]s into the hierarchy; [`Prefetcher::on_fill`] notifies
+//! the prefetcher when one of its requests is scheduled to land in the cache.
+//!
+//! [`SystemFeedback`] carries the system-level information the paper argues
+//! prefetchers should be *inherently* aware of — currently memory bandwidth
+//! usage, exactly the signal Pythia folds into its reward scheme.
+
+use crate::addr;
+use crate::stats::PrefetcherStats;
+
+/// A demand access observed at the prefetcher's cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandAccess {
+    /// Program counter of the triggering load/store.
+    pub pc: u64,
+    /// Byte address demanded.
+    pub addr: u64,
+    /// Cacheline index of the demand.
+    pub line: u64,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// Core cycle at which the demand issued.
+    pub cycle: u64,
+    /// `true` if the access missed at this level (for prefetchers that only
+    /// train on misses; the simulator invokes the prefetcher on every L2
+    /// demand access, which is the L1 miss stream).
+    pub missed: bool,
+}
+
+impl DemandAccess {
+    /// Physical page number of the demand.
+    pub fn page(&self) -> u64 {
+        addr::page_of(self.addr)
+    }
+
+    /// Line offset within the page, in `0..64`.
+    pub fn page_offset(&self) -> u64 {
+        addr::page_offset(self.addr)
+    }
+}
+
+/// One prefetch request emitted by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefetchRequest {
+    /// Cacheline index to prefetch.
+    pub line: u64,
+    /// If `true`, fill into L2 (and LLC); otherwise LLC only.
+    pub fill_l2: bool,
+}
+
+impl PrefetchRequest {
+    /// A request filling both L2 and LLC (the common case in the paper).
+    pub fn to_l2(line: u64) -> Self {
+        Self { line, fill_l2: true }
+    }
+
+    /// A request filling only the LLC (used by low-confidence paths, e.g.
+    /// SPP's below-threshold lookahead prefetches).
+    pub fn to_llc(line: u64) -> Self {
+        Self { line, fill_l2: false }
+    }
+}
+
+/// System-level feedback made available to prefetchers on every decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemFeedback {
+    /// Whether DRAM bandwidth usage over the last monitoring window exceeded
+    /// the configured threshold.
+    pub bandwidth_high: bool,
+    /// Raw utilization percentage of the last window (0–100).
+    pub bandwidth_utilization_pct: u8,
+}
+
+impl SystemFeedback {
+    /// Feedback indicating an idle memory system.
+    pub fn idle() -> Self {
+        Self { bandwidth_high: false, bandwidth_utilization_pct: 0 }
+    }
+}
+
+/// Notification that a prefetched line has been scheduled to fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillEvent {
+    /// The filled cacheline index.
+    pub line: u64,
+    /// Cycle at which the data arrives in the cache.
+    pub ready_at: u64,
+    /// `true` if the fill originated from a prefetch request (vs. a demand
+    /// miss fill).
+    pub prefetched: bool,
+}
+
+/// A hardware prefetcher.
+///
+/// Implementations live in `pythia-prefetchers` (the baselines of Table 7)
+/// and `pythia-core` (Pythia itself). The trait is object-safe; the
+/// simulator owns one boxed prefetcher per core.
+pub trait Prefetcher {
+    /// Short identifier used in reports (e.g. `"spp"`, `"bingo"`,
+    /// `"pythia"`).
+    fn name(&self) -> &str;
+
+    /// Called on every demand access at the training level. Returns the
+    /// prefetch requests to issue. The simulator deduplicates against cache
+    /// contents and clamps addresses; prefetchers are responsible for any
+    /// page-boundary policy of their own.
+    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest>;
+
+    /// Called when a line fills into the L2 (demand or prefetch).
+    fn on_fill(&mut self, _event: &FillEvent) {}
+
+    /// Called when the simulator observes that one of this prefetcher's
+    /// requests turned out useful (first demand hit on a prefetched line).
+    fn on_useful(&mut self, _line: u64) {}
+
+    /// Called when a prefetched line was evicted unused.
+    fn on_useless(&mut self, _line: u64) {}
+
+    /// Statistics counters (issued/useful/...); the simulator also keeps its
+    /// own authoritative accounting in cache stats.
+    fn stats(&self) -> PrefetcherStats;
+
+    /// Resets statistics between warmup and measurement, keeping learned
+    /// state.
+    fn reset_stats(&mut self);
+
+    /// Estimated metadata storage in bits (Table 7 reproduction).
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+/// The no-op prefetcher: the paper's "no prefetching" baseline.
+#[derive(Debug, Default, Clone)]
+pub struct NoPrefetcher {
+    stats: PrefetcherStats,
+}
+
+impl NoPrefetcher {
+    /// Creates a no-op prefetcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_demand(&mut self, _access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+        Vec::new()
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PrefetcherStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_access_helpers() {
+        let a = DemandAccess {
+            pc: 0x400000,
+            addr: 0x1234 + 4096 * 7,
+            line: addr::line_of(0x1234 + 4096 * 7),
+            is_write: false,
+            cycle: 0,
+            missed: true,
+        };
+        assert_eq!(a.page(), 7 + 1); // 0x1234 > 4096, so one page up
+        assert!(a.page_offset() < 64);
+    }
+
+    #[test]
+    fn no_prefetcher_is_silent() {
+        let mut p = NoPrefetcher::new();
+        let a = DemandAccess { pc: 0, addr: 0, line: 0, is_write: false, cycle: 0, missed: true };
+        assert!(p.on_demand(&a, &SystemFeedback::idle()).is_empty());
+        assert_eq!(p.stats(), PrefetcherStats::default());
+        assert_eq!(p.name(), "none");
+        assert_eq!(p.storage_bits(), 0);
+    }
+
+    #[test]
+    fn request_constructors() {
+        assert!(PrefetchRequest::to_l2(5).fill_l2);
+        assert!(!PrefetchRequest::to_llc(5).fill_l2);
+    }
+
+    #[test]
+    fn prefetcher_trait_is_object_safe() {
+        let boxed: Box<dyn Prefetcher> = Box::new(NoPrefetcher::new());
+        assert_eq!(boxed.name(), "none");
+    }
+}

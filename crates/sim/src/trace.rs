@@ -1,0 +1,266 @@
+//! Instruction trace records and a compact binary codec.
+//!
+//! The paper drives ChampSim with Pin-collected instruction traces; this
+//! module defines the equivalent in-memory record and a simple
+//! length-prefixed binary format (via [`bytes`]) so generated traces can be
+//! stored and replayed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One memory micro-operation of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Byte address touched by the operation.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+}
+
+/// Branch outcome attached to a branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Branch {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Whether the (perceptron-like) predictor mispredicted it. A
+    /// misprediction inserts the 20-cycle penalty of Table 5.
+    pub mispredicted: bool,
+}
+
+/// One dynamic instruction in a workload trace.
+///
+/// This is deliberately minimal: a program counter, at most one memory
+/// operation, an optional branch outcome, and a dependence hint used by
+/// pointer-chasing workloads to serialize loads (trace-driven simulators
+/// otherwise overestimate memory-level parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Memory operation performed by the instruction, if any.
+    pub mem: Option<MemOp>,
+    /// Branch outcome, if the instruction is a branch.
+    pub branch: Option<Branch>,
+    /// If `true`, this load depends on the previous load's value and cannot
+    /// issue before it completes (models dependent pointer chasing).
+    pub depends_on_prev_load: bool,
+}
+
+impl TraceRecord {
+    /// Creates a plain non-memory, non-branch instruction.
+    pub fn nop(pc: u64) -> Self {
+        Self { pc, mem: None, branch: None, depends_on_prev_load: false }
+    }
+
+    /// Creates a load instruction reading `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Self { pc, mem: Some(MemOp { addr, is_write: false }), branch: None, depends_on_prev_load: false }
+    }
+
+    /// Creates a load that depends on the previous load (pointer chase).
+    pub fn dependent_load(pc: u64, addr: u64) -> Self {
+        Self { depends_on_prev_load: true, ..Self::load(pc, addr) }
+    }
+
+    /// Creates a store instruction writing `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Self { pc, mem: Some(MemOp { addr, is_write: true }), branch: None, depends_on_prev_load: false }
+    }
+
+    /// Creates a branch instruction.
+    pub fn branch(pc: u64, taken: bool, mispredicted: bool) -> Self {
+        Self { pc, mem: None, branch: Some(Branch { taken, mispredicted }), depends_on_prev_load: false }
+    }
+
+    /// Returns `true` if this record is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.mem, Some(MemOp { is_write: false, .. }))
+    }
+
+    /// Returns `true` if this record is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.mem, Some(MemOp { is_write: true, .. }))
+    }
+}
+
+/// Magic bytes at the head of the binary trace format.
+const TRACE_MAGIC: u32 = 0x5059_5452; // "PYTR"
+/// Version of the binary trace format.
+const TRACE_VERSION: u16 = 1;
+
+// Flag bits used by the codec.
+const FLAG_HAS_MEM: u8 = 1 << 0;
+const FLAG_IS_WRITE: u8 = 1 << 1;
+const FLAG_HAS_BRANCH: u8 = 1 << 2;
+const FLAG_TAKEN: u8 = 1 << 3;
+const FLAG_MISPREDICTED: u8 = 1 << 4;
+const FLAG_DEPENDENT: u8 = 1 << 5;
+
+/// Errors produced when decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer did not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// The buffer ended mid-record.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "buffer is not a pythia trace (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported trace format version {v}"),
+            Self::Truncated => write!(f, "trace buffer ended mid-record"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+/// Encodes a trace into the compact binary format.
+pub fn encode_trace(records: &[TraceRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 10);
+    buf.put_u32(TRACE_MAGIC);
+    buf.put_u16(TRACE_VERSION);
+    buf.put_u64(records.len() as u64);
+    for r in records {
+        let mut flags = 0u8;
+        if r.mem.is_some() {
+            flags |= FLAG_HAS_MEM;
+        }
+        if let Some(m) = r.mem {
+            if m.is_write {
+                flags |= FLAG_IS_WRITE;
+            }
+        }
+        if let Some(b) = r.branch {
+            flags |= FLAG_HAS_BRANCH;
+            if b.taken {
+                flags |= FLAG_TAKEN;
+            }
+            if b.mispredicted {
+                flags |= FLAG_MISPREDICTED;
+            }
+        }
+        if r.depends_on_prev_load {
+            flags |= FLAG_DEPENDENT;
+        }
+        buf.put_u8(flags);
+        buf.put_u64(r.pc);
+        if let Some(m) = r.mem {
+            buf.put_u64(m.addr);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace previously produced by [`encode_trace`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] if the buffer is not a valid trace.
+pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeTraceError> {
+    if buf.remaining() < 14 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    if buf.get_u32() != TRACE_MAGIC {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != TRACE_VERSION {
+        return Err(DecodeTraceError::UnsupportedVersion(version));
+    }
+    let n = buf.get_u64() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 9 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let flags = buf.get_u8();
+        let pc = buf.get_u64();
+        let mem = if flags & FLAG_HAS_MEM != 0 {
+            if buf.remaining() < 8 {
+                return Err(DecodeTraceError::Truncated);
+            }
+            Some(MemOp { addr: buf.get_u64(), is_write: flags & FLAG_IS_WRITE != 0 })
+        } else {
+            None
+        };
+        let branch = if flags & FLAG_HAS_BRANCH != 0 {
+            Some(Branch {
+                taken: flags & FLAG_TAKEN != 0,
+                mispredicted: flags & FLAG_MISPREDICTED != 0,
+            })
+        } else {
+            None
+        };
+        out.push(TraceRecord { pc, mem, branch, depends_on_prev_load: flags & FLAG_DEPENDENT != 0 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::nop(0x400000),
+            TraceRecord::load(0x400004, 0xdead_0040),
+            TraceRecord::store(0x400008, 0xbeef_0080),
+            TraceRecord::branch(0x40000c, true, false),
+            TraceRecord::branch(0x400010, false, true),
+            TraceRecord::dependent_load(0x400014, 0xaaaa_0000),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_codec() {
+        let original = sample();
+        let encoded = encode_trace(&original);
+        let decoded = decode_trace(encoded).expect("decode");
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let garbage = Bytes::from_static(&[0u8; 32]);
+        assert_eq!(decode_trace(garbage), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let encoded = encode_trace(&sample());
+        let cut = encoded.slice(0..encoded.len() - 4);
+        assert_eq!(decode_trace(cut), Err(DecodeTraceError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(TRACE_MAGIC);
+        buf.put_u16(99);
+        buf.put_u64(0);
+        assert_eq!(
+            decode_trace(buf.freeze()),
+            Err(DecodeTraceError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn constructors_classify() {
+        assert!(TraceRecord::load(0, 0).is_load());
+        assert!(!TraceRecord::load(0, 0).is_store());
+        assert!(TraceRecord::store(0, 0).is_store());
+        assert!(TraceRecord::dependent_load(0, 0).depends_on_prev_load);
+        assert!(TraceRecord::nop(0).mem.is_none());
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let encoded = encode_trace(&[]);
+        assert_eq!(decode_trace(encoded).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text rendering: markdown tables and ASCII bar series, used by the
+//! experiment binaries to print output shaped like the paper's tables and
+//! figures.
+
+/// A simple column-aligned table with markdown output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of displayable items.
+    pub fn push_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a column-aligned markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&dashes, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; callers keep cells comma-free).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a labelled horizontal ASCII bar chart (one bar per value),
+/// scaled to `width` characters for the maximum value — the harness's
+/// substitute for the paper's figure panels.
+pub fn ascii_series(title: &str, labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values length mismatch");
+    let mut out = format!("## {title}\n");
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
+    let span = (max - min).max(1e-9);
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    for (l, v) in labels.iter().zip(values) {
+        let filled = (((v - min) / span) * width as f64).round() as usize;
+        out.push_str(&format!("{l:<label_w$} | {:<width$} {v:.4}\n", "#".repeat(filled.min(width))));
+    }
+    out
+}
+
+/// Formats a ratio as a signed percentage (e.g. `+3.4%`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats a fraction as an unsigned percentage (e.g. `71.2%`).
+pub fn frac_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_aligns() {
+        let mut t = Table::new(&["name", "speedup"]);
+        t.row(&["spp".into(), "1.18".into()]);
+        t.row(&["pythia-long-name".into(), "1.22".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        // All lines equal width (aligned).
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn ascii_series_scales_bars() {
+        let s = ascii_series(
+            "test",
+            &["a".into(), "b".into()],
+            &[1.0, 2.0],
+            10,
+        );
+        assert!(s.contains("##########"), "max value fills the width:\n{s}");
+        assert!(s.contains("2.0000"));
+    }
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(pct(1.034), "+3.4%");
+        assert_eq!(pct(0.98), "-2.0%");
+        assert_eq!(frac_pct(0.712), "71.2%");
+    }
+
+    #[test]
+    fn push_display_works() {
+        let mut t = Table::new(&["x", "y"]);
+        t.push_display(&[1.5, 2.5]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

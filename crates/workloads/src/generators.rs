@@ -1,0 +1,602 @@
+//! The trace generators: a [`TraceSpec`] describes a workload; `generate`
+//! produces a deterministic instruction trace for it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pythia_sim::addr::{LINES_PER_PAGE, PAGE_SIZE};
+use pythia_sim::trace::TraceRecord;
+
+/// The memory access pattern class a workload exhibits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Unit-stride sweep over the footprint, with a store every
+    /// `store_every` loads (0 = no stores).
+    Stream {
+        /// Insert a store after this many loads (0 disables stores).
+        store_every: u32,
+    },
+    /// Constant stride, in cachelines.
+    Stride {
+        /// Stride between consecutive accesses, in lines.
+        lines: i32,
+    },
+    /// Visit pages in order; inside each page touch exactly these offsets.
+    /// Models `GemsFDTD`-like "first touch plus fixed companions".
+    PageVisit {
+        /// Offsets (0..64) touched per page, in order.
+        offsets: Vec<u8>,
+    },
+    /// Recurring spatial footprints: each trigger PC has a fixed region
+    /// footprint replayed over randomly chosen regions.
+    SpatialFootprint {
+        /// Footprints (line offsets within a 2 KB region, 0..32), one per
+        /// trigger PC.
+        patterns: Vec<Vec<u8>>,
+        /// Fraction (percent) of region visits that deviate (extra noise
+        /// line) — keeps Bingo's accuracy below 100%.
+        noise_pct: u8,
+    },
+    /// Repeating delta sequence applied within pages, advancing to the next
+    /// page when the offset overflows.
+    DeltaChain {
+        /// The repeating delta sequence, in lines.
+        deltas: Vec<i8>,
+    },
+    /// CSR-style graph traversal: sequential reads of an index array mixed
+    /// with random neighbour reads across a large footprint.
+    IrregularGraph {
+        /// Number of vertices (drives footprint).
+        vertices: u64,
+        /// Average out-degree: neighbour reads per index read.
+        avg_degree: u32,
+    },
+    /// Dependent pointer chase over a random permutation.
+    PointerChase,
+    /// Server-style traffic: mostly-random lines with a small hot set.
+    CloudMix {
+        /// Percent of accesses that go to the hot set.
+        hot_pct: u8,
+    },
+    /// Alternate between sub-patterns every `phase_len` memory accesses.
+    Phased {
+        /// The sub-patterns to cycle through.
+        phases: Vec<PatternKind>,
+        /// Memory accesses per phase.
+        phase_len: u32,
+    },
+}
+
+/// A complete workload description; `generate()` renders it into a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Workload name (e.g. `"459.GemsFDTD-1320B"`).
+    pub name: String,
+    /// Pattern class.
+    pub kind: PatternKind,
+    /// Number of instructions to generate.
+    pub instructions: usize,
+    /// Percent of instructions that are memory operations (drives MPKI).
+    pub mem_pct: u8,
+    /// Footprint in 4 KB pages (patterns wrap within it).
+    pub footprint_pages: u64,
+    /// Percent of instructions that are branches.
+    pub branch_pct: u8,
+    /// Percent of branches that mispredict.
+    pub mispredict_pct: u8,
+    /// Consecutive element-sized (8 B) accesses per generated cacheline.
+    /// Real programs touch several elements per line, so only a fraction of
+    /// loads miss — this keeps the synthetic traces latency-bound (paper
+    /// workloads sit at 3–100 LLC MPKI) instead of saturating the DRAM bus.
+    pub accesses_per_line: u8,
+    /// RNG seed; same spec + same seed = identical trace.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// A convenient default: memory-intensive (every third instruction is a
+    /// load), 16 K-page (64 MB) footprint, light branching.
+    pub fn new(name: impl Into<String>, kind: PatternKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            instructions: 400_000,
+            mem_pct: 30,
+            footprint_pages: 16 * 1024,
+            branch_pct: 10,
+            mispredict_pct: 3,
+            accesses_per_line: 10,
+            seed: 1,
+        }
+    }
+
+    /// Sets the number of element accesses per line (1 = every load touches
+    /// a fresh line; raises memory intensity).
+    pub fn with_accesses_per_line(mut self, n: u8) -> Self {
+        self.accesses_per_line = n.max(1);
+        self
+    }
+
+    /// Sets the instruction count.
+    pub fn with_instructions(mut self, n: usize) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the footprint.
+    pub fn with_footprint_pages(mut self, pages: u64) -> Self {
+        self.footprint_pages = pages;
+        self
+    }
+
+    /// Renders the spec into an instruction trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero instructions or footprint).
+    pub fn generate(&self) -> Vec<TraceRecord> {
+        assert!(self.instructions > 0, "empty trace requested");
+        assert!(self.footprint_pages > 0, "zero footprint");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+        let mut state = PatternState::new(&self.kind, self.footprint_pages, &mut rng);
+        let mut out = Vec::with_capacity(self.instructions);
+        // A distinct base address per trace (so multi-core mixes do not
+        // share data) derived from the seed.
+        let base = (self.seed % 1024 + 1) * 0x1_0000_0000;
+        let mut pc_counter = 0x400000u64;
+        let repeat = self.accesses_per_line.max(1) as u64;
+        // Element cursor within the current line: (pc, line_base, is_write,
+        // dependent, elements_left).
+        let mut cursor: Option<(u64, u64, bool, bool, u64)> = None;
+        while out.len() < self.instructions {
+            let roll = rng.gen_range(0..100u32);
+            if roll < self.mem_pct as u32 {
+                let (pc, addr, is_write, dependent) = match cursor.take() {
+                    Some((pc, line_base, w, _dep, left)) => {
+                        let elem = (repeat - left) % 8; // 8 elements of 8 B per line
+                        if left > 1 {
+                            cursor = Some((pc, line_base, w, false, left - 1));
+                        }
+                        // Element re-accesses hit in L1 and never depend.
+                        (pc, line_base + elem * 8, w, false)
+                    }
+                    None => {
+                        let (pc, offset_bytes, is_write, dependent) =
+                            state.next_access(self.footprint_pages, &mut rng);
+                        let line_base = base + (offset_bytes & !63);
+                        if repeat > 1 {
+                            cursor = Some((pc, line_base, is_write, false, repeat - 1));
+                        }
+                        (pc, line_base, is_write, dependent)
+                    }
+                };
+                let mut rec = if is_write {
+                    TraceRecord::store(pc, addr)
+                } else if dependent {
+                    TraceRecord::dependent_load(pc, addr)
+                } else {
+                    TraceRecord::load(pc, addr)
+                };
+                rec.branch = None;
+                out.push(rec);
+            } else if roll < (self.mem_pct + self.branch_pct) as u32 {
+                let mispred = rng.gen_range(0..100) < self.mispredict_pct as u32;
+                out.push(TraceRecord::branch(pc_counter, rng.gen_bool(0.6), mispred));
+                pc_counter = pc_counter.wrapping_add(4);
+            } else {
+                out.push(TraceRecord::nop(pc_counter));
+                pc_counter = pc_counter.wrapping_add(4);
+            }
+        }
+        out
+    }
+}
+
+/// Mutable cursor over a pattern. Returns `(pc, byte_offset_in_footprint,
+/// is_write, dependent_load)` per access.
+enum PatternState {
+    Stream { pos: u64, store_every: u32, count: u32 },
+    Stride { pos: u64, lines: i32 },
+    PageVisit { step: u64, offsets: Vec<u8> },
+    SpatialFootprint { patterns: Vec<Vec<u8>>, noise_pct: u8, visits: Vec<Vec<(u64, u64)>>, rr: usize },
+    DeltaChain { line: u64, idx: usize, deltas: Vec<i8> },
+    IrregularGraph { vertices: u64, avg_degree: u32, vertex: u64, remaining_neighbours: u32 },
+    PointerChase { current: u64 },
+    CloudMix { hot_pct: u8, hot_lines: u64 },
+    Phased { states: Vec<PatternState>, idx: usize, remaining: u32, phase_len: u32 },
+}
+
+impl PatternState {
+    fn new(kind: &PatternKind, footprint_pages: u64, rng: &mut StdRng) -> Self {
+        match kind {
+            PatternKind::Stream { store_every } => {
+                Self::Stream { pos: 0, store_every: *store_every, count: 0 }
+            }
+            PatternKind::Stride { lines } => Self::Stride { pos: 0, lines: *lines },
+            PatternKind::PageVisit { offsets } => {
+                assert!(!offsets.is_empty(), "PageVisit needs offsets");
+                Self::PageVisit { step: 0, offsets: offsets.clone() }
+            }
+            PatternKind::SpatialFootprint { patterns, noise_pct } => {
+                assert!(!patterns.is_empty(), "SpatialFootprint needs patterns");
+                Self::SpatialFootprint {
+                    patterns: patterns.clone(),
+                    noise_pct: *noise_pct,
+                    visits: vec![Vec::new(); 8],
+                    rr: 0,
+                }
+            }
+            PatternKind::DeltaChain { deltas } => {
+                assert!(!deltas.is_empty(), "DeltaChain needs deltas");
+                Self::DeltaChain { line: 0, idx: 0, deltas: deltas.clone() }
+            }
+            PatternKind::IrregularGraph { vertices, avg_degree } => Self::IrregularGraph {
+                vertices: (*vertices).max(64),
+                avg_degree: (*avg_degree).max(1),
+                vertex: 0,
+                remaining_neighbours: 0,
+            },
+            PatternKind::PointerChase => Self::PointerChase { current: rng.gen_range(0..footprint_pages * LINES_PER_PAGE) },
+            PatternKind::CloudMix { hot_pct } => Self::CloudMix {
+                hot_pct: *hot_pct,
+                hot_lines: (footprint_pages * LINES_PER_PAGE / 64).max(64),
+            },
+            PatternKind::Phased { phases, phase_len } => {
+                assert!(!phases.is_empty(), "Phased needs phases");
+                assert!(*phase_len > 0, "phase_len must be non-zero");
+                Self::Phased {
+                    states: phases.iter().map(|p| PatternState::new(p, footprint_pages, rng)).collect(),
+                    idx: 0,
+                    remaining: *phase_len,
+                    phase_len: *phase_len,
+                }
+            }
+        }
+    }
+
+    fn next_access(&mut self, footprint_pages: u64, rng: &mut StdRng) -> (u64, u64, bool, bool) {
+        let total_lines = footprint_pages * LINES_PER_PAGE;
+        match self {
+            Self::Stream { pos, store_every, count } => {
+                let line = *pos % total_lines;
+                *pos += 1;
+                *count += 1;
+                let is_write = *store_every > 0 && *count % (*store_every + 1) == 0;
+                (0x401000, line * 64, is_write, false)
+            }
+            Self::Stride { pos, lines } => {
+                let line = *pos % total_lines;
+                let step = *lines;
+                *pos = (*pos as i64 + step as i64).rem_euclid(total_lines as i64) as u64;
+                (0x402000, line * 64, false, false)
+            }
+            Self::PageVisit { step, offsets } => {
+                // Offsets behave like concurrent array sweeps: offset i lags
+                // `i * PAGE_LAG` pages behind the first-touch sweep, so the
+                // companion demands arrive hundreds of instructions after
+                // the trigger (giving trigger-keyed prefetchers room to be
+                // timely, as in the real GemsFDTD sweeps).
+                const PAGE_LAG: u64 = 4;
+                let n = offsets.len() as u64;
+                loop {
+                    let idx = (*step % n) as usize;
+                    let round = *step / n;
+                    *step += 1;
+                    let lag = idx as u64 * PAGE_LAG;
+                    if round < lag {
+                        continue; // this sweep has not started yet
+                    }
+                    let p = (round - lag) % footprint_pages;
+                    let off = offsets[idx] as u64 % LINES_PER_PAGE;
+                    // Distinct PC per sweep (the paper's case study keys its
+                    // features on the first-touch PC).
+                    let pc = 0x436a81 + (idx as u64) * 0xd44;
+                    return (pc, p * PAGE_SIZE + off * 64, false, false);
+                }
+            }
+            Self::SpatialFootprint { patterns, noise_pct, visits, rr } => {
+                // Several region visits are in flight at once (real spatial
+                // workloads process many regions concurrently); each step
+                // advances one visit round-robin, so a region's companion
+                // accesses trail its trigger by several pattern steps.
+                *rr = (*rr + 1) % visits.len();
+                let slot = *rr;
+                if let Some((pc, byte)) = visits[slot].pop() {
+                    return (pc, byte, false, false);
+                }
+                // Start a new region visit in this slot: pick a pattern
+                // (trigger PC) and a random 2 KB region.
+                let which = rng.gen_range(0..patterns.len());
+                let region_bytes = 2048u64;
+                let regions = footprint_pages * PAGE_SIZE / region_bytes;
+                let region = rng.gen_range(0..regions);
+                let pc = 0x500000 + which as u64 * 0x40;
+                let pattern = &patterns[which];
+                let mut lines: Vec<u8> = pattern.clone();
+                if rng.gen_range(0..100) < *noise_pct as u32 {
+                    lines.push(rng.gen_range(0..32));
+                }
+                let trigger = lines[0] as u64 % 32;
+                for &o in lines[1..].iter().rev() {
+                    visits[slot].push((pc, region * region_bytes + (o as u64 % 32) * 64));
+                }
+                (pc, region * region_bytes + trigger * 64, false, false)
+            }
+            Self::DeltaChain { line, idx, deltas } => {
+                let current = *line % total_lines;
+                let d = deltas[*idx];
+                *idx = (*idx + 1) % deltas.len();
+                let next = *line as i64 + d as i64;
+                // Overflowing the page advances to the start of the next
+                // page, keeping the chain phase.
+                *line = if next < 0 { current / LINES_PER_PAGE * LINES_PER_PAGE + LINES_PER_PAGE } else { next as u64 };
+                if *line / LINES_PER_PAGE != current / LINES_PER_PAGE {
+                    *line = (current / LINES_PER_PAGE + 1) * LINES_PER_PAGE;
+                    *idx = 0;
+                }
+                (0x403000 + *idx as u64 * 4, current * 64, false, false)
+            }
+            Self::IrregularGraph { vertices, avg_degree, vertex, remaining_neighbours } => {
+                if *remaining_neighbours > 0 {
+                    *remaining_neighbours -= 1;
+                    // Random neighbour read: vertex data is spread over the
+                    // footprint (8 B per vertex -> 8 vertices per line).
+                    let v = rng.gen_range(0..*vertices);
+                    let byte = (v * 8) % (footprint_pages * PAGE_SIZE);
+                    (0x404008, byte, false, false)
+                } else {
+                    // Sequential index-array read.
+                    let v = *vertex % *vertices;
+                    *vertex += 1;
+                    *remaining_neighbours = rng.gen_range(0..=*avg_degree * 2);
+                    let byte = (v * 8) % (footprint_pages * PAGE_SIZE / 2);
+                    (0x404000, byte, false, false)
+                }
+            }
+            Self::PointerChase { current } => {
+                // Next pointer = hash of current (a fixed pseudo-random
+                // permutation), serialized by the dependence flag.
+                let line = *current % total_lines;
+                *current = current
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+                    % total_lines;
+                (0x405000, line * 64, false, true)
+            }
+            Self::CloudMix { hot_pct, hot_lines } => {
+                let hot = rng.gen_range(0..100) < *hot_pct as u32;
+                let line = if hot {
+                    rng.gen_range(0..*hot_lines)
+                } else {
+                    rng.gen_range(0..total_lines)
+                };
+                let is_write = rng.gen_range(0..100) < 20;
+                (0x406000 + u64::from(hot), line * 64, is_write, false)
+            }
+            Self::Phased { states, idx, remaining, phase_len } => {
+                if *remaining == 0 {
+                    *idx = (*idx + 1) % states.len();
+                    *remaining = *phase_len;
+                }
+                *remaining -= 1;
+                states[*idx].next_access(footprint_pages, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_sim::addr;
+
+    fn spec(kind: PatternKind) -> TraceSpec {
+        TraceSpec::new("test", kind).with_instructions(20_000)
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let s = spec(PatternKind::CloudMix { hot_pct: 30 });
+        assert_eq!(s.generate(), s.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec(PatternKind::CloudMix { hot_pct: 30 }).with_seed(1).generate();
+        let b = spec(PatternKind::CloudMix { hot_pct: 30 }).with_seed(2).generate();
+        assert_ne!(a, b);
+    }
+
+    /// Collapses element-level accesses back to the line sequence.
+    fn line_sequence(t: &[pythia_sim::trace::TraceRecord]) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for r in t {
+            if let Some(m) = r.mem {
+                let l = addr::line_of(m.addr);
+                if out.last() != Some(&l) {
+                    out.push(l);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_is_sequential_lines() {
+        let t = spec(PatternKind::Stream { store_every: 0 }).generate();
+        let lines = line_sequence(&t);
+        for w in lines.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "stream must be unit-stride");
+        }
+    }
+
+    #[test]
+    fn element_accesses_share_lines() {
+        let t = spec(PatternKind::Stream { store_every: 0 }).generate();
+        let mems = t.iter().filter(|r| r.mem.is_some()).count();
+        let lines = line_sequence(&t).len();
+        // Default 8 accesses per line.
+        assert!(mems >= lines * 7, "mems={mems} lines={lines}");
+    }
+
+    #[test]
+    fn stream_with_stores_interleaves_writes() {
+        let t = spec(PatternKind::Stream { store_every: 3 }).generate();
+        let writes = t.iter().filter(|r| r.is_store()).count();
+        let loads = t.iter().filter(|r| r.is_load()).count();
+        assert!(writes > 0);
+        assert!(loads > writes * 2);
+    }
+
+    #[test]
+    fn stride_pattern_has_constant_stride() {
+        let t = spec(PatternKind::Stride { lines: 4 }).generate();
+        let lines = line_sequence(&t);
+        for w in lines.windows(2) {
+            let d = w[1] as i64 - w[0] as i64;
+            assert!(d == 4 || d < 0, "stride-4 expected, got {d}"); // wrap allowed
+        }
+    }
+
+    #[test]
+    fn page_visit_reproduces_gems_fdtd_case_study() {
+        // Offsets {0, 23}: every visited page is touched at exactly offsets
+        // 0 and 23 -- the §6.5 pattern -- with the +23 sweep lagging the
+        // first-touch sweep so trigger-keyed prefetches can be timely.
+        let t = spec(PatternKind::PageVisit { offsets: vec![0, 23] }).generate();
+        let accesses: Vec<(u64, u64)> = line_sequence(&t)
+            .iter()
+            .map(|&l| (addr::page_of_line(l), addr::page_offset_of_line(l)))
+            .collect();
+        use std::collections::HashMap;
+        let mut first_touch_step: HashMap<u64, usize> = HashMap::new();
+        for (step, (page, off)) in accesses.iter().enumerate() {
+            assert!(*off == 0 || *off == 23, "unexpected offset {off}");
+            if *off == 0 {
+                first_touch_step.entry(*page).or_insert(step);
+            }
+        }
+        let mut lags = Vec::new();
+        for (step, (page, off)) in accesses.iter().enumerate() {
+            if *off == 23 {
+                if let Some(&trigger) = first_touch_step.get(page) {
+                    lags.push(step - trigger);
+                }
+            }
+        }
+        assert!(!lags.is_empty());
+        let min_lag = *lags.iter().min().unwrap();
+        assert!(min_lag >= 4, "companion sweep should lag the trigger: {min_lag}");
+    }
+
+    #[test]
+    fn pointer_chase_marks_dependent_loads() {
+        let t = spec(PatternKind::PointerChase).generate();
+        let deps = t.iter().filter(|r| r.depends_on_prev_load).count();
+        let lines = line_sequence(&t).len();
+        // Exactly the first access of each chased line is dependent.
+        assert_eq!(deps, lines, "one dependent load per chased line");
+        assert!(deps > 0);
+    }
+
+    #[test]
+    fn footprint_respected() {
+        let s = spec(PatternKind::CloudMix { hot_pct: 0 }).with_footprint_pages(128);
+        let t = s.generate();
+        let base = (s.seed % 1024 + 1) * 0x1_0000_0000;
+        for r in &t {
+            if let Some(m) = r.mem {
+                let off = m.addr - base;
+                assert!(
+                    off < 128 * PAGE_SIZE,
+                    "access outside footprint: {off:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mem_pct_controls_intensity() {
+        let mut s = spec(PatternKind::Stream { store_every: 0 });
+        s.mem_pct = 50;
+        let t = s.generate();
+        let mems = t.iter().filter(|r| r.mem.is_some()).count();
+        let ratio = mems as f64 / t.len() as f64;
+        assert!((0.45..0.55).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn spatial_footprint_replays_patterns() {
+        let t = spec(PatternKind::SpatialFootprint {
+            patterns: vec![vec![0, 3, 7, 12]],
+            noise_pct: 0,
+        })
+        .generate();
+        // Group accesses by 2 KB region: each visited region shows the
+        // footprint offsets.
+        use std::collections::HashMap;
+        let mut by_region: HashMap<u64, Vec<u64>> = HashMap::new();
+        for r in &t {
+            if let Some(m) = r.mem {
+                by_region.entry(m.addr / 2048).or_default().push(m.addr % 2048 / 64);
+            }
+        }
+        let full_visits =
+            by_region.values().filter(|v| v.len() >= 4).count();
+        assert!(full_visits > 10, "expected replayed footprints");
+    }
+
+    #[test]
+    fn phased_pattern_switches_behaviour() {
+        let t = spec(PatternKind::Phased {
+            phases: vec![
+                PatternKind::Stream { store_every: 0 },
+                PatternKind::PointerChase,
+            ],
+            phase_len: 100,
+        })
+        .generate();
+        let deps = t.iter().filter(|r| r.depends_on_prev_load).count();
+        let seq_loads = t.iter().filter(|r| r.is_load() && !r.depends_on_prev_load).count();
+        assert!(deps > 0 && seq_loads > 0, "both phases must appear");
+    }
+
+    #[test]
+    fn branches_and_mispredicts_present() {
+        let mut s = spec(PatternKind::Stream { store_every: 0 });
+        s.branch_pct = 20;
+        s.mispredict_pct = 10;
+        let t = s.generate();
+        let branches = t.iter().filter(|r| r.branch.is_some()).count();
+        let mispredicts =
+            t.iter().filter(|r| r.branch.is_some_and(|b| b.mispredicted)).count();
+        assert!(branches > t.len() / 10);
+        assert!(mispredicts > 0);
+        assert!(mispredicts < branches / 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn zero_instructions_rejected() {
+        let mut s = spec(PatternKind::PointerChase);
+        s.instructions = 0;
+        s.generate();
+    }
+
+    #[test]
+    fn graph_pattern_mixes_sequential_and_random() {
+        let t = spec(PatternKind::IrregularGraph { vertices: 100_000, avg_degree: 8 })
+            .generate();
+        let pcs: std::collections::HashSet<u64> =
+            t.iter().filter(|r| r.mem.is_some()).map(|r| r.pc).collect();
+        assert!(pcs.contains(&0x404000), "index-array PC present");
+        assert!(pcs.contains(&0x404008), "neighbour PC present");
+    }
+}

@@ -1,0 +1,16 @@
+//! # pythia
+//!
+//! Facade crate for the Rust reproduction of *Pythia: A Customizable
+//! Hardware Prefetching Framework Using Online Reinforcement Learning*
+//! (Bera et al., MICRO 2021).
+//!
+//! Re-exports the workspace crates and provides a high-level [`runner`] API
+//! used by the examples, integration tests, and the experiment harness.
+
+pub use pythia_core as core;
+pub use pythia_prefetchers as prefetchers;
+pub use pythia_sim as sim;
+pub use pythia_stats as stats;
+pub use pythia_workloads as workloads;
+
+pub mod runner;

@@ -1,0 +1,252 @@
+//! High-level experiment runner: build a system, attach prefetchers by
+//! name, run the paper's warmup/measure methodology, and compute the
+//! Appendix A.6 metrics against a no-prefetching baseline.
+//!
+//! This is the API the examples, the integration tests and every
+//! table/figure harness binary in `pythia-bench` are written against.
+
+use pythia_core::{Pythia, PythiaConfig};
+use pythia_prefetchers::multi::Multi;
+use pythia_prefetchers::registry;
+use pythia_prefetchers::stride::StridePrefetcher;
+use pythia_sim::config::SystemConfig;
+use pythia_sim::prefetch::Prefetcher;
+use pythia_sim::stats::SimReport;
+use pythia_sim::system::System;
+use pythia_sim::trace::TraceRecord;
+use pythia_stats::metrics::{self, Metrics};
+use pythia_workloads::Workload;
+
+/// Builds any prefetcher in the workspace by name: every baseline from
+/// [`pythia_prefetchers::registry`] plus the Pythia variants:
+///
+/// * `"pythia"` — the Table 2 configuration with the re-derived learning
+///   rate ([`PythiaConfig::tuned`])
+/// * `"pythia_strict"` — §6.6.1 reward customization
+/// * `"pythia_bw_oblivious"` — §6.3.3 ablation
+/// * `"stride+pythia"` — the multi-level configuration of §6.2.4
+///
+/// Returns `None` for unknown names.
+pub fn build_prefetcher(name: &str, seed: u64) -> Option<Box<dyn Prefetcher>> {
+    match name {
+        "pythia" => Some(Box::new(Pythia::new(PythiaConfig::tuned().with_seed(seed)))),
+        "pythia_strict" => Some(Box::new(Pythia::new(PythiaConfig::strict().with_seed(seed)))),
+        "pythia_bw_oblivious" => {
+            Some(Box::new(Pythia::new(PythiaConfig::bandwidth_oblivious().with_seed(seed))))
+        }
+        "stride+pythia" => Some(Box::new(Multi::new(vec![
+            Box::new(StridePrefetcher::default()),
+            Box::new(Pythia::new(PythiaConfig::tuned().with_seed(seed))),
+        ]))),
+        other => registry::build(other, seed),
+    }
+}
+
+/// Builds a Pythia with a custom configuration (for the customization
+/// experiments of §6.6).
+pub fn build_pythia_with(config: PythiaConfig) -> Box<dyn Prefetcher> {
+    Box::new(Pythia::new(config))
+}
+
+/// Warmup/measure instruction budgets (the paper's §5 methodology scaled to
+/// synthetic traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// System configuration.
+    pub system: SystemConfig,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+}
+
+impl RunSpec {
+    /// Single-core default: 50 K warmup + 200 K measured (the paper uses
+    /// 100 M + 500 M on real traces; the synthetic patterns reach steady
+    /// state much sooner).
+    pub fn single_core() -> Self {
+        Self { system: SystemConfig::single_core(), warmup: 50_000, measure: 200_000 }
+    }
+
+    /// `n`-core default with the Table 5 channel scaling.
+    pub fn multi_core(n: usize) -> Self {
+        Self { system: SystemConfig::with_cores(n), warmup: 25_000, measure: 100_000 }
+    }
+
+    /// Overrides the system configuration.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Overrides the instruction budgets.
+    pub fn with_budget(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    fn trace_len(&self) -> usize {
+        (self.warmup + self.measure) as usize
+    }
+}
+
+/// Runs one workload on a single-core (or the spec's) system with the named
+/// prefetcher.
+///
+/// # Panics
+///
+/// Panics if `prefetcher` is unknown (see [`build_prefetcher`]).
+pub fn run_workload(workload: &Workload, prefetcher: &str, spec: &RunSpec) -> SimReport {
+    assert_eq!(spec.system.cores, 1, "run_workload is single-core; use run_mix");
+    let trace = workload.trace(spec.trace_len());
+    run_traces(vec![trace], prefetcher, spec)
+}
+
+/// Runs an `n`-core mix (one workload per core).
+pub fn run_mix(workloads: &[Workload], prefetcher: &str, spec: &RunSpec) -> SimReport {
+    assert_eq!(workloads.len(), spec.system.cores, "one workload per core");
+    let traces = workloads.iter().map(|w| w.trace(spec.trace_len())).collect();
+    run_traces(traces, prefetcher, spec)
+}
+
+/// Runs raw traces with the named prefetcher.
+pub fn run_traces(traces: Vec<Vec<TraceRecord>>, prefetcher: &str, spec: &RunSpec) -> SimReport {
+    let name = prefetcher.to_string();
+    let mut system = System::with_prefetchers(spec.system, traces, move |core| {
+        build_prefetcher(&name, 0x517e_a5e5 ^ core as u64)
+            .unwrap_or_else(|| panic!("unknown prefetcher {name:?}"))
+    });
+    system.run(spec.warmup, spec.measure)
+}
+
+/// Runs raw traces with per-core prefetchers built by `factory`.
+pub fn run_traces_with(
+    traces: Vec<Vec<TraceRecord>>,
+    spec: &RunSpec,
+    factory: impl Fn(usize) -> Box<dyn Prefetcher>,
+) -> SimReport {
+    let mut system = System::with_prefetchers(spec.system, traces, factory);
+    system.run(spec.warmup, spec.measure)
+}
+
+/// Result of evaluating one prefetcher on one workload.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Derived metrics vs. the no-prefetching baseline.
+    pub metrics: Metrics,
+}
+
+/// Evaluates several prefetchers across workloads (single-core), running
+/// the baseline once per workload.
+pub fn evaluate_suite(
+    workloads: &[Workload],
+    prefetchers: &[&str],
+    spec: &RunSpec,
+) -> Vec<Evaluation> {
+    let mut out = Vec::new();
+    for w in workloads {
+        let baseline = run_workload(w, "none", spec);
+        for &p in prefetchers {
+            let report = run_workload(w, p, spec);
+            out.push(Evaluation {
+                workload: w.name.clone(),
+                prefetcher: p.to_string(),
+                metrics: metrics::compare(&baseline, &report),
+            });
+        }
+    }
+    out
+}
+
+/// Geometric-mean speedup of one prefetcher across an evaluation set.
+pub fn geomean_speedup(evals: &[Evaluation], prefetcher: &str) -> f64 {
+    let s: Vec<f64> = evals
+        .iter()
+        .filter(|e| e.prefetcher == prefetcher)
+        .map(|e| e.metrics.speedup)
+        .collect();
+    metrics::geomean(&s)
+}
+
+/// Runs `jobs` closures on up to `threads` worker threads and returns their
+/// results in input order. Each job is an independent simulation, so the
+/// experiment harness parallelizes across (workload × prefetcher) pairs —
+/// the in-process stand-in for the paper's slurm fan-out (§A.5).
+pub fn run_parallel<T: Send>(
+    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
+    threads: usize,
+) -> Vec<T> {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let queue: crossbeam::queue::SegQueue<(usize, Box<dyn FnOnce() -> T + Send>)> =
+        crossbeam::queue::SegQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        queue.push((i, j));
+    }
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    let value = job();
+                    results_mutex.lock().expect("no poisoned workers")[i] = Some(value);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+/// Parallel version of [`evaluate_suite`]: runs every (workload, prefetcher)
+/// simulation — baselines included — across `threads` workers.
+pub fn evaluate_suite_parallel(
+    workloads: &[Workload],
+    prefetchers: &[&str],
+    spec: &RunSpec,
+    threads: usize,
+) -> Vec<Evaluation> {
+    // Baselines first (one per workload), in parallel.
+    let baseline_jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
+        .iter()
+        .map(|w| {
+            let w = w.clone();
+            let spec = *spec;
+            Box::new(move || run_workload(&w, "none", &spec)) as Box<dyn FnOnce() -> SimReport + Send>
+        })
+        .collect();
+    let baselines = run_parallel(baseline_jobs, threads);
+
+    // Then the full cross product.
+    let mut jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = Vec::new();
+    for w in workloads {
+        for &p in prefetchers {
+            let w = w.clone();
+            let p = p.to_string();
+            let spec = *spec;
+            jobs.push(Box::new(move || run_workload(&w, &p, &spec)));
+        }
+    }
+    let reports = run_parallel(jobs, threads);
+
+    let mut out = Vec::with_capacity(reports.len());
+    let mut it = reports.into_iter();
+    for (wi, w) in workloads.iter().enumerate() {
+        for &p in prefetchers {
+            let report = it.next().expect("report per job");
+            out.push(Evaluation {
+                workload: w.name.clone(),
+                prefetcher: p.to_string(),
+                metrics: metrics::compare(&baselines[wi], &report),
+            });
+        }
+    }
+    out
+}

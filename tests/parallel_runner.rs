@@ -1,0 +1,85 @@
+//! Integration tests for the parallel evaluation API: results must be
+//! identical to the sequential path (simulations are deterministic and
+//! share no mutable state).
+
+use pythia::runner::{evaluate_suite, evaluate_suite_parallel, run_parallel, RunSpec};
+use pythia_workloads::generators::PatternKind;
+use pythia_workloads::suites::Suite;
+use pythia_workloads::{TraceSpec, Workload};
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "w-stream".into(),
+            suite: Suite::Spec06,
+            spec: TraceSpec::new("w-stream", PatternKind::Stream { store_every: 0 }).with_seed(41),
+        },
+        Workload {
+            name: "w-gems".into(),
+            suite: Suite::Spec06,
+            spec: TraceSpec::new("w-gems", PatternKind::PageVisit { offsets: vec![0, 23] })
+                .with_seed(42),
+        },
+        Workload {
+            name: "w-chase".into(),
+            suite: Suite::Spec06,
+            spec: TraceSpec::new("w-chase", PatternKind::PointerChase).with_seed(43),
+        },
+    ]
+}
+
+#[test]
+fn run_parallel_preserves_order() {
+    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..64)
+        .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+        .collect();
+    let results = run_parallel(jobs, 8);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, i * i);
+    }
+}
+
+#[test]
+fn run_parallel_single_thread_works() {
+    let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+        vec![Box::new(|| 7), Box::new(|| 9)];
+    assert_eq!(run_parallel(jobs, 1), vec![7, 9]);
+}
+
+#[test]
+#[should_panic(expected = "at least one worker")]
+fn zero_threads_rejected() {
+    let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 1)];
+    let _ = run_parallel(jobs, 0);
+}
+
+#[test]
+fn parallel_evaluation_matches_sequential() {
+    let ws = workloads();
+    let prefetchers = ["stride", "pythia"];
+    let spec = RunSpec::single_core().with_budget(10_000, 40_000);
+    let seq = evaluate_suite(&ws, &prefetchers, &spec);
+    let par = evaluate_suite_parallel(&ws, &prefetchers, &spec, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.prefetcher, b.prefetcher);
+        assert!(
+            (a.metrics.speedup - b.metrics.speedup).abs() < 1e-12,
+            "{}/{}: {} vs {}",
+            a.workload,
+            a.prefetcher,
+            a.metrics.speedup,
+            b.metrics.speedup
+        );
+        assert!((a.metrics.coverage - b.metrics.coverage).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn parallel_evaluation_with_more_threads_than_jobs() {
+    let ws = workloads()[..1].to_vec();
+    let spec = RunSpec::single_core().with_budget(5_000, 20_000);
+    let evals = evaluate_suite_parallel(&ws, &["none"], &spec, 64);
+    assert_eq!(evals.len(), 1);
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants (deliverable (c) of the reproduction): trace codecs, address
+//! arithmetic, cache behaviour, the evaluation queue, the QVStore, and the
+//! trace generators.
+
+use proptest::prelude::*;
+
+use pythia_core::eq::{EqEntry, EvaluationQueue};
+use pythia_core::{PythiaConfig, QvStore};
+use pythia_sim::addr;
+use pythia_sim::cache::{AccessKind, Cache, ReplacementKind};
+use pythia_sim::config::CacheConfig;
+use pythia_sim::trace::{decode_trace, encode_trace, Branch, MemOp, TraceRecord};
+use pythia_workloads::generators::{PatternKind, TraceSpec};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u64>(),
+        proptest::option::of((any::<u64>(), any::<bool>())),
+        proptest::option::of((any::<bool>(), any::<bool>())),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, mem, branch, dep)| TraceRecord {
+            pc,
+            mem: mem.map(|(addr, is_write)| MemOp { addr, is_write }),
+            branch: branch.map(|(taken, mispredicted)| Branch { taken, mispredicted }),
+            depends_on_prev_load: dep,
+        })
+}
+
+proptest! {
+    #[test]
+    fn trace_codec_roundtrips(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let encoded = encode_trace(&records);
+        let decoded = decode_trace(encoded).unwrap();
+        prop_assert_eq!(records, decoded);
+    }
+
+    #[test]
+    fn offset_page_invariant(line in 0u64..1u64 << 40, offset in -63i32..=63) {
+        // offset_stays_in_page agrees with actually applying the offset.
+        let stays = addr::offset_stays_in_page(line, offset);
+        let target = addr::apply_offset(line, offset);
+        if stays {
+            prop_assert_eq!(addr::page_of_line(target), addr::page_of_line(line));
+        }
+        // Page offsets always land in [0, 64).
+        prop_assert!(addr::page_offset_of_line(target) < 64);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        lines in proptest::collection::vec(0u64..10_000, 1..400),
+        ways in 1usize..8,
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 64 * 64 * ways as u64, // 64 sets x ways
+            ways,
+            latency: 1,
+            mshrs: 4,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut cache = Cache::new("prop", &cfg);
+        for (i, &l) in lines.iter().enumerate() {
+            cache.access(l, AccessKind::DemandLoad, i as u64);
+            cache.fill(l, i as u64, AccessKind::DemandLoad, 0);
+            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+            prop_assert!(cache.probe(l), "line just filled must be resident");
+        }
+    }
+
+    #[test]
+    fn cache_stats_balance(
+        lines in proptest::collection::vec(0u64..256, 1..300),
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 16 * 64 * 2,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut cache = Cache::new("prop", &cfg);
+        for (i, &l) in lines.iter().enumerate() {
+            if matches!(cache.access(l, AccessKind::DemandLoad, i as u64), pythia_sim::cache::Lookup::Miss) {
+                cache.fill(l, i as u64, AccessKind::DemandLoad, 0);
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.demand_loads, lines.len() as u64);
+        prop_assert_eq!(s.demand_load_hits + s.demand_load_misses, s.demand_loads);
+        prop_assert!(s.evictions <= s.demand_load_misses);
+    }
+
+    #[test]
+    fn eq_capacity_and_fifo(
+        capacity in 1usize..64,
+        inserts in 1usize..200,
+    ) {
+        let mut eq = EvaluationQueue::new(capacity);
+        let mut evicted_order = Vec::new();
+        for i in 0..inserts {
+            let e = EqEntry::new(vec![i as u64], 0, Some(i as u64), i as u64);
+            if let Some(ev) = eq.insert(e) {
+                evicted_order.push(ev.prefetch_line.unwrap());
+            }
+            prop_assert!(eq.len() <= capacity);
+        }
+        // FIFO: evictions come out in insertion order.
+        for (i, &l) in evicted_order.iter().enumerate() {
+            prop_assert_eq!(l, i as u64);
+        }
+    }
+
+    #[test]
+    fn qvstore_argmax_in_range(
+        updates in proptest::collection::vec(
+            (0u64..1000, 0usize..16, -20i16..=20, 0u64..1000, 0usize..16),
+            0..200,
+        ),
+        probe in 0u64..1000,
+    ) {
+        let cfg = PythiaConfig::basic();
+        let mut store = QvStore::new(&cfg);
+        for (v1, a1, r, v2, a2) in updates {
+            store.sarsa_update(&[v1, v1 ^ 7], a1, r as f32, &[v2, v2 ^ 7], a2, 0.1, cfg.gamma);
+        }
+        let best = store.argmax(&[probe, probe ^ 7]);
+        prop_assert!(best < cfg.actions.len());
+    }
+
+    #[test]
+    fn qvstore_q_values_bounded(
+        reward in -30i16..=30,
+        n in 1u32..4000,
+    ) {
+        // Repeated identical updates converge within the theoretical bound
+        // |Q| <= max(|init|, |r|/(1-gamma)) + slack.
+        let cfg = PythiaConfig::basic();
+        let mut store = QvStore::new(&cfg);
+        let s = [42u64, 43u64];
+        for _ in 0..n {
+            store.sarsa_update(&s, 3, reward as f32, &s, 3, 0.1, cfg.gamma);
+        }
+        let bound = (reward as f32 / (1.0 - cfg.gamma)).abs().max(cfg.q_init()) + 1.0;
+        prop_assert!(store.q(&s, 3).abs() <= bound, "q={} bound={}", store.q(&s, 3), bound);
+    }
+
+    #[test]
+    fn generated_traces_have_exact_length_and_bounds(
+        seed in 0u64..1_000,
+        pages in 1u64..256,
+        n in 1usize..5_000,
+    ) {
+        let spec = TraceSpec::new("prop", PatternKind::CloudMix { hot_pct: 50 })
+            .with_seed(seed)
+            .with_footprint_pages(pages)
+            .with_instructions(n);
+        let trace = spec.generate();
+        prop_assert_eq!(trace.len(), n);
+        let base = (seed % 1024 + 1) * 0x1_0000_0000;
+        for r in &trace {
+            if let Some(m) = r.mem {
+                prop_assert!(m.addr >= base);
+                prop_assert!(m.addr < base + pages * 4096 + 64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pattern_kinds_generate(seed in 0u64..50) {
+        let kinds = [
+            PatternKind::Stream { store_every: 3 },
+            PatternKind::Stride { lines: 5 },
+            PatternKind::PageVisit { offsets: vec![0, 11, 23] },
+            PatternKind::DeltaChain { deltas: vec![1, 2, 3] },
+            PatternKind::PointerChase,
+            PatternKind::IrregularGraph { vertices: 10_000, avg_degree: 4 },
+            PatternKind::CloudMix { hot_pct: 10 },
+        ];
+        for kind in kinds {
+            let t = TraceSpec::new("p", kind).with_seed(seed).with_instructions(500).generate();
+            prop_assert_eq!(t.len(), 500);
+            prop_assert!(t.iter().any(|r| r.mem.is_some()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prefetchers_never_panic_on_arbitrary_streams(
+        accesses in proptest::collection::vec((0u64..1u64<<30, 0u64..64, any::<bool>()), 1..300),
+        which in 0usize..12,
+    ) {
+        use pythia_sim::prefetch::{DemandAccess, SystemFeedback, Prefetcher as _};
+        let names = pythia_prefetchers::available();
+        let name = names[which % names.len()];
+        let mut p = pythia_prefetchers::build(name, 3).unwrap();
+        let fb = SystemFeedback { bandwidth_high: false, bandwidth_utilization_pct: 10 };
+        for (i, (page, off, w)) in accesses.iter().enumerate() {
+            let addr = page * 4096 + off * 64;
+            let a = DemandAccess {
+                pc: 0x400000 + (i as u64 % 16) * 4,
+                addr,
+                line: addr >> 6,
+                is_write: *w,
+                cycle: i as u64 * 10,
+                missed: true,
+            };
+            for req in p.on_demand(&a, &fb) {
+                // Requests address sane lines (non-saturated arithmetic).
+                prop_assert!(req.line < 1u64 << 58);
+            }
+            if i % 3 == 0 {
+                p.on_useful(addr >> 6);
+            } else if i % 7 == 0 {
+                p.on_useless(addr >> 6);
+            }
+        }
+        let _ = p.stats();
+    }
+}
