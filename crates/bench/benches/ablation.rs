@@ -6,9 +6,10 @@ use pythia_core::{PythiaConfig, QvStore};
 
 fn bench_action_list(c: &mut Criterion) {
     let mut group = c.benchmark_group("argmax_by_action_count");
-    for (label, actions) in
-        [("pruned_16", PythiaConfig::basic_actions()), ("full_127", PythiaConfig::full_actions())]
-    {
+    for (label, actions) in [
+        ("pruned_16", PythiaConfig::basic_actions()),
+        ("full_127", PythiaConfig::full_actions()),
+    ] {
         let cfg = PythiaConfig::basic().with_actions(actions);
         let store = QvStore::new(&cfg);
         let state = vec![99u64, 7u64];

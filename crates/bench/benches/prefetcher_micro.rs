@@ -20,7 +20,9 @@ fn demand(i: u64) -> DemandAccess {
 
 fn bench_prefetchers(c: &mut Criterion) {
     let mut group = c.benchmark_group("on_demand");
-    for name in ["stride", "streamer", "spp", "bingo", "mlop", "dspatch", "ipcp", "pythia"] {
+    for name in [
+        "stride", "streamer", "spp", "bingo", "mlop", "dspatch", "ipcp", "pythia",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
             let mut p = build_prefetcher(name, 1).unwrap();
             let fb = SystemFeedback::idle();

@@ -42,17 +42,29 @@ fn main() {
     };
 
     let mut t = Table::new(&["variant", "geomean speedup"]);
-    t.row(&["tuned (max, 3 planes, 16 actions, EQ 256)".into(), format!("{:.3}", eval(PythiaConfig::tuned()))]);
+    t.row(&[
+        "tuned (max, 3 planes, 16 actions, EQ 256)".into(),
+        format!("{:.3}", eval(PythiaConfig::tuned())),
+    ]);
 
-    t.row(&["paper-literal alpha = 0.0065".into(), format!("{:.3}", eval(PythiaConfig::basic()))]);
+    t.row(&[
+        "paper-literal alpha = 0.0065".into(),
+        format!("{:.3}", eval(PythiaConfig::basic())),
+    ]);
 
     let mut c = PythiaConfig::tuned();
     c.q_init_override = Some(1.0 / (1.0 - c.gamma));
-    t.row(&["paper-literal Q-init 1/(1-gamma)".into(), format!("{:.3}", eval(c))]);
+    t.row(&[
+        "paper-literal Q-init 1/(1-gamma)".into(),
+        format!("{:.3}", eval(c)),
+    ]);
 
     let mut c = PythiaConfig::tuned();
     c.graded_timeliness = true;
-    t.row(&["graded timeliness (footnote 3)".into(), format!("{:.3}", eval(c))]);
+    t.row(&[
+        "graded timeliness (footnote 3)".into(),
+        format!("{:.3}", eval(c)),
+    ]);
 
     let mut c = PythiaConfig::tuned();
     c.vault_combine = VaultCombine::Mean;
@@ -63,7 +75,10 @@ fn main() {
     t.row(&["1 plane per vault".into(), format!("{:.3}", eval(c))]);
 
     let c = PythiaConfig::tuned().with_actions(PythiaConfig::full_actions());
-    t.row(&["full [-63,63] action list".into(), format!("{:.3}", eval(c))]);
+    t.row(&[
+        "full [-63,63] action list".into(),
+        format!("{:.3}", eval(c)),
+    ]);
 
     let mut c = PythiaConfig::tuned();
     c.eq_size = 64;

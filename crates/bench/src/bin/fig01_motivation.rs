@@ -1,8 +1,8 @@
 //! Fig. 1 — motivation: coverage, overprediction and IPC improvement of
 //! SPP, Bingo and Pythia on six example workloads.
 
-use pythia_bench::{spec, Budget};
 use pythia::runner::run_workload;
+use pythia_bench::{spec, Budget};
 use pythia_stats::metrics::compare;
 use pythia_stats::report::{frac_pct, pct, Table};
 use pythia_workloads::suites;
@@ -19,9 +19,18 @@ fn main() {
         "Ligra-PageRankDelta",
     ];
     let prefetchers = ["spp", "bingo", "pythia"];
-    let mut t = Table::new(&["workload", "prefetcher", "coverage", "overprediction", "IPC improvement"]);
+    let mut t = Table::new(&[
+        "workload",
+        "prefetcher",
+        "coverage",
+        "overprediction",
+        "IPC improvement",
+    ]);
     for name in names {
-        let w = pool.iter().find(|w| w.name == name).expect("known workload");
+        let w = pool
+            .iter()
+            .find(|w| w.name == name)
+            .expect("known workload");
         let baseline = run_workload(w, "none", &run);
         for p in prefetchers {
             let m = compare(&baseline, &run_workload(w, p, &run));

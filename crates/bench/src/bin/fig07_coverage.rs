@@ -9,11 +9,18 @@ use pythia_workloads::Suite;
 fn main() {
     let run = spec(Budget::Headline);
     let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let suites =
-        [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite];
+    let suites = [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::Cloudsuite,
+    ];
     let mut t = Table::new(&["suite", "prefetcher", "coverage", "overprediction"]);
-    let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> =
-        prefetchers.iter().map(|p| (p.to_string(), vec![], vec![])).collect();
+    let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> = prefetchers
+        .iter()
+        .map(|p| (p.to_string(), vec![], vec![]))
+        .collect();
     for s in suites {
         let results = evaluate(&[s], &prefetchers, &run);
         for (pi, p) in prefetchers.iter().enumerate() {

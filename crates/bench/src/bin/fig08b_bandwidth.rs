@@ -1,13 +1,13 @@
 //! Fig. 8(b) — geomean speedup vs. DRAM bandwidth (150–9600 MTPS,
 //! single channel, single core).
 
+use pythia::runner::run_workload;
 use pythia::runner::RunSpec;
 use pythia_bench::{budget, Budget};
 use pythia_sim::config::SystemConfig;
 use pythia_stats::metrics::{compare, geomean};
 use pythia_stats::report::Table;
 use pythia_workloads::all_suites;
-use pythia::runner::run_workload;
 
 fn main() {
     let prefetchers = ["spp", "bingo", "mlop", "spp+ppf", "pythia"];

@@ -10,7 +10,13 @@ use pythia_workloads::{all_suites, Suite};
 
 fn main() {
     let run = spec(Budget::Headline);
-    let suites = [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite];
+    let suites = [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::Cloudsuite,
+    ];
 
     println!("# Fig. 9(a) — single-core per-suite geomean speedup\n");
     let s = single_core_suite_speedups(&suites, &["spp", "bingo", "mlop", "pythia"], &run);

@@ -13,7 +13,13 @@ fn main() {
 
     println!("# Fig. 10(a) — four-core per-suite geomean speedup (homogeneous mixes)\n");
     let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let suites = [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite];
+    let suites = [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::Cloudsuite,
+    ];
     let mut t = Table::new(&["suite", "spp", "bingo", "mlop", "pythia"]);
     let mut all: Vec<Vec<f64>> = vec![Vec::new(); prefetchers.len()];
     for s in suites {

@@ -11,7 +11,9 @@ fn main() {
     let mut pythia = Pythia::new(PythiaConfig::basic());
     let trace = TraceSpec::new(
         "459.GemsFDTD-1320B",
-        PatternKind::PageVisit { offsets: vec![0, 23] },
+        PatternKind::PageVisit {
+            offsets: vec![0, 23],
+        },
     )
     .with_instructions(3_000_000)
     .generate();
@@ -50,11 +52,15 @@ fn main() {
         }
         let out = pythia.on_demand(&access, &feedback);
         for req in out {
-            pythia.on_fill(&FillEvent { line: req.line, ready_at: cycle + 190, prefetched: true });
+            pythia.on_fill(&FillEvent {
+                line: req.line,
+                ready_at: cycle + 190,
+                prefetched: true,
+            });
         }
         if let Some(v) = probe_value {
             let updates = pythia.qvstore().updates();
-            if updates > 0 && updates % 1000 == 0 {
+            if updates > 0 && updates.is_multiple_of(1000) {
                 let q = pythia.probe_feature_q(0, v);
                 samples.push((updates, q));
             }

@@ -11,13 +11,25 @@ fn main() {
     let (wu, me) = budget(Budget::Sweep);
     let run = RunSpec::single_core().with_budget(wu, me);
     let pool = all_suites();
-    let w = pool.iter().find(|w| w.name == "Ligra-CC").expect("Ligra-CC");
+    let w = pool
+        .iter()
+        .find(|w| w.name == "Ligra-CC")
+        .expect("Ligra-CC");
     let baseline = run_workload(w, "none", &run);
-    let mut t = Table::new(&["config", "<25%", "25-50%", "50-75%", ">=75%", "IPC improvement"]);
+    let mut t = Table::new(&[
+        "config",
+        "<25%",
+        "25-50%",
+        "50-75%",
+        ">=75%",
+        "IPC improvement",
+    ]);
     let bucket_row = |r: &pythia_sim::stats::SimReport| -> Vec<String> {
         let b = r.dram.bw_bucket_windows;
         let total: u64 = b.iter().sum::<u64>().max(1);
-        b.iter().map(|x| format!("{:.0}%", *x as f64 * 100.0 / total as f64)).collect()
+        b.iter()
+            .map(|x| format!("{:.0}%", *x as f64 * 100.0 / total as f64))
+            .collect()
     };
     let mut row = vec!["baseline".to_string()];
     row.extend(bucket_row(&baseline));

@@ -10,7 +10,12 @@ use pythia_workloads::suites::ligra;
 fn main() {
     let (wu, me) = budget(Budget::Sweep);
     let run = RunSpec::single_core().with_budget(wu, me);
-    let mut t = Table::new(&["workload", "basic pythia", "strict pythia", "strict vs basic"]);
+    let mut t = Table::new(&[
+        "workload",
+        "basic pythia",
+        "strict pythia",
+        "strict vs basic",
+    ]);
     let mut basics = Vec::new();
     let mut stricts = Vec::new();
     for w in ligra() {
@@ -30,7 +35,10 @@ fn main() {
         "GEOMEAN".into(),
         format!("{:.3}", geomean(&basics)),
         format!("{:.3}", geomean(&stricts)),
-        format!("{:+.1}%", (geomean(&stricts) / geomean(&basics) - 1.0) * 100.0),
+        format!(
+            "{:+.1}%",
+            (geomean(&stricts) / geomean(&basics) - 1.0) * 100.0
+        ),
     ]);
     println!("# Fig. 15 — basic vs strict Pythia on the Ligra suite\n");
     println!("{}", t.to_markdown());

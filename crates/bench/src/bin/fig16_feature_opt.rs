@@ -19,12 +19,18 @@ fn main() {
         vec![Feature::PC_DELTA],
         vec![Feature::LAST_4_DELTAS],
         vec![
-            Feature { control: ControlFlow::Pc, data: DataFlow::PageOffset },
+            Feature {
+                control: ControlFlow::Pc,
+                data: DataFlow::PageOffset,
+            },
             Feature::LAST_4_DELTAS,
         ],
         vec![
             Feature::PC_DELTA,
-            Feature { control: ControlFlow::None, data: DataFlow::LastFourOffsets },
+            Feature {
+                control: ControlFlow::None,
+                data: DataFlow::LastFourOffsets,
+            },
         ],
     ];
     let mut t = Table::new(&["workload", "basic", "feature-optimized", "gain"]);

@@ -11,8 +11,13 @@ use pythia_workloads::all_suites;
 fn main() {
     let (wu, me) = budget(Budget::Sweep);
     let run = RunSpec::single_core().with_budget(wu, me);
-    let names =
-        ["459.GemsFDTD-765B", "462.libquantum-714B", "482.sphinx3-417B", "Ligra-CC", "429.mcf-184B"];
+    let names = [
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "482.sphinx3-417B",
+        "Ligra-CC",
+        "429.mcf-184B",
+    ];
     let pool = all_suites();
 
     let eval = |mutate: &dyn Fn(&mut PythiaConfig)| -> f64 {

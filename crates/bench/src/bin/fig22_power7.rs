@@ -6,7 +6,13 @@ use pythia_workloads::Suite;
 
 fn main() {
     let run = spec(Budget::Sweep);
-    let suites = [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite];
+    let suites = [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::Cloudsuite,
+    ];
     let s = single_core_suite_speedups(&suites, &["power7", "pythia"], &run);
     println!("# Fig. 22 — Pythia vs POWER7-adaptive (single-core)\n");
     println!("{}", s.table().to_markdown());

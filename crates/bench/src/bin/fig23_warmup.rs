@@ -6,8 +6,13 @@ use pythia_stats::report::Table;
 use pythia_workloads::all_suites;
 
 fn main() {
-    let names =
-        ["459.GemsFDTD-765B", "462.libquantum-714B", "482.sphinx3-417B", "Ligra-CC", "429.mcf-184B"];
+    let names = [
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "482.sphinx3-417B",
+        "Ligra-CC",
+        "429.mcf-184B",
+    ];
     let pool = all_suites();
     let prefetchers = ["spp", "bingo", "mlop", "pythia"];
     let mut t = Table::new(&["warmup", "spp", "bingo", "mlop", "pythia"]);

@@ -13,7 +13,12 @@ use pythia_workloads::all_suites;
 fn main() {
     let (wu, me) = budget(Budget::MultiCore); // cheapest budget: many evals
     let run = RunSpec::single_core().with_budget(wu, me);
-    let names = ["459.GemsFDTD-765B", "462.libquantum-714B", "482.sphinx3-417B", "429.mcf-184B"];
+    let names = [
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "482.sphinx3-417B",
+        "429.mcf-184B",
+    ];
     let pool = all_suites();
     let baselines: Vec<_> = names
         .iter()
@@ -39,10 +44,22 @@ fn main() {
     let candidates = vec![
         Feature::PC_DELTA,
         Feature::LAST_4_DELTAS,
-        Feature { control: ControlFlow::Pc, data: DataFlow::PageOffset },
-        Feature { control: ControlFlow::None, data: DataFlow::LastFourOffsets },
-        Feature { control: ControlFlow::Pc, data: DataFlow::CachelineAddress },
-        Feature { control: ControlFlow::PcPath, data: DataFlow::Delta },
+        Feature {
+            control: ControlFlow::Pc,
+            data: DataFlow::PageOffset,
+        },
+        Feature {
+            control: ControlFlow::None,
+            data: DataFlow::LastFourOffsets,
+        },
+        Feature {
+            control: ControlFlow::Pc,
+            data: DataFlow::CachelineAddress,
+        },
+        Feature {
+            control: ControlFlow::PcPath,
+            data: DataFlow::Delta,
+        },
     ];
     let result = tuning::select_features(&candidates, |features| {
         eval_cfg(&PythiaConfig::tuned().with_features(features.to_vec()))
@@ -64,8 +81,15 @@ fn main() {
     let pruned = tuning::prune_actions(&full, 0.005, |actions| {
         eval_cfg(&PythiaConfig::tuned().with_actions(actions.to_vec()))
     });
-    println!("pruned list ({} offsets): {:?}", pruned.winner.len(), pruned.winner);
-    println!("score {:.3} (full-list score {:.3})\n", pruned.score, pruned.evaluated[0].1);
+    println!(
+        "pruned list ({} offsets): {:?}",
+        pruned.winner.len(),
+        pruned.winner
+    );
+    println!(
+        "score {:.3} (full-list score {:.3})\n",
+        pruned.score, pruned.evaluated[0].1
+    );
 
     // ---- Hyperparameter grid (§4.3.3) ----
     println!("# §4.3.3 hyperparameter grid search (4 levels, top-5 confirm)\n");

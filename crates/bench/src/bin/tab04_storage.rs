@@ -13,7 +13,10 @@ fn main() {
     println!("# Table 4 — Pythia storage overhead\n");
     let s = storage(&cfg);
     let mut t = Table::new(&["structure", "size"]);
-    t.row(&["QVStore".into(), format!("{:.1} KB", s.qvstore_bits as f64 / 8192.0)]);
+    t.row(&[
+        "QVStore".into(),
+        format!("{:.1} KB", s.qvstore_bits as f64 / 8192.0),
+    ]);
     t.row(&["EQ".into(), format!("{:.1} KB", s.eq_bits as f64 / 8192.0)]);
     t.row(&["Total".into(), format!("{:.1} KB", s.total_kb())]);
     println!("{}", t.to_markdown());
@@ -54,17 +57,27 @@ fn main() {
     ] {
         let area_pct = o.area_overhead_pct(cores, die_mm2);
         let power_pct = o.power_mw * cores as f64 / (tdp_w * 1000.0) * 100.0;
-        t.row(&[name.into(), format!("{area_pct:.2}%"), format!("{power_pct:.2}%")]);
+        t.row(&[
+            name.into(),
+            format!("{area_pct:.2}%"),
+            format!("{power_pct:.2}%"),
+        ]);
     }
     println!("{}", t.to_markdown());
     println!(
         "Pythia per core: {:.2} mm^2, {:.2} mW (anchors: {:.2} mm^2, {:.2} mW)",
-        o.area_mm2, o.power_mw, anchors::AREA_MM2, anchors::POWER_MW
+        o.area_mm2,
+        o.power_mw,
+        anchors::AREA_MM2,
+        anchors::POWER_MW
     );
 
     println!("\n# §4.2.2 pipelined QVStore search\n");
     let pl = SearchPipeline::new(&cfg);
-    println!("search latency: {} cycles (16 actions, 5-stage pipeline)", pl.search_latency());
+    println!(
+        "search latency: {} cycles (16 actions, 5-stage pipeline)",
+        pl.search_latency()
+    );
     let full = PythiaConfig::basic().with_actions(PythiaConfig::full_actions());
     println!(
         "unpruned action list would take {} cycles",

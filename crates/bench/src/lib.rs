@@ -44,7 +44,10 @@ pub fn budget(kind: Budget) -> (u64, u64) {
         // bus saturation, where leftover exploration traffic is punishing.
         Budget::MultiCore => (200_000, 400_000),
     };
-    (((w as f64 * scale) as u64).max(1_000), ((m as f64 * scale) as u64).max(4_000))
+    (
+        ((w as f64 * scale) as u64).max(1_000),
+        ((m as f64 * scale) as u64).max(4_000),
+    )
 }
 
 /// A single-core [`RunSpec`] with the given budget class.
@@ -131,7 +134,11 @@ pub fn evaluate(
             let baseline = run_workload(&w, "none", run);
             for &p in prefetchers {
                 let report = run_workload(&w, p, run);
-                out.push((w.clone(), p.to_string(), metrics::compare(&baseline, &report)));
+                out.push((
+                    w.clone(),
+                    p.to_string(),
+                    metrics::compare(&baseline, &report),
+                ));
             }
         }
     }

@@ -72,7 +72,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<ParsedArgs, Parse
 impl ParsedArgs {
     /// Returns an option's value, if present and non-empty.
     pub fn opt(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str).filter(|v| !v.is_empty())
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
     }
 
     /// Returns whether a boolean flag was given.
@@ -88,7 +91,9 @@ impl ParsedArgs {
     pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.opt(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 }

@@ -43,13 +43,34 @@ fn spec_from(args: &ParsedArgs) -> Result<RunSpec, String> {
     let measure = args.opt_num("measure", 400_000u64)?;
     let mut system = SystemConfig::single_core();
     if let Some(mtps) = args.opt("mtps") {
-        system.dram.mtps = mtps.parse().map_err(|_| format!("--mtps: bad value {mtps:?}"))?;
+        system.dram.mtps = mtps
+            .parse()
+            .map_err(|_| format!("--mtps: bad value {mtps:?}"))?;
     }
     if let Some(kb) = args.opt("llc-kb") {
-        let kb: u64 = kb.parse().map_err(|_| format!("--llc-kb: bad value {kb:?}"))?;
+        let kb: u64 = kb
+            .parse()
+            .map_err(|_| format!("--llc-kb: bad value {kb:?}"))?;
         system.llc.size_bytes = kb * 1024;
     }
-    Ok(RunSpec::single_core().with_system(system).with_budget(warmup, measure))
+    Ok(RunSpec::single_core()
+        .with_system(system)
+        .with_budget(warmup, measure))
+}
+
+fn pattern_label(kind: &pythia_workloads::PatternKind) -> &'static str {
+    use pythia_workloads::PatternKind;
+    match kind {
+        PatternKind::Stream { .. } => "stream",
+        PatternKind::Stride { .. } => "stride",
+        PatternKind::PageVisit { .. } => "page-visit",
+        PatternKind::SpatialFootprint { .. } => "spatial-footprint",
+        PatternKind::DeltaChain { .. } => "delta-chain",
+        PatternKind::IrregularGraph { .. } => "irregular-graph",
+        PatternKind::PointerChase => "pointer-chase",
+        PatternKind::CloudMix { .. } => "cloud-mix",
+        PatternKind::Phased { .. } => "phased",
+    }
 }
 
 /// `pythia-cli list [--names]`
@@ -68,13 +89,13 @@ pub fn list(args: &ParsedArgs) -> Result<(), String> {
         t.row(&[
             w.name.clone(),
             w.suite.label().to_string(),
-            format!("{:?}", std::mem::discriminant(&w.spec.kind)),
+            pattern_label(&w.spec.kind).to_string(),
         ]);
     }
     println!("{}", t.to_markdown());
     println!("# Prefetchers\n");
     let mut names: Vec<&str> = pythia_prefetchers::available().to_vec();
-    names.extend(["pythia", "pythia_strict", "pythia_bw_oblivious", "stride+pythia"]);
+    names.extend(pythia::runner::RUNNER_ONLY);
     for n in names {
         println!("  {n}");
     }
@@ -87,7 +108,9 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
         return Err("usage: pythia-cli run <workload> <prefetcher> [options]".into());
     };
     if build_prefetcher(prefetcher, 0).is_none() {
-        return Err(format!("unknown prefetcher {prefetcher:?}; see `pythia-cli list`"));
+        return Err(format!(
+            "unknown prefetcher {prefetcher:?}; see `pythia-cli list`"
+        ));
     }
     let w = find_workload(workload)?;
     let spec = spec_from(args)?;
@@ -119,9 +142,18 @@ pub fn compare(args: &ParsedArgs) -> Result<(), String> {
     };
     let w = find_workload(workload)?;
     let spec = spec_from(args)?;
-    let list = args.opt("prefetchers").unwrap_or(compare_cmd_default_prefetchers()).to_string();
+    let list = args
+        .opt("prefetchers")
+        .unwrap_or(compare_cmd_default_prefetchers())
+        .to_string();
     let baseline = run_workload(&w, "none", &spec);
-    let mut t = Table::new(&["prefetcher", "speedup", "coverage", "overprediction", "accuracy"]);
+    let mut t = Table::new(&[
+        "prefetcher",
+        "speedup",
+        "coverage",
+        "overprediction",
+        "accuracy",
+    ]);
     for p in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         if build_prefetcher(p, 0).is_none() {
             return Err(format!("unknown prefetcher {p:?}"));
@@ -149,8 +181,13 @@ pub fn trace(args: &ParsedArgs) -> Result<(), String> {
     let records = w.trace(n);
     let bytes = encode_trace(&records);
     let mut f = std::fs::File::create(out_file).map_err(|e| format!("{out_file}: {e}"))?;
-    f.write_all(&bytes).map_err(|e| format!("{out_file}: {e}"))?;
-    println!("wrote {} instructions ({} bytes) to {out_file}", records.len(), bytes.len());
+    f.write_all(&bytes)
+        .map_err(|e| format!("{out_file}: {e}"))?;
+    println!(
+        "wrote {} instructions ({} bytes) to {out_file}",
+        records.len(),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -158,14 +195,26 @@ pub fn trace(args: &ParsedArgs) -> Result<(), String> {
 pub fn storage(_args: &ParsedArgs) -> Result<(), String> {
     let cfg = PythiaConfig::basic();
     let s = hw_model::storage(&cfg);
-    println!("Pythia metadata: {:.1} KB (QVStore {:.1} KB + EQ {:.1} KB)",
-        s.total_kb(), s.qvstore_bits as f64 / 8192.0, s.eq_bits as f64 / 8192.0);
+    println!(
+        "Pythia metadata: {:.1} KB (QVStore {:.1} KB + EQ {:.1} KB)",
+        s.total_kb(),
+        s.qvstore_bits as f64 / 8192.0,
+        s.eq_bits as f64 / 8192.0
+    );
     let o = hw_model::estimate_overhead(&cfg);
-    println!("Per-core estimate: {:.2} mm^2, {:.2} mW (14nm anchors, §6.7)", o.area_mm2, o.power_mw);
+    println!(
+        "Per-core estimate: {:.2} mm^2, {:.2} mW (14nm anchors, §6.7)",
+        o.area_mm2, o.power_mw
+    );
     let mut t = Table::new(&["prefetcher", "metadata"]);
-    for name in ["stride", "streamer", "spp", "dspatch", "mlop", "ipcp", "spp+ppf", "pythia", "bingo"] {
+    for name in [
+        "stride", "streamer", "spp", "dspatch", "mlop", "ipcp", "spp+ppf", "pythia", "bingo",
+    ] {
         let p = build_prefetcher(name, 0).expect("known prefetcher");
-        t.row(&[name.to_string(), format!("{:.1} KB", p.storage_bits() as f64 / 8192.0)]);
+        t.row(&[
+            name.to_string(),
+            format!("{:.1} KB", p.storage_bits() as f64 / 8192.0),
+        ]);
     }
     println!("{}", t.to_markdown());
     Ok(())

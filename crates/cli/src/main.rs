@@ -28,11 +28,13 @@ fn main() -> ExitCode {
         Some("compare") => commands::compare(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("storage") => commands::storage(&parsed),
-        Some(other) => Err(format!("unknown subcommand {other:?}; try `pythia-cli help`")),
-        None => {
+        Some("help") | None => {
             print!("{}", commands::HELP);
             Ok(())
         }
+        Some(other) => Err(format!(
+            "unknown subcommand {other:?}; try `pythia-cli help`"
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,174 @@
+//! End-to-end smoke tests for the `pythia-cli` binary: exit codes and
+//! output shape for every subcommand, plus the hand-rolled arg parser's
+//! error paths.
+
+use std::process::{Command, Output};
+
+/// A workload from `all_suites()` that simulates quickly.
+const WORKLOAD: &str = "401.gcc-13B";
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pythia-cli"))
+        .args(args)
+        .output()
+        .expect("spawn pythia-cli")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Small budgets so each simulation finishes in well under a second.
+const FAST: &[&str] = &["--warmup", "1000", "--measure", "4000"];
+
+#[test]
+fn no_args_prints_help_and_succeeds() {
+    let out = cli(&[]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("USAGE"), "help must show usage: {text}");
+    for sub in ["list", "run", "compare", "trace", "storage"] {
+        assert!(text.contains(sub), "help must mention {sub}");
+    }
+}
+
+#[test]
+fn list_prints_workloads_and_prefetchers() {
+    let out = cli(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("# Workloads"));
+    assert!(text.contains("# Prefetchers"));
+    assert!(text.contains(WORKLOAD));
+    for p in ["spp", "bingo", "pythia", "pythia_strict"] {
+        assert!(text.contains(p), "list must advertise {p}");
+    }
+}
+
+#[test]
+fn list_names_is_machine_readable() {
+    let out = cli(&["list", "--names"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let names: Vec<&str> = text.lines().collect();
+    assert!(
+        names.len() >= 50,
+        "expected the full workload pool, got {}",
+        names.len()
+    );
+    assert!(names.contains(&WORKLOAD));
+    assert!(names.iter().all(|n| !n.trim().is_empty()));
+}
+
+#[test]
+fn run_reports_metrics() {
+    let out = cli(&[&["run", WORKLOAD, "pythia"], FAST].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for field in [
+        "speedup",
+        "coverage",
+        "overprediction",
+        "accuracy",
+        "prefetches",
+    ] {
+        assert!(
+            text.contains(field),
+            "run output must report {field}: {text}"
+        );
+    }
+}
+
+#[test]
+fn run_requires_both_positionals() {
+    let out = cli(&["run", WORKLOAD]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: pythia-cli run"));
+}
+
+#[test]
+fn run_rejects_unknown_workload_and_prefetcher() {
+    let out = cli(&["run", "no-such-workload", "spp"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown workload"));
+
+    let out = cli(&["run", WORKLOAD, "no-such-prefetcher"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown prefetcher"));
+}
+
+#[test]
+fn run_rejects_malformed_numeric_options() {
+    let out = cli(&["run", WORKLOAD, "spp", "--measure", "not-a-number"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--measure"));
+}
+
+#[test]
+fn compare_renders_one_row_per_prefetcher() {
+    let out = cli(&[&["compare", WORKLOAD, "--prefetchers", "spp,stride"], FAST].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("| prefetcher |"),
+        "expected a markdown table: {text}"
+    );
+    assert!(text.contains("spp"));
+    assert!(text.contains("stride"));
+}
+
+#[test]
+fn compare_rejects_unknown_prefetcher_in_list() {
+    let out = cli(&[&["compare", WORKLOAD, "--prefetchers", "spp,bogus"], FAST].concat());
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown prefetcher"));
+}
+
+#[test]
+fn trace_writes_a_decodable_file() {
+    let dir = std::env::temp_dir().join("pythia_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("out.pytr");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = cli(&["trace", WORKLOAD, path_str, "--instructions", "5000"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 5000 instructions"));
+    let bytes = std::fs::read(&path).expect("trace file written");
+    let records = pythia_sim::trace::decode_trace(bytes.as_slice()).expect("decodable trace");
+    assert_eq!(records.len(), 5000);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn storage_prints_overhead_tables() {
+    let out = cli(&["storage"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Pythia metadata"));
+    assert!(text.contains("mm^2"));
+    assert!(text.contains("| prefetcher |"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn parser_error_paths_reach_the_user() {
+    // Duplicate option.
+    let out = cli(&["run", WORKLOAD, "spp", "--measure", "1", "--measure", "2"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("more than once"));
+
+    // Bare `--`.
+    let out = cli(&["run", "--"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unexpected bare"));
+}

@@ -100,10 +100,17 @@ impl Pythia {
     /// Q-values of every action for the feature value `value` in vault
     /// `vault` — the per-feature Q curve of the Fig. 13 case study.
     pub fn probe_feature_q(&self, vault: usize, value: u64) -> Vec<f32> {
-        (0..self.config.actions.len()).map(|a| self.qv.feature_q(vault, value, a)).collect()
+        (0..self.config.actions.len())
+            .map(|a| self.qv.feature_q(vault, value, a))
+            .collect()
     }
 
-    fn assign_insertion_reward(&mut self, entry: &mut EqEntry, offset: i32, feedback: &SystemFeedback) {
+    fn assign_insertion_reward(
+        &mut self,
+        entry: &mut EqEntry,
+        offset: i32,
+        feedback: &SystemFeedback,
+    ) {
         let r = &self.config.rewards;
         if offset == 0 {
             entry.reward = Some(if feedback.bandwidth_high {
@@ -125,7 +132,11 @@ impl Prefetcher for Pythia {
         "pythia"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let r = self.config.rewards;
 
         // (1) Reward any earlier action whose prefetch this demand confirms.
@@ -137,7 +148,12 @@ impl Prefetcher for Pythia {
                 r.accurate_late,
             )
         } else {
-            self.eq.reward_demand_hit(access.line, access.cycle, r.accurate_timely, r.accurate_late)
+            self.eq.reward_demand_hit(
+                access.line,
+                access.cycle,
+                r.accurate_timely,
+                r.accurate_late,
+            )
         };
         match hit {
             crate::eq::DemandMatch::AccurateTimely => self.rewards_seen.accurate_timely += 1,
@@ -234,11 +250,21 @@ mod tests {
     use super::*;
 
     fn access(pc: u64, addr: u64, cycle: u64) -> DemandAccess {
-        DemandAccess { pc, addr, line: addr::line_of(addr), is_write: false, cycle, missed: true }
+        DemandAccess {
+            pc,
+            addr,
+            line: addr::line_of(addr),
+            is_write: false,
+            cycle,
+            missed: true,
+        }
     }
 
     fn low_bw() -> SystemFeedback {
-        SystemFeedback { bandwidth_high: false, bandwidth_utilization_pct: 5 }
+        SystemFeedback {
+            bandwidth_high: false,
+            bandwidth_utilization_pct: 5,
+        }
     }
 
     #[test]
@@ -261,7 +287,11 @@ mod tests {
             let a = access(0x400000, (i % 60) * 64 + (i / 60) * 4096, i * 10);
             let out = p.on_demand(&a, &low_bw());
             for req in out {
-                p.on_fill(&FillEvent { line: req.line, ready_at: i * 10 + 1, prefetched: true });
+                p.on_fill(&FillEvent {
+                    line: req.line,
+                    ready_at: i * 10 + 1,
+                    prefetched: true,
+                });
             }
         }
         let hist = p.action_histogram();
@@ -350,7 +380,10 @@ mod tests {
         cfg.alpha = 0.5;
         let mut p_low = Pythia::new(cfg.clone());
         let mut p_high = Pythia::new(cfg);
-        let high = SystemFeedback { bandwidth_high: true, bandwidth_utilization_pct: 90 };
+        let high = SystemFeedback {
+            bandwidth_high: true,
+            bandwidth_utilization_pct: 90,
+        };
         for i in 0..2_000u64 {
             p_low.on_demand(&access(0x400000, (i % 8) * 64, i), &low_bw());
             p_high.on_demand(&access(0x400000, (i % 8) * 64, i), &high);

@@ -158,18 +158,27 @@ impl PythiaConfig {
     /// runs; at our 1 M-instruction budgets it leaves the agent far from
     /// convergence (documented in DESIGN.md/EXPERIMENTS.md).
     pub fn tuned() -> Self {
-        Self { alpha: 0.05, ..Self::basic() }
+        Self {
+            alpha: 0.05,
+            ..Self::basic()
+        }
     }
 
     /// The strict configuration of §6.6.1 (reward customization for
     /// bandwidth-sensitive graph workloads).
     pub fn strict() -> Self {
-        Self { rewards: RewardLevels::strict(), ..Self::tuned() }
+        Self {
+            rewards: RewardLevels::strict(),
+            ..Self::tuned()
+        }
     }
 
     /// The bandwidth-oblivious ablation of §6.3.3 (Fig. 11).
     pub fn bandwidth_oblivious() -> Self {
-        Self { rewards: RewardLevels::bandwidth_oblivious(), ..Self::tuned() }
+        Self {
+            rewards: RewardLevels::bandwidth_oblivious(),
+            ..Self::tuned()
+        }
     }
 
     /// Replaces the feature vector (the §6.6.2 customization knob).
@@ -254,7 +263,10 @@ mod tests {
     #[test]
     fn basic_matches_table2() {
         let c = PythiaConfig::basic();
-        assert_eq!(c.actions, vec![-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32]);
+        assert_eq!(
+            c.actions,
+            vec![-6, -3, -1, 0, 1, 3, 4, 5, 10, 11, 12, 16, 22, 23, 30, 32]
+        );
         assert_eq!(c.rewards.accurate_timely, 20);
         assert_eq!(c.rewards.accurate_late, 12);
         assert_eq!(c.rewards.coverage_loss, -12);
@@ -314,9 +326,18 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        assert!(PythiaConfig::basic().with_features(vec![]).validate().is_err());
-        assert!(PythiaConfig::basic().with_actions(vec![]).validate().is_err());
-        assert!(PythiaConfig::basic().with_actions(vec![99]).validate().is_err());
+        assert!(PythiaConfig::basic()
+            .with_features(vec![])
+            .validate()
+            .is_err());
+        assert!(PythiaConfig::basic()
+            .with_actions(vec![])
+            .validate()
+            .is_err());
+        assert!(PythiaConfig::basic()
+            .with_actions(vec![99])
+            .validate()
+            .is_err());
         let mut c = PythiaConfig::basic();
         c.gamma = 1.0;
         assert!(c.validate().is_err());

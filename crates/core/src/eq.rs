@@ -39,7 +39,14 @@ pub struct EqEntry {
 impl EqEntry {
     /// Creates an entry with no reward assigned yet.
     pub fn new(state: Vec<u64>, action: usize, prefetch_line: Option<u64>, issued_at: u64) -> Self {
-        Self { state, action, prefetch_line, reward: None, fill_ready: None, issued_at }
+        Self {
+            state,
+            action,
+            prefetch_line,
+            reward: None,
+            fill_ready: None,
+            issued_at,
+        }
     }
 
     /// Whether a reward has been assigned.
@@ -76,7 +83,10 @@ impl EvaluationQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "EQ capacity must be non-zero");
-        Self { entries: VecDeque::with_capacity(capacity + 1), capacity }
+        Self {
+            entries: VecDeque::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Number of entries currently queued.
@@ -104,7 +114,11 @@ impl EvaluationQueue {
             if e.reward.is_none() && e.prefetch_line == Some(line) {
                 let filled = e.fill_ready.is_some_and(|t| t <= cycle);
                 e.reward = Some(if filled { r_at } else { r_al });
-                return if filled { DemandMatch::AccurateTimely } else { DemandMatch::AccurateLate };
+                return if filled {
+                    DemandMatch::AccurateTimely
+                } else {
+                    DemandMatch::AccurateLate
+                };
             }
         }
         DemandMatch::Miss
@@ -131,8 +145,7 @@ impl EvaluationQueue {
                         let flight = fill.saturating_sub(e.issued_at).max(1);
                         let progressed = cycle.saturating_sub(e.issued_at).min(flight);
                         let frac = progressed as f64 / flight as f64;
-                        let graded =
-                            r_al as f64 + (r_at - r_al) as f64 * frac;
+                        let graded = r_al as f64 + (r_at - r_al) as f64 * frac;
                         (graded.round() as i16, false)
                     }
                     None => (r_al, false),
@@ -162,8 +175,11 @@ impl EvaluationQueue {
     /// Inserts an entry; if the queue is at capacity, evicts and returns the
     /// oldest entry (Algorithm 1, line 23).
     pub fn insert(&mut self, entry: EqEntry) -> Option<EqEntry> {
-        let evicted =
-            if self.entries.len() >= self.capacity { self.entries.pop_front() } else { None };
+        let evicted = if self.entries.len() >= self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
         self.entries.push_back(entry);
         evicted
     }
@@ -202,7 +218,10 @@ mod tests {
         let mut eq = EvaluationQueue::new(4);
         eq.insert(entry(Some(100), 0));
         eq.mark_filled(100, 50);
-        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateTimely);
+        assert_eq!(
+            eq.reward_demand_hit(100, 80, 20, 12),
+            DemandMatch::AccurateTimely
+        );
         assert_eq!(eq.head().unwrap().reward, Some(20));
     }
 
@@ -211,7 +230,10 @@ mod tests {
         let mut eq = EvaluationQueue::new(4);
         eq.insert(entry(Some(100), 0));
         eq.mark_filled(100, 500);
-        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateLate);
+        assert_eq!(
+            eq.reward_demand_hit(100, 80, 20, 12),
+            DemandMatch::AccurateLate
+        );
         assert_eq!(eq.head().unwrap().reward, Some(12));
     }
 
@@ -219,7 +241,10 @@ mod tests {
     fn unfilled_entry_is_late() {
         let mut eq = EvaluationQueue::new(4);
         eq.insert(entry(Some(100), 0));
-        assert_eq!(eq.reward_demand_hit(100, 80, 20, 12), DemandMatch::AccurateLate);
+        assert_eq!(
+            eq.reward_demand_hit(100, 80, 20, 12),
+            DemandMatch::AccurateLate
+        );
     }
 
     #[test]
@@ -227,7 +252,10 @@ mod tests {
         let mut eq = EvaluationQueue::new(4);
         eq.insert(entry(Some(100), 0));
         eq.mark_filled(100, 10);
-        assert_eq!(eq.reward_demand_hit(100, 20, 20, 12), DemandMatch::AccurateTimely);
+        assert_eq!(
+            eq.reward_demand_hit(100, 20, 20, 12),
+            DemandMatch::AccurateTimely
+        );
         // Second demand to the same line: entry already rewarded.
         assert_eq!(eq.reward_demand_hit(100, 30, 20, 12), DemandMatch::Miss);
     }
@@ -263,9 +291,15 @@ mod tests {
         };
         // Demand right after issue: fully late -> R_AL.
         let mut eq = mk();
-        assert_eq!(eq.reward_demand_hit_graded(7, 1, 20, 12), DemandMatch::AccurateLate);
+        assert_eq!(
+            eq.reward_demand_hit_graded(7, 1, 20, 12),
+            DemandMatch::AccurateLate
+        );
         let early = eq.head().unwrap().reward.unwrap();
-        assert!(early <= 13, "barely-started flight earns ~R_AL, got {early}");
+        assert!(
+            early <= 13,
+            "barely-started flight earns ~R_AL, got {early}"
+        );
         // Demand just before the fill: almost timely -> near R_AT.
         let mut eq = mk();
         eq.reward_demand_hit_graded(7, 99, 20, 12);
@@ -273,7 +307,10 @@ mod tests {
         assert!(near >= 19, "nearly-filled flight earns ~R_AT, got {near}");
         // Demand after fill: full R_AT and classified timely.
         let mut eq = mk();
-        assert_eq!(eq.reward_demand_hit_graded(7, 150, 20, 12), DemandMatch::AccurateTimely);
+        assert_eq!(
+            eq.reward_demand_hit_graded(7, 150, 20, 12),
+            DemandMatch::AccurateTimely
+        );
         assert_eq!(eq.head().unwrap().reward, Some(20));
         // Unfilled entry: plain R_AL.
         let mut eq = EvaluationQueue::new(4);

@@ -62,15 +62,24 @@ pub struct Feature {
 
 impl Feature {
     /// The `PC+Delta` feature of the basic configuration.
-    pub const PC_DELTA: Feature = Feature { control: ControlFlow::Pc, data: DataFlow::Delta };
+    pub const PC_DELTA: Feature = Feature {
+        control: ControlFlow::Pc,
+        data: DataFlow::Delta,
+    };
     /// The `Sequence of last-4 deltas` feature of the basic configuration.
-    pub const LAST_4_DELTAS: Feature =
-        Feature { control: ControlFlow::None, data: DataFlow::LastFourDeltas };
+    pub const LAST_4_DELTAS: Feature = Feature {
+        control: ControlFlow::None,
+        data: DataFlow::LastFourDeltas,
+    };
 
     /// All 32 candidate features of the §4.3.1 exploration space.
     pub fn all() -> Vec<Feature> {
-        let controls =
-            [ControlFlow::Pc, ControlFlow::PcPath, ControlFlow::PcXorBranchPc, ControlFlow::None];
+        let controls = [
+            ControlFlow::Pc,
+            ControlFlow::PcPath,
+            ControlFlow::PcXorBranchPc,
+            ControlFlow::None,
+        ];
         let datas = [
             DataFlow::CachelineAddress,
             DataFlow::PageNumber,
@@ -84,7 +93,10 @@ impl Feature {
         let mut out = Vec::with_capacity(32);
         for c in controls {
             for d in datas {
-                out.push(Feature { control: c, data: d });
+                out.push(Feature {
+                    control: c,
+                    data: d,
+                });
             }
         }
         out
@@ -280,7 +292,14 @@ mod tests {
     use pythia_sim::addr;
 
     fn access(pc: u64, addr: u64) -> DemandAccess {
-        DemandAccess { pc, addr, line: addr::line_of(addr), is_write: false, cycle: 0, missed: true }
+        DemandAccess {
+            pc,
+            addr,
+            line: addr::line_of(addr),
+            is_write: false,
+            cycle: 0,
+            missed: true,
+        }
     }
 
     #[test]
@@ -329,8 +348,10 @@ mod tests {
         // Deltas observed: 1, 3, 4, 12 (most recent first: 12,4,3,1).
         assert_eq!(ctx.deltas, [12, 4, 3, 1]);
         let v = ctx.value(&Feature::LAST_4_DELTAS);
-        let expected =
-            (encode_delta(12) << 21) | (encode_delta(4) << 14) | (encode_delta(3) << 7) | encode_delta(1);
+        let expected = (encode_delta(12) << 21)
+            | (encode_delta(4) << 14)
+            | (encode_delta(3) << 7)
+            | encode_delta(1);
         assert_eq!(v, expected);
     }
 
@@ -353,7 +374,10 @@ mod tests {
 
     #[test]
     fn none_none_feature_is_constant() {
-        let f = Feature { control: ControlFlow::None, data: DataFlow::None };
+        let f = Feature {
+            control: ControlFlow::None,
+            data: DataFlow::None,
+        };
         let mut ctx = FeatureContext::new();
         ctx.update(&access(0x1, 0x10000));
         let v1 = ctx.value(&f);

@@ -55,7 +55,10 @@ pub fn storage(config: &PythiaConfig) -> StorageBreakdown {
     let address_bits = 16u64;
     let eq_bits = config.eq_size as u64
         * (state_bits + action_bits + reward_bits + filled_bits + address_bits);
-    StorageBreakdown { qvstore_bits, eq_bits }
+    StorageBreakdown {
+        qvstore_bits,
+        eq_bits,
+    }
 }
 
 /// Published synthesis results for the basic configuration (§6.7): used as
@@ -99,7 +102,10 @@ pub fn estimate_overhead(config: &PythiaConfig) -> OverheadEstimate {
         * (anchors::QVSTORE_AREA_SHARE * ratio + (1.0 - anchors::QVSTORE_AREA_SHARE));
     let power = anchors::POWER_MW
         * (anchors::QVSTORE_POWER_SHARE * ratio + (1.0 - anchors::QVSTORE_POWER_SHARE));
-    OverheadEstimate { area_mm2: area, power_mw: power }
+    OverheadEstimate {
+        area_mm2: area,
+        power_mw: power,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +118,11 @@ mod tests {
         assert_eq!(s.qvstore_bits / 8 / 1024, 24, "QVStore must be 24 KB");
         assert_eq!(s.eq_bits, 256 * 48);
         assert_eq!(s.eq_bits / 8 / 1024, 1, "EQ must be 1.5 KB (rounds to 1)");
-        assert!((s.total_kb() - 25.5).abs() < 0.01, "total {} KB", s.total_kb());
+        assert!(
+            (s.total_kb() - 25.5).abs() < 0.01,
+            "total {} KB",
+            s.total_kb()
+        );
     }
 
     #[test]
@@ -150,7 +160,10 @@ mod tests {
         assert!(bigger.power_mw > base.power_mw);
         // Adding a vault scales QVStore by 1.5x.
         let s = storage(&cfg);
-        assert_eq!(s.qvstore_bits, storage(&PythiaConfig::basic()).qvstore_bits * 3 / 2);
+        assert_eq!(
+            s.qvstore_bits,
+            storage(&PythiaConfig::basic()).qvstore_bits * 3 / 2
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl SearchPipeline {
     pub fn new(config: &PythiaConfig) -> Self {
         Self {
             actions: config.actions.len() as u64,
-            sum_depth: (config.planes as u64).next_power_of_two().trailing_zeros().max(1) as u64,
+            sum_depth: (config.planes as u64)
+                .next_power_of_two()
+                .trailing_zeros()
+                .max(1) as u64,
             max_depth: (config.features.len() as u64)
                 .next_power_of_two()
                 .trailing_zeros()
@@ -81,7 +84,9 @@ mod tests {
         let p = SearchPipeline::new(&full);
         assert_eq!(p.search_latency(), 5 + 127 - 1);
         // This is the latency argument for action pruning (§4.3.2).
-        assert!(p.search_latency() > 6 * SearchPipeline::new(&PythiaConfig::basic()).search_latency());
+        assert!(
+            p.search_latency() > 6 * SearchPipeline::new(&PythiaConfig::basic()).search_latency()
+        );
     }
 
     #[test]

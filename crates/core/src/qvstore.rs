@@ -92,7 +92,9 @@ impl QvStore {
 
     /// Feature-action Q-value: the sum of plane partials (Fig. 5(b)).
     pub fn feature_q(&self, vault: usize, value: u64, action: usize) -> f32 {
-        (0..self.planes).map(|p| self.cell(vault, p, value, action)).sum()
+        (0..self.planes)
+            .map(|p| self.cell(vault, p, value, action))
+            .sum()
     }
 
     /// State-action Q-value: max over vaults (Eqn. 3), or the mean when
@@ -103,7 +105,10 @@ impl QvStore {
     /// Panics if `state.len()` differs from the number of vaults.
     pub fn q(&self, state: &[u64], action: usize) -> f32 {
         assert_eq!(state.len(), self.vaults, "state dimension mismatch");
-        let vals = state.iter().enumerate().map(|(v, &value)| self.feature_q(v, value, action));
+        let vals = state
+            .iter()
+            .enumerate()
+            .map(|(v, &value)| self.feature_q(v, value, action));
         match self.combine {
             VaultCombine::Max => vals.fold(f32::NEG_INFINITY, f32::max),
             VaultCombine::Mean => {
@@ -143,6 +148,9 @@ impl QvStore {
     /// The TD error is computed from the combined Q-values and distributed
     /// across all planes of all vaults, divided by the plane count, so each
     /// vault's feature-action Q-value moves by exactly `α·δ`.
+    // The argument list mirrors Algorithm 1's (S1, A1, R, S2, A2, α, γ)
+    // tuple; bundling them into a struct would obscure the paper mapping.
+    #[allow(clippy::too_many_arguments)]
     pub fn sarsa_update(
         &mut self,
         s1: &[u64],
@@ -175,7 +183,7 @@ impl QvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{PythiaConfig, VaultCombine};
+    use crate::config::PythiaConfig;
 
     fn store() -> QvStore {
         QvStore::new(&PythiaConfig::basic())
@@ -186,7 +194,11 @@ mod tests {
         let s = store();
         let cfg = PythiaConfig::basic();
         let q = s.q(&[123, 456], 0);
-        assert!((q - cfg.q_init()).abs() < 1e-4, "q={q}, expect {}", cfg.q_init());
+        assert!(
+            (q - cfg.q_init()).abs() < 1e-4,
+            "q={q}, expect {}",
+            cfg.q_init()
+        );
     }
 
     #[test]
@@ -252,8 +264,8 @@ mod tests {
         let mut s = store();
         let cfg = PythiaConfig::basic();
         let v_trained = vec![100u64, 0];
-        let v_near = vec![101u64, 0];
-        let v_far = vec![9_999_999u64, 0];
+        let v_near = [101u64, 0];
+        let v_far = [9_999_999u64, 0];
         let q0_near = s.feature_q(0, v_near[0], 4);
         let q0_far = s.feature_q(0, v_far[0], 4);
         for _ in 0..2000 {

@@ -77,7 +77,11 @@ pub fn select_features_k(
             _ => break, // no improvement: stop growing the vector
         }
     }
-    SearchResult { winner: current, score: best_score, evaluated }
+    SearchResult {
+        winner: current,
+        score: best_score,
+        evaluated,
+    }
 }
 
 /// §4.3.2 action pruning: starting from `full`, repeatedly drops the action
@@ -116,7 +120,11 @@ pub fn prune_actions(
         }
     }
     let score = evaluated.last().map(|(_, s)| *s).unwrap_or(base);
-    SearchResult { winner: current, score, evaluated }
+    SearchResult {
+        winner: current,
+        score,
+        evaluated,
+    }
 }
 
 /// One point of the §4.3.3 hyperparameter grid.
@@ -139,7 +147,11 @@ pub fn exponential_grid(levels: u32) -> Vec<HyperPoint> {
         for &gamma in &values {
             for &epsilon in &values {
                 // γ must stay below 1 for Q-init; clamp the 1e0 level.
-                out.push(HyperPoint { alpha, gamma: gamma.min(0.9), epsilon });
+                out.push(HyperPoint {
+                    alpha,
+                    gamma: gamma.min(0.9),
+                    epsilon,
+                });
             }
         }
     }
@@ -155,8 +167,7 @@ pub fn grid_search(
     mut screen: impl FnMut(&HyperPoint) -> f64,
     mut confirm: impl FnMut(&HyperPoint) -> f64,
 ) -> SearchResult<HyperPoint> {
-    let mut screened: Vec<(HyperPoint, f64)> =
-        grid.iter().map(|p| (*p, screen(p))).collect();
+    let mut screened: Vec<(HyperPoint, f64)> = grid.iter().map(|p| (*p, screen(p))).collect();
     screened.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     screened.truncate(top_k.max(1));
     let evaluated: Vec<(HyperPoint, f64)> =
@@ -170,7 +181,11 @@ fn pick_best<T: Clone>(evaluated: Vec<(T, f64)>) -> SearchResult<T> {
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .cloned()
         .expect("at least one candidate evaluated");
-    SearchResult { winner, score, evaluated }
+    SearchResult {
+        winner,
+        score,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +199,10 @@ mod tests {
         // Synthetic objective: the paper's winning pair scores highest.
         let result = select_features(&candidates[..8], |fs| {
             let mut s = fs.len() as f64 * 0.1;
-            if fs.contains(&Feature { control: ControlFlow::Pc, data: DataFlow::Delta }) {
+            if fs.contains(&Feature {
+                control: ControlFlow::Pc,
+                data: DataFlow::Delta,
+            }) {
                 s += 1.0;
             }
             if fs.contains(&Feature {
@@ -196,9 +214,10 @@ mod tests {
             s
         });
         assert_eq!(result.winner.len(), 2);
-        assert!(result
-            .winner
-            .contains(&Feature { control: ControlFlow::Pc, data: DataFlow::Delta }));
+        assert!(result.winner.contains(&Feature {
+            control: ControlFlow::Pc,
+            data: DataFlow::Delta
+        }));
         // 8 singles + 28 pairs evaluated.
         assert_eq!(result.evaluated.len(), 8 + 28);
     }
@@ -254,7 +273,11 @@ mod tests {
     #[test]
     fn grid_search_two_phase() {
         let grid = exponential_grid(5);
-        let target = HyperPoint { alpha: 1e-2, gamma: 1e-1, epsilon: 1e-3 };
+        let target = HyperPoint {
+            alpha: 1e-2,
+            gamma: 1e-1,
+            epsilon: 1e-3,
+        };
         let dist = |p: &HyperPoint| {
             -(((p.alpha.log10() - target.alpha.log10()).powi(2)
                 + (p.gamma.log10() - target.gamma.log10()).powi(2)

@@ -18,7 +18,7 @@ use crate::util::hash_bits;
 /// Region size in bytes (Table 7).
 pub const REGION_BYTES: u64 = 2048;
 /// Lines per region.
-pub const REGION_LINES: usize = (REGION_BYTES / addr::LINE_SIZE as u64) as usize;
+pub const REGION_LINES: usize = (REGION_BYTES / addr::LINE_SIZE) as usize;
 
 const FT_ENTRIES: usize = 64;
 const AT_ENTRIES: usize = 128;
@@ -222,7 +222,11 @@ impl Prefetcher for Bingo {
         "bingo"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let region = region_of_line(access.line);
         let offset = region_offset(access.line);
         let mut out = Vec::new();
@@ -339,11 +343,14 @@ mod tests {
             &SystemFeedback::idle(),
         );
         assert!(!out.is_empty(), "trained Bingo should replay the footprint");
-        let base = region_of_line(pythia_sim::addr::line_of(9_000 * REGION_BYTES))
-            * REGION_LINES as u64;
+        let base =
+            region_of_line(pythia_sim::addr::line_of(9_000 * REGION_BYTES)) * REGION_LINES as u64;
         let lines: Vec<u64> = out.iter().map(|r| r.line).collect();
         for &o in &offsets[1..] {
-            assert!(lines.contains(&(base + o as u64)), "missing footprint line {o}");
+            assert!(
+                lines.contains(&(base + o as u64)),
+                "missing footprint line {o}"
+            );
         }
     }
 
@@ -353,8 +360,10 @@ mod tests {
         // Touch many regions exactly once: nothing should be learned or
         // prefetched.
         for r in 0..300u64 {
-            let out =
-                p.on_demand(&test_access(0x400abc, r * REGION_BYTES), &SystemFeedback::idle());
+            let out = p.on_demand(
+                &test_access(0x400abc, r * REGION_BYTES),
+                &SystemFeedback::idle(),
+            );
             assert!(out.is_empty());
         }
     }

@@ -82,15 +82,21 @@ impl Prefetcher for CpHw {
         "cp_hw"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let state = self.state_of(access);
         self.last_line = access.line;
 
-        let action = if self.rng.gen_range(0..1000) < EPSILON_PER_MILLE {
+        let action = if self.rng.gen_range(0..1000u32) < EPSILON_PER_MILLE {
             self.rng.gen_range(0..ACTIONS.len())
         } else {
             let row = &self.q[state as usize];
-            (0..ACTIONS.len()).max_by_key(|&a| row[a]).expect("non-empty actions")
+            (0..ACTIONS.len())
+                .max_by_key(|&a| row[a])
+                .expect("non-empty actions")
         };
 
         let offset = ACTIONS[action];
@@ -98,8 +104,12 @@ impl Prefetcher for CpHw {
         if offset != 0 && addr::offset_stays_in_page(access.line, offset) {
             let target = addr::apply_offset(access.line, offset);
             out.push(PrefetchRequest::to_l2(target));
-            self.recall[self.recall_next] =
-                RecallEntry { valid: true, line: target, state, action: action as u8 };
+            self.recall[self.recall_next] = RecallEntry {
+                valid: true,
+                line: target,
+                state,
+                action: action as u8,
+            };
             self.recall_next = (self.recall_next + 1) % RECALL_ENTRIES;
             self.stats.issued += 1;
         }

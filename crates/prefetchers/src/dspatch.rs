@@ -159,7 +159,11 @@ impl Prefetcher for DsPatch {
         "dspatch"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as usize;
@@ -236,11 +240,17 @@ mod tests {
     use crate::test_access;
 
     fn low_bw() -> SystemFeedback {
-        SystemFeedback { bandwidth_high: false, bandwidth_utilization_pct: 10 }
+        SystemFeedback {
+            bandwidth_high: false,
+            bandwidth_utilization_pct: 10,
+        }
     }
 
     fn high_bw() -> SystemFeedback {
-        SystemFeedback { bandwidth_high: true, bandwidth_utilization_pct: 90 }
+        SystemFeedback {
+            bandwidth_high: true,
+            bandwidth_utilization_pct: 90,
+        }
     }
 
     /// Train DSPatch with footprints over many pages; `varying` adds noise

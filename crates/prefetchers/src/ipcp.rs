@@ -77,7 +77,7 @@ impl Ipcp {
 
     #[inline]
     fn sig_update(sig: u16, delta: i32) -> u16 {
-        (((sig << 2) ^ (delta as u16 & 0x3f)) & 0x7f) as u16
+        ((sig << 2) ^ (delta as u16 & 0x3f)) & 0x7f
     }
 
     /// Tracks region density for global-stream detection; returns `true`
@@ -94,7 +94,12 @@ impl Ipcp {
             .iter_mut()
             .min_by_key(|r| if r.valid { r.lru } else { 0 })
             .expect("non-empty trackers");
-        *victim = RegionTracker { valid: true, page, bitmap: 1 << offset, lru: self.clock };
+        *victim = RegionTracker {
+            valid: true,
+            page,
+            bitmap: 1 << offset,
+            lru: self.clock,
+        };
         false
     }
 }
@@ -110,14 +115,23 @@ impl Prefetcher for Ipcp {
         "ipcp"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let (idx, tag) = Self::ip_slot(access.pc);
         let mut out = Vec::new();
         let dense = self.region_dense(access.page(), access.page_offset());
 
         let entry = &mut self.ipt[idx];
         if !entry.valid || entry.tag != tag {
-            *entry = IpEntry { tag, valid: true, last_line: access.line, ..Default::default() };
+            *entry = IpEntry {
+                tag,
+                valid: true,
+                last_line: access.line,
+                ..Default::default()
+            };
             return out;
         }
 
@@ -243,9 +257,14 @@ mod tests {
         }
         let mut issued = 0usize;
         for a in &addrs {
-            issued += p.on_demand(&test_access(0x400200, *a), &SystemFeedback::idle()).len();
+            issued += p
+                .on_demand(&test_access(0x400200, *a), &SystemFeedback::idle())
+                .len();
         }
-        assert!(issued > 0, "CPLX class should eventually predict the delta chain");
+        assert!(
+            issued > 0,
+            "CPLX class should eventually predict the delta chain"
+        );
     }
 
     #[test]
@@ -271,8 +290,13 @@ mod tests {
         for _ in 0..300 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let addr = (x % 2048) * 4096 + ((x >> 40) % 64) * 64;
-            issued += p.on_demand(&test_access(0x400400, addr), &SystemFeedback::idle()).len();
+            issued += p
+                .on_demand(&test_access(0x400400, addr), &SystemFeedback::idle())
+                .len();
         }
-        assert!(issued < 60, "random pointer traffic should rarely prefetch: {issued}");
+        assert!(
+            issued < 60,
+            "random pointer traffic should rarely prefetch: {issued}"
+        );
     }
 }

@@ -53,7 +53,10 @@ pub(crate) mod util {
     pub fn push_in_page(out: &mut Vec<PrefetchRequest>, line: u64, offset: i32, fill_l2: bool) {
         if offset != 0 && addr::offset_stays_in_page(line, offset) {
             let target = addr::apply_offset(line, offset);
-            out.push(PrefetchRequest { line: target, fill_l2 });
+            out.push(PrefetchRequest {
+                line: target,
+                fill_l2,
+            });
         }
     }
 

@@ -82,7 +82,7 @@ impl Mlop {
             .enumerate()
             .filter(|&(i, s)| s >= floor && Self::candidate_offset(i) != 0)
             .collect();
-        indexed.sort_by(|a, b| b.1.cmp(&a.1));
+        indexed.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
         self.chosen = indexed
             .into_iter()
             .take(MAX_DEGREE)
@@ -109,7 +109,11 @@ impl Prefetcher for Mlop {
         "mlop"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as i32;
@@ -126,8 +130,13 @@ impl Prefetcher for Mlop {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("AMT non-empty");
-                self.amt[victim] =
-                    AmtEntry { valid: true, page, accessed: 0, prefetched: 0, lru: self.clock };
+                self.amt[victim] = AmtEntry {
+                    valid: true,
+                    page,
+                    accessed: 0,
+                    prefetched: 0,
+                    lru: self.clock,
+                };
                 victim
             }
         };
@@ -141,8 +150,7 @@ impl Prefetcher for Mlop {
                 continue;
             }
             let source = offset - cand;
-            if (0..addr::LINES_PER_PAGE as i32).contains(&source)
-                && bitmap & (1u64 << source) != 0
+            if (0..addr::LINES_PER_PAGE as i32).contains(&source) && bitmap & (1u64 << source) != 0
             {
                 self.scores[Self::candidate_index(cand)] += 1;
             }
@@ -163,8 +171,7 @@ impl Prefetcher for Mlop {
         let mut covered = e.accessed | e.prefetched;
         for d in chosen {
             let target = offset + d;
-            if (0..addr::LINES_PER_PAGE as i32).contains(&target)
-                && covered & (1u64 << target) == 0
+            if (0..addr::LINES_PER_PAGE as i32).contains(&target) && covered & (1u64 << target) == 0
             {
                 push_in_page(&mut out, access.line, d, true);
                 covered |= 1u64 << target;
@@ -213,7 +220,10 @@ mod tests {
         for i in 0..2_000u64 {
             p.on_demand(&test_access(0x400000, i * 64), &SystemFeedback::idle());
         }
-        assert!(!p.chosen_offsets().is_empty(), "round should have armed offsets");
+        assert!(
+            !p.chosen_offsets().is_empty(),
+            "round should have armed offsets"
+        );
         assert!(
             p.chosen_offsets().contains(&1),
             "unit stride must arm +1: {:?}",
@@ -250,10 +260,15 @@ mod tests {
         let mut p = Mlop::new();
         let mut x = 12345u64;
         for _ in 0..2_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = x % 512;
             let off = (x >> 32) % 64;
-            p.on_demand(&test_access(0x400000, page * 4096 + off * 64), &SystemFeedback::idle());
+            p.on_demand(
+                &test_access(0x400000, page * 4096 + off * 64),
+                &SystemFeedback::idle(),
+            );
         }
         assert!(
             p.chosen_offsets().len() <= 2,

@@ -20,7 +20,10 @@ pub struct Multi {
 
 impl std::fmt::Debug for Multi {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Multi").field("name", &self.name).field("parts", &self.parts.len()).finish()
+        f.debug_struct("Multi")
+            .field("name", &self.name)
+            .field("parts", &self.parts.len())
+            .finish()
     }
 }
 
@@ -34,7 +37,11 @@ impl Multi {
     pub fn new(parts: Vec<Box<dyn Prefetcher>>) -> Self {
         assert!(!parts.is_empty(), "Multi needs at least one component");
         let name = parts.iter().map(|p| p.name()).collect::<Vec<_>>().join("+");
-        Self { name, parts, stats: PrefetcherStats::default() }
+        Self {
+            name,
+            parts,
+            stats: PrefetcherStats::default(),
+        }
     }
 }
 
@@ -43,7 +50,11 @@ impl Prefetcher for Multi {
         &self.name
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut out = Vec::new();
         for p in &mut self.parts {

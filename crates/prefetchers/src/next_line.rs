@@ -16,7 +16,10 @@ pub struct NextLine {
 impl NextLine {
     /// Creates a next-line prefetcher of the given degree.
     pub fn new(degree: u32) -> Self {
-        Self { degree, stats: PrefetcherStats::default() }
+        Self {
+            degree,
+            stats: PrefetcherStats::default(),
+        }
     }
 }
 
@@ -31,7 +34,11 @@ impl Prefetcher for NextLine {
         "next_line"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for d in 1..=self.degree as i32 {
             push_in_page(&mut out, access.line, d, true);

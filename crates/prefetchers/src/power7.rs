@@ -89,7 +89,11 @@ impl Prefetcher for Power7 {
         "power7"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         self.clock += 1;
         self.epoch_demands += 1;
         if self.epoch_demands >= EPOCH_DEMANDS {
@@ -183,12 +187,20 @@ mod tests {
         let mut p = Power7::new();
         let d0 = p.depth();
         for i in 0..3 * EPOCH_DEMANDS {
-            let out = p.on_demand(&test_access(0x400000, (i % 60) * 64), &SystemFeedback::idle());
+            let out = p.on_demand(
+                &test_access(0x400000, (i % 60) * 64),
+                &SystemFeedback::idle(),
+            );
             for r in out {
                 p.on_useful(r.line);
             }
         }
-        assert!(p.depth() > d0, "depth should ramp up: {} -> {}", d0, p.depth());
+        assert!(
+            p.depth() > d0,
+            "depth should ramp up: {} -> {}",
+            d0,
+            p.depth()
+        );
     }
 
     #[test]
@@ -196,19 +208,30 @@ mod tests {
         let mut p = Power7::new();
         let d0 = p.depth();
         for i in 0..3 * EPOCH_DEMANDS {
-            let out = p.on_demand(&test_access(0x400000, (i % 60) * 64), &SystemFeedback::idle());
+            let out = p.on_demand(
+                &test_access(0x400000, (i % 60) * 64),
+                &SystemFeedback::idle(),
+            );
             for r in out {
                 p.on_useless(r.line);
             }
         }
-        assert!(p.depth() < d0, "depth should ramp down: {} -> {}", d0, p.depth());
+        assert!(
+            p.depth() < d0,
+            "depth should ramp down: {} -> {}",
+            d0,
+            p.depth()
+        );
     }
 
     #[test]
     fn depth_can_reach_zero_and_silence() {
         let mut p = Power7::new();
         for i in 0..10 * EPOCH_DEMANDS {
-            let out = p.on_demand(&test_access(0x400000, (i % 60) * 64), &SystemFeedback::idle());
+            let out = p.on_demand(
+                &test_access(0x400000, (i % 60) * 64),
+                &SystemFeedback::idle(),
+            );
             for r in out {
                 p.on_useless(r.line);
             }

@@ -37,16 +37,26 @@ struct RecallQueue {
 
 impl RecallQueue {
     fn new() -> Self {
-        Self { entries: vec![RecallEntry::default(); RECALL_ENTRIES], next: 0 }
+        Self {
+            entries: vec![RecallEntry::default(); RECALL_ENTRIES],
+            next: 0,
+        }
     }
 
     fn push(&mut self, line: u64, features: [u16; NUM_FEATURES]) {
-        self.entries[self.next] = RecallEntry { valid: true, line, features };
+        self.entries[self.next] = RecallEntry {
+            valid: true,
+            line,
+            features,
+        };
         self.next = (self.next + 1) % RECALL_ENTRIES;
     }
 
     fn take(&mut self, line: u64) -> Option<[u16; NUM_FEATURES]> {
-        let e = self.entries.iter_mut().find(|e| e.valid && e.line == line)?;
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.line == line)?;
         e.valid = false;
         Some(e.features)
     }
@@ -98,7 +108,11 @@ impl SppPpf {
     fn train(&mut self, features: &[u16; NUM_FEATURES], up: bool) {
         for (t, &i) in features.iter().enumerate() {
             let w = &mut self.weights[t][i as usize];
-            *w = if up { (*w + 1).min(WEIGHT_MAX) } else { (*w - 1).max(WEIGHT_MIN) };
+            *w = if up {
+                (*w + 1).min(WEIGHT_MAX)
+            } else {
+                (*w - 1).max(WEIGHT_MIN)
+            };
         }
     }
 }
@@ -114,7 +128,11 @@ impl Prefetcher for SppPpf {
         "spp+ppf"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         // Recall: if this demand was previously rejected by the filter, that
         // was lost coverage -- train the perceptron up.
         if let Some(features) = self.rejected.take(access.line) {
@@ -189,7 +207,10 @@ mod tests {
                 total += out.len();
             }
         }
-        assert!(total > 0, "untrained filter (weights 0 >= tau) must pass candidates");
+        assert!(
+            total > 0,
+            "untrained filter (weights 0 >= tau) must pass candidates"
+        );
     }
 
     #[test]
@@ -199,8 +220,7 @@ mod tests {
         // feedback for everything it issues.
         let mut suppressed = false;
         for i in 0..3_000u64 {
-            let out =
-                p.on_demand(&test_access(0x400000, i * 64), &SystemFeedback::idle());
+            let out = p.on_demand(&test_access(0x400000, i * 64), &SystemFeedback::idle());
             for r in &out {
                 p.on_useless(r.line);
             }
@@ -208,7 +228,10 @@ mod tests {
                 suppressed = true;
             }
         }
-        assert!(suppressed, "constant negative feedback should close the filter");
+        assert!(
+            suppressed,
+            "constant negative feedback should close the filter"
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         assert!(bits("spp+ppf") > bits("spp"));
         for name in ["spp", "bingo", "mlop", "dspatch", "spp+ppf", "ipcp"] {
             let kb = bits(name) as f64 / 8192.0;
-            assert!(kb > 0.5 && kb < 128.0, "{name}: {kb} KB out of plausible range");
+            assert!(
+                kb > 0.5 && kb < 128.0,
+                "{name}: {kb} KB out of plausible range"
+            );
         }
     }
 }

@@ -110,7 +110,11 @@ impl Spp {
             }
         }
         set.c_sig += 1;
-        if let Some(w) = set.ways.iter_mut().find(|w| w.delta == delta && w.c_delta > 0) {
+        if let Some(w) = set
+            .ways
+            .iter_mut()
+            .find(|w| w.delta == delta && w.c_delta > 0)
+        {
             w.c_delta = (w.c_delta + 1).min(C_MAX);
             return;
         }
@@ -133,14 +137,23 @@ impl Spp {
         }
         // Require the delta to have been observed at least twice for this
         // signature: one-off correlations must not drive the lookahead.
-        let best = set.ways.iter().filter(|w| w.c_delta >= 2).max_by_key(|w| w.c_delta)?;
+        let best = set
+            .ways
+            .iter()
+            .filter(|w| w.c_delta >= 2)
+            .max_by_key(|w| w.c_delta)?;
         let conf = best.c_delta as u32 * 128 / set.c_sig.max(1) as u32;
         Some((best.delta, conf.min(128)))
     }
 
     fn ghr_insert(&mut self, signature: u16, confidence: u32, last_offset: u8, delta: i8) {
-        self.ghr[self.ghr_next] =
-            GhrEntry { valid: true, signature, confidence, last_offset, delta };
+        self.ghr[self.ghr_next] = GhrEntry {
+            valid: true,
+            signature,
+            confidence,
+            last_offset,
+            delta,
+        };
         self.ghr_next = (self.ghr_next + 1) % GHR_ENTRIES;
     }
 
@@ -170,7 +183,11 @@ impl Prefetcher for Spp {
         "spp"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let page = access.page();
         let offset = access.page_offset() as u8;
         let (idx, tag) = Self::st_slot(page);
@@ -191,14 +208,21 @@ impl Prefetcher for Spp {
             // New page: try to inherit a signature from the GHR.
             self.ghr_bootstrap(offset).unwrap_or(0)
         };
-        self.st[idx] = StEntry { tag, valid: true, last_offset: offset, signature: current_sig };
+        self.st[idx] = StEntry {
+            tag,
+            valid: true,
+            last_offset: offset,
+            signature: current_sig,
+        };
 
         // Lookahead walk.
         let mut sig = current_sig;
         let mut conf: u32 = 128;
         let mut line = access.line;
         for depth in 0..MAX_LOOKAHEAD {
-            let Some((delta, step_conf)) = self.predict(sig) else { break };
+            let Some((delta, step_conf)) = self.predict(sig) else {
+                break;
+            };
             conf = conf * step_conf / 128;
             if conf < PREFETCH_THRESHOLD {
                 break;
@@ -215,7 +239,10 @@ impl Prefetcher for Spp {
                 self.ghr_insert(sig, conf, off, delta);
                 break;
             }
-            out.push(PrefetchRequest { line: next, fill_l2: conf >= FILL_THRESHOLD });
+            out.push(PrefetchRequest {
+                line: next,
+                fill_l2: conf >= FILL_THRESHOLD,
+            });
             sig = update_signature(sig, delta);
             line = next;
             let _ = depth;
@@ -278,7 +305,11 @@ mod tests {
         assert!(!last.is_empty(), "trained SPP should prefetch");
         // High confidence after long training -> deep lookahead, multiple
         // sequential lines.
-        assert!(last.len() >= 2, "expected lookahead depth >= 2, got {}", last.len());
+        assert!(
+            last.len() >= 2,
+            "expected lookahead depth >= 2, got {}",
+            last.len()
+        );
         let base = pythia_sim::addr::line_of(*addrs.last().unwrap());
         assert_eq!(last[0].line, base + 1);
     }
@@ -298,8 +329,16 @@ mod tests {
             }
         }
         let results = drive(&mut p, &addrs);
-        let non_empty = results.iter().rev().take(10).filter(|r| !r.is_empty()).count();
-        assert!(non_empty > 5, "SPP should track the alternating-delta signature");
+        let non_empty = results
+            .iter()
+            .rev()
+            .take(10)
+            .filter(|r| !r.is_empty())
+            .count();
+        assert!(
+            non_empty > 5,
+            "SPP should track the alternating-delta signature"
+        );
     }
 
     #[test]
@@ -310,7 +349,9 @@ mod tests {
         let mut x: u64 = 0x1234_5678_9abc_def0;
         let addrs: Vec<u64> = (0..200u64)
             .map(|i| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (i % 3) * 4096 + ((x >> 33) % 64) * 64
             })
             .collect();

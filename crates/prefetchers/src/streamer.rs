@@ -54,7 +54,11 @@ impl Prefetcher for Streamer {
         "streamer"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as i32;
@@ -138,7 +142,10 @@ mod tests {
         let mut p = Streamer::new(4);
         let mut last = Vec::new();
         for i in 0..6u64 {
-            last = p.on_demand(&test_access(0x400000, 0x40000 + i * 64), &SystemFeedback::idle());
+            last = p.on_demand(
+                &test_access(0x400000, 0x40000 + i * 64),
+                &SystemFeedback::idle(),
+            );
         }
         assert_eq!(last.len(), 4);
         let base = pythia_sim::addr::line_of(0x40000 + 5 * 64);
@@ -151,7 +158,10 @@ mod tests {
         let mut p = Streamer::new(2);
         let mut last = Vec::new();
         for i in 0..6u64 {
-            last = p.on_demand(&test_access(0x400000, 0x40fc0 - i * 64), &SystemFeedback::idle());
+            last = p.on_demand(
+                &test_access(0x400000, 0x40fc0 - i * 64),
+                &SystemFeedback::idle(),
+            );
         }
         assert!(!last.is_empty());
         let base = pythia_sim::addr::line_of(0x40fc0 - 5 * 64);

@@ -35,7 +35,11 @@ pub struct StridePrefetcher {
 impl StridePrefetcher {
     /// Creates a stride prefetcher with the given prefetch degree.
     pub fn new(degree: u32) -> Self {
-        Self { table: vec![Entry::default(); TABLE_ENTRIES], degree, stats: PrefetcherStats::default() }
+        Self {
+            table: vec![Entry::default(); TABLE_ENTRIES],
+            degree,
+            stats: PrefetcherStats::default(),
+        }
     }
 
     fn slot(pc: u64) -> (usize, u16) {
@@ -56,13 +60,23 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         let (idx, tag) = Self::slot(access.pc);
         let entry = &mut self.table[idx];
         let mut out = Vec::new();
 
         if !entry.valid || entry.tag != tag {
-            *entry = Entry { tag, valid: true, last_line: access.line, stride: 0, confidence: 0 };
+            *entry = Entry {
+                tag,
+                valid: true,
+                last_line: access.line,
+                stride: 0,
+                confidence: 0,
+            };
             return out;
         }
 

@@ -43,10 +43,14 @@ impl AccessKind {
 /// Result of probing a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
-    /// The line is present; data is available at `ready_at` (which may be in
-    /// the future for in-flight prefetches). `was_prefetched` is `true` on
-    /// the first demand touch of a prefetched line.
-    Hit { ready_at: u64, was_prefetched: bool },
+    /// The line is present.
+    Hit {
+        /// Cycle at which data is available (may be in the future for
+        /// in-flight prefetches).
+        ready_at: u64,
+        /// `true` on the first demand touch of a prefetched line.
+        was_prefetched: bool,
+    },
     /// The line is absent.
     Miss,
 }
@@ -106,7 +110,11 @@ impl Cache {
         Self {
             name,
             sets: vec![vec![Line::default(); config.ways]; sets],
-            set_mask: if sets.is_power_of_two() { Some(sets as u64 - 1) } else { None },
+            set_mask: if sets.is_power_of_two() {
+                Some(sets as u64 - 1)
+            } else {
+                None
+            },
             ways: config.ways,
             latency: config.latency,
             clock: 0,
@@ -164,7 +172,9 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_index(line);
-        let way = self.sets[set_idx].iter().position(|l| l.valid && l.tag == line);
+        let way = self.sets[set_idx]
+            .iter()
+            .position(|l| l.valid && l.tag == line);
         match way {
             Some(w) => {
                 let replacement = self.replacement;
@@ -185,7 +195,10 @@ impl Cache {
                     self.ship.on_reuse(sig);
                 }
                 self.record_access(kind, true, first_demand_touch, late);
-                Lookup::Hit { ready_at, was_prefetched: first_demand_touch }
+                Lookup::Hit {
+                    ready_at,
+                    was_prefetched: first_demand_touch,
+                }
             }
             None => {
                 self.record_access(kind, false, false, false);
@@ -246,7 +259,10 @@ impl Cache {
 
         // Fill into an existing copy (e.g. prefetch raced with demand): just
         // refresh readiness.
-        if let Some(slot) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == line) {
+        if let Some(slot) = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line)
+        {
             slot.ready_at = slot.ready_at.min(ready_at);
             return None;
         }
@@ -267,7 +283,11 @@ impl Cache {
                 // Line evicted without reuse: train SHCT down.
                 self.ship.on_eviction_unused(victim.ship_sig);
             }
-            Some(Eviction { line: victim.tag, dirty: victim.dirty, unused_prefetch })
+            Some(Eviction {
+                line: victim.tag,
+                dirty: victim.dirty,
+                unused_prefetch,
+            })
         } else {
             None
         };
@@ -410,7 +430,10 @@ mod tests {
         let mut c = tiny_cache(ReplacementKind::Lru);
         c.fill(0, 1000, AccessKind::Prefetch, 0);
         match c.access(0, AccessKind::DemandLoad, 500) {
-            Lookup::Hit { ready_at, was_prefetched } => {
+            Lookup::Hit {
+                ready_at,
+                was_prefetched,
+            } => {
                 assert_eq!(ready_at, 1000);
                 assert!(was_prefetched);
             }
@@ -435,7 +458,10 @@ mod tests {
     fn prefetch_probe_redundant() {
         let mut c = tiny_cache(ReplacementKind::Lru);
         c.fill(0, 0, AccessKind::DemandLoad, 0);
-        assert!(matches!(c.access(0, AccessKind::Prefetch, 1), Lookup::Hit { .. }));
+        assert!(matches!(
+            c.access(0, AccessKind::Prefetch, 1),
+            Lookup::Hit { .. }
+        ));
         assert_eq!(c.stats().prefetch_redundant, 1);
     }
 

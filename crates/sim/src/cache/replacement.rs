@@ -31,7 +31,9 @@ pub(crate) struct ShipState {
 impl ShipState {
     pub(crate) fn new() -> Self {
         // Start weakly-reused so the predictor must learn non-reuse.
-        Self { shct: vec![1; SHCT_ENTRIES] }
+        Self {
+            shct: vec![1; SHCT_ENTRIES],
+        }
     }
 
     #[inline]

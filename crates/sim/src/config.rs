@@ -32,7 +32,13 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        Self { width: 4, rob_entries: 256, lq_entries: 72, sq_entries: 56, mispredict_penalty: 20 }
+        Self {
+            width: 4,
+            rob_entries: 256,
+            lq_entries: 72,
+            sq_entries: 56,
+            mispredict_penalty: 20,
+        }
     }
 }
 
@@ -187,7 +193,10 @@ impl SystemConfig {
     ///
     /// Panics if `cores` is zero or greater than 12 (the paper's range).
     pub fn with_cores(cores: usize) -> Self {
-        assert!((1..=12).contains(&cores), "paper evaluates 1-12 cores, got {cores}");
+        assert!(
+            (1..=12).contains(&cores),
+            "paper evaluates 1-12 cores, got {cores}"
+        );
         Self {
             cores,
             core: CoreConfig::default(),
@@ -260,7 +269,10 @@ mod tests {
     #[test]
     fn llc_scales_with_cores() {
         assert_eq!(SystemConfig::with_cores(4).llc.size_bytes, 8 * 1024 * 1024);
-        assert_eq!(SystemConfig::with_cores(12).llc.size_bytes, 24 * 1024 * 1024);
+        assert_eq!(
+            SystemConfig::with_cores(12).llc.size_bytes,
+            24 * 1024 * 1024
+        );
     }
 
     #[test]

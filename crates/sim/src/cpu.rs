@@ -143,7 +143,11 @@ impl CoreModel {
 
         let dispatch_at = self.fetch_cycle;
         let completion = dispatch_at + exec_latency;
-        self.rob.push_back(RobEntry { completion, is_load, is_store });
+        self.rob.push_back(RobEntry {
+            completion,
+            is_load,
+            is_store,
+        });
         if is_load {
             self.loads_in_flight += 1;
             self.last_load_completion = completion;
@@ -253,12 +257,18 @@ mod tests {
             c1.dispatch(1, false, false, false, false);
             c2.dispatch(1, false, false, false, true);
         }
-        assert!(c2.drain() > c1.drain() + 100 * 19, "each mispredict costs ~20 cycles");
+        assert!(
+            c2.drain() > c1.drain() + 100 * 19,
+            "each mispredict costs ~20 cycles"
+        );
     }
 
     #[test]
     fn lq_limit_restricts_outstanding_loads() {
-        let cfg = CoreConfig { lq_entries: 2, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            lq_entries: 2,
+            ..CoreConfig::default()
+        };
         let mut c = CoreModel::new(cfg);
         for _ in 0..4 {
             c.dispatch(100, true, false, false, false);

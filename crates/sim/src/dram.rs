@@ -145,7 +145,10 @@ impl Dram {
         let banks_per_channel = config.ranks_per_channel * config.banks_per_rank;
         Self {
             channels: (0..config.channels)
-                .map(|_| Channel { banks: vec![Bank::default(); banks_per_channel], bus_next_free: 0 })
+                .map(|_| Channel {
+                    banks: vec![Bank::default(); banks_per_channel],
+                    bus_next_free: 0,
+                })
                 .collect(),
             banks_per_channel,
             row_lines: config.row_buffer_bytes / crate::LINE_SIZE,

@@ -48,7 +48,7 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use addr::{LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE};
+pub use addr::{LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use config::SystemConfig;
 pub use prefetch::{DemandAccess, PrefetchRequest, Prefetcher, SystemFeedback};
 pub use stats::SimReport;

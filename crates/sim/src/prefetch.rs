@@ -57,13 +57,19 @@ pub struct PrefetchRequest {
 impl PrefetchRequest {
     /// A request filling both L2 and LLC (the common case in the paper).
     pub fn to_l2(line: u64) -> Self {
-        Self { line, fill_l2: true }
+        Self {
+            line,
+            fill_l2: true,
+        }
     }
 
     /// A request filling only the LLC (used by low-confidence paths, e.g.
     /// SPP's below-threshold lookahead prefetches).
     pub fn to_llc(line: u64) -> Self {
-        Self { line, fill_l2: false }
+        Self {
+            line,
+            fill_l2: false,
+        }
     }
 }
 
@@ -80,7 +86,10 @@ pub struct SystemFeedback {
 impl SystemFeedback {
     /// Feedback indicating an idle memory system.
     pub fn idle() -> Self {
-        Self { bandwidth_high: false, bandwidth_utilization_pct: 0 }
+        Self {
+            bandwidth_high: false,
+            bandwidth_utilization_pct: 0,
+        }
     }
 }
 
@@ -110,7 +119,11 @@ pub trait Prefetcher {
     /// prefetch requests to issue. The simulator deduplicates against cache
     /// contents and clamps addresses; prefetchers are responsible for any
     /// page-boundary policy of their own.
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest>;
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest>;
 
     /// Called when a line fills into the L2 (demand or prefetch).
     fn on_fill(&mut self, _event: &FillEvent) {}
@@ -154,7 +167,11 @@ impl Prefetcher for NoPrefetcher {
         "none"
     }
 
-    fn on_demand(&mut self, _access: &DemandAccess, _feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        _access: &DemandAccess,
+        _feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         Vec::new()
     }
 
@@ -188,7 +205,14 @@ mod tests {
     #[test]
     fn no_prefetcher_is_silent() {
         let mut p = NoPrefetcher::new();
-        let a = DemandAccess { pc: 0, addr: 0, line: 0, is_write: false, cycle: 0, missed: true };
+        let a = DemandAccess {
+            pc: 0,
+            addr: 0,
+            line: 0,
+            is_write: false,
+            cycle: 0,
+            missed: true,
+        };
         assert!(p.on_demand(&a, &SystemFeedback::idle()).is_empty());
         assert_eq!(p.stats(), PrefetcherStats::default());
         assert_eq!(p.name(), "none");

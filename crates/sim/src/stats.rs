@@ -163,7 +163,7 @@ impl PrefetcherStats {
 }
 
 /// The full result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Per-core retirement statistics.
     pub cores: Vec<CoreStats>,
@@ -214,27 +214,43 @@ mod tests {
     fn ipc_handles_zero_cycles() {
         let c = CoreStats::default();
         assert_eq!(c.ipc(), 0.0);
-        let c = CoreStats { instructions: 100, cycles: 50, ..Default::default() };
+        let c = CoreStats {
+            instructions: 100,
+            cycles: 50,
+            ..Default::default()
+        };
         assert!((c.ipc() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn hit_ratio_bounds() {
-        let s = CacheStats { demand_loads: 10, demand_load_hits: 7, ..Default::default() };
+        let s = CacheStats {
+            demand_loads: 10,
+            demand_load_hits: 7,
+            ..Default::default()
+        };
         assert!((s.load_hit_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(CacheStats::default().load_hit_ratio(), 0.0);
     }
 
     #[test]
     fn prefetcher_accuracy() {
-        let p = PrefetcherStats { useful: 3, useless: 1, ..Default::default() };
+        let p = PrefetcherStats {
+            useful: 3,
+            useless: 1,
+            ..Default::default()
+        };
         assert!((p.accuracy() - 0.75).abs() < 1e-12);
         assert_eq!(PrefetcherStats::default().accuracy(), 0.0);
     }
 
     #[test]
     fn geomean_ipc_of_identical_cores() {
-        let core = CoreStats { instructions: 1000, cycles: 2000, ..Default::default() };
+        let core = CoreStats {
+            instructions: 1000,
+            cycles: 2000,
+            ..Default::default()
+        };
         let report = SimReport {
             cores: vec![core; 4],
             l1d: vec![],
@@ -248,13 +264,19 @@ mod tests {
 
     #[test]
     fn mpki_computation() {
-        let c = CoreStats { instructions: 1_000_000, ..Default::default() };
+        let c = CoreStats {
+            instructions: 1_000_000,
+            ..Default::default()
+        };
         assert!((c.mpki(3000) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn high_bw_fraction() {
-        let d = DramStats { bw_bucket_windows: [1, 1, 1, 1], ..Default::default() };
+        let d = DramStats {
+            bw_bucket_windows: [1, 1, 1, 1],
+            ..Default::default()
+        };
         assert!((d.high_bw_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(DramStats::default().high_bw_fraction(), 0.0);
     }

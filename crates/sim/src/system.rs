@@ -138,7 +138,9 @@ impl System {
         match record.mem {
             None => {
                 let mispredict = record.branch.is_some_and(|b| b.mispredicted);
-                self.cores[idx].model.dispatch(1, false, false, false, mispredict);
+                self.cores[idx]
+                    .model
+                    .dispatch(1, false, false, false, mispredict);
             }
             Some(mem) => {
                 let is_write = mem.is_write;
@@ -172,9 +174,20 @@ impl System {
     /// Performs a demand access through the hierarchy, returning its latency
     /// in cycles. Invokes the prefetcher on L1 misses and issues its
     /// requests.
-    fn access_hierarchy(&mut self, idx: usize, pc: u64, byte_addr: u64, is_write: bool, cycle: u64) -> u64 {
+    fn access_hierarchy(
+        &mut self,
+        idx: usize,
+        pc: u64,
+        byte_addr: u64,
+        is_write: bool,
+        cycle: u64,
+    ) -> u64 {
         let line = addr::line_of(byte_addr);
-        let kind = if is_write { AccessKind::DemandStore } else { AccessKind::DemandLoad };
+        let kind = if is_write {
+            AccessKind::DemandStore
+        } else {
+            AccessKind::DemandLoad
+        };
         let pc_sig = ship_signature(pc);
         self.monitor.advance(cycle);
 
@@ -192,7 +205,10 @@ impl System {
         let mut useful_lines: Vec<u64> = Vec::new();
 
         let data_ready = match l2_lookup {
-            Lookup::Hit { ready_at, was_prefetched } => {
+            Lookup::Hit {
+                ready_at,
+                was_prefetched,
+            } => {
                 if was_prefetched {
                     useful_lines.push(line);
                 }
@@ -201,7 +217,10 @@ impl System {
             Lookup::Miss => {
                 let llc_latency = self.llc.latency();
                 match self.llc.access(line, kind, cycle) {
-                    Lookup::Hit { ready_at, was_prefetched } => {
+                    Lookup::Hit {
+                        ready_at,
+                        was_prefetched,
+                    } => {
                         if was_prefetched {
                             useful_lines.push(line);
                         }
@@ -209,8 +228,12 @@ impl System {
                     }
                     Lookup::Miss => {
                         // ---- DRAM demand read ----
-                        let access =
-                            self.dram.access(line, DramRequestKind::DemandRead, cycle, &mut self.monitor);
+                        let access = self.dram.access(
+                            line,
+                            DramRequestKind::DemandRead,
+                            cycle,
+                            &mut self.monitor,
+                        );
                         let mut done = access.done_at + llc_latency;
                         // MSHR pressure at LLC and L2.
                         done += self.llc.mshr_mut().allocate(cycle, done);
@@ -252,9 +275,12 @@ impl System {
                     match core.l2.access(ev.line, AccessKind::Writeback, cycle) {
                         Lookup::Hit { .. } => {}
                         Lookup::Miss => {
-                            if let Some(l2_ev) =
-                                core.l2.fill(ev.line, cycle + l2_latency, AccessKind::Writeback, pc_sig)
-                            {
+                            if let Some(l2_ev) = core.l2.fill(
+                                ev.line,
+                                cycle + l2_latency,
+                                AccessKind::Writeback,
+                                pc_sig,
+                            ) {
                                 if l2_ev.dirty {
                                     self.writeback_to_llc(l2_ev.line, cycle, pc_sig);
                                 }
@@ -308,14 +334,21 @@ impl System {
                         self.writeback_to_llc(ev.line, cycle, pc_sig);
                     }
                 }
-                self.cores[idx]
-                    .prefetcher
-                    .on_fill(&FillEvent { line, ready_at: ready, prefetched: true });
+                self.cores[idx].prefetcher.on_fill(&FillEvent {
+                    line,
+                    ready_at: ready,
+                    prefetched: true,
+                });
             }
             return;
         }
         // Goes to DRAM.
-        let access = self.dram.access(line, DramRequestKind::PrefetchRead, cycle, &mut self.monitor);
+        let access = self.dram.access(
+            line,
+            DramRequestKind::PrefetchRead,
+            cycle,
+            &mut self.monitor,
+        );
         let mut done = access.done_at + llc_latency;
         done += self.llc.mshr_mut().allocate(cycle, done);
         if let Some(ev) = self.llc.fill(line, done, AccessKind::Prefetch, pc_sig) {
@@ -334,14 +367,17 @@ impl System {
                 }
             }
         }
-        self.cores[idx]
-            .prefetcher
-            .on_fill(&FillEvent { line, ready_at: done, prefetched: true });
+        self.cores[idx].prefetcher.on_fill(&FillEvent {
+            line,
+            ready_at: done,
+            prefetched: true,
+        });
     }
 
     fn handle_llc_eviction(&mut self, ev: crate::cache::Eviction, cycle: u64) {
         if ev.dirty {
-            self.dram.access(ev.line, DramRequestKind::Write, cycle, &mut self.monitor);
+            self.dram
+                .access(ev.line, DramRequestKind::Write, cycle, &mut self.monitor);
         }
         if ev.unused_prefetch {
             // Attribute to every core's prefetcher? The LLC is shared; we
@@ -358,7 +394,9 @@ impl System {
             Lookup::Hit { .. } => {}
             Lookup::Miss => {
                 let llc_latency = self.llc.latency();
-                if let Some(ev) = self.llc.fill(line, cycle + llc_latency, AccessKind::Writeback, 0)
+                if let Some(ev) = self
+                    .llc
+                    .fill(line, cycle + llc_latency, AccessKind::Writeback, 0)
                 {
                     self.handle_llc_eviction(ev, cycle);
                 }
@@ -454,12 +492,17 @@ mod tests {
     use crate::trace::TraceRecord;
 
     fn stream_trace(n: u64, base: u64) -> Vec<TraceRecord> {
-        (0..n).map(|i| TraceRecord::load(0x400000, base + i * 64)).collect()
+        (0..n)
+            .map(|i| TraceRecord::load(0x400000, base + i * 64))
+            .collect()
     }
 
     #[test]
     fn single_core_runs_and_reports() {
-        let mut sys = System::new(SystemConfig::single_core(), vec![stream_trace(20_000, 0x1000_0000)]);
+        let mut sys = System::new(
+            SystemConfig::single_core(),
+            vec![stream_trace(20_000, 0x1000_0000)],
+        );
         let report = sys.run(2_000, 10_000);
         assert_eq!(report.cores.len(), 1);
         assert_eq!(report.cores[0].instructions, 10_000);
@@ -472,7 +515,10 @@ mod tests {
 
     #[test]
     fn replay_wraps_short_traces() {
-        let mut sys = System::new(SystemConfig::single_core(), vec![stream_trace(100, 0x2000_0000)]);
+        let mut sys = System::new(
+            SystemConfig::single_core(),
+            vec![stream_trace(100, 0x2000_0000)],
+        );
         let report = sys.run(0, 1_000);
         assert_eq!(report.cores[0].instructions, 1_000);
     }
@@ -500,7 +546,9 @@ mod tests {
     #[test]
     fn multi_core_shares_llc_and_dram() {
         let cfg = SystemConfig::with_cores(4);
-        let traces = (0..4).map(|i| stream_trace(5_000, 0x4000_0000 + i * 0x100_0000)).collect();
+        let traces = (0..4)
+            .map(|i| stream_trace(5_000, 0x4000_0000 + i * 0x100_0000))
+            .collect();
         let mut sys = System::new(cfg, traces);
         let report = sys.run(500, 2_000);
         assert_eq!(report.cores.len(), 4);
@@ -514,8 +562,10 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_report() {
         let run = || {
-            let mut sys =
-                System::new(SystemConfig::single_core(), vec![stream_trace(10_000, 0x5000_0000)]);
+            let mut sys = System::new(
+                SystemConfig::single_core(),
+                vec![stream_trace(10_000, 0x5000_0000)],
+            );
             sys.run(1_000, 5_000)
         };
         let a = run();

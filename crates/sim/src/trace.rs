@@ -49,32 +49,70 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Creates a plain non-memory, non-branch instruction.
     pub fn nop(pc: u64) -> Self {
-        Self { pc, mem: None, branch: None, depends_on_prev_load: false }
+        Self {
+            pc,
+            mem: None,
+            branch: None,
+            depends_on_prev_load: false,
+        }
     }
 
     /// Creates a load instruction reading `addr`.
     pub fn load(pc: u64, addr: u64) -> Self {
-        Self { pc, mem: Some(MemOp { addr, is_write: false }), branch: None, depends_on_prev_load: false }
+        Self {
+            pc,
+            mem: Some(MemOp {
+                addr,
+                is_write: false,
+            }),
+            branch: None,
+            depends_on_prev_load: false,
+        }
     }
 
     /// Creates a load that depends on the previous load (pointer chase).
     pub fn dependent_load(pc: u64, addr: u64) -> Self {
-        Self { depends_on_prev_load: true, ..Self::load(pc, addr) }
+        Self {
+            depends_on_prev_load: true,
+            ..Self::load(pc, addr)
+        }
     }
 
     /// Creates a store instruction writing `addr`.
     pub fn store(pc: u64, addr: u64) -> Self {
-        Self { pc, mem: Some(MemOp { addr, is_write: true }), branch: None, depends_on_prev_load: false }
+        Self {
+            pc,
+            mem: Some(MemOp {
+                addr,
+                is_write: true,
+            }),
+            branch: None,
+            depends_on_prev_load: false,
+        }
     }
 
     /// Creates a branch instruction.
     pub fn branch(pc: u64, taken: bool, mispredicted: bool) -> Self {
-        Self { pc, mem: None, branch: Some(Branch { taken, mispredicted }), depends_on_prev_load: false }
+        Self {
+            pc,
+            mem: None,
+            branch: Some(Branch {
+                taken,
+                mispredicted,
+            }),
+            depends_on_prev_load: false,
+        }
     }
 
     /// Returns `true` if this record is a load.
     pub fn is_load(&self) -> bool {
-        matches!(self.mem, Some(MemOp { is_write: false, .. }))
+        matches!(
+            self.mem,
+            Some(MemOp {
+                is_write: false,
+                ..
+            })
+        )
     }
 
     /// Returns `true` if this record is a store.
@@ -184,7 +222,10 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeTraceEr
             if buf.remaining() < 8 {
                 return Err(DecodeTraceError::Truncated);
             }
-            Some(MemOp { addr: buf.get_u64(), is_write: flags & FLAG_IS_WRITE != 0 })
+            Some(MemOp {
+                addr: buf.get_u64(),
+                is_write: flags & FLAG_IS_WRITE != 0,
+            })
         } else {
             None
         };
@@ -196,7 +237,12 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeTraceEr
         } else {
             None
         };
-        out.push(TraceRecord { pc, mem, branch, depends_on_prev_load: flags & FLAG_DEPENDENT != 0 });
+        out.push(TraceRecord {
+            pc,
+            mem,
+            branch,
+            depends_on_prev_load: flags & FLAG_DEPENDENT != 0,
+        });
     }
     Ok(out)
 }

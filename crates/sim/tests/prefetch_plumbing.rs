@@ -34,7 +34,11 @@ impl Prefetcher for Scripted {
         "scripted"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, feedback: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+    ) -> Vec<PrefetchRequest> {
         if feedback.bandwidth_high {
             self.feedback_high_seen = true;
         }
@@ -43,7 +47,10 @@ impl Prefetcher for Scripted {
             return Vec::new();
         }
         self.stats.issued += 1;
-        vec![PrefetchRequest { line: target as u64, fill_l2: self.fill_l2 }]
+        vec![PrefetchRequest {
+            line: target as u64,
+            fill_l2: self.fill_l2,
+        }]
     }
 
     fn on_fill(&mut self, event: &FillEvent) {
@@ -70,15 +77,18 @@ impl Prefetcher for Scripted {
 }
 
 fn stream(n: u64) -> Vec<TraceRecord> {
-    (0..n).map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64)).collect()
+    (0..n)
+        .map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64))
+        .collect()
 }
 
 #[test]
 fn l2_fills_register_as_useful_on_stream() {
     // +8 prefetches on a unit stream: most get demanded -> useful.
-    let mut sys = System::with_prefetchers(SystemConfig::single_core(), vec![stream(30_000)], |_| {
-        Box::new(Scripted::new(8, true))
-    });
+    let mut sys =
+        System::with_prefetchers(SystemConfig::single_core(), vec![stream(30_000)], |_| {
+            Box::new(Scripted::new(8, true))
+        });
     let report = sys.run(2_000, 20_000);
     let p = report.prefetchers[0];
     assert!(p.issued > 0);
@@ -94,10 +104,11 @@ fn l2_fills_register_as_useful_on_stream() {
 #[test]
 fn llc_only_fills_still_cover_llc_misses() {
     let run = |fill_l2: bool| {
-        let mut sys =
-            System::with_prefetchers(SystemConfig::single_core(), vec![stream(30_000)], move |_| {
-                Box::new(Scripted::new(8, fill_l2))
-            });
+        let mut sys = System::with_prefetchers(
+            SystemConfig::single_core(),
+            vec![stream(30_000)],
+            move |_| Box::new(Scripted::new(8, fill_l2)),
+        );
         sys.run(2_000, 20_000)
     };
     let to_l2 = run(true);
@@ -116,9 +127,10 @@ fn llc_only_fills_still_cover_llc_misses() {
 fn backward_prefetches_on_forward_stream_are_useless() {
     // Prefetch far beyond the stream's end: never demanded, never cached,
     // so every request reaches DRAM and eventually evicts unused.
-    let mut sys = System::with_prefetchers(SystemConfig::single_core(), vec![stream(40_000)], |_| {
-        Box::new(Scripted::new(1_000_000, true))
-    });
+    let mut sys =
+        System::with_prefetchers(SystemConfig::single_core(), vec![stream(40_000)], |_| {
+            Box::new(Scripted::new(1_000_000, true))
+        });
     let report = sys.run(2_000, 30_000);
     assert!(report.l2[0].useless_prefetches + report.llc.useless_prefetches > 0);
     assert!(report.dram.prefetch_reads > 0);
@@ -148,11 +160,16 @@ fn bandwidth_high_feedback_reaches_prefetcher_under_saturation() {
 fn stores_generate_writeback_traffic() {
     // A store stream larger than the LLC (2 MB = 32 K lines) must push
     // dirty evictions out to DRAM.
-    let trace: Vec<TraceRecord> =
-        (0..80_000u64).map(|i| TraceRecord::store(0x400000, 0x2000_0000 + i * 64)).collect();
+    let trace: Vec<TraceRecord> = (0..80_000u64)
+        .map(|i| TraceRecord::store(0x400000, 0x2000_0000 + i * 64))
+        .collect();
     let mut sys = System::new(SystemConfig::single_core(), vec![trace]);
     let report = sys.run(2_000, 70_000);
-    assert!(report.dram.writes > 0, "dirty evictions must reach DRAM: {:?}", report.dram);
+    assert!(
+        report.dram.writes > 0,
+        "dirty evictions must reach DRAM: {:?}",
+        report.dram
+    );
     assert!(report.llc.dirty_evictions > 0);
 }
 
@@ -161,9 +178,10 @@ fn redundant_prefetches_are_dropped_not_fetched() {
     // Offset 0... scripted with +1 on a stream that itself demands every
     // line: after warmup, prefetching the line right before its demand
     // makes most requests redundant-or-useful, never doubling DRAM reads.
-    let mut sys = System::with_prefetchers(SystemConfig::single_core(), vec![stream(30_000)], |_| {
-        Box::new(Scripted::new(1, true))
-    });
+    let mut sys =
+        System::with_prefetchers(SystemConfig::single_core(), vec![stream(30_000)], |_| {
+            Box::new(Scripted::new(1, true))
+        });
     let report = sys.run(2_000, 20_000);
     let total_lines = report.llc.demand_load_misses + report.dram.prefetch_reads;
     // Every line is fetched at most once (plus small races): reads must not
@@ -179,14 +197,10 @@ fn redundant_prefetches_are_dropped_not_fetched() {
 fn per_core_prefetchers_are_independent_instances() {
     let cfg = SystemConfig::with_cores(2);
     let counter = std::sync::atomic::AtomicUsize::new(0);
-    let mut sys = System::with_prefetchers(
-        cfg,
-        vec![stream(10_000), stream(10_000)],
-        |_core| {
-            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Box::new(Scripted::new(2, true))
-        },
-    );
+    let mut sys = System::with_prefetchers(cfg, vec![stream(10_000), stream(10_000)], |_core| {
+        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Box::new(Scripted::new(2, true))
+    });
     assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
     let report = sys.run(1_000, 5_000);
     assert_eq!(report.prefetchers.len(), 2);
@@ -197,9 +211,13 @@ fn per_core_prefetchers_are_independent_instances() {
 fn twelve_core_system_with_non_power_of_two_llc_runs() {
     // 12 cores -> 24 MB LLC -> 24576 sets (not a power of two).
     let cfg = SystemConfig::with_cores(12);
-    let traces = (0..12).map(|i| {
-        (0..2_000u64).map(|j| TraceRecord::load(0x400000, (i as u64 + 1) * 0x1000_0000 + j * 64)).collect()
-    }).collect();
+    let traces = (0..12)
+        .map(|i| {
+            (0..2_000u64)
+                .map(|j| TraceRecord::load(0x400000, (i as u64 + 1) * 0x1000_0000 + j * 64))
+                .collect()
+        })
+        .collect();
     let mut sys = System::new(cfg, traces);
     let report = sys.run(200, 1_000);
     assert_eq!(report.cores.len(), 12);

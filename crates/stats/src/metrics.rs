@@ -39,7 +39,10 @@ pub struct Metrics {
 /// undefined; the paper filters workloads below 3 MPKI for the same reason).
 pub fn compare(baseline: &SimReport, with: &SimReport) -> Metrics {
     let base_misses = baseline.llc.demand_load_misses;
-    assert!(base_misses > 0, "baseline saw no LLC load misses; not a memory-bound workload");
+    assert!(
+        base_misses > 0,
+        "baseline saw no LLC load misses; not a memory-bound workload"
+    );
     let coverage = (base_misses as f64 - with.llc.demand_load_misses as f64) / base_misses as f64;
     let base_reads = baseline.dram.total_reads();
     let with_reads = with.dram.total_reads();
@@ -48,12 +51,15 @@ pub fn compare(baseline: &SimReport, with: &SimReport) -> Metrics {
     } else {
         (with_reads as f64 - base_reads as f64) / base_reads as f64
     };
-    let useful: u64 = with.l2.iter().map(|c| c.useful_prefetches).sum::<u64>()
-        + with.llc.useful_prefetches;
-    let useless: u64 = with.l2.iter().map(|c| c.useless_prefetches).sum::<u64>()
-        + with.llc.useless_prefetches;
-    let accuracy =
-        if useful + useless == 0 { 0.0 } else { useful as f64 / (useful + useless) as f64 };
+    let useful: u64 =
+        with.l2.iter().map(|c| c.useful_prefetches).sum::<u64>() + with.llc.useful_prefetches;
+    let useless: u64 =
+        with.l2.iter().map(|c| c.useless_prefetches).sum::<u64>() + with.llc.useless_prefetches;
+    let accuracy = if useful + useless == 0 {
+        0.0
+    } else {
+        useful as f64 / (useful + useless) as f64
+    };
     Metrics {
         speedup: speedup(baseline, with),
         coverage,
@@ -91,11 +97,22 @@ mod tests {
 
     fn report(ipc_num: u64, ipc_den: u64, llc_misses: u64, dram_reads: u64) -> SimReport {
         SimReport {
-            cores: vec![CoreStats { instructions: ipc_num, cycles: ipc_den, ..Default::default() }],
+            cores: vec![CoreStats {
+                instructions: ipc_num,
+                cycles: ipc_den,
+                ..Default::default()
+            }],
             l1d: vec![CacheStats::default()],
             l2: vec![CacheStats::default()],
-            llc: CacheStats { demand_load_misses: llc_misses, demand_loads: llc_misses, ..Default::default() },
-            dram: DramStats { demand_reads: dram_reads, ..Default::default() },
+            llc: CacheStats {
+                demand_load_misses: llc_misses,
+                demand_loads: llc_misses,
+                ..Default::default()
+            },
+            dram: DramStats {
+                demand_reads: dram_reads,
+                ..Default::default()
+            },
             prefetchers: vec![],
         }
     }

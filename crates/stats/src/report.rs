@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -52,8 +55,11 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> =
-                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
             format!("| {} |", padded.join(" | "))
         };
         out.push_str(&fmt_row(&self.headers, &widths));
@@ -92,7 +98,10 @@ pub fn ascii_series(title: &str, labels: &[String], values: &[f64], width: usize
     let label_w = labels.iter().map(String::len).max().unwrap_or(0);
     for (l, v) in labels.iter().zip(values) {
         let filled = (((v - min) / span) * width as f64).round() as usize;
-        out.push_str(&format!("{l:<label_w$} | {:<width$} {v:.4}\n", "#".repeat(filled.min(width))));
+        out.push_str(&format!(
+            "{l:<label_w$} | {:<width$} {v:.4}\n",
+            "#".repeat(filled.min(width))
+        ));
     }
     out
 }
@@ -141,12 +150,7 @@ mod tests {
 
     #[test]
     fn ascii_series_scales_bars() {
-        let s = ascii_series(
-            "test",
-            &["a".into(), "b".into()],
-            &[1.0, 2.0],
-            10,
-        );
+        let s = ascii_series("test", &["a".into(), "b".into()], &[1.0, 2.0], 10);
         assert!(s.contains("##########"), "max value fills the width:\n{s}");
         assert!(s.contains("2.0000"));
     }

@@ -187,7 +187,7 @@ impl TraceSpec {
                 rec.branch = None;
                 out.push(rec);
             } else if roll < (self.mem_pct + self.branch_pct) as u32 {
-                let mispred = rng.gen_range(0..100) < self.mispredict_pct as u32;
+                let mispred = rng.gen_range(0..100u32) < self.mispredict_pct as u32;
                 out.push(TraceRecord::branch(pc_counter, rng.gen_bool(0.6), mispred));
                 pc_counter = pc_counter.wrapping_add(4);
             } else {
@@ -202,29 +202,74 @@ impl TraceSpec {
 /// Mutable cursor over a pattern. Returns `(pc, byte_offset_in_footprint,
 /// is_write, dependent_load)` per access.
 enum PatternState {
-    Stream { pos: u64, store_every: u32, count: u32 },
-    Stride { pos: u64, lines: i32 },
-    PageVisit { step: u64, offsets: Vec<u8> },
-    SpatialFootprint { patterns: Vec<Vec<u8>>, noise_pct: u8, visits: Vec<Vec<(u64, u64)>>, rr: usize },
-    DeltaChain { line: u64, idx: usize, deltas: Vec<i8> },
-    IrregularGraph { vertices: u64, avg_degree: u32, vertex: u64, remaining_neighbours: u32 },
-    PointerChase { current: u64 },
-    CloudMix { hot_pct: u8, hot_lines: u64 },
-    Phased { states: Vec<PatternState>, idx: usize, remaining: u32, phase_len: u32 },
+    Stream {
+        pos: u64,
+        store_every: u32,
+        count: u32,
+    },
+    Stride {
+        pos: u64,
+        lines: i32,
+    },
+    PageVisit {
+        step: u64,
+        offsets: Vec<u8>,
+    },
+    SpatialFootprint {
+        patterns: Vec<Vec<u8>>,
+        noise_pct: u8,
+        visits: Vec<Vec<(u64, u64)>>,
+        rr: usize,
+    },
+    DeltaChain {
+        line: u64,
+        idx: usize,
+        deltas: Vec<i8>,
+    },
+    IrregularGraph {
+        vertices: u64,
+        avg_degree: u32,
+        vertex: u64,
+        remaining_neighbours: u32,
+    },
+    PointerChase {
+        current: u64,
+    },
+    CloudMix {
+        hot_pct: u8,
+        hot_lines: u64,
+    },
+    Phased {
+        states: Vec<PatternState>,
+        idx: usize,
+        remaining: u32,
+        phase_len: u32,
+    },
 }
 
 impl PatternState {
     fn new(kind: &PatternKind, footprint_pages: u64, rng: &mut StdRng) -> Self {
         match kind {
-            PatternKind::Stream { store_every } => {
-                Self::Stream { pos: 0, store_every: *store_every, count: 0 }
-            }
-            PatternKind::Stride { lines } => Self::Stride { pos: 0, lines: *lines },
+            PatternKind::Stream { store_every } => Self::Stream {
+                pos: 0,
+                store_every: *store_every,
+                count: 0,
+            },
+            PatternKind::Stride { lines } => Self::Stride {
+                pos: 0,
+                lines: *lines,
+            },
             PatternKind::PageVisit { offsets } => {
                 assert!(!offsets.is_empty(), "PageVisit needs offsets");
-                Self::PageVisit { step: 0, offsets: offsets.clone() }
+                Self::PageVisit {
+                    step: 0,
+                    offsets: offsets.clone(),
+                }
             }
-            PatternKind::SpatialFootprint { patterns, noise_pct } => {
+            PatternKind::SpatialFootprint {
+                patterns,
+                noise_pct,
+            } => {
                 assert!(!patterns.is_empty(), "SpatialFootprint needs patterns");
                 Self::SpatialFootprint {
                     patterns: patterns.clone(),
@@ -235,15 +280,24 @@ impl PatternState {
             }
             PatternKind::DeltaChain { deltas } => {
                 assert!(!deltas.is_empty(), "DeltaChain needs deltas");
-                Self::DeltaChain { line: 0, idx: 0, deltas: deltas.clone() }
+                Self::DeltaChain {
+                    line: 0,
+                    idx: 0,
+                    deltas: deltas.clone(),
+                }
             }
-            PatternKind::IrregularGraph { vertices, avg_degree } => Self::IrregularGraph {
+            PatternKind::IrregularGraph {
+                vertices,
+                avg_degree,
+            } => Self::IrregularGraph {
                 vertices: (*vertices).max(64),
                 avg_degree: (*avg_degree).max(1),
                 vertex: 0,
                 remaining_neighbours: 0,
             },
-            PatternKind::PointerChase => Self::PointerChase { current: rng.gen_range(0..footprint_pages * LINES_PER_PAGE) },
+            PatternKind::PointerChase => Self::PointerChase {
+                current: rng.gen_range(0..footprint_pages * LINES_PER_PAGE),
+            },
             PatternKind::CloudMix { hot_pct } => Self::CloudMix {
                 hot_pct: *hot_pct,
                 hot_lines: (footprint_pages * LINES_PER_PAGE / 64).max(64),
@@ -252,7 +306,10 @@ impl PatternState {
                 assert!(!phases.is_empty(), "Phased needs phases");
                 assert!(*phase_len > 0, "phase_len must be non-zero");
                 Self::Phased {
-                    states: phases.iter().map(|p| PatternState::new(p, footprint_pages, rng)).collect(),
+                    states: phases
+                        .iter()
+                        .map(|p| PatternState::new(p, footprint_pages, rng))
+                        .collect(),
                     idx: 0,
                     remaining: *phase_len,
                     phase_len: *phase_len,
@@ -264,7 +321,11 @@ impl PatternState {
     fn next_access(&mut self, footprint_pages: u64, rng: &mut StdRng) -> (u64, u64, bool, bool) {
         let total_lines = footprint_pages * LINES_PER_PAGE;
         match self {
-            Self::Stream { pos, store_every, count } => {
+            Self::Stream {
+                pos,
+                store_every,
+                count,
+            } => {
                 let line = *pos % total_lines;
                 *pos += 1;
                 *count += 1;
@@ -301,7 +362,12 @@ impl PatternState {
                     return (pc, p * PAGE_SIZE + off * 64, false, false);
                 }
             }
-            Self::SpatialFootprint { patterns, noise_pct, visits, rr } => {
+            Self::SpatialFootprint {
+                patterns,
+                noise_pct,
+                visits,
+                rr,
+            } => {
                 // Several region visits are in flight at once (real spatial
                 // workloads process many regions concurrently); each step
                 // advances one visit round-robin, so a region's companion
@@ -320,7 +386,7 @@ impl PatternState {
                 let pc = 0x500000 + which as u64 * 0x40;
                 let pattern = &patterns[which];
                 let mut lines: Vec<u8> = pattern.clone();
-                if rng.gen_range(0..100) < *noise_pct as u32 {
+                if rng.gen_range(0..100u32) < *noise_pct as u32 {
                     lines.push(rng.gen_range(0..32));
                 }
                 let trigger = lines[0] as u64 % 32;
@@ -336,14 +402,23 @@ impl PatternState {
                 let next = *line as i64 + d as i64;
                 // Overflowing the page advances to the start of the next
                 // page, keeping the chain phase.
-                *line = if next < 0 { current / LINES_PER_PAGE * LINES_PER_PAGE + LINES_PER_PAGE } else { next as u64 };
+                *line = if next < 0 {
+                    current / LINES_PER_PAGE * LINES_PER_PAGE + LINES_PER_PAGE
+                } else {
+                    next as u64
+                };
                 if *line / LINES_PER_PAGE != current / LINES_PER_PAGE {
                     *line = (current / LINES_PER_PAGE + 1) * LINES_PER_PAGE;
                     *idx = 0;
                 }
                 (0x403000 + *idx as u64 * 4, current * 64, false, false)
             }
-            Self::IrregularGraph { vertices, avg_degree, vertex, remaining_neighbours } => {
+            Self::IrregularGraph {
+                vertices,
+                avg_degree,
+                vertex,
+                remaining_neighbours,
+            } => {
                 if *remaining_neighbours > 0 {
                     *remaining_neighbours -= 1;
                     // Random neighbour read: vertex data is spread over the
@@ -371,7 +446,7 @@ impl PatternState {
                 (0x405000, line * 64, false, true)
             }
             Self::CloudMix { hot_pct, hot_lines } => {
-                let hot = rng.gen_range(0..100) < *hot_pct as u32;
+                let hot = rng.gen_range(0..100u32) < *hot_pct as u32;
                 let line = if hot {
                     rng.gen_range(0..*hot_lines)
                 } else {
@@ -380,7 +455,12 @@ impl PatternState {
                 let is_write = rng.gen_range(0..100) < 20;
                 (0x406000 + u64::from(hot), line * 64, is_write, false)
             }
-            Self::Phased { states, idx, remaining, phase_len } => {
+            Self::Phased {
+                states,
+                idx,
+                remaining,
+                phase_len,
+            } => {
                 if *remaining == 0 {
                     *idx = (*idx + 1) % states.len();
                     *remaining = *phase_len;
@@ -409,8 +489,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = spec(PatternKind::CloudMix { hot_pct: 30 }).with_seed(1).generate();
-        let b = spec(PatternKind::CloudMix { hot_pct: 30 }).with_seed(2).generate();
+        let a = spec(PatternKind::CloudMix { hot_pct: 30 })
+            .with_seed(1)
+            .generate();
+        let b = spec(PatternKind::CloudMix { hot_pct: 30 })
+            .with_seed(2)
+            .generate();
         assert_ne!(a, b);
     }
 
@@ -470,7 +554,10 @@ mod tests {
         // Offsets {0, 23}: every visited page is touched at exactly offsets
         // 0 and 23 -- the §6.5 pattern -- with the +23 sweep lagging the
         // first-touch sweep so trigger-keyed prefetches can be timely.
-        let t = spec(PatternKind::PageVisit { offsets: vec![0, 23] }).generate();
+        let t = spec(PatternKind::PageVisit {
+            offsets: vec![0, 23],
+        })
+        .generate();
         let accesses: Vec<(u64, u64)> = line_sequence(&t)
             .iter()
             .map(|&l| (addr::page_of_line(l), addr::page_offset_of_line(l)))
@@ -493,7 +580,10 @@ mod tests {
         }
         assert!(!lags.is_empty());
         let min_lag = *lags.iter().min().unwrap();
-        assert!(min_lag >= 4, "companion sweep should lag the trigger: {min_lag}");
+        assert!(
+            min_lag >= 4,
+            "companion sweep should lag the trigger: {min_lag}"
+        );
     }
 
     #[test]
@@ -514,10 +604,7 @@ mod tests {
         for r in &t {
             if let Some(m) = r.mem {
                 let off = m.addr - base;
-                assert!(
-                    off < 128 * PAGE_SIZE,
-                    "access outside footprint: {off:#x}"
-                );
+                assert!(off < 128 * PAGE_SIZE, "access outside footprint: {off:#x}");
             }
         }
     }
@@ -545,11 +632,13 @@ mod tests {
         let mut by_region: HashMap<u64, Vec<u64>> = HashMap::new();
         for r in &t {
             if let Some(m) = r.mem {
-                by_region.entry(m.addr / 2048).or_default().push(m.addr % 2048 / 64);
+                by_region
+                    .entry(m.addr / 2048)
+                    .or_default()
+                    .push(m.addr % 2048 / 64);
             }
         }
-        let full_visits =
-            by_region.values().filter(|v| v.len() >= 4).count();
+        let full_visits = by_region.values().filter(|v| v.len() >= 4).count();
         assert!(full_visits > 10, "expected replayed footprints");
     }
 
@@ -564,7 +653,10 @@ mod tests {
         })
         .generate();
         let deps = t.iter().filter(|r| r.depends_on_prev_load).count();
-        let seq_loads = t.iter().filter(|r| r.is_load() && !r.depends_on_prev_load).count();
+        let seq_loads = t
+            .iter()
+            .filter(|r| r.is_load() && !r.depends_on_prev_load)
+            .count();
         assert!(deps > 0 && seq_loads > 0, "both phases must appear");
     }
 
@@ -575,8 +667,10 @@ mod tests {
         s.mispredict_pct = 10;
         let t = s.generate();
         let branches = t.iter().filter(|r| r.branch.is_some()).count();
-        let mispredicts =
-            t.iter().filter(|r| r.branch.is_some_and(|b| b.mispredicted)).count();
+        let mispredicts = t
+            .iter()
+            .filter(|r| r.branch.is_some_and(|b| b.mispredicted))
+            .count();
         assert!(branches > t.len() / 10);
         assert!(mispredicts > 0);
         assert!(mispredicts < branches / 5);
@@ -592,8 +686,11 @@ mod tests {
 
     #[test]
     fn graph_pattern_mixes_sequential_and_random() {
-        let t = spec(PatternKind::IrregularGraph { vertices: 100_000, avg_degree: 8 })
-            .generate();
+        let t = spec(PatternKind::IrregularGraph {
+            vertices: 100_000,
+            avg_degree: 8,
+        })
+        .generate();
         let pcs: std::collections::HashSet<u64> =
             t.iter().filter(|r| r.mem.is_some()).map(|r| r.pc).collect();
         assert!(pcs.contains(&0x404000), "index-array PC present");

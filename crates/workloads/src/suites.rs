@@ -53,7 +53,11 @@ pub struct Workload {
 impl Workload {
     fn new(suite: Suite, name: &str, kind: PatternKind, seed: u64) -> Self {
         let spec = TraceSpec::new(name, kind).with_seed(seed);
-        Self { name: name.to_string(), suite, spec }
+        Self {
+            name: name.to_string(),
+            suite,
+            spec,
+        }
     }
 
     /// Generates the trace with `instructions` instructions.
@@ -65,7 +69,10 @@ impl Workload {
 /// Graph workload helper: Ligra kernels differ in frontier density and
 /// degree; heavier kernels consume more bandwidth.
 fn graph(vertices: u64, degree: u32) -> PatternKind {
-    PatternKind::IrregularGraph { vertices, avg_degree: degree }
+    PatternKind::IrregularGraph {
+        vertices,
+        avg_degree: degree,
+    }
 }
 
 /// The SPEC CPU2006-like suite (16 workloads).
@@ -75,25 +82,63 @@ pub fn spec06() -> Vec<Workload> {
     vec![
         Workload::new(s, "401.gcc-13B", CloudMix { hot_pct: 60 }, 101),
         Workload::new(s, "429.mcf-184B", PointerChase, 102),
-        Workload::new(s, "436.cactusADM-97B", DeltaChain { deltas: vec![2, 5, 2, 5] }, 103),
+        Workload::new(
+            s,
+            "436.cactusADM-97B",
+            DeltaChain {
+                deltas: vec![2, 5, 2, 5],
+            },
+            103,
+        ),
         Workload::new(s, "470.lbm-164B", Stream { store_every: 2 }, 104),
         Workload::new(s, "450.soplex-66B", Stride { lines: 3 }, 105),
-        Workload::new(s, "459.GemsFDTD-765B", PageVisit { offsets: vec![0, 23] }, 106),
-        Workload::new(s, "459.GemsFDTD-1320B", PageVisit { offsets: vec![0, 23, 34, 45] }, 107),
+        Workload::new(
+            s,
+            "459.GemsFDTD-765B",
+            PageVisit {
+                offsets: vec![0, 23],
+            },
+            106,
+        ),
+        Workload::new(
+            s,
+            "459.GemsFDTD-1320B",
+            PageVisit {
+                offsets: vec![0, 23, 34, 45],
+            },
+            107,
+        ),
         Workload::new(s, "462.libquantum-714B", Stream { store_every: 0 }, 108),
         Workload::new(
             s,
             "482.sphinx3-417B",
-            SpatialFootprint { patterns: vec![vec![0, 1, 2, 5, 9], vec![3, 4, 8, 15]], noise_pct: 10 },
+            SpatialFootprint {
+                patterns: vec![vec![0, 1, 2, 5, 9], vec![3, 4, 8, 15]],
+                noise_pct: 10,
+            },
             109,
         ),
         Workload::new(s, "433.milc-337B", Stride { lines: 8 }, 110),
-        Workload::new(s, "437.leslie3d-134B", DeltaChain { deltas: vec![1, 1, 3] }, 111),
+        Workload::new(
+            s,
+            "437.leslie3d-134B",
+            DeltaChain {
+                deltas: vec![1, 1, 3],
+            },
+            111,
+        ),
         Workload::new(s, "410.bwaves-1963B", Stream { store_every: 4 }, 112),
         Workload::new(s, "471.omnetpp-188B", PointerChase, 113),
         Workload::new(s, "473.astar-153B", PointerChase, 114),
         Workload::new(s, "483.xalancbmk-736B", CloudMix { hot_pct: 40 }, 115),
-        Workload::new(s, "481.wrf-1212B", DeltaChain { deltas: vec![4, 4, 4, 1] }, 116),
+        Workload::new(
+            s,
+            "481.wrf-1212B",
+            DeltaChain {
+                deltas: vec![4, 4, 4, 1],
+            },
+            116,
+        ),
     ]
 }
 
@@ -104,16 +149,44 @@ pub fn spec17() -> Vec<Workload> {
     vec![
         Workload::new(s, "602.gcc_s-734B", CloudMix { hot_pct: 55 }, 201),
         Workload::new(s, "605.mcf_s-665B", PointerChase, 202),
-        Workload::new(s, "628.pop2_s-17B", DeltaChain { deltas: vec![2, 2, 7] }, 203),
+        Workload::new(
+            s,
+            "628.pop2_s-17B",
+            DeltaChain {
+                deltas: vec![2, 2, 7],
+            },
+            203,
+        ),
         Workload::new(s, "649.fotonik3d_s-1176B", Stream { store_every: 3 }, 204),
         Workload::new(s, "654.roms_s-842B", Stride { lines: 2 }, 205),
-        Workload::new(s, "627.cam4_s-573B", DeltaChain { deltas: vec![1, 5, 1, 5] }, 206),
+        Workload::new(
+            s,
+            "627.cam4_s-573B",
+            DeltaChain {
+                deltas: vec![1, 5, 1, 5],
+            },
+            206,
+        ),
         Workload::new(s, "619.lbm_s-4268B", Stream { store_every: 2 }, 207),
         Workload::new(s, "620.omnetpp_s-874B", PointerChase, 208),
         Workload::new(s, "623.xalancbmk_s-592B", CloudMix { hot_pct: 35 }, 209),
         Workload::new(s, "625.x264_s-39B", Stride { lines: 5 }, 210),
-        Workload::new(s, "607.cactuBSSN_s-2421B", DeltaChain { deltas: vec![3, 3, 10] }, 211),
-        Workload::new(s, "621.wrf_s-575B", DeltaChain { deltas: vec![6, 1, 1] }, 212),
+        Workload::new(
+            s,
+            "607.cactuBSSN_s-2421B",
+            DeltaChain {
+                deltas: vec![3, 3, 10],
+            },
+            211,
+        ),
+        Workload::new(
+            s,
+            "621.wrf_s-575B",
+            DeltaChain {
+                deltas: vec![6, 1, 1],
+            },
+            212,
+        ),
     ]
 }
 
@@ -125,7 +198,10 @@ pub fn parsec() -> Vec<Workload> {
         Workload::new(
             s,
             "PARSEC-Canneal",
-            SpatialFootprint { patterns: vec![vec![0, 2, 11], vec![1, 7, 19, 25]], noise_pct: 25 },
+            SpatialFootprint {
+                patterns: vec![vec![0, 2, 11], vec![1, 7, 19, 25]],
+                noise_pct: 25,
+            },
             301,
         ),
         Workload::new(
@@ -142,7 +218,14 @@ pub fn parsec() -> Vec<Workload> {
         ),
         Workload::new(s, "PARSEC-Raytrace", PointerChase, 303),
         Workload::new(s, "PARSEC-Streamcluster", Stream { store_every: 5 }, 304),
-        Workload::new(s, "PARSEC-Fluidanimate", DeltaChain { deltas: vec![1, 2, 1, 2, 8] }, 305),
+        Workload::new(
+            s,
+            "PARSEC-Fluidanimate",
+            DeltaChain {
+                deltas: vec![1, 2, 1, 2, 8],
+            },
+            305,
+        ),
     ]
 }
 
@@ -201,7 +284,14 @@ pub fn cvp_unseen() -> Vec<Workload> {
         Workload::new(s, "int-1", CloudMix { hot_pct: 50 }, 603),
         Workload::new(s, "int-2", PointerChase, 604),
         Workload::new(s, "fp-1", Stream { store_every: 3 }, 605),
-        Workload::new(s, "fp-2", DeltaChain { deltas: vec![2, 2, 2, 13] }, 606),
+        Workload::new(
+            s,
+            "fp-2",
+            DeltaChain {
+                deltas: vec![2, 2, 2, 13],
+            },
+            606,
+        ),
         Workload::new(s, "server-1", CloudMix { hot_pct: 25 }, 607),
         Workload::new(
             s,
@@ -246,7 +336,12 @@ pub fn mixes(n: usize, count: usize, seed: u64) -> Vec<(String, Vec<Workload>)> 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     // Representative homogeneous mixes: one per suite archetype.
-    for name in ["462.libquantum-714B", "429.mcf-184B", "Ligra-PageRank", "PARSEC-Facesim"] {
+    for name in [
+        "462.libquantum-714B",
+        "429.mcf-184B",
+        "Ligra-PageRank",
+        "PARSEC-Facesim",
+    ] {
         if let Some(w) = pool.iter().find(|w| w.name == name) {
             let copies: Vec<Workload> = (0..n)
                 .map(|i| {
@@ -331,7 +426,11 @@ mod tests {
         let tuning: std::collections::HashSet<_> =
             all_suites().iter().map(|w| w.spec.seed).collect();
         for w in cvp_unseen() {
-            assert!(!tuning.contains(&w.spec.seed), "{} reuses a tuning seed", w.name);
+            assert!(
+                !tuning.contains(&w.spec.seed),
+                "{} reuses a tuning seed",
+                w.name
+            );
         }
     }
 

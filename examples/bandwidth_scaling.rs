@@ -16,7 +16,10 @@ use pythia_workloads::all_suites;
 
 fn main() {
     let pool = all_suites();
-    let workload = pool.iter().find(|w| w.name == "PARSEC-Facesim").expect("facesim");
+    let workload = pool
+        .iter()
+        .find(|w| w.name == "PARSEC-Facesim")
+        .expect("facesim");
     let prefetchers = ["mlop", "bingo", "pythia"];
     let mtps_points = [150u64, 600, 2400, 9600];
 
@@ -33,7 +36,10 @@ fn main() {
             labels.push(format!("{mtps} MTPS"));
             values.push(m.speedup);
         }
-        println!("{}", ascii_series(&format!("{p} speedup vs bandwidth"), &labels, &values, 40));
+        println!(
+            "{}",
+            ascii_series(&format!("{p} speedup vs bandwidth"), &labels, &values, 40)
+        );
     }
     println!(
         "Note the crossover: aggressive prefetchers win with ample bandwidth\n\

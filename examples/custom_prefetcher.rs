@@ -25,7 +25,11 @@ struct PairwiseCorrelation {
 
 impl PairwiseCorrelation {
     fn new(entries: usize) -> Self {
-        Self { table: vec![(u64::MAX, 0); entries], last_line: u64::MAX, stats: PrefetcherStats::default() }
+        Self {
+            table: vec![(u64::MAX, 0); entries],
+            last_line: u64::MAX,
+            stats: PrefetcherStats::default(),
+        }
     }
 
     fn slot(&self, line: u64) -> usize {
@@ -90,11 +94,22 @@ fn main() {
     for name in ["spp", "pythia"] {
         let report = run_workload(workload, name, &spec);
         let m = compare(&baseline, &report);
-        println!("{name:10} speedup {:.3}  coverage {:5.1}%", m.speedup, m.coverage * 100.0);
+        println!(
+            "{name:10} speedup {:.3}  coverage {:5.1}%",
+            m.speedup,
+            m.coverage * 100.0
+        );
     }
-    let report = run_traces_with(vec![trace], &spec, |_| Box::new(PairwiseCorrelation::new(1 << 20)));
+    let report = run_traces_with(vec![trace], &spec, |_| {
+        Box::new(PairwiseCorrelation::new(1 << 20))
+    });
     let m = compare(&baseline, &report);
-    println!("{:10} speedup {:.3}  coverage {:5.1}%", "pairwise", m.speedup, m.coverage * 100.0);
+    println!(
+        "{:10} speedup {:.3}  coverage {:5.1}%",
+        "pairwise",
+        m.speedup,
+        m.coverage * 100.0
+    );
     println!(
         "\nA big-table temporal prefetcher can cover recurring chains that\n\
          spatial/offset prefetchers (including Pythia) cannot -- at a metadata\n\

@@ -16,8 +16,10 @@ use pythia_stats::report::Table;
 use pythia_workloads::suites::ligra;
 
 fn main() {
-    let workload =
-        ligra().into_iter().find(|w| w.name == "Ligra-CC").expect("Ligra-CC in suite");
+    let workload = ligra()
+        .into_iter()
+        .find(|w| w.name == "Ligra-CC")
+        .expect("Ligra-CC in suite");
     let spec = RunSpec::single_core().with_budget(150_000, 600_000);
 
     let baseline = run_workload(&workload, "none", &spec);

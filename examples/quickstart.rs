@@ -18,8 +18,13 @@ fn main() {
     let workload = Workload {
         name: "quickstart-gems".into(),
         suite: Suite::Spec06,
-        spec: TraceSpec::new("quickstart-gems", PatternKind::PageVisit { offsets: vec![0, 23] })
-            .with_seed(7),
+        spec: TraceSpec::new(
+            "quickstart-gems",
+            PatternKind::PageVisit {
+                offsets: vec![0, 23],
+            },
+        )
+        .with_seed(7),
     };
 
     // 2. Pick the simulated system: Table 5's single-core configuration

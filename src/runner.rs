@@ -17,6 +17,16 @@ use pythia_sim::trace::TraceRecord;
 use pythia_stats::metrics::{self, Metrics};
 use pythia_workloads::Workload;
 
+/// Prefetcher names only [`build_prefetcher`] knows (not in the registry).
+/// Consumed by the CLI listing and the registry-coverage test so the three
+/// places cannot drift apart.
+pub const RUNNER_ONLY: &[&str] = &[
+    "pythia",
+    "pythia_strict",
+    "pythia_bw_oblivious",
+    "stride+pythia",
+];
+
 /// Builds any prefetcher in the workspace by name: every baseline from
 /// [`pythia_prefetchers::registry`] plus the Pythia variants:
 ///
@@ -30,10 +40,12 @@ use pythia_workloads::Workload;
 pub fn build_prefetcher(name: &str, seed: u64) -> Option<Box<dyn Prefetcher>> {
     match name {
         "pythia" => Some(Box::new(Pythia::new(PythiaConfig::tuned().with_seed(seed)))),
-        "pythia_strict" => Some(Box::new(Pythia::new(PythiaConfig::strict().with_seed(seed)))),
-        "pythia_bw_oblivious" => {
-            Some(Box::new(Pythia::new(PythiaConfig::bandwidth_oblivious().with_seed(seed))))
-        }
+        "pythia_strict" => Some(Box::new(Pythia::new(
+            PythiaConfig::strict().with_seed(seed),
+        ))),
+        "pythia_bw_oblivious" => Some(Box::new(Pythia::new(
+            PythiaConfig::bandwidth_oblivious().with_seed(seed),
+        ))),
         "stride+pythia" => Some(Box::new(Multi::new(vec![
             Box::new(StridePrefetcher::default()),
             Box::new(Pythia::new(PythiaConfig::tuned().with_seed(seed))),
@@ -65,12 +77,20 @@ impl RunSpec {
     /// 100 M + 500 M on real traces; the synthetic patterns reach steady
     /// state much sooner).
     pub fn single_core() -> Self {
-        Self { system: SystemConfig::single_core(), warmup: 50_000, measure: 200_000 }
+        Self {
+            system: SystemConfig::single_core(),
+            warmup: 50_000,
+            measure: 200_000,
+        }
     }
 
     /// `n`-core default with the Table 5 channel scaling.
     pub fn multi_core(n: usize) -> Self {
-        Self { system: SystemConfig::with_cores(n), warmup: 25_000, measure: 100_000 }
+        Self {
+            system: SystemConfig::with_cores(n),
+            warmup: 25_000,
+            measure: 100_000,
+        }
     }
 
     /// Overrides the system configuration.
@@ -98,7 +118,10 @@ impl RunSpec {
 ///
 /// Panics if `prefetcher` is unknown (see [`build_prefetcher`]).
 pub fn run_workload(workload: &Workload, prefetcher: &str, spec: &RunSpec) -> SimReport {
-    assert_eq!(spec.system.cores, 1, "run_workload is single-core; use run_mix");
+    assert_eq!(
+        spec.system.cores, 1,
+        "run_workload is single-core; use run_mix"
+    );
     let trace = workload.trace(spec.trace_len());
     run_traces(vec![trace], prefetcher, spec)
 }
@@ -106,7 +129,10 @@ pub fn run_workload(workload: &Workload, prefetcher: &str, spec: &RunSpec) -> Si
 /// Runs an `n`-core mix (one workload per core).
 pub fn run_mix(workloads: &[Workload], prefetcher: &str, spec: &RunSpec) -> SimReport {
     assert_eq!(workloads.len(), spec.system.cores, "one workload per core");
-    let traces = workloads.iter().map(|w| w.trace(spec.trace_len())).collect();
+    let traces = workloads
+        .iter()
+        .map(|w| w.trace(spec.trace_len()))
+        .collect();
     run_traces(traces, prefetcher, spec)
 }
 
@@ -177,10 +203,7 @@ pub fn geomean_speedup(evals: &[Evaluation], prefetcher: &str) -> f64 {
 /// results in input order. Each job is an independent simulation, so the
 /// experiment harness parallelizes across (workload × prefetcher) pairs —
 /// the in-process stand-in for the paper's slurm fan-out (§A.5).
-pub fn run_parallel<T: Send>(
-    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
-    threads: usize,
-) -> Vec<T> {
+pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>, threads: usize) -> Vec<T> {
     assert!(threads > 0, "need at least one worker thread");
     let n = jobs.len();
     let mut results: Vec<Option<T>> = Vec::with_capacity(n);
@@ -202,7 +225,10 @@ pub fn run_parallel<T: Send>(
         }
     })
     .expect("worker thread panicked");
-    results.into_iter().map(|r| r.expect("every job ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
 }
 
 /// Parallel version of [`evaluate_suite`]: runs every (workload, prefetcher)
@@ -219,7 +245,8 @@ pub fn evaluate_suite_parallel(
         .map(|w| {
             let w = w.clone();
             let spec = *spec;
-            Box::new(move || run_workload(&w, "none", &spec)) as Box<dyn FnOnce() -> SimReport + Send>
+            Box::new(move || run_workload(&w, "none", &spec))
+                as Box<dyn FnOnce() -> SimReport + Send>
         })
         .collect();
     let baselines = run_parallel(baseline_jobs, threads);

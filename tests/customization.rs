@@ -9,27 +9,45 @@ use pythia_workloads::generators::{PatternKind, TraceSpec};
 use pythia_workloads::suites::Suite;
 use pythia_workloads::Workload;
 
-fn graph_workload() -> Workload {
+/// A noisy spatial-footprint workload on which basic Pythia measurably
+/// overpredicts, so the strict-vs-basic comparison has real amplitude
+/// (irregular-graph traces make the agent go near-silent in *both*
+/// configurations, which reduces the comparison to noise).
+fn overpredicting_workload() -> Workload {
     let mut spec = TraceSpec::new(
-        "graph",
-        PatternKind::IrregularGraph { vertices: 1_000_000, avg_degree: 14 },
+        "spatial_noisy",
+        PatternKind::SpatialFootprint {
+            patterns: vec![vec![0, 3, 7, 12], vec![0, 1, 9]],
+            noise_pct: 30,
+        },
     )
     .with_seed(31);
     spec.mem_pct = 45;
-    spec.footprint_pages = 64 * 1024;
-    Workload { name: "graph".into(), suite: Suite::Ligra, spec }
+    spec.footprint_pages = 4096;
+    Workload {
+        name: "spatial_noisy".into(),
+        suite: Suite::Ligra,
+        spec,
+    }
 }
 
 #[test]
 fn strict_rewards_reduce_overprediction() {
-    let w = graph_workload();
+    let w = overpredicting_workload();
     let spec = RunSpec::single_core().with_budget(100_000, 400_000);
     let baseline = run_workload(&w, "none", &spec);
     let basic = compare(&baseline, &run_workload(&w, "pythia", &spec));
     let strict = compare(&baseline, &run_workload(&w, "pythia_strict", &spec));
+    // Guard: the workload must make basic Pythia overpredict, otherwise the
+    // comparison below is vacuous.
     assert!(
-        strict.overprediction <= basic.overprediction + 1e-9,
-        "strict must not overpredict more: {} vs {}",
+        basic.overprediction > 0.02,
+        "workload no longer provokes overprediction (basic: {})",
+        basic.overprediction
+    );
+    assert!(
+        strict.overprediction < basic.overprediction,
+        "strict must overpredict less: {} vs {}",
         strict.overprediction,
         basic.overprediction
     );
@@ -39,7 +57,10 @@ fn strict_rewards_reduce_overprediction() {
 fn custom_feature_vector_is_honoured() {
     // A Pythia with only the PageOffset feature still runs and behaves
     // deterministically.
-    let features = vec![Feature { control: ControlFlow::None, data: DataFlow::PageOffset }];
+    let features = vec![Feature {
+        control: ControlFlow::None,
+        data: DataFlow::PageOffset,
+    }];
     let cfg = PythiaConfig::basic().with_features(features);
     let trace = TraceSpec::new("t", PatternKind::Stream { store_every: 0 })
         .with_instructions(100_000)
@@ -102,7 +123,10 @@ fn seed_controls_exploration_stream() {
     let a = run(cfg_a.clone());
     let a2 = run(cfg_a);
     let b = run(cfg_b);
-    assert_eq!(a.prefetchers[0].issued, a2.prefetchers[0].issued, "same seed, same run");
+    assert_eq!(
+        a.prefetchers[0].issued, a2.prefetchers[0].issued,
+        "same seed, same run"
+    );
     // Different seeds explore differently (statistically certain on 50k
     // demands with epsilon > 0).
     assert!(

@@ -1,0 +1,79 @@
+//! Determinism guarantees of the whole simulation stack: the property every
+//! future parallel / sharded runner must preserve.
+//!
+//! Same (workload, prefetcher, seed) ⇒ byte-identical [`SimReport`]s;
+//! different workload seeds ⇒ observably different runs.
+
+use pythia::runner::{run_workload, RunSpec};
+use pythia_sim::stats::SimReport;
+use pythia_workloads::generators::{PatternKind, TraceSpec};
+use pythia_workloads::{suites::Suite, Workload};
+
+fn workload(seed: u64) -> Workload {
+    let mut spec = TraceSpec::new(
+        "det",
+        PatternKind::SpatialFootprint {
+            patterns: vec![vec![0, 2, 5, 11], vec![0, 7, 9]],
+            noise_pct: 20,
+        },
+    )
+    .with_seed(seed);
+    spec.mem_pct = 40;
+    spec.footprint_pages = 2048;
+    Workload {
+        name: "det".into(),
+        suite: Suite::Spec06,
+        spec,
+    }
+}
+
+fn spec() -> RunSpec {
+    RunSpec::single_core().with_budget(20_000, 60_000)
+}
+
+/// Byte-level fingerprint of a report: every counter, in a stable order.
+fn fingerprint(report: &SimReport) -> Vec<u8> {
+    format!("{report:?}").into_bytes()
+}
+
+#[test]
+fn same_seed_same_report_across_prefetchers() {
+    for prefetcher in ["pythia", "spp", "bingo"] {
+        let w = workload(7);
+        let a = run_workload(&w, prefetcher, &spec());
+        let b = run_workload(&w, prefetcher, &spec());
+        assert_eq!(a, b, "{prefetcher}: reruns with the same seed must agree");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{prefetcher}: reports must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    for prefetcher in ["pythia", "spp", "bingo"] {
+        let a = run_workload(&workload(7), prefetcher, &spec());
+        let b = run_workload(&workload(8), prefetcher, &spec());
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{prefetcher}: different workload seeds must perturb the report"
+        );
+    }
+}
+
+#[test]
+fn reports_survive_interleaved_runs() {
+    // A run is not affected by other simulations happening "around" it
+    // (no hidden global state) — the property a parallel runner relies on.
+    let w = workload(7);
+    let solo = run_workload(&w, "pythia", &spec());
+    let _noise = run_workload(&workload(99), "spp", &spec());
+    let again = run_workload(&w, "pythia", &spec());
+    assert_eq!(
+        solo, again,
+        "interleaved unrelated runs must not perturb results"
+    );
+}

@@ -22,14 +22,27 @@ fn workload(kind: PatternKind, seed: u64) -> Workload {
 
 #[test]
 fn pythia_beats_baseline_on_page_visit_pattern() {
-    let w = workload(PatternKind::PageVisit { offsets: vec![0, 23] }, 11);
+    let w = workload(
+        PatternKind::PageVisit {
+            offsets: vec![0, 23],
+        },
+        11,
+    );
     let spec = RunSpec::single_core().with_budget(100_000, 400_000);
     let baseline = run_workload(&w, "none", &spec);
     let pythia = run_workload(&w, "pythia", &spec);
     let m = compare(&baseline, &pythia);
-    assert!(m.speedup > 1.3, "expected a clear win, got {:.3}", m.speedup);
+    assert!(
+        m.speedup > 1.3,
+        "expected a clear win, got {:.3}",
+        m.speedup
+    );
     assert!(m.coverage > 0.3, "coverage {:.2}", m.coverage);
-    assert!(m.overprediction < 0.3, "overprediction {:.2}", m.overprediction);
+    assert!(
+        m.overprediction < 0.3,
+        "overprediction {:.2}",
+        m.overprediction
+    );
 }
 
 #[test]
@@ -40,7 +53,11 @@ fn pythia_does_not_flood_random_traffic() {
     let pythia = run_workload(&w, "pythia", &spec);
     let m = compare(&baseline, &pythia);
     // Random traffic: nothing to cover; the agent must learn restraint.
-    assert!(m.overprediction < 0.4, "overprediction {:.2}", m.overprediction);
+    assert!(
+        m.overprediction < 0.4,
+        "overprediction {:.2}",
+        m.overprediction
+    );
     assert!(m.speedup > 0.9, "speedup {:.3}", m.speedup);
 }
 
@@ -49,9 +66,23 @@ fn every_registered_prefetcher_completes_a_run() {
     let w = workload(PatternKind::DeltaChain { deltas: vec![2, 5] }, 13);
     let spec = quick_spec();
     for name in [
-        "none", "next_line", "stride", "streamer", "spp", "spp+ppf", "bingo", "mlop", "dspatch",
-        "ipcp", "cp_hw", "power7", "pythia", "pythia_strict", "pythia_bw_oblivious",
-        "stride+pythia", "st+s+b+d+m",
+        "none",
+        "next_line",
+        "stride",
+        "streamer",
+        "spp",
+        "spp+ppf",
+        "bingo",
+        "mlop",
+        "dspatch",
+        "ipcp",
+        "cp_hw",
+        "power7",
+        "pythia",
+        "pythia_strict",
+        "pythia_bw_oblivious",
+        "stride+pythia",
+        "st+s+b+d+m",
     ] {
         let report = run_workload(&w, name, &spec);
         assert_eq!(report.cores[0].instructions, spec.measure, "{name}");
@@ -66,7 +97,13 @@ fn unknown_prefetcher_is_rejected() {
 
 #[test]
 fn runs_are_deterministic() {
-    let w = workload(PatternKind::IrregularGraph { vertices: 100_000, avg_degree: 8 }, 14);
+    let w = workload(
+        PatternKind::IrregularGraph {
+            vertices: 100_000,
+            avg_degree: 8,
+        },
+        14,
+    );
     let spec = quick_spec();
     let a = run_workload(&w, "pythia", &spec);
     let b = run_workload(&w, "pythia", &spec);
@@ -79,7 +116,10 @@ fn runs_are_deterministic() {
 fn bandwidth_scaling_changes_outcomes() {
     // An overpredicting prefetcher must hurt more at 150 MTPS than at 9600.
     let w = workload(
-        PatternKind::SpatialFootprint { patterns: vec![vec![0, 1, 2, 3, 4, 5, 6, 7]], noise_pct: 10 },
+        PatternKind::SpatialFootprint {
+            patterns: vec![vec![0, 1, 2, 3, 4, 5, 6, 7]],
+            noise_pct: 10,
+        },
         15,
     );
     let run_at = |mtps: u64, p: &str| {
@@ -91,13 +131,18 @@ fn bandwidth_scaling_changes_outcomes() {
     };
     let slow = run_at(150, "mlop");
     let fast = run_at(9600, "mlop");
-    assert!(fast > slow, "MLOP should do relatively better with ample bandwidth: {fast} vs {slow}");
+    assert!(
+        fast > slow,
+        "MLOP should do relatively better with ample bandwidth: {fast} vs {slow}"
+    );
 }
 
 #[test]
 fn multi_core_contention_lowers_per_core_ipc() {
     let mk = |seed| {
-        TraceSpec::new("s", PatternKind::Stream { store_every: 0 }).with_seed(seed).generate()
+        TraceSpec::new("s", PatternKind::Stream { store_every: 0 })
+            .with_seed(seed)
+            .generate()
     };
     let solo = {
         let spec = RunSpec::single_core().with_budget(20_000, 80_000);
@@ -108,7 +153,9 @@ fn multi_core_contention_lowers_per_core_ipc() {
         // Force all four streams through a single channel to create
         // contention.
         cfg.dram.channels = 1;
-        let spec = RunSpec::multi_core(4).with_system(cfg).with_budget(20_000, 80_000);
+        let spec = RunSpec::multi_core(4)
+            .with_system(cfg)
+            .with_budget(20_000, 80_000);
         run_traces(vec![mk(21), mk(22), mk(23), mk(24)], "none", &spec)
     };
     assert!(
@@ -123,7 +170,13 @@ fn multi_core_contention_lowers_per_core_ipc() {
 fn suite_definitions_are_runnable() {
     // One workload from each suite end-to-end (cheap budgets).
     let spec = RunSpec::single_core().with_budget(5_000, 20_000);
-    for s in [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra, Suite::Cloudsuite] {
+    for s in [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::Cloudsuite,
+    ] {
         let w = &pythia_workloads::suite(s)[0];
         let report = run_workload(w, "pythia", &spec);
         assert!(report.cores[0].ipc() > 0.0, "{}", w.name);

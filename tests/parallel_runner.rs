@@ -17,8 +17,13 @@ fn workloads() -> Vec<Workload> {
         Workload {
             name: "w-gems".into(),
             suite: Suite::Spec06,
-            spec: TraceSpec::new("w-gems", PatternKind::PageVisit { offsets: vec![0, 23] })
-                .with_seed(42),
+            spec: TraceSpec::new(
+                "w-gems",
+                PatternKind::PageVisit {
+                    offsets: vec![0, 23],
+                },
+            )
+            .with_seed(42),
         },
         Workload {
             name: "w-chase".into(),
@@ -41,8 +46,7 @@ fn run_parallel_preserves_order() {
 
 #[test]
 fn run_parallel_single_thread_works() {
-    let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
-        vec![Box::new(|| 7), Box::new(|| 9)];
+    let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 7), Box::new(|| 9)];
     assert_eq!(run_parallel(jobs, 1), vec![7, 9]);
 }
 

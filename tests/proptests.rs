@@ -23,7 +23,10 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
         .prop_map(|(pc, mem, branch, dep)| TraceRecord {
             pc,
             mem: mem.map(|(addr, is_write)| MemOp { addr, is_write }),
-            branch: branch.map(|(taken, mispredicted)| Branch { taken, mispredicted }),
+            branch: branch.map(|(taken, mispredicted)| Branch {
+                taken,
+                mispredicted,
+            }),
             depends_on_prev_load: dep,
         })
 }
@@ -194,7 +197,7 @@ proptest! {
         accesses in proptest::collection::vec((0u64..1u64<<30, 0u64..64, any::<bool>()), 1..300),
         which in 0usize..12,
     ) {
-        use pythia_sim::prefetch::{DemandAccess, SystemFeedback, Prefetcher as _};
+        use pythia_sim::prefetch::{DemandAccess, SystemFeedback};
         let names = pythia_prefetchers::available();
         let name = names[which % names.len()];
         let mut p = pythia_prefetchers::build(name, 3).unwrap();

@@ -1,0 +1,83 @@
+//! Registry coverage: every advertised prefetcher name — the full
+//! [`pythia_prefetchers::registry`] list plus the `pythia*` variants that
+//! only [`pythia::runner::build_prefetcher`] knows — must construct and
+//! survive a short smoke simulation. Adding a prefetcher without
+//! registering it (or registering a name that no longer builds) fails here.
+
+use pythia::runner::{build_prefetcher, run_workload, RunSpec};
+use pythia_prefetchers::registry;
+use pythia_workloads::generators::{PatternKind, TraceSpec};
+use pythia_workloads::{suites::Suite, Workload};
+
+use pythia::runner::RUNNER_ONLY;
+
+fn all_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry::available().to_vec();
+    names.extend_from_slice(RUNNER_ONLY);
+    names
+}
+
+fn smoke_workload() -> Workload {
+    let spec = TraceSpec::new(
+        "smoke",
+        PatternKind::DeltaChain {
+            deltas: vec![1, 2, -1, 4],
+        },
+    )
+    .with_seed(5)
+    .with_footprint_pages(64);
+    Workload {
+        name: "smoke".into(),
+        suite: Suite::Spec06,
+        spec,
+    }
+}
+
+#[test]
+fn every_registered_name_constructs() {
+    for name in all_names() {
+        let p = build_prefetcher(name, 42);
+        assert!(p.is_some(), "{name:?} is advertised but fails to construct");
+        assert!(!p.unwrap().name().is_empty(), "{name:?} must report a name");
+    }
+}
+
+#[test]
+fn every_registered_name_survives_smoke_simulation() {
+    // 2k measured instructions end-to-end through the full system: enough
+    // to hit the demand / fill / useful / useless paths of each prefetcher.
+    let w = smoke_workload();
+    let spec = RunSpec::single_core().with_budget(500, 2_000);
+    for name in all_names() {
+        let report = run_workload(&w, name, &spec);
+        assert_eq!(
+            report.cores[0].instructions, 2_000,
+            "{name:?} must retire the measured instruction budget"
+        );
+        assert!(
+            report.cores[0].ipc() > 0.0,
+            "{name:?} produced a stuck simulation"
+        );
+    }
+}
+
+#[test]
+fn runner_only_names_stay_out_of_the_registry() {
+    // If one of these ever moves into the registry, drop it from
+    // RUNNER_ONLY so the two lists cannot drift apart silently.
+    for name in RUNNER_ONLY {
+        assert!(
+            registry::build(name, 0).is_none(),
+            "{name:?} is now in the registry; update RUNNER_ONLY"
+        );
+        assert!(
+            !registry::available().contains(name),
+            "{name:?} is advertised by the registry; update RUNNER_ONLY"
+        );
+    }
+}
+
+#[test]
+fn registry_rejects_unknown_names_end_to_end() {
+    assert!(build_prefetcher("definitely-not-a-prefetcher", 0).is_none());
+}

@@ -1,0 +1,166 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion`, benchmark groups, `criterion_group!` /
+//! `criterion_main!` and a simple wall-clock measurement (fixed batches,
+//! median-free mean) so `cargo bench` produces readable numbers without
+//! the statistics machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which callers here already use).
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+
+/// A single-benchmark timing harness.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly for roughly [`MEASURE_TIME`] and records the
+    /// mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE_TIME {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.nanos_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn report(label: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("{label:<40} time: {:>10.3} ms/iter", nanos / 1_000_000.0);
+    } else if nanos >= 1_000.0 {
+        println!("{label:<40} time: {:>10.3} µs/iter", nanos / 1_000.0);
+    } else {
+        println!("{label:<40} time: {:>10.1} ns/iter", nanos);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.nanos_per_iter);
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name, b.nanos_per_iter);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

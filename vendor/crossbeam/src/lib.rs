@@ -1,0 +1,120 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses: a mutex-backed
+//! [`queue::SegQueue`] and [`thread::scope`] built on `std::thread::scope`.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue (mutex-backed stand-in for the
+    /// lock-free original — the runner pushes all jobs before workers
+    /// start, so contention is a pop-only trickle).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends `value` to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .expect("queue lock poisoned")
+                .push_back(value);
+        }
+
+        /// Pops from the front of the queue, if non-empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue lock poisoned").pop_front()
+        }
+
+        /// Number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue lock poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`; spawned
+    /// closures receive a reference to it (unused by this workspace).
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Unlike crossbeam, a panicking child propagates the
+    /// panic directly instead of returning `Err` (callers here `expect()`
+    /// the result either way).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scoped_threads_drain_queue() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.into_inner(), (0..100).sum::<u64>());
+    }
+}

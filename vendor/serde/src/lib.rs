@@ -1,0 +1,38 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the tiny API surface it actually uses: the [`Serialize`] /
+//! [`Deserialize`] marker traits and the corresponding derive macros
+//! (which expand to nothing — the traits carry blanket impls). Swapping in
+//! the real `serde` is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Blanket-implemented for every type; the derive macro is a no-op.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Blanket-implemented for every sized type; the derive macro is a no-op.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Mirror of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

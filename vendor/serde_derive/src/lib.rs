@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` shim.
+//!
+//! The shim's `Serialize` / `Deserialize` traits carry blanket impls, so
+//! the derives only need to exist (and accept `#[serde(...)]` helper
+//! attributes); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
