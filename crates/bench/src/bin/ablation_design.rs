@@ -2,92 +2,22 @@
 //! (1) max vs. mean vault combination (Eqn. 3), (2) tile-coding plane
 //! count, (3) pruned vs. full action list, (4) EQ size, (5) optimistic vs.
 //! paper-literal Q-init, (6) the re-derived vs. paper learning rate, and
-//! (7) binary vs. graded timeliness rewards (footnote 3).
+//! (7) binary vs. graded timeliness rewards (footnote 3) — one sweep
+//! campaign with every variant as an inline Pythia configuration.
 
-use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_core::{PythiaConfig, VaultCombine};
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let (wu, me) = budget(Budget::Sweep);
-    let run = RunSpec::single_core().with_budget(wu, me);
-    let names = [
-        "459.GemsFDTD-765B",
-        "462.libquantum-714B",
-        "482.sphinx3-417B",
-        "436.cactusADM-97B",
-        "429.mcf-184B",
-        "Ligra-CC",
-    ];
-    let pool = all_suites();
-    let baselines: Vec<_> = names
-        .iter()
-        .map(|n| {
-            let w = pool.iter().find(|w| w.name == *n).unwrap();
-            (w.clone(), run_workload(w, "none", &run))
-        })
-        .collect();
-    let eval = |cfg: PythiaConfig| -> f64 {
-        let mut speeds = Vec::new();
-        for (w, baseline) in &baselines {
-            let trace = w.trace((wu + me) as usize);
-            let c = cfg.clone();
-            let report = run_traces_with(vec![trace], &run, move |_| build_pythia_with(c.clone()));
-            speeds.push(compare(baseline, &report).speedup);
-        }
-        geomean(&speeds)
-    };
-
+    let spec = figures::specs("ablation")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     let mut t = Table::new(&["variant", "geomean speedup"]);
-    t.row(&[
-        "tuned (max, 3 planes, 16 actions, EQ 256)".into(),
-        format!("{:.3}", eval(PythiaConfig::tuned())),
-    ]);
-
-    t.row(&[
-        "paper-literal alpha = 0.0065".into(),
-        format!("{:.3}", eval(PythiaConfig::basic())),
-    ]);
-
-    let mut c = PythiaConfig::tuned();
-    c.q_init_override = Some(1.0 / (1.0 - c.gamma));
-    t.row(&[
-        "paper-literal Q-init 1/(1-gamma)".into(),
-        format!("{:.3}", eval(c)),
-    ]);
-
-    let mut c = PythiaConfig::tuned();
-    c.graded_timeliness = true;
-    t.row(&[
-        "graded timeliness (footnote 3)".into(),
-        format!("{:.3}", eval(c)),
-    ]);
-
-    let mut c = PythiaConfig::tuned();
-    c.vault_combine = VaultCombine::Mean;
-    t.row(&["mean vault combination".into(), format!("{:.3}", eval(c))]);
-
-    let mut c = PythiaConfig::tuned();
-    c.planes = 1;
-    t.row(&["1 plane per vault".into(), format!("{:.3}", eval(c))]);
-
-    let c = PythiaConfig::tuned().with_actions(PythiaConfig::full_actions());
-    t.row(&[
-        "full [-63,63] action list".into(),
-        format!("{:.3}", eval(c)),
-    ]);
-
-    let mut c = PythiaConfig::tuned();
-    c.eq_size = 64;
-    t.row(&["EQ of 64 entries".into(), format!("{:.3}", eval(c))]);
-
-    let mut c = PythiaConfig::tuned();
-    c.eq_size = 1024;
-    t.row(&["EQ of 1024 entries".into(), format!("{:.3}", eval(c))]);
-
+    for (variant, geo) in r.aggregate(Key::Prefetcher, Value::Speedup) {
+        t.row(&[variant, format!("{geo:.3}")]);
+    }
     println!("# Ablations of Pythia design choices\n");
     println!("{}", t.to_markdown());
 }

@@ -1,24 +1,14 @@
 //! Fig. 1 — motivation: coverage, overprediction and IPC improvement of
 //! SPP, Bingo and Pythia on six example workloads.
 
-use pythia::runner::run_workload;
-use pythia_bench::{spec, Budget};
-use pythia_stats::metrics::compare;
+use pythia_bench::{figures, threads};
 use pythia_stats::report::{frac_pct, pct, Table};
-use pythia_workloads::suites;
 
 fn main() {
-    let run = spec(Budget::Headline);
-    let pool: Vec<_> = suites::all_suites();
-    let names = [
-        "482.sphinx3-417B",
-        "PARSEC-Canneal",
-        "PARSEC-Facesim",
-        "459.GemsFDTD-765B",
-        "Ligra-CC",
-        "Ligra-PageRankDelta",
-    ];
-    let prefetchers = ["spp", "bingo", "pythia"];
+    let spec = figures::specs("fig01")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     let mut t = Table::new(&[
         "workload",
         "prefetcher",
@@ -26,22 +16,15 @@ fn main() {
         "overprediction",
         "IPC improvement",
     ]);
-    for name in names {
-        let w = pool
-            .iter()
-            .find(|w| w.name == name)
-            .expect("known workload");
-        let baseline = run_workload(w, "none", &run);
-        for p in prefetchers {
-            let m = compare(&baseline, &run_workload(w, p, &run));
-            t.row(&[
-                name.to_string(),
-                p.to_string(),
-                frac_pct(m.coverage),
-                frac_pct(m.overprediction),
-                pct(m.speedup),
-            ]);
-        }
+    // Cells arrive in grid order (workload-major), which is the table order.
+    for c in &r.cells {
+        t.row(&[
+            c.unit.clone(),
+            c.prefetcher.clone(),
+            frac_pct(c.metrics.coverage),
+            frac_pct(c.metrics.overprediction),
+            pct(c.metrics.speedup),
+        ]);
     }
     println!("# Fig. 1 — motivational coverage/overprediction/performance\n");
     println!("{}", t.to_markdown());

@@ -1,36 +1,28 @@
 //! Fig. 7 — single-core coverage and overprediction per suite, measured at
 //! the LLC–main-memory boundary.
 
-use pythia_bench::{evaluate, spec, weighted_coverage, Budget};
-use pythia_stats::metrics::geomean;
+use pythia_bench::figures::HEADLINE_PREFETCHERS;
+use pythia_bench::{figures, threads};
 use pythia_stats::report::{frac_pct, Table};
-use pythia_workloads::Suite;
 
 fn main() {
-    let run = spec(Budget::Headline);
-    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let suites = [
-        Suite::Spec06,
-        Suite::Spec17,
-        Suite::Parsec,
-        Suite::Ligra,
-        Suite::Cloudsuite,
-    ];
+    let spec = figures::specs("fig07")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
+
+    let suites = r.distinct(pythia_sweep::Key::Group);
+
     let mut t = Table::new(&["suite", "prefetcher", "coverage", "overprediction"]);
-    let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> = prefetchers
+    let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> = HEADLINE_PREFETCHERS
         .iter()
         .map(|p| (p.to_string(), vec![], vec![]))
         .collect();
-    for s in suites {
-        let results = evaluate(&[s], &prefetchers, &run);
-        for (pi, p) in prefetchers.iter().enumerate() {
-            let (cov, over) = weighted_coverage(&results, p);
-            t.row(&[
-                s.label().to_string(),
-                p.to_string(),
-                frac_pct(cov),
-                frac_pct(over),
-            ]);
+    for s in &suites {
+        let per_suite = r.filter(|c| &c.group == s);
+        for (pi, p) in HEADLINE_PREFETCHERS.iter().enumerate() {
+            let (cov, over) = per_suite.weighted_coverage(p);
+            t.row(&[s.clone(), p.to_string(), frac_pct(cov), frac_pct(over)]);
             avg[pi].1.push(cov);
             avg[pi].2.push(over);
         }
@@ -43,7 +35,6 @@ fn main() {
             frac_pct(overs.iter().sum::<f64>() / overs.len() as f64),
         ]);
     }
-    let _ = geomean(&[]);
     println!("# Fig. 7 — coverage and overprediction per suite (single-core)\n");
     println!("{}", t.to_markdown());
 }

@@ -1,23 +1,17 @@
 //! Fig. 8(a) — geomean speedup vs. core count (1–12) with the Table 5
 //! per-core-count DRAM channel scaling.
 
-use pythia::runner::RunSpec;
-use pythia_bench::{budget, multi_core_speedups, Budget};
-use pythia_stats::report::Table;
-use pythia_workloads::mixes;
+use pythia_bench::{figures, threads};
+use pythia_sweep::engine::run_all;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let prefetchers = ["spp", "bingo", "mlop", "spp+ppf", "pythia"];
-    let mut t = Table::new(&["cores", "spp", "bingo", "mlop", "spp+ppf", "pythia"]);
-    let (w, m) = budget(Budget::MultiCore);
-    for cores in [1usize, 2, 4, 8, 12] {
-        let run = RunSpec::multi_core(cores).with_budget(w, m);
-        let ms = mixes(cores, 4, 42);
-        let speedups = multi_core_speedups(&ms, &prefetchers, &run);
-        let mut row = vec![cores.to_string()];
-        row.extend(speedups.iter().map(|(_, s)| format!("{s:.3}")));
-        t.row(&row);
-    }
+    let specs = figures::specs("fig08a").expect("registered figure");
+    let r = run_all("fig08a", &specs, threads()).expect("valid sweep");
     println!("# Fig. 8(a) — speedup vs core count\n");
-    println!("{}", t.to_markdown());
+    println!(
+        "{}",
+        r.pivot(Key::Config, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

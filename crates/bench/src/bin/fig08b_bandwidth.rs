@@ -1,50 +1,18 @@
 //! Fig. 8(b) — geomean speedup vs. DRAM bandwidth (150–9600 MTPS,
 //! single channel, single core).
 
-use pythia::runner::run_workload;
-use pythia::runner::RunSpec;
-use pythia_bench::{budget, Budget};
-use pythia_sim::config::SystemConfig;
-use pythia_stats::metrics::{compare, geomean};
-use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let prefetchers = ["spp", "bingo", "mlop", "spp+ppf", "pythia"];
-    // A representative cross-section (full suites at every MTPS would be
-    // slow; the shape comes from the mix of streaming/spatial/irregular).
-    let names = [
-        "462.libquantum-714B",
-        "459.GemsFDTD-765B",
-        "482.sphinx3-417B",
-        "PARSEC-Facesim",
-        "429.mcf-184B",
-        "Ligra-CC",
-        "Ligra-PageRank",
-        "436.cactusADM-97B",
-        "cassandra",
-        "470.lbm-164B",
-    ];
-    let pool = all_suites();
-    let (wu, me) = budget(Budget::Sweep);
-    let mut t = Table::new(&["MTPS", "spp", "bingo", "mlop", "spp+ppf", "pythia"]);
-    for mtps in [150u64, 300, 600, 1200, 2400, 4800, 9600] {
-        let run = RunSpec::single_core()
-            .with_system(SystemConfig::single_core_with_mtps(mtps))
-            .with_budget(wu, me);
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).expect("workload");
-            let baseline = run_workload(w, "none", &run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                let m = compare(&baseline, &run_workload(w, p, &run));
-                per_pf[pi].push(m.speedup);
-            }
-        }
-        let mut row = vec![mtps.to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
+    let spec = figures::specs("fig08b")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     println!("# Fig. 8(b) — speedup vs DRAM MTPS (single core, 1 channel)\n");
-    println!("{}", t.to_markdown());
+    println!(
+        "{}",
+        r.pivot(Key::Config, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

@@ -1,43 +1,17 @@
 //! Fig. 8(c) — geomean speedup vs. LLC size (256 KB – 4 MB, single core).
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_sim::config::SystemConfig;
-use pythia_stats::metrics::{compare, geomean};
-use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let prefetchers = ["spp", "bingo", "mlop", "spp+ppf", "pythia"];
-    let names = [
-        "462.libquantum-714B",
-        "459.GemsFDTD-765B",
-        "482.sphinx3-417B",
-        "PARSEC-Facesim",
-        "429.mcf-184B",
-        "Ligra-CC",
-        "483.xalancbmk-736B",
-        "cassandra",
-    ];
-    let pool = all_suites();
-    let (wu, me) = budget(Budget::Sweep);
-    let mut t = Table::new(&["LLC", "spp", "bingo", "mlop", "spp+ppf", "pythia"]);
-    for kb in [256u64, 512, 1024, 2048, 4096] {
-        let run = RunSpec::single_core()
-            .with_system(SystemConfig::single_core_with_llc_bytes(kb * 1024))
-            .with_budget(wu, me);
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).expect("workload");
-            let baseline = run_workload(w, "none", &run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                per_pf[pi].push(compare(&baseline, &run_workload(w, p, &run)).speedup);
-            }
-        }
-        let mut row = vec![format!("{kb}KB")];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
+    let spec = figures::specs("fig08c")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     println!("# Fig. 8(c) — speedup vs LLC size (single core)\n");
-    println!("{}", t.to_markdown());
+    println!(
+        "{}",
+        r.pivot(Key::Config, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

@@ -1,44 +1,18 @@
 //! Fig. 8(d) — multi-level prefetching: Stride(L1)+Pythia(L2) vs.
 //! Stride+Streamer vs. IPCP, across DRAM bandwidth.
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_sim::config::SystemConfig;
-use pythia_stats::metrics::{compare, geomean};
-use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let prefetchers = ["stride+streamer", "ipcp", "stride+pythia"];
-    let names = [
-        "462.libquantum-714B",
-        "459.GemsFDTD-765B",
-        "482.sphinx3-417B",
-        "PARSEC-Facesim",
-        "Ligra-CC",
-        "429.mcf-184B",
-        "436.cactusADM-97B",
-        "cassandra",
-    ];
-    let pool = all_suites();
-    let (wu, me) = budget(Budget::Sweep);
-    let mut t = Table::new(&["MTPS", "stride+streamer", "ipcp", "stride+pythia"]);
-    for mtps in [150u64, 600, 2400, 9600] {
-        let run = RunSpec::single_core()
-            .with_system(SystemConfig::single_core_with_mtps(mtps))
-            .with_budget(wu, me);
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).expect("workload");
-            let baseline = run_workload(w, "none", &run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                per_pf[pi].push(compare(&baseline, &run_workload(w, p, &run)).speedup);
-            }
-        }
-        let mut row = vec![mtps.to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
+    let spec = figures::specs("fig08d")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     println!("# Fig. 8(d) — multi-level prefetching vs DRAM MTPS\n");
-    println!("{}", t.to_markdown());
+    println!(
+        "{}",
+        r.pivot(Key::Config, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

@@ -2,38 +2,27 @@
 //! MLOP and Pythia; (b) the prefetcher-combination ladder
 //! (St, St+S, ..., St+S+B+D+M) against Pythia.
 
-use pythia::runner::run_workload;
-use pythia_bench::{single_core_suite_speedups, spec, Budget};
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::{all_suites, Suite};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let run = spec(Budget::Headline);
-    let suites = [
-        Suite::Spec06,
-        Suite::Spec17,
-        Suite::Parsec,
-        Suite::Ligra,
-        Suite::Cloudsuite,
-    ];
+    let specs = figures::specs("fig09").expect("registered figure");
+    let threads = threads();
 
     println!("# Fig. 9(a) — single-core per-suite geomean speedup\n");
-    let s = single_core_suite_speedups(&suites, &["spp", "bingo", "mlop", "pythia"], &run);
-    println!("{}", s.table().to_markdown());
+    let a = pythia_sweep::run(&specs[0], threads).expect("valid sweep");
+    println!(
+        "{}",
+        a.pivot_with_total(Key::Group, Key::Prefetcher, Value::Speedup, Some("GEOMEAN"))
+            .to_markdown()
+    );
 
     println!("# Fig. 9(b) — prefetcher-combination ladder (single-core)\n");
-    let ladder = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"];
-    let mut per_pf = vec![Vec::new(); ladder.len()];
-    for w in all_suites() {
-        let baseline = run_workload(&w, "none", &run);
-        for (pi, p) in ladder.iter().enumerate() {
-            per_pf[pi].push(compare(&baseline, &run_workload(&w, p, &run)).speedup);
-        }
-    }
+    let b = pythia_sweep::run(&specs[1], threads).expect("valid sweep");
     let mut t = Table::new(&["configuration", "geomean speedup"]);
-    for (p, v) in ladder.iter().zip(&per_pf) {
-        t.row(&[p.to_string(), format!("{:.3}", geomean(v))]);
+    for (label, geo) in b.aggregate(Key::Prefetcher, Value::Speedup) {
+        t.row(&[label, format!("{geo:.3}")]);
     }
     println!("{}", t.to_markdown());
 }

@@ -1,67 +1,28 @@
-//! Fig. 10 — four-core performance: (a) per-suite speedups; (b) the
-//! combination ladder in the bandwidth-constrained four-core system.
+//! Fig. 10 — four-core performance: (a) per-suite speedups of homogeneous
+//! mixes; (b) the combination ladder in the bandwidth-constrained four-core
+//! system.
 
-use pythia::runner::{run_mix, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::{mixes, suite, Suite};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let (wu, me) = budget(Budget::MultiCore);
-    let run = RunSpec::multi_core(4).with_budget(wu, me);
+    let specs = figures::specs("fig10").expect("registered figure");
+    let threads = threads();
 
     println!("# Fig. 10(a) — four-core per-suite geomean speedup (homogeneous mixes)\n");
-    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let suites = [
-        Suite::Spec06,
-        Suite::Spec17,
-        Suite::Parsec,
-        Suite::Ligra,
-        Suite::Cloudsuite,
-    ];
-    let mut t = Table::new(&["suite", "spp", "bingo", "mlop", "pythia"]);
-    let mut all: Vec<Vec<f64>> = vec![Vec::new(); prefetchers.len()];
-    for s in suites {
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        // Homogeneous 4-copy mixes of a subset of each suite (cost control).
-        for w in suite(s).into_iter().step_by(3) {
-            let ws: Vec<_> = (0..4)
-                .map(|i| {
-                    let mut c = w.clone();
-                    c.spec.seed += i as u64 * 7919;
-                    c
-                })
-                .collect();
-            let baseline = run_mix(&ws, "none", &run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                let sp = compare(&baseline, &run_mix(&ws, p, &run)).speedup;
-                per_pf[pi].push(sp);
-                all[pi].push(sp);
-            }
-        }
-        let mut row = vec![s.label().to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
-    let mut row = vec!["GEOMEAN".to_string()];
-    row.extend(all.iter().map(|v| format!("{:.3}", geomean(v))));
-    t.row(&row);
-    println!("{}", t.to_markdown());
+    let a = pythia_sweep::run(&specs[0], threads).expect("valid sweep");
+    println!(
+        "{}",
+        a.pivot_with_total(Key::Group, Key::Prefetcher, Value::Speedup, Some("GEOMEAN"))
+            .to_markdown()
+    );
 
     println!("# Fig. 10(b) — combination ladder (four-core heterogeneous mixes)\n");
-    let ladder = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"];
-    let ms = mixes(4, 5, 77);
-    let mut per_pf = vec![Vec::new(); ladder.len()];
-    for (_, ws) in &ms {
-        let baseline = run_mix(ws, "none", &run);
-        for (pi, p) in ladder.iter().enumerate() {
-            per_pf[pi].push(compare(&baseline, &run_mix(ws, p, &run)).speedup);
-        }
-    }
+    let b = pythia_sweep::run(&specs[1], threads).expect("valid sweep");
     let mut t = Table::new(&["configuration", "geomean speedup"]);
-    for (p, v) in ladder.iter().zip(&per_pf) {
-        t.row(&[p.to_string(), format!("{:.3}", geomean(v))]);
+    for (label, geo) in b.aggregate(Key::Prefetcher, Value::Speedup) {
+        t.row(&[label, format!("{geo:.3}")]);
     }
     println!("{}", t.to_markdown());
 }

@@ -1,40 +1,20 @@
 //! Fig. 11 — bandwidth-oblivious Pythia vs. basic Pythia as DRAM bandwidth
-//! scales (the benefit of inherent bandwidth awareness, §6.3.3).
+//! scales (the benefit of inherent bandwidth awareness, §6.3.3). The sweep
+//! baseline *is* basic Pythia, so every cell's speedup is the normalized
+//! ratio directly.
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_sim::config::SystemConfig;
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let names = [
-        "Ligra-CC",
-        "Ligra-PageRank",
-        "429.mcf-184B",
-        "482.sphinx3-417B",
-        "PARSEC-Canneal",
-        "cassandra",
-        "462.libquantum-714B",
-        "459.GemsFDTD-765B",
-    ];
-    let pool = all_suites();
-    let (wu, me) = budget(Budget::Sweep);
+    let spec = figures::specs("fig11")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     let mut t = Table::new(&["MTPS", "oblivious vs basic (%)"]);
-    for mtps in [150u64, 300, 600, 1200, 2400, 4800, 9600] {
-        let run = RunSpec::single_core()
-            .with_system(SystemConfig::single_core_with_mtps(mtps))
-            .with_budget(wu, me);
-        let mut ratios = Vec::new();
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).expect("workload");
-            let basic = run_workload(w, "pythia", &run);
-            let oblivious = run_workload(w, "pythia_bw_oblivious", &run);
-            ratios.push(compare(&basic, &oblivious).speedup);
-        }
-        let g = geomean(&ratios);
-        t.row(&[mtps.to_string(), format!("{:+.2}%", (g - 1.0) * 100.0)]);
+    for (mtps, geo) in r.aggregate(Key::Config, Value::Speedup) {
+        t.row(&[mtps, format!("{:+.2}%", (geo - 1.0) * 100.0)]);
     }
     println!("# Fig. 11 — bandwidth-oblivious Pythia normalized to basic Pythia\n");
     println!("{}", t.to_markdown());

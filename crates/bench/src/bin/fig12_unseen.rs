@@ -1,62 +1,26 @@
 //! Fig. 12 — performance on unseen traces (CVP-2-like categories never used
 //! for tuning), single-core and four-core.
 
-use pythia::runner::{run_mix, run_workload, RunSpec};
-use pythia_bench::{budget, spec, Budget};
-use pythia_stats::metrics::{compare, geomean};
-use pythia_stats::report::Table;
-use pythia_workloads::suites::cvp_unseen;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let run1 = spec(Budget::Sweep);
+    let specs = figures::specs("fig12").expect("registered figure");
+    let threads = threads();
 
     println!("# Fig. 12(a) — unseen traces, single-core\n");
-    let mut t = Table::new(&["category", "spp", "bingo", "mlop", "pythia"]);
-    let unseen = cvp_unseen();
-    let categories = ["crypto", "int", "fp", "server"];
-    let mut all = vec![Vec::new(); prefetchers.len()];
-    for cat in categories {
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for w in unseen.iter().filter(|w| w.name.starts_with(cat)) {
-            let baseline = run_workload(w, "none", &run1);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                let sp = compare(&baseline, &run_workload(w, p, &run1)).speedup;
-                per_pf[pi].push(sp);
-                all[pi].push(sp);
-            }
-        }
-        let mut row = vec![cat.to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
-    let mut row = vec!["GEOMEAN".to_string()];
-    row.extend(all.iter().map(|v| format!("{:.3}", geomean(v))));
-    t.row(&row);
-    println!("{}", t.to_markdown());
+    let a = pythia_sweep::run(&specs[0], threads).expect("valid sweep");
+    println!(
+        "{}",
+        a.pivot_with_total(Key::Group, Key::Prefetcher, Value::Speedup, Some("GEOMEAN"))
+            .to_markdown()
+    );
 
     println!("# Fig. 12(b) — unseen traces, four-core (homogeneous mixes)\n");
-    let (wu, me) = budget(Budget::MultiCore);
-    let run4 = RunSpec::multi_core(4).with_budget(wu, me);
-    let mut t = Table::new(&["category", "spp", "bingo", "mlop", "pythia"]);
-    for cat in categories {
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for w in unseen.iter().filter(|w| w.name.starts_with(cat)).take(1) {
-            let ws: Vec<_> = (0..4)
-                .map(|i| {
-                    let mut c = w.clone();
-                    c.spec.seed += i as u64 * 131;
-                    c
-                })
-                .collect();
-            let baseline = run_mix(&ws, "none", &run4);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                per_pf[pi].push(compare(&baseline, &run_mix(&ws, p, &run4)).speedup);
-            }
-        }
-        let mut row = vec![cat.to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
-    println!("{}", t.to_markdown());
+    let b = pythia_sweep::run(&specs[1], threads).expect("valid sweep");
+    println!(
+        "{}",
+        b.pivot(Key::Group, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

@@ -1,21 +1,24 @@
 //! Fig. 14 — Ligra-CC: fraction of runtime in DRAM-bandwidth buckets and
 //! IPC improvement for each prefetcher (incl. basic and strict Pythia).
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_stats::metrics::compare;
+use pythia_bench::{figures, threads};
 use pythia_stats::report::{pct, Table};
-use pythia_workloads::all_suites;
+use pythia_sweep::RawSummary;
 
 fn main() {
-    let (wu, me) = budget(Budget::Sweep);
-    let run = RunSpec::single_core().with_budget(wu, me);
-    let pool = all_suites();
-    let w = pool
-        .iter()
-        .find(|w| w.name == "Ligra-CC")
-        .expect("Ligra-CC");
-    let baseline = run_workload(w, "none", &run);
+    let spec = figures::specs("fig14")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
+
+    let bucket_row = |raw: &RawSummary| -> Vec<String> {
+        let b = raw.bw_bucket_windows;
+        let total: u64 = b.iter().sum::<u64>().max(1);
+        b.iter()
+            .map(|x| format!("{:.0}%", *x as f64 * 100.0 / total as f64))
+            .collect()
+    };
+
     let mut t = Table::new(&[
         "config",
         "<25%",
@@ -24,23 +27,15 @@ fn main() {
         ">=75%",
         "IPC improvement",
     ]);
-    let bucket_row = |r: &pythia_sim::stats::SimReport| -> Vec<String> {
-        let b = r.dram.bw_bucket_windows;
-        let total: u64 = b.iter().sum::<u64>().max(1);
-        b.iter()
-            .map(|x| format!("{:.0}%", *x as f64 * 100.0 / total as f64))
-            .collect()
-    };
+    let baseline = &r.baselines[0];
     let mut row = vec!["baseline".to_string()];
-    row.extend(bucket_row(&baseline));
+    row.extend(bucket_row(&baseline.raw));
     row.push("+0.0%".into());
     t.row(&row);
-    for p in ["spp", "bingo", "mlop", "pythia", "pythia_strict"] {
-        let r = run_workload(w, p, &run);
-        let m = compare(&baseline, &r);
-        let mut row = vec![p.to_string()];
-        row.extend(bucket_row(&r));
-        row.push(pct(m.speedup));
+    for c in &r.cells {
+        let mut row = vec![c.prefetcher.clone()];
+        row.extend(bucket_row(&c.raw));
+        row.push(pct(c.metrics.speedup));
         t.row(&row);
     }
     println!("# Fig. 14 — Ligra-CC bandwidth-bucket residency and performance\n");

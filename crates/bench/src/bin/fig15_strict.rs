@@ -1,44 +1,48 @@
 //! Fig. 15 — basic vs. strict Pythia across the Ligra suite: reward-level
 //! customization via configuration registers (§6.6.1).
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::suites::ligra;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let (wu, me) = budget(Budget::Sweep);
-    let run = RunSpec::single_core().with_budget(wu, me);
+    let spec = figures::specs("fig15")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
+
     let mut t = Table::new(&[
         "workload",
         "basic pythia",
         "strict pythia",
         "strict vs basic",
     ]);
-    let mut basics = Vec::new();
-    let mut stricts = Vec::new();
-    for w in ligra() {
-        let baseline = run_workload(&w, "none", &run);
-        let basic = compare(&baseline, &run_workload(&w, "pythia", &run)).speedup;
-        let strict = compare(&baseline, &run_workload(&w, "pythia_strict", &run)).speedup;
-        basics.push(basic);
-        stricts.push(strict);
+    let units: Vec<String> = r.baselines.iter().map(|b| b.unit.clone()).collect();
+    for unit in &units {
+        let basic = r
+            .cell(unit, "pythia", "base")
+            .expect("cell")
+            .metrics
+            .speedup;
+        let strict = r
+            .cell(unit, "pythia_strict", "base")
+            .expect("cell")
+            .metrics
+            .speedup;
         t.row(&[
-            w.name.clone(),
+            unit.clone(),
             format!("{basic:.3}"),
             format!("{strict:.3}"),
             format!("{:+.1}%", (strict / basic - 1.0) * 100.0),
         ]);
     }
+    let geo = r.aggregate(Key::Prefetcher, Value::Speedup);
+    let (basic, strict) = (geo[0].1, geo[1].1);
     t.row(&[
         "GEOMEAN".into(),
-        format!("{:.3}", geomean(&basics)),
-        format!("{:.3}", geomean(&stricts)),
-        format!(
-            "{:+.1}%",
-            (geomean(&stricts) / geomean(&basics) - 1.0) * 100.0
-        ),
+        format!("{basic:.3}"),
+        format!("{strict:.3}"),
+        format!("{:+.1}%", (strict / basic - 1.0) * 100.0),
     ]);
     println!("# Fig. 15 — basic vs strict Pythia on the Ligra suite\n");
     println!("{}", t.to_markdown());

@@ -1,56 +1,37 @@
 //! Fig. 16 — feature-optimized Pythia on SPEC06 (§6.6.2): per-workload
-//! selection of the best feature combination from a candidate shortlist.
+//! selection of the best feature combination from a candidate shortlist,
+//! all candidates swept as inline Pythia variants in one campaign.
 
-use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_core::{ControlFlow, DataFlow, Feature, PythiaConfig};
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
+use pythia_stats::metrics::geomean;
 use pythia_stats::report::Table;
-use pythia_workloads::suites::spec06;
 
 fn main() {
-    let (wu, me) = budget(Budget::Sweep);
-    let run = RunSpec::single_core().with_budget(wu, me);
-    // Candidate feature vectors: the basic pair plus alternatives from the
-    // Table 3 space (a shortlist keeps the search tractable; the full
-    // exploration lives in tab02_dse).
-    let candidates: Vec<Vec<Feature>> = vec![
-        vec![Feature::PC_DELTA, Feature::LAST_4_DELTAS],
-        vec![Feature::PC_DELTA],
-        vec![Feature::LAST_4_DELTAS],
-        vec![
-            Feature {
-                control: ControlFlow::Pc,
-                data: DataFlow::PageOffset,
-            },
-            Feature::LAST_4_DELTAS,
-        ],
-        vec![
-            Feature::PC_DELTA,
-            Feature {
-                control: ControlFlow::None,
-                data: DataFlow::LastFourOffsets,
-            },
-        ],
-    ];
+    let spec = figures::specs("fig16")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
+
     let mut t = Table::new(&["workload", "basic", "feature-optimized", "gain"]);
     let mut basics = Vec::new();
     let mut opts = Vec::new();
-    for w in spec06() {
-        let baseline = run_workload(&w, "none", &run);
-        let basic = compare(&baseline, &run_workload(&w, "pythia", &run)).speedup;
-        let mut best = f64::MIN;
-        for features in &candidates {
-            let trace = w.trace((wu + me) as usize);
-            let cfg = PythiaConfig::tuned().with_features(features.clone());
-            let report =
-                run_traces_with(vec![trace], &run, move |_| build_pythia_with(cfg.clone()));
-            best = best.max(compare(&baseline, &report).speedup);
-        }
+    let units: Vec<String> = r.baselines.iter().map(|b| b.unit.clone()).collect();
+    for unit in &units {
+        let basic = r
+            .cell(unit, "pythia", "base")
+            .expect("cell")
+            .metrics
+            .speedup;
+        let best = r
+            .cells
+            .iter()
+            .filter(|c| &c.unit == unit && c.prefetcher.starts_with("feat:"))
+            .map(|c| c.metrics.speedup)
+            .fold(f64::MIN, f64::max);
         basics.push(basic);
         opts.push(best);
         t.row(&[
-            w.name.clone(),
+            unit.clone(),
             format!("{basic:.3}"),
             format!("{best:.3}"),
             format!("{:+.1}%", (best / basic - 1.0) * 100.0),

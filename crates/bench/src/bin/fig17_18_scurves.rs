@@ -1,25 +1,29 @@
 //! Figs. 17/18 — per-trace performance line graphs (s-curves): speedups of
 //! every prefetcher on every workload, sorted by Pythia's speedup.
 
-use pythia::runner::run_workload;
-use pythia_bench::{spec, Budget};
-use pythia_stats::metrics::compare;
+use pythia_bench::figures::HEADLINE_PREFETCHERS;
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
 
 fn main() {
-    let run = spec(Budget::Sweep);
-    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for w in all_suites() {
-        let baseline = run_workload(&w, "none", &run);
-        let mut speeds = Vec::new();
-        for p in prefetchers {
-            speeds.push(compare(&baseline, &run_workload(&w, p, &run)).speedup);
-        }
-        rows.push((w.name.clone(), speeds));
-    }
+    let spec = figures::specs("fig17")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
+
+    let mut rows: Vec<(String, Vec<f64>)> = r
+        .baselines
+        .iter()
+        .map(|b| {
+            let speeds: Vec<f64> = HEADLINE_PREFETCHERS
+                .iter()
+                .map(|p| r.cell(&b.unit, p, "base").expect("cell").metrics.speedup)
+                .collect();
+            (b.unit.clone(), speeds)
+        })
+        .collect();
     rows.sort_by(|a, b| a.1[3].partial_cmp(&b.1[3]).unwrap());
+
     let mut t = Table::new(&["workload", "spp", "bingo", "mlop", "pythia"]);
     for (name, speeds) in &rows {
         let mut row = vec![name.clone()];

@@ -1,53 +1,27 @@
 //! Fig. 20 — sensitivity of Pythia's performance to the exploration rate ε
-//! and the learning rate α.
+//! and the learning rate α, each swept as inline Pythia variants.
 
-use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
-use pythia_core::PythiaConfig;
-use pythia_stats::metrics::{compare, geomean};
+use pythia_bench::{figures, threads};
 use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let (wu, me) = budget(Budget::Sweep);
-    let run = RunSpec::single_core().with_budget(wu, me);
-    let names = [
-        "459.GemsFDTD-765B",
-        "462.libquantum-714B",
-        "482.sphinx3-417B",
-        "Ligra-CC",
-        "429.mcf-184B",
-    ];
-    let pool = all_suites();
-
-    let eval = |mutate: &dyn Fn(&mut PythiaConfig)| -> f64 {
-        let mut speeds = Vec::new();
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).unwrap();
-            let baseline = run_workload(w, "none", &run);
-            let trace = w.trace((wu + me) as usize);
-            let mut cfg = PythiaConfig::basic();
-            mutate(&mut cfg);
-            let report =
-                run_traces_with(vec![trace], &run, move |_| build_pythia_with(cfg.clone()));
-            speeds.push(compare(&baseline, &report).speedup);
-        }
-        geomean(&speeds)
-    };
+    let specs = figures::specs("fig20").expect("registered figure");
+    let threads = threads();
 
     println!("# Fig. 20(a) — sensitivity to exploration rate ε\n");
+    let a = pythia_sweep::run(&specs[0], threads).expect("valid sweep");
     let mut t = Table::new(&["epsilon", "geomean speedup"]);
-    for eps in [1e-5f32, 1e-4, 1e-3, 2e-3, 1e-2, 1e-1, 0.5, 1.0] {
-        let s = eval(&|c: &mut PythiaConfig| c.epsilon = eps);
-        t.row(&[format!("{eps:e}"), format!("{s:.3}")]);
+    for (eps, geo) in a.aggregate(Key::Prefetcher, Value::Speedup) {
+        t.row(&[eps, format!("{geo:.3}")]);
     }
     println!("{}", t.to_markdown());
 
     println!("# Fig. 20(b) — sensitivity to learning rate α\n");
+    let b = pythia_sweep::run(&specs[1], threads).expect("valid sweep");
     let mut t = Table::new(&["alpha", "geomean speedup"]);
-    for alpha in [1e-5f32, 1e-4, 1e-3, 0.0065, 1e-2, 1e-1, 1.0] {
-        let s = eval(&|c: &mut PythiaConfig| c.alpha = alpha);
-        t.row(&[format!("{alpha:e}"), format!("{s:.3}")]);
+    for (alpha, geo) in b.aggregate(Key::Prefetcher, Value::Speedup) {
+        t.row(&[alpha, format!("{geo:.3}")]);
     }
     println!("{}", t.to_markdown());
 }

@@ -1,19 +1,18 @@
 //! Fig. 21 (App. B.4) — Pythia vs. the contextual-bandit context prefetcher
 //! (CP-HW) per suite, single-core.
 
-use pythia_bench::{single_core_suite_speedups, spec, Budget};
-use pythia_workloads::Suite;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let run = spec(Budget::Sweep);
-    let suites = [
-        Suite::Spec06,
-        Suite::Spec17,
-        Suite::Parsec,
-        Suite::Ligra,
-        Suite::Cloudsuite,
-    ];
-    let s = single_core_suite_speedups(&suites, &["cp_hw", "pythia"], &run);
+    let spec = figures::specs("fig21")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     println!("# Fig. 21 — Pythia vs CP-HW (single-core)\n");
-    println!("{}", s.table().to_markdown());
+    println!(
+        "{}",
+        r.pivot_with_total(Key::Group, Key::Prefetcher, Value::Speedup, Some("GEOMEAN"))
+            .to_markdown()
+    );
 }

@@ -1,35 +1,18 @@
-//! Fig. 23 (App. B.6) — sensitivity to the number of warmup instructions.
+//! Fig. 23 (App. B.6) — sensitivity to the number of warmup instructions,
+//! swept as configuration points with fixed measure budgets.
 
-use pythia::runner::{run_workload, RunSpec};
-use pythia_stats::metrics::{compare, geomean};
-use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_bench::{figures, threads};
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let names = [
-        "459.GemsFDTD-765B",
-        "462.libquantum-714B",
-        "482.sphinx3-417B",
-        "Ligra-CC",
-        "429.mcf-184B",
-    ];
-    let pool = all_suites();
-    let prefetchers = ["spp", "bingo", "mlop", "pythia"];
-    let mut t = Table::new(&["warmup", "spp", "bingo", "mlop", "pythia"]);
-    for warmup in [0u64, 25_000, 50_000, 100_000, 200_000] {
-        let run = RunSpec::single_core().with_budget(warmup, 400_000);
-        let mut per_pf = vec![Vec::new(); prefetchers.len()];
-        for name in names {
-            let w = pool.iter().find(|w| w.name == name).unwrap();
-            let baseline = run_workload(w, "none", &run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                per_pf[pi].push(compare(&baseline, &run_workload(w, p, &run)).speedup);
-            }
-        }
-        let mut row = vec![warmup.to_string()];
-        row.extend(per_pf.iter().map(|v| format!("{:.3}", geomean(v))));
-        t.row(&row);
-    }
+    let spec = figures::specs("fig23")
+        .expect("registered figure")
+        .remove(0);
+    let r = pythia_sweep::run(&spec, threads()).expect("valid sweep");
     println!("# Fig. 23 — sensitivity to warmup instructions\n");
-    println!("{}", t.to_markdown());
+    println!(
+        "{}",
+        r.pivot(Key::Config, Key::Prefetcher, Value::Speedup)
+            .to_markdown()
+    );
 }

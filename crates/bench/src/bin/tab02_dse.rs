@@ -1,42 +1,30 @@
 //! Table 2 / Fig. 19 — automated design-space exploration (§4.3), scaled
 //! down: feature selection over a candidate shortlist, action-list pruning,
-//! and the two-phase hyperparameter grid search.
+//! and the two-phase hyperparameter grid search. Every objective evaluation
+//! is a sweep-engine campaign, so each eval fans out over the worker pool —
+//! and the §4.3.3 screening phase runs as one big parallel grid.
 
-use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
-use pythia_bench::{budget, Budget};
+use pythia_bench::figures::{dse_eval_spec, dse_units, hyper_label};
+use pythia_bench::{figures, threads};
 use pythia_core::tuning::{self, HyperPoint};
 use pythia_core::{ControlFlow, DataFlow, Feature, PythiaConfig};
-use pythia_stats::metrics::{compare, geomean};
 use pythia_stats::report::Table;
-use pythia_workloads::all_suites;
+use pythia_sweep::{Key, Value};
 
 fn main() {
-    let (wu, me) = budget(Budget::MultiCore); // cheapest budget: many evals
-    let run = RunSpec::single_core().with_budget(wu, me);
-    let names = [
-        "459.GemsFDTD-765B",
-        "462.libquantum-714B",
-        "482.sphinx3-417B",
-        "429.mcf-184B",
-    ];
-    let pool = all_suites();
-    let baselines: Vec<_> = names
-        .iter()
-        .map(|n| {
-            let w = pool.iter().find(|w| w.name == *n).unwrap();
-            (w.clone(), run_workload(w, "none", &run))
-        })
-        .collect();
+    let threads = threads();
+    let units = dse_units();
 
+    // Objective: geomean speedup of one config over the DSE cross-section,
+    // computed by a small sweep campaign. Every evaluation shares the same
+    // baseline grid, so a cross-campaign cache keeps the hundreds of
+    // greedy-search evals from re-simulating it each time.
+    let baselines = std::cell::RefCell::new(pythia_sweep::BaselineCache::new());
     let eval_cfg = |cfg: &PythiaConfig| -> f64 {
-        let mut speeds = Vec::new();
-        for (w, baseline) in &baselines {
-            let trace = w.trace((wu + me) as usize);
-            let c = cfg.clone();
-            let report = run_traces_with(vec![trace], &run, move |_| build_pythia_with(c.clone()));
-            speeds.push(compare(baseline, &report).speedup);
-        }
-        geomean(&speeds)
+        let spec = dse_eval_spec("candidate", cfg.clone(), &units);
+        let r = pythia_sweep::run_cached(&spec, threads, &mut baselines.borrow_mut())
+            .expect("valid sweep");
+        r.aggregate(Key::Prefetcher, Value::Speedup)[0].1
     };
 
     // ---- Feature selection (Fig. 19 / Table 2 features) ----
@@ -93,15 +81,27 @@ fn main() {
 
     // ---- Hyperparameter grid (§4.3.3) ----
     println!("# §4.3.3 hyperparameter grid search (4 levels, top-5 confirm)\n");
+    // Phase 1 (screening): the whole grid as ONE parallel campaign — the
+    // registered `tab02` figure.
+    let screen_spec = figures::specs("tab02")
+        .expect("registered figure")
+        .remove(0);
+    let screened = pythia_sweep::run(&screen_spec, threads).expect("valid sweep");
+    let scores: std::collections::BTreeMap<String, f64> = screened
+        .aggregate(Key::Prefetcher, Value::Speedup)
+        .into_iter()
+        .collect();
     let grid = tuning::exponential_grid(4);
-    let eval_hp = |p: &HyperPoint| {
+    let screen = |p: &HyperPoint| scores[&hyper_label(p)];
+    // Phase 2 (confirm): re-evaluate the survivors with fresh campaigns.
+    let confirm = |p: &HyperPoint| {
         let mut cfg = PythiaConfig::tuned();
         cfg.alpha = p.alpha;
         cfg.gamma = p.gamma;
         cfg.epsilon = p.epsilon;
         eval_cfg(&cfg)
     };
-    let result = tuning::grid_search(&grid, 5, eval_hp, eval_hp);
+    let result = tuning::grid_search(&grid, 5, screen, confirm);
     println!(
         "winner: alpha={:.4} gamma={:.3} epsilon={:.4} (speedup {:.3})",
         result.winner.alpha, result.winner.gamma, result.winner.epsilon, result.score

@@ -1,0 +1,669 @@
+//! The figure registry: every paper figure/table grid as a declarative
+//! [`SweepSpec`] campaign.
+//!
+//! Both the harness binaries (`src/bin/`) and the `pythia-cli sweep`
+//! subcommand resolve grids from here, so the definition of "what Fig. 9
+//! runs" exists exactly once. A figure maps to one or more specs (panels);
+//! [`specs`] returns them and callers run them with
+//! [`pythia_sweep::run`] / [`pythia_sweep::engine::run_all`].
+
+use pythia_core::tuning::{exponential_grid, HyperPoint};
+use pythia_core::{ControlFlow, DataFlow, Feature, PythiaConfig};
+use pythia_sim::config::SystemConfig;
+use pythia_sweep::{ConfigPoint, SweepSpec, WorkUnit};
+use pythia_workloads::suites::cvp_unseen;
+use pythia_workloads::{all_suites, mixes, suite, Suite};
+
+use crate::{budget, Budget};
+
+/// The five tuning suites of Table 6 (excludes the unseen CVP set).
+pub const FIVE_SUITES: [Suite; 5] = [
+    Suite::Spec06,
+    Suite::Spec17,
+    Suite::Parsec,
+    Suite::Ligra,
+    Suite::Cloudsuite,
+];
+
+/// The headline prefetcher comparison set (Figs. 1/7/9/10/12/17).
+pub const HEADLINE_PREFETCHERS: [&str; 4] = ["spp", "bingo", "mlop", "pythia"];
+
+/// The prefetcher-combination ladder of Figs. 9(b)/10(b).
+pub const LADDER: [&str; 6] = ["st", "st+s", "st+s+b", "st+s+b+d", "st+s+b+d+m", "pythia"];
+
+/// Looks up named workloads in the Table 6 pool.
+///
+/// # Panics
+///
+/// Panics on an unknown name — figure definitions are static, so this is a
+/// programming error.
+pub fn named_units(names: &[&str]) -> Vec<WorkUnit> {
+    let pool = all_suites();
+    names
+        .iter()
+        .map(|n| {
+            let w = pool
+                .iter()
+                .find(|w| w.name == *n)
+                .unwrap_or_else(|| panic!("unknown workload {n:?}"));
+            WorkUnit::single(w.clone())
+        })
+        .collect()
+}
+
+/// A single-core config point with the given budget class.
+fn point(label: &str, kind: Budget) -> ConfigPoint {
+    let (w, m) = budget(kind);
+    ConfigPoint::single_core(label, w, m)
+}
+
+/// A single-core config point at a DRAM bandwidth level (Fig. 8(b)/(d)/11).
+fn mtps_point(mtps: u64, kind: Budget) -> ConfigPoint {
+    let (w, m) = budget(kind);
+    ConfigPoint::new(
+        &mtps.to_string(),
+        SystemConfig::single_core_with_mtps(mtps),
+        w,
+        m,
+    )
+}
+
+/// The display label of a hyperparameter grid point (shared between the
+/// `tab02` registry entry and the `tab02_dse` binary so screening scores
+/// can be joined back to grid points).
+pub fn hyper_label(p: &HyperPoint) -> String {
+    format!("a={:e} g={:e} e={:e}", p.alpha, p.gamma, p.epsilon)
+}
+
+/// The Fig. 16 / §6.6.2 candidate feature vectors (a shortlist from the
+/// Table 3 space; the full exploration lives in `tab02_dse`).
+pub fn feature_candidates() -> Vec<Vec<Feature>> {
+    vec![
+        vec![Feature::PC_DELTA, Feature::LAST_4_DELTAS],
+        vec![Feature::PC_DELTA],
+        vec![Feature::LAST_4_DELTAS],
+        vec![
+            Feature {
+                control: ControlFlow::Pc,
+                data: DataFlow::PageOffset,
+            },
+            Feature::LAST_4_DELTAS,
+        ],
+        vec![
+            Feature::PC_DELTA,
+            Feature {
+                control: ControlFlow::None,
+                data: DataFlow::LastFourOffsets,
+            },
+        ],
+    ]
+}
+
+/// Joins a feature vector into a display label.
+pub fn feature_label(features: &[Feature]) -> String {
+    let parts: Vec<String> = features.iter().map(|f| f.label()).collect();
+    parts.join(";")
+}
+
+fn fig01() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig01")
+        .with_units(named_units(&[
+            "482.sphinx3-417B",
+            "PARSEC-Canneal",
+            "PARSEC-Facesim",
+            "459.GemsFDTD-765B",
+            "Ligra-CC",
+            "Ligra-PageRankDelta",
+        ]))
+        .with_prefetchers(&["spp", "bingo", "pythia"])
+        .with_config(point("base", Budget::Headline))]
+}
+
+fn fig07() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig07")
+        .with_suites(&FIVE_SUITES)
+        .with_prefetchers(&HEADLINE_PREFETCHERS)
+        .with_config(point("base", Budget::Headline))]
+}
+
+fn fig08a() -> Vec<SweepSpec> {
+    let (w, m) = budget(Budget::MultiCore);
+    [1usize, 2, 4, 8, 12]
+        .iter()
+        .map(|&cores| {
+            SweepSpec::new(&format!("fig08a-{cores}c"))
+                .with_units(
+                    mixes(cores, 4, 42)
+                        .into_iter()
+                        .map(|(label, ws)| WorkUnit::mix(&label, "mix", ws)),
+                )
+                .with_prefetchers(&["spp", "bingo", "mlop", "spp+ppf", "pythia"])
+                .with_config(ConfigPoint::new(
+                    &cores.to_string(),
+                    SystemConfig::with_cores(cores),
+                    w,
+                    m,
+                ))
+        })
+        .collect()
+}
+
+fn fig08b() -> Vec<SweepSpec> {
+    // A representative cross-section (full suites at every MTPS would be
+    // slow; the shape comes from the mix of streaming/spatial/irregular).
+    vec![SweepSpec::new("fig08b")
+        .with_units(named_units(&[
+            "462.libquantum-714B",
+            "459.GemsFDTD-765B",
+            "482.sphinx3-417B",
+            "PARSEC-Facesim",
+            "429.mcf-184B",
+            "Ligra-CC",
+            "Ligra-PageRank",
+            "436.cactusADM-97B",
+            "cassandra",
+            "470.lbm-164B",
+        ]))
+        .with_prefetchers(&["spp", "bingo", "mlop", "spp+ppf", "pythia"])
+        .with_configs(
+            [150u64, 300, 600, 1200, 2400, 4800, 9600]
+                .iter()
+                .map(|&mtps| mtps_point(mtps, Budget::Sweep)),
+        )]
+}
+
+fn fig08c() -> Vec<SweepSpec> {
+    let (w, m) = budget(Budget::Sweep);
+    vec![SweepSpec::new("fig08c")
+        .with_units(named_units(&[
+            "462.libquantum-714B",
+            "459.GemsFDTD-765B",
+            "482.sphinx3-417B",
+            "PARSEC-Facesim",
+            "429.mcf-184B",
+            "Ligra-CC",
+            "483.xalancbmk-736B",
+            "cassandra",
+        ]))
+        .with_prefetchers(&["spp", "bingo", "mlop", "spp+ppf", "pythia"])
+        .with_configs([256u64, 512, 1024, 2048, 4096].iter().map(|&kb| {
+            ConfigPoint::new(
+                &format!("{kb}KB"),
+                SystemConfig::single_core_with_llc_bytes(kb * 1024),
+                w,
+                m,
+            )
+        }))]
+}
+
+fn fig08d() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig08d")
+        .with_units(named_units(&[
+            "462.libquantum-714B",
+            "459.GemsFDTD-765B",
+            "482.sphinx3-417B",
+            "PARSEC-Facesim",
+            "Ligra-CC",
+            "429.mcf-184B",
+            "436.cactusADM-97B",
+            "cassandra",
+        ]))
+        .with_prefetchers(&["stride+streamer", "ipcp", "stride+pythia"])
+        .with_configs(
+            [150u64, 600, 2400, 9600]
+                .iter()
+                .map(|&mtps| mtps_point(mtps, Budget::Sweep)),
+        )]
+}
+
+fn fig09() -> Vec<SweepSpec> {
+    vec![
+        SweepSpec::new("fig09a")
+            .with_suites(&FIVE_SUITES)
+            .with_prefetchers(&HEADLINE_PREFETCHERS)
+            .with_config(point("base", Budget::Headline)),
+        SweepSpec::new("fig09b")
+            .with_workloads(all_suites())
+            .with_prefetchers(&LADDER)
+            .with_config(point("base", Budget::Headline)),
+    ]
+}
+
+fn fig10() -> Vec<SweepSpec> {
+    let (w, m) = budget(Budget::MultiCore);
+    let four_core = ConfigPoint::new("4", SystemConfig::with_cores(4), w, m);
+    // Homogeneous 4-copy mixes of a subset of each suite (cost control).
+    let homo_units = FIVE_SUITES.iter().flat_map(|&s| {
+        suite(s)
+            .into_iter()
+            .step_by(3)
+            .map(|w| WorkUnit::homogeneous(&w, 4, 7919))
+            .collect::<Vec<_>>()
+    });
+    vec![
+        SweepSpec::new("fig10a")
+            .with_units(homo_units)
+            .with_prefetchers(&HEADLINE_PREFETCHERS)
+            .with_config(four_core.clone()),
+        SweepSpec::new("fig10b")
+            .with_units(
+                mixes(4, 5, 77)
+                    .into_iter()
+                    .map(|(label, ws)| WorkUnit::mix(&label, "mix", ws)),
+            )
+            .with_prefetchers(&LADDER)
+            .with_config(four_core),
+    ]
+}
+
+fn fig11() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig11")
+        .with_units(named_units(&[
+            "Ligra-CC",
+            "Ligra-PageRank",
+            "429.mcf-184B",
+            "482.sphinx3-417B",
+            "PARSEC-Canneal",
+            "cassandra",
+            "462.libquantum-714B",
+            "459.GemsFDTD-765B",
+        ]))
+        .with_baseline("pythia")
+        .with_prefetchers(&["pythia_bw_oblivious"])
+        .with_configs(
+            [150u64, 300, 600, 1200, 2400, 4800, 9600]
+                .iter()
+                .map(|&mtps| mtps_point(mtps, Budget::Sweep)),
+        )]
+}
+
+/// Category of an unseen CVP-2-like trace (`"crypto-1"` → `"crypto"`).
+fn category(name: &str) -> String {
+    name.split('-').next().unwrap_or(name).to_string()
+}
+
+fn fig12() -> Vec<SweepSpec> {
+    let unseen = cvp_unseen();
+    let single_units = unseen.iter().map(|w| {
+        let mut u = WorkUnit::single(w.clone());
+        u.group = category(&w.name);
+        u
+    });
+    // One homogeneous 4-copy mix per category.
+    let mut seen = std::collections::BTreeSet::new();
+    let mix_units: Vec<WorkUnit> = unseen
+        .iter()
+        .filter(|w| seen.insert(category(&w.name)))
+        .map(|w| {
+            let mut u = WorkUnit::homogeneous(w, 4, 131);
+            u.group = category(&w.name);
+            u
+        })
+        .collect();
+    let (w4, m4) = budget(Budget::MultiCore);
+    vec![
+        SweepSpec::new("fig12a")
+            .with_units(single_units)
+            .with_prefetchers(&HEADLINE_PREFETCHERS)
+            .with_config(point("base", Budget::Sweep)),
+        SweepSpec::new("fig12b")
+            .with_units(mix_units)
+            .with_prefetchers(&HEADLINE_PREFETCHERS)
+            .with_config(ConfigPoint::new("4", SystemConfig::with_cores(4), w4, m4)),
+    ]
+}
+
+fn fig14() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig14")
+        .with_units(named_units(&["Ligra-CC"]))
+        .with_prefetchers(&["spp", "bingo", "mlop", "pythia", "pythia_strict"])
+        .with_config(point("base", Budget::Sweep))]
+}
+
+fn fig15() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig15")
+        .with_workloads(suite(Suite::Ligra))
+        .with_prefetchers(&["pythia", "pythia_strict"])
+        .with_config(point("base", Budget::Sweep))]
+}
+
+fn fig16() -> Vec<SweepSpec> {
+    let mut spec = SweepSpec::new("fig16")
+        .with_workloads(suite(Suite::Spec06))
+        .with_prefetchers(&["pythia"])
+        .with_config(point("base", Budget::Sweep));
+    for features in feature_candidates() {
+        let label = format!("feat:{}", feature_label(&features));
+        spec = spec.with_pythia_variant(&label, PythiaConfig::tuned().with_features(features));
+    }
+    vec![spec]
+}
+
+fn fig17() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig17")
+        .with_workloads(all_suites())
+        .with_prefetchers(&HEADLINE_PREFETCHERS)
+        .with_config(point("base", Budget::Sweep))]
+}
+
+/// The five-workload cross-section used by the sensitivity studies
+/// (Figs. 20/23).
+fn sensitivity_units() -> Vec<WorkUnit> {
+    named_units(&[
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "482.sphinx3-417B",
+        "Ligra-CC",
+        "429.mcf-184B",
+    ])
+}
+
+fn fig20() -> Vec<SweepSpec> {
+    let mut a = SweepSpec::new("fig20a")
+        .with_units(sensitivity_units())
+        .with_config(point("base", Budget::Sweep));
+    for eps in [1e-5f32, 1e-4, 1e-3, 2e-3, 1e-2, 1e-1, 0.5, 1.0] {
+        let mut cfg = PythiaConfig::basic();
+        cfg.epsilon = eps;
+        a = a.with_pythia_variant(&format!("{eps:e}"), cfg);
+    }
+    let mut b = SweepSpec::new("fig20b")
+        .with_units(sensitivity_units())
+        .with_config(point("base", Budget::Sweep));
+    for alpha in [1e-5f32, 1e-4, 1e-3, 0.0065, 1e-2, 1e-1, 1.0] {
+        let mut cfg = PythiaConfig::basic();
+        cfg.alpha = alpha;
+        b = b.with_pythia_variant(&format!("{alpha:e}"), cfg);
+    }
+    vec![a, b]
+}
+
+fn fig21() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig21")
+        .with_suites(&FIVE_SUITES)
+        .with_prefetchers(&["cp_hw", "pythia"])
+        .with_config(point("base", Budget::Sweep))]
+}
+
+fn fig22() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig22")
+        .with_suites(&FIVE_SUITES)
+        .with_prefetchers(&["power7", "pythia"])
+        .with_config(point("base", Budget::Sweep))]
+}
+
+fn fig23() -> Vec<SweepSpec> {
+    vec![SweepSpec::new("fig23")
+        .with_units(sensitivity_units())
+        .with_prefetchers(&HEADLINE_PREFETCHERS)
+        .with_configs(
+            [0u64, 25_000, 50_000, 100_000, 200_000]
+                .iter()
+                .map(|&warmup| ConfigPoint::single_core(&warmup.to_string(), warmup, 400_000)),
+        )]
+}
+
+/// The four-workload cross-section the §4.3 DSE screens against.
+pub fn dse_units() -> Vec<WorkUnit> {
+    named_units(&[
+        "459.GemsFDTD-765B",
+        "462.libquantum-714B",
+        "482.sphinx3-417B",
+        "429.mcf-184B",
+    ])
+}
+
+fn tab02() -> Vec<SweepSpec> {
+    // The §4.3.3 screening grid as one declarative campaign: every
+    // hyperparameter point becomes an inline Pythia variant.
+    let mut spec = SweepSpec::new("tab02")
+        .with_units(dse_units())
+        .with_config(point("base", Budget::MultiCore));
+    for p in exponential_grid(4) {
+        let mut cfg = PythiaConfig::tuned();
+        cfg.alpha = p.alpha;
+        cfg.gamma = p.gamma;
+        cfg.epsilon = p.epsilon;
+        spec = spec.with_pythia_variant(&hyper_label(&p), cfg);
+    }
+    vec![spec]
+}
+
+fn ablation() -> Vec<SweepSpec> {
+    let mut spec = SweepSpec::new("ablation")
+        .with_units(named_units(&[
+            "459.GemsFDTD-765B",
+            "462.libquantum-714B",
+            "482.sphinx3-417B",
+            "436.cactusADM-97B",
+            "429.mcf-184B",
+            "Ligra-CC",
+        ]))
+        .with_config(point("base", Budget::Sweep));
+
+    spec = spec.with_pythia_variant(
+        "tuned (max, 3 planes, 16 actions, EQ 256)",
+        PythiaConfig::tuned(),
+    );
+    spec = spec.with_pythia_variant("paper-literal alpha = 0.0065", PythiaConfig::basic());
+
+    let mut c = PythiaConfig::tuned();
+    c.q_init_override = Some(1.0 / (1.0 - c.gamma));
+    spec = spec.with_pythia_variant("paper-literal Q-init 1/(1-gamma)", c);
+
+    let mut c = PythiaConfig::tuned();
+    c.graded_timeliness = true;
+    spec = spec.with_pythia_variant("graded timeliness (footnote 3)", c);
+
+    let mut c = PythiaConfig::tuned();
+    c.vault_combine = pythia_core::VaultCombine::Mean;
+    spec = spec.with_pythia_variant("mean vault combination", c);
+
+    let mut c = PythiaConfig::tuned();
+    c.planes = 1;
+    spec = spec.with_pythia_variant("1 plane per vault", c);
+
+    spec = spec.with_pythia_variant(
+        "full [-63,63] action list",
+        PythiaConfig::tuned().with_actions(PythiaConfig::full_actions()),
+    );
+
+    let mut c = PythiaConfig::tuned();
+    c.eq_size = 64;
+    spec = spec.with_pythia_variant("EQ of 64 entries", c);
+
+    let mut c = PythiaConfig::tuned();
+    c.eq_size = 1024;
+    spec = spec.with_pythia_variant("EQ of 1024 entries", c);
+
+    vec![spec]
+}
+
+/// A registered figure: an id, a title, and the campaign(s) behind it.
+pub struct FigureDef {
+    /// Registry id (`"fig09"`, `"tab02"`, ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Builds the figure's sweep specs (panels).
+    pub build: fn() -> Vec<SweepSpec>,
+}
+
+/// Every registered figure/table campaign.
+pub fn registry() -> Vec<FigureDef> {
+    vec![
+        FigureDef {
+            id: "fig01",
+            title: "Motivational coverage/overprediction/performance",
+            build: fig01,
+        },
+        FigureDef {
+            id: "fig07",
+            title: "Coverage and overprediction per suite (single-core)",
+            build: fig07,
+        },
+        FigureDef {
+            id: "fig08a",
+            title: "Speedup vs core count",
+            build: fig08a,
+        },
+        FigureDef {
+            id: "fig08b",
+            title: "Speedup vs DRAM MTPS (single core)",
+            build: fig08b,
+        },
+        FigureDef {
+            id: "fig08c",
+            title: "Speedup vs LLC size (single core)",
+            build: fig08c,
+        },
+        FigureDef {
+            id: "fig08d",
+            title: "Multi-level prefetching vs DRAM MTPS",
+            build: fig08d,
+        },
+        FigureDef {
+            id: "fig09",
+            title: "Single-core performance (per-suite + combination ladder)",
+            build: fig09,
+        },
+        FigureDef {
+            id: "fig10",
+            title: "Four-core performance (per-suite + combination ladder)",
+            build: fig10,
+        },
+        FigureDef {
+            id: "fig11",
+            title: "Bandwidth-oblivious Pythia vs basic Pythia",
+            build: fig11,
+        },
+        FigureDef {
+            id: "fig12",
+            title: "Performance on unseen traces (single- and four-core)",
+            build: fig12,
+        },
+        FigureDef {
+            id: "fig14",
+            title: "Ligra-CC bandwidth-bucket residency and performance",
+            build: fig14,
+        },
+        FigureDef {
+            id: "fig15",
+            title: "Basic vs strict Pythia on the Ligra suite",
+            build: fig15,
+        },
+        FigureDef {
+            id: "fig16",
+            title: "Basic vs feature-optimized Pythia on SPEC06",
+            build: fig16,
+        },
+        FigureDef {
+            id: "fig17",
+            title: "Single-core s-curves",
+            build: fig17,
+        },
+        FigureDef {
+            id: "fig20",
+            title: "Sensitivity to exploration and learning rates",
+            build: fig20,
+        },
+        FigureDef {
+            id: "fig21",
+            title: "Pythia vs CP-HW (single-core)",
+            build: fig21,
+        },
+        FigureDef {
+            id: "fig22",
+            title: "Pythia vs POWER7-adaptive (single-core)",
+            build: fig22,
+        },
+        FigureDef {
+            id: "fig23",
+            title: "Sensitivity to warmup instructions",
+            build: fig23,
+        },
+        FigureDef {
+            id: "tab02",
+            title: "Hyperparameter screening grid (§4.3.3)",
+            build: tab02,
+        },
+        FigureDef {
+            id: "ablation",
+            title: "Ablations of Pythia design choices",
+            build: ablation,
+        },
+    ]
+}
+
+/// Builds the sweep specs of one registered figure.
+pub fn specs(id: &str) -> Option<Vec<SweepSpec>> {
+    registry()
+        .into_iter()
+        .find(|f| f.id == id)
+        .map(|f| (f.build)())
+}
+
+/// A quick-eval campaign: one inline Pythia config over the DSE workload
+/// cross-section (the objective function the §4.3 search procedures call).
+pub fn dse_eval_spec(label: &str, cfg: PythiaConfig, units: &[WorkUnit]) -> SweepSpec {
+    SweepSpec::new("dse-eval")
+        .with_units(units.to_vec())
+        .with_pythia_variant(label, cfg)
+        .with_config(point("base", Budget::MultiCore))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_figure_validates() {
+        for def in registry() {
+            for spec in (def.build)() {
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", def.id));
+                assert!(spec.cell_count() > 0, "{}: empty grid", def.id);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len(), "duplicate figure id");
+        assert!(specs("fig09").is_some());
+        assert!(specs("no-such-figure").is_none());
+    }
+
+    #[test]
+    fn fig09_panels_cover_suites_and_ladder() {
+        let panels = specs("fig09").unwrap();
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0].units.len(), 50, "five suites");
+        assert_eq!(panels[1].prefetchers.len(), LADDER.len());
+    }
+
+    #[test]
+    fn fig11_baseline_is_basic_pythia() {
+        let panels = specs("fig11").unwrap();
+        assert_eq!(panels[0].baseline.label, "pythia");
+        assert_eq!(panels[0].configs.len(), 7);
+    }
+
+    #[test]
+    fn tab02_grid_has_one_variant_per_hyper_point() {
+        let panels = specs("tab02").unwrap();
+        assert_eq!(panels[0].prefetchers.len(), exponential_grid(4).len());
+    }
+
+    #[test]
+    fn fig12_groups_by_category() {
+        let panels = specs("fig12").unwrap();
+        assert!(panels[0].units.iter().any(|u| u.group == "crypto"));
+        assert_eq!(panels[1].units.len(), 4, "one mix per category");
+        assert!(panels[1].units.iter().all(|u| u.cores() == 4));
+    }
+}

@@ -2,19 +2,23 @@
 //!
 //! The experiment harness: one binary per table/figure of the paper (see
 //! `src/bin/`), plus Criterion microbenchmarks (`benches/`). Each binary
-//! prints the same rows/series the paper reports, computed on the synthetic
-//! workload suites.
+//! declares its grid as a [`pythia_sweep::SweepSpec`] (via [`figures`]),
+//! runs it across the shared worker pool, and prints the same rows/series
+//! the paper reports, computed on the synthetic workload suites.
 //!
 //! Instruction budgets are scaled-down from the paper's 100 M + 500 M
 //! (synthetic patterns reach steady state much sooner); set
-//! `PYTHIA_BENCH_SCALE` (a float, default 1.0) to scale every budget, e.g.
-//! `PYTHIA_BENCH_SCALE=0.2` for a quick pass or `4` for a long one.
+//! `PYTHIA_BENCH_SCALE` (a positive float, default 1.0) to scale every
+//! budget, e.g. `PYTHIA_BENCH_SCALE=0.2` for a quick pass or `4` for a
+//! long one. Invalid values are reported on stderr and ignored.
+//!
+//! Harness binaries fan out over `PYTHIA_BENCH_THREADS` worker threads
+//! (default: all available cores); machine-readable output comes from
+//! `pythia-cli sweep <figure> --format {md,json,csv}`.
 
-use pythia::runner::{run_mix, run_workload, RunSpec};
-use pythia_sim::stats::SimReport;
-use pythia_stats::metrics::{self, Metrics};
-use pythia_stats::report::Table;
-use pythia_workloads::{suite, Suite, Workload};
+use pythia::runner::RunSpec;
+
+pub mod figures;
 
 /// Budget classes used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,13 +31,31 @@ pub enum Budget {
     MultiCore,
 }
 
+/// Parses `PYTHIA_BENCH_SCALE`, warning (once) on garbage instead of
+/// silently falling back.
+fn scale() -> f64 {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    match std::env::var("PYTHIA_BENCH_SCALE") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => v,
+            _ => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PYTHIA_BENCH_SCALE={raw:?} is not a positive number; \
+                         using the default scale 1.0"
+                    );
+                });
+                1.0
+            }
+        },
+    }
+}
+
 /// Returns `(warmup, measure)` instructions for a budget class, scaled by
 /// the `PYTHIA_BENCH_SCALE` environment variable.
 pub fn budget(kind: Budget) -> (u64, u64) {
-    let scale: f64 = std::env::var("PYTHIA_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let scale = scale();
     let (w, m) = match kind {
         Budget::Headline => (200_000u64, 800_000u64),
         // The RL agent needs ~200 K instructions of burn-in before its
@@ -56,165 +78,75 @@ pub fn spec(kind: Budget) -> RunSpec {
     RunSpec::single_core().with_budget(w, m)
 }
 
-/// Per-suite geomean speedups: the shape of Figs. 9(a)/10(a).
-pub struct SuiteSpeedups {
-    /// Row labels (suite names + `GEOMEAN`).
-    pub labels: Vec<String>,
-    /// `speedups[prefetcher][row]`.
-    pub speedups: Vec<Vec<f64>>,
-    /// Prefetcher names, matching `speedups` rows.
-    pub prefetchers: Vec<String>,
-}
-
-impl SuiteSpeedups {
-    /// Renders as a markdown table.
-    pub fn table(&self) -> Table {
-        let mut headers = vec!["suite"];
-        let names: Vec<&str> = self.prefetchers.iter().map(String::as_str).collect();
-        headers.extend(names);
-        let mut t = Table::new(&headers);
-        for (i, label) in self.labels.iter().enumerate() {
-            let mut row = vec![label.clone()];
-            for s in &self.speedups {
-                row.push(format!("{:.3}", s[i]));
+/// Worker thread count for harness fan-out: `PYTHIA_BENCH_THREADS` if set
+/// (warning on garbage), otherwise every available core.
+pub fn threads() -> usize {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    match std::env::var("PYTHIA_BENCH_THREADS") {
+        Err(_) => default_threads(),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PYTHIA_BENCH_THREADS={raw:?} is not a positive integer; \
+                         using all {} cores",
+                        default_threads()
+                    );
+                });
+                default_threads()
             }
-            t.row(&row);
-        }
-        t
+        },
     }
 }
 
-/// Runs every workload of the given suites single-core with each prefetcher
-/// and aggregates per-suite geomean speedups (Fig. 9(a) shape).
-pub fn single_core_suite_speedups(
-    suites: &[Suite],
-    prefetchers: &[&str],
-    run: &RunSpec,
-) -> SuiteSpeedups {
-    let mut labels: Vec<String> = suites.iter().map(|s| s.label().to_string()).collect();
-    labels.push("GEOMEAN".into());
-    let mut speedups = vec![vec![0.0; labels.len()]; prefetchers.len()];
-    let mut all: Vec<Vec<f64>> = vec![Vec::new(); prefetchers.len()];
-    for (si, s) in suites.iter().enumerate() {
-        let mut per_suite: Vec<Vec<f64>> = vec![Vec::new(); prefetchers.len()];
-        for w in suite(*s) {
-            let baseline = run_workload(&w, "none", run);
-            for (pi, p) in prefetchers.iter().enumerate() {
-                let report = run_workload(&w, p, run);
-                let sp = metrics::speedup(&baseline, &report);
-                per_suite[pi].push(sp);
-                all[pi].push(sp);
-            }
-        }
-        for pi in 0..prefetchers.len() {
-            speedups[pi][si] = metrics::geomean(&per_suite[pi]);
-        }
-    }
-    let last = labels.len() - 1;
-    for pi in 0..prefetchers.len() {
-        speedups[pi][last] = metrics::geomean(&all[pi]);
-    }
-    SuiteSpeedups {
-        labels,
-        speedups,
-        prefetchers: prefetchers.iter().map(|s| s.to_string()).collect(),
-    }
-}
-
-/// Per-workload evaluation across one or more suites, returning
-/// `(workload, prefetcher, metrics)` triples (Figs. 1, 7, 17 shape).
-pub fn evaluate(
-    suites: &[Suite],
-    prefetchers: &[&str],
-    run: &RunSpec,
-) -> Vec<(Workload, String, Metrics)> {
-    let mut out = Vec::new();
-    for s in suites {
-        for w in suite(*s) {
-            let baseline = run_workload(&w, "none", run);
-            for &p in prefetchers {
-                let report = run_workload(&w, p, run);
-                out.push((
-                    w.clone(),
-                    p.to_string(),
-                    metrics::compare(&baseline, &report),
-                ));
-            }
-        }
-    }
-    out
-}
-
-/// Runs a set of `n`-core mixes and returns the geomean speedup per
-/// prefetcher (Figs. 8(a), 10 shape).
-pub fn multi_core_speedups(
-    mixes: &[(String, Vec<Workload>)],
-    prefetchers: &[&str],
-    run: &RunSpec,
-) -> Vec<(String, f64)> {
-    let mut per_pf: Vec<Vec<f64>> = vec![Vec::new(); prefetchers.len()];
-    for (_, ws) in mixes {
-        let baseline = run_mix(ws, "none", run);
-        for (pi, p) in prefetchers.iter().enumerate() {
-            let report = run_mix(ws, p, run);
-            per_pf[pi].push(metrics::speedup(&baseline, &report));
-        }
-    }
-    prefetchers
-        .iter()
-        .zip(per_pf)
-        .map(|(p, v)| (p.to_string(), metrics::geomean(&v)))
-        .collect()
-}
-
-/// Aggregate coverage/overprediction across workloads, weighted by baseline
-/// LLC misses (the Fig. 7 aggregation).
-pub fn weighted_coverage(results: &[(Workload, String, Metrics)], prefetcher: &str) -> (f64, f64) {
-    let mut cov_num = 0.0;
-    let mut over_num = 0.0;
-    let mut denom = 0.0;
-    for (_, p, m) in results {
-        if p == prefetcher {
-            // Weight by baseline MPKI as a proxy for baseline misses.
-            let w = m.baseline_mpki;
-            cov_num += m.coverage * w;
-            over_num += m.overprediction * w;
-            denom += w;
-        }
-    }
-    if denom == 0.0 {
-        (0.0, 0.0)
-    } else {
-        (cov_num / denom, over_num / denom)
-    }
-}
-
-/// Convenience re-export for harness binaries.
-pub fn speedup_of(baseline: &SimReport, report: &SimReport) -> f64 {
-    metrics::speedup(baseline, report)
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Tests touching `PYTHIA_BENCH_SCALE` serialize on this lock; the
+    /// variable is process-global and tests run concurrently.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn budgets_scale_with_env() {
-        // Serial test: set, read, unset.
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("PYTHIA_BENCH_SCALE", "0.5");
         let (w, m) = budget(Budget::Sweep);
-        std::env::remove_var("PYTHIA_BENCH_SCALE");
         assert_eq!(w, 100_000);
         assert_eq!(m, 300_000);
+
+        // Garbage values warn (once) and fall back to 1.0 — not silently
+        // to a half-applied scale.
+        std::env::set_var("PYTHIA_BENCH_SCALE", "fast-please");
+        let (w, m) = budget(Budget::Sweep);
+        assert_eq!((w, m), (200_000, 600_000));
+        std::env::set_var("PYTHIA_BENCH_SCALE", "-2");
+        let (w, m) = budget(Budget::Sweep);
+        assert_eq!((w, m), (200_000, 600_000));
+
+        std::env::remove_var("PYTHIA_BENCH_SCALE");
         let (w2, m2) = budget(Budget::Sweep);
         assert_eq!((w2, m2), (200_000, 600_000));
     }
 
     #[test]
     fn headline_budget_largest() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let (_, mh) = budget(Budget::Headline);
         let (_, ms) = budget(Budget::Sweep);
         let (_, mc) = budget(Budget::MultiCore);
         assert!(mh > ms && ms >= mc);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(threads() >= 1);
     }
 }

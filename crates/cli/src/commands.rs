@@ -24,6 +24,12 @@ USAGE:
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
   pythia-cli compare <workload>                 race prefetchers on a workload
       [--prefetchers spp,bingo,mlop,pythia] [--warmup N] [--measure N]
+  pythia-cli sweep <figure>                     run a figure/table campaign in
+      [--threads N] [--format md|json|csv]      parallel and emit its results
+      [--out FILE]                              (`--list` shows figure ids)
+  pythia-cli sweep --workloads a,b,c            ad-hoc sweep over named
+      [--prefetchers x,y] [--baseline none]     workloads instead of a figure
+      [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
   pythia-cli trace <workload> <out-file>        write a binary trace file
       [--instructions N]
   pythia-cli storage                            print storage/overhead tables
@@ -168,6 +174,89 @@ pub fn compare(args: &ParsedArgs) -> Result<(), String> {
         ]);
     }
     println!("{}", t.to_markdown());
+    Ok(())
+}
+
+/// Builds the ad-hoc sweep described by `--workloads`/`--prefetchers`/...
+fn adhoc_sweep_spec(args: &ParsedArgs) -> Result<pythia_sweep::SweepSpec, String> {
+    let names = args
+        .opt("workloads")
+        .ok_or("sweep needs a figure id or --workloads a,b,c")?;
+    let mut spec = pythia_sweep::SweepSpec::new("adhoc");
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        spec.units
+            .push(pythia_sweep::WorkUnit::single(find_workload(name)?));
+    }
+    let prefetchers = args
+        .opt("prefetchers")
+        .unwrap_or(compare_cmd_default_prefetchers())
+        .to_string();
+    for p in prefetchers
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        spec = spec.with_prefetchers(&[p]);
+    }
+    if let Some(baseline) = args.opt("baseline") {
+        spec = spec.with_baseline(baseline);
+    }
+    let run = spec_from(args)?;
+    spec = spec.with_config(pythia_sweep::ConfigPoint::from_run_spec("base", &run));
+    Ok(spec)
+}
+
+/// `pythia-cli sweep <figure> | sweep --workloads a,b,c`
+pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
+    if args.flag("list") {
+        println!("# Registered figure/table campaigns\n");
+        let mut t = Table::new(&["figure", "title", "panels", "cells"]);
+        for def in pythia_bench::figures::registry() {
+            let specs = (def.build)();
+            let cells: usize = specs.iter().map(|s| s.cell_count()).sum();
+            t.row(&[
+                def.id.to_string(),
+                def.title.to_string(),
+                specs.len().to_string(),
+                cells.to_string(),
+            ]);
+        }
+        println!("{}", t.to_markdown());
+        return Ok(());
+    }
+
+    let threads = match args.opt("threads") {
+        None => pythia_bench::threads(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("--threads: bad value {v:?}")),
+        },
+    };
+    let format = args.opt("format").unwrap_or("md");
+
+    let result = match args.positionals.as_slice() {
+        [id] => {
+            let specs = pythia_bench::figures::specs(id)
+                .ok_or_else(|| format!("unknown figure {id:?}; see `pythia-cli sweep --list`"))?;
+            pythia_sweep::engine::run_all(id, &specs, threads)?
+        }
+        [] => pythia_sweep::run(&adhoc_sweep_spec(args)?, threads)?,
+        _ => return Err("usage: pythia-cli sweep <figure> [options]".into()),
+    };
+
+    let rendered = result.render(format)?;
+    match args.opt("out") {
+        None => print!("{rendered}"),
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote sweep {} ({} cells + {} baselines, {format}) to {path}",
+                result.name,
+                result.cells.len(),
+                result.baselines.len()
+            );
+        }
+    }
     Ok(())
 }
 

@@ -5,6 +5,8 @@
 //! pythia-cli run <workload> <prefetcher> [--warmup N] [--measure N]
 //!                [--mtps N] [--llc-kb N] [--cores N]
 //! pythia-cli compare <workload> [--prefetchers a,b,c] [...]
+//! pythia-cli sweep <figure> [--threads N] [--format md|json|csv] [--out F]
+//! pythia-cli sweep --workloads a,b,c [--prefetchers x,y] [...]
 //! pythia-cli trace <workload> <out-file> [--instructions N]
 //! pythia-cli storage                           # Tables 4/7/8 summary
 //! ```
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         Some("list") => commands::list(&parsed),
         Some("run") => commands::run(&parsed),
         Some("compare") => commands::compare(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("storage") => commands::storage(&parsed),
         Some("help") | None => {

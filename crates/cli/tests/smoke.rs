@@ -31,7 +31,7 @@ fn no_args_prints_help_and_succeeds() {
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("USAGE"), "help must show usage: {text}");
-    for sub in ["list", "run", "compare", "trace", "storage"] {
+    for sub in ["list", "run", "compare", "sweep", "trace", "storage"] {
         assert!(text.contains(sub), "help must mention {sub}");
     }
 }
@@ -141,6 +141,79 @@ fn trace_writes_a_decodable_file() {
     let records = pythia_sim::trace::decode_trace(bytes.as_slice()).expect("decodable trace");
     assert_eq!(records.len(), 5000);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_list_shows_registered_figures() {
+    let out = cli(&["sweep", "--list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for id in ["fig09", "fig10", "tab02", "ablation"] {
+        assert!(text.contains(id), "sweep --list must mention {id}: {text}");
+    }
+}
+
+#[test]
+fn sweep_adhoc_markdown_has_baseline_and_cells() {
+    let out = cli(&[
+        &[
+            "sweep",
+            "--workloads",
+            WORKLOAD,
+            "--prefetchers",
+            "stride",
+            "--threads",
+            "2",
+        ],
+        FAST,
+    ]
+    .concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("| sweep |"), "long-format table: {text}");
+    assert!(text.contains("none"), "baseline row present");
+    assert!(text.contains("stride"));
+}
+
+#[test]
+fn sweep_adhoc_json_parses_and_out_writes_file() {
+    let dir = std::env::temp_dir().join("pythia_cli_sweep_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("sweep.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = cli(&[
+        &[
+            "sweep",
+            "--workloads",
+            WORKLOAD,
+            "--prefetchers",
+            "stride,spp",
+            "--format",
+            "json",
+            "--out",
+            path_str,
+        ],
+        FAST,
+    ]
+    .concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("wrote sweep"));
+    let text = std::fs::read_to_string(&path).expect("json written");
+    let parsed = pythia_stats::json::parse(&text).expect("emitted JSON parses");
+    let cells = parsed.get("cells").and_then(|c| c.as_arr()).expect("cells");
+    assert_eq!(cells.len(), 2, "one cell per prefetcher");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_rejects_unknown_figure_and_format() {
+    let out = cli(&["sweep", "no-such-figure"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown figure"));
+
+    let out = cli(&[&["sweep", "--workloads", WORKLOAD, "--format", "xml"], FAST].concat());
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown format"));
 }
 
 #[test]

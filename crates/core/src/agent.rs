@@ -2,6 +2,46 @@
 //! assignment through the EQ, and the SARSA update on EQ eviction —
 //! Algorithm 1 of the paper, implemented behind the simulator's
 //! [`Prefetcher`] trait.
+//!
+//! # Lifecycle of one demand access
+//!
+//! 1. [`Pythia::on_demand`] extracts the state vector from the access
+//!    stream ([`FeatureContext`]), asks the [`QvStore`] for the
+//!    argmax action (or explores with probability ε), and — unless the
+//!    chosen action is the no-prefetch offset 0 — emits one
+//!    [`PrefetchRequest`] inside the triggering page.
+//! 2. The (state, action) pair enters the [`EvaluationQueue`]. Actions that
+//!    generated no prefetch are rewarded immediately (R_NP / R_CL, graded
+//!    by the bandwidth usage in [`SystemFeedback`]); prefetching actions
+//!    wait for their outcome.
+//! 3. [`Pythia::on_fill`] / later demand hits decide accurate-timely vs.
+//!    accurate-late; EQ eviction assigns the final reward and performs the
+//!    SARSA update against the current EQ head (Algorithm 1, lines 23–29).
+//!
+//! Introspection hooks used by the case-study harnesses:
+//! [`Pythia::qvstore`], [`Pythia::probe_feature_q`],
+//! [`Pythia::action_histogram`] and [`Pythia::rewards_seen`].
+//!
+//! ```rust
+//! use pythia_core::{Pythia, PythiaConfig};
+//! use pythia_sim::prefetch::{DemandAccess, Prefetcher, SystemFeedback};
+//!
+//! let mut agent = Pythia::new(PythiaConfig::tuned().with_seed(7));
+//! let mut issued = 0;
+//! for i in 0..1_000u64 {
+//!     let addr = 0x4000_0000 + i * 64;
+//!     let access = DemandAccess {
+//!         pc: 0x400b00,
+//!         addr,
+//!         line: addr >> 6,
+//!         is_write: false,
+//!         cycle: i * 40,
+//!         missed: true,
+//!     };
+//!     issued += agent.on_demand(&access, &SystemFeedback::idle()).len();
+//! }
+//! assert!(issued > 0, "a streaming PC earns prefetches");
+//! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

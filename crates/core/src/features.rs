@@ -7,6 +7,31 @@
 //! automated design-space exploration (§4.3.1) picks the state vector. The
 //! winning basic configuration uses `PC+Delta` and `Sequence of last-4
 //! deltas` (Table 2).
+//!
+//! [`FeatureContext`] is the streaming extractor: feed it every demand
+//! access and ask for any feature's current value (or the whole state
+//! vector) at the triggering access.
+//!
+//! ```rust
+//! use pythia_core::{Feature, FeatureContext};
+//! use pythia_sim::prefetch::DemandAccess;
+//!
+//! let mut ctx = FeatureContext::new();
+//! for i in 0..4u64 {
+//!     let addr = 0x1000_0000 + i * 64;
+//!     ctx.update(&DemandAccess {
+//!         pc: 0x400100,
+//!         addr,
+//!         line: addr >> 6,
+//!         is_write: false,
+//!         cycle: i * 40,
+//!         missed: true,
+//!     });
+//! }
+//! assert_eq!(ctx.delta(), 1, "unit-stride stream");
+//! let state = ctx.state(&[Feature::PC_DELTA, Feature::LAST_4_DELTAS]);
+//! assert_eq!(state.len(), 2);
+//! ```
 
 use serde::{Deserialize, Serialize};
 

@@ -27,6 +27,12 @@
 //! reward values and hyperparameters can all be changed without touching the
 //! code, which is what §6.6 exploits ([`config::PythiaConfig::strict`]).
 //!
+//! Supporting modules: [`tuning`] implements the §4.3 automated
+//! design-space exploration procedures, [`hw_model`] the Table 4/7/8
+//! storage/area/power estimates, and [`pipeline`] the §4.2.2 pipelined
+//! QVStore search latency model. The repository-level `ARCHITECTURE.md`
+//! maps every paper section and figure to the crate/module implementing it.
+//!
 //! # Example
 //!
 //! ```rust

@@ -18,6 +18,18 @@
 //! The SARSA update distributes the TD error equally across the planes of
 //! every vault (linear function approximation with constant feature
 //! gradient), so each vault's Q-value moves by exactly `α·δ`.
+//!
+//! ```rust
+//! use pythia_core::{PythiaConfig, QvStore};
+//!
+//! let cfg = PythiaConfig::basic();
+//! let store = QvStore::new(&cfg);
+//! let state = vec![0x99, 0x07]; // one feature value per vault
+//! let best = store.argmax(&state);
+//! assert!(best < cfg.actions.len());
+//! // Fresh stores are optimistically initialized (Algorithm 1, line 2):
+//! assert_eq!(store.q(&state, best), cfg.q_init());
+//! ```
 
 use crate::config::{PythiaConfig, VaultCombine};
 

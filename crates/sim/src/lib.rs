@@ -21,6 +21,13 @@
 //! * a [`system::System`] that assembles 1–12 core configurations per
 //!   Table 5 of the paper and produces [`stats::SimReport`]s.
 //!
+//! Simulations are deterministic by construction: the same traces,
+//! [`config::SystemConfig`] and prefetcher seeds yield a bit-identical
+//! [`stats::SimReport`], which is what lets the `pythia-sweep` engine run
+//! experiment grids in parallel with byte-identical output. The
+//! repository-level `ARCHITECTURE.md` maps paper sections and figures to
+//! the modules implementing them.
+//!
 //! # Example
 //!
 //! ```rust

@@ -10,6 +10,46 @@
 //! [`SystemFeedback`] carries the system-level information the paper argues
 //! prefetchers should be *inherently* aware of — currently memory bandwidth
 //! usage, exactly the signal Pythia folds into its reward scheme.
+//!
+//! Implementations must be deterministic (same access sequence ⇒ same
+//! requests): the experiment harness's parallel sweep engine and the
+//! repository's determinism tests both depend on it. Randomized policies
+//! should derive their RNG from an explicit seed, as the registry's
+//! builders do.
+//!
+//! # Implementing a prefetcher
+//!
+//! ```rust
+//! use pythia_sim::addr;
+//! use pythia_sim::prefetch::{DemandAccess, Prefetcher, PrefetchRequest, SystemFeedback};
+//! use pythia_sim::stats::PrefetcherStats;
+//!
+//! /// Always fetches the next line, staying inside the 4 KB page.
+//! struct NextLine(PrefetcherStats);
+//!
+//! impl Prefetcher for NextLine {
+//!     fn name(&self) -> &str {
+//!         "next-line"
+//!     }
+//!     fn on_demand(
+//!         &mut self,
+//!         access: &DemandAccess,
+//!         _feedback: &SystemFeedback,
+//!     ) -> Vec<PrefetchRequest> {
+//!         if !addr::offset_stays_in_page(access.line, 1) {
+//!             return Vec::new();
+//!         }
+//!         self.0.issued += 1;
+//!         vec![PrefetchRequest::to_l2(access.line + 1)]
+//!     }
+//!     fn stats(&self) -> PrefetcherStats {
+//!         self.0
+//!     }
+//!     fn reset_stats(&mut self) {
+//!         self.0 = PrefetcherStats::default();
+//!     }
+//! }
+//! ```
 
 use crate::addr;
 use crate::stats::PrefetcherStats;

@@ -6,6 +6,28 @@
 //! warmup phase with statistics frozen, a statistics reset, then a measured
 //! phase; cores that exhaust their trace replay it until every core retires
 //! its measured-instruction budget.
+//!
+//! # Data flow per retired memory instruction
+//!
+//! ```text
+//! trace record → core model (ROB/LQ/SQ timing) → L1D → L2 ──→ LLC → DRAM
+//!                                                      │
+//!                                  prefetcher.on_demand(..) at the L2
+//!                                  (L1-miss stream, §5.2); returned
+//!                                  requests fill into L2 + LLC and
+//!                                  are charged to the DRAM bus
+//! ```
+//!
+//! The DRAM [`BandwidthMonitor`] samples bus occupancy in fixed windows
+//! and exposes the bucketed usage through [`SystemFeedback`] — the signal
+//! Pythia's reward scheme consumes. Every structure is deterministic: the
+//! same traces, configuration and prefetcher seeds produce a bit-identical
+//! [`SimReport`] (pinned by `tests/determinism.rs` and relied upon by the
+//! sweep engine's parallel==serial guarantee).
+//!
+//! Construction: [`System::new`] runs prefetcher-less; attach per-core
+//! prefetchers with [`System::with_prefetchers`] (a factory keyed by core
+//! index) or [`System::set_prefetcher`].
 
 use crate::addr;
 use crate::cache::{AccessKind, Cache, Lookup};

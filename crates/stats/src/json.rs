@@ -1,0 +1,570 @@
+//! A minimal JSON value type with a renderer and a strict parser.
+//!
+//! The workspace's `serde` is an offline no-op shim (see `vendor/serde`),
+//! so machine-readable output is produced through this hand-rolled value
+//! type instead of `serde_json`. The surface is deliberately small: build a
+//! [`Json`] tree, [`Json::render`] it, and [`parse`] it back (the sweep
+//! engine's round-trip tests and the CI smoke rely on the parser).
+
+use pythia_sim::stats::SimReport;
+
+use crate::metrics::Metrics;
+
+/// A JSON value. Object keys keep insertion order so rendered output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (always carried as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an empty object.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts a key into an object (panics on non-objects — builder misuse
+    /// is a programming error, not a data error).
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&render_number(*n)),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Self {
+        Json::Arr(items)
+    }
+}
+
+/// Renders an `f64` so that parsing the output recovers the exact value:
+/// integers in `i64` range print without a fraction, everything else uses
+/// Rust's shortest round-trippable representation.
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error, or of
+/// trailing non-whitespace after the top-level value.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let high = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = match high {
+                            // High surrogate: a low surrogate must follow
+                            // (escaped non-BMP characters come in pairs).
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{high:04x} at byte {}",
+                                        *pos
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "expected low surrogate after \\u{high:04x}, got \\u{low:04x}"
+                                    ));
+                                }
+                                *pos += 6;
+                                0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{high:04x} at byte {}",
+                                    *pos
+                                ))
+                            }
+                            bmp => bmp,
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe
+                // to do byte-wise on char boundaries).
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Serializes the Appendix A.6 [`Metrics`] as a JSON object.
+pub fn metrics_json(m: &Metrics) -> Json {
+    Json::obj()
+        .set("speedup", m.speedup)
+        .set("coverage", m.coverage)
+        .set("overprediction", m.overprediction)
+        .set("ipc", m.ipc)
+        .set("baseline_mpki", m.baseline_mpki)
+        .set("accuracy", m.accuracy)
+}
+
+/// Serializes a full [`SimReport`] as a JSON object (per-core IPC, cache
+/// miss counters, DRAM traffic and prefetcher counters).
+pub fn sim_report_json(r: &SimReport) -> Json {
+    let cores: Vec<Json> = r
+        .cores
+        .iter()
+        .map(|c| {
+            Json::obj()
+                .set("instructions", c.instructions)
+                .set("cycles", c.cycles)
+                .set("ipc", c.ipc())
+        })
+        .collect();
+    let cache = |c: &pythia_sim::stats::CacheStats| {
+        Json::obj()
+            .set("demand_loads", c.demand_loads)
+            .set("demand_load_misses", c.demand_load_misses)
+            .set("prefetch_fills", c.prefetch_fills)
+            .set("useful_prefetches", c.useful_prefetches)
+            .set("useless_prefetches", c.useless_prefetches)
+    };
+    Json::obj()
+        .set("geomean_ipc", r.geomean_ipc())
+        .set("llc_mpki", r.llc_mpki())
+        .set("prefetches_issued", r.prefetches_issued())
+        .set("cores", Json::Arr(cores))
+        .set("l2", Json::Arr(r.l2.iter().map(cache).collect()))
+        .set("llc", cache(&r.llc))
+        .set(
+            "dram",
+            Json::obj()
+                .set("demand_reads", r.dram.demand_reads)
+                .set("prefetch_reads", r.dram.prefetch_reads)
+                .set("writes", r.dram.writes)
+                .set(
+                    "bw_bucket_windows",
+                    Json::Arr(
+                        r.dram
+                            .bw_bucket_windows
+                            .iter()
+                            .map(|w| (*w).into())
+                            .collect(),
+                    ),
+                ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_scalars() {
+        for (v, s) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::Num(3.0), "3"),
+            (Json::Num(-1.25), "-1.25"),
+            (
+                Json::Str("hi \"there\"\n".into()),
+                "\"hi \\\"there\\\"\\n\"",
+            ),
+        ] {
+            assert_eq!(v.render(), s);
+            assert_eq!(parse(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v = Json::obj()
+            .set("name", "fig09")
+            .set("cells", Json::Arr(vec![Json::Num(1.5), Json::Null]))
+            .set("meta", Json::obj().set("threads", 4u64));
+        let compact = v.render();
+        assert_eq!(parse(&compact).unwrap(), v);
+        let pretty = v.render_pretty();
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.0, 1.0, -7.0, 1.234567, 1e-9, 6.02e23, f64::MAX] {
+            let rendered = render_number(n);
+            let back = parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back, n, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"abc"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+        assert_eq!(parse("\"π\"").unwrap(), Json::Str("π".into()));
+        // Non-BMP characters arrive as surrogate pairs.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert_eq!(
+            parse("\"x\\uD834\\uDD1Ey\"").unwrap(),
+            Json::Str("x\u{1D11E}y".into())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in [
+            "\"\\ud83d\"",        // lone high
+            "\"\\ude00\"",        // lone low
+            "\"\\ud83d\\u0041\"", // high followed by non-surrogate
+            "\"\\ud83dx\"",       // high followed by raw text
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = parse("{\"a\": 1, \"b\": [\"x\"]}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("b").unwrap().as_str(), None);
+    }
+}

@@ -74,6 +74,21 @@ impl Table {
         out
     }
 
+    /// Serializes as a JSON object `{"headers": [...], "rows": [[...]]}`
+    /// (cells stay strings; the sweep engine emits typed cells separately).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let headers: Vec<Json> = self.headers.iter().map(|h| h.as_str().into()).collect();
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(|c| c.as_str().into()).collect()))
+            .collect();
+        Json::obj()
+            .set("headers", Json::Arr(headers))
+            .set("rows", Json::Arr(rows))
+    }
+
     /// Renders as CSV (no quoting; callers keep cells comma-free).
     pub fn to_csv(&self) -> String {
         let mut out = self.headers.join(",");
@@ -139,6 +154,19 @@ mod tests {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "x".into()]);
+        let rendered = t.to_json().render();
+        let parsed = crate::json::parse(&rendered).expect("valid json");
+        let headers = parsed.get("headers").and_then(|h| h.as_arr()).unwrap();
+        assert_eq!(headers[0].as_str(), Some("a"));
+        let rows = parsed.get("rows").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("x"));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Grid expansion and parallel execution.
+
+use pythia::runner::{build_pythia_with, run_parallel, run_traces, run_traces_with};
+use pythia_sim::stats::SimReport;
+use pythia_stats::metrics;
+
+use crate::result::{CellResult, RawSummary, SweepResult};
+use crate::spec::{ConfigPoint, PrefetcherKind, SweepSpec, WorkUnit};
+
+/// Memoizes baseline simulations across campaigns.
+///
+/// Two places re-run identical baselines otherwise: multi-panel figures
+/// whose panels share units and configs (e.g. Fig. 9's per-suite and
+/// ladder panels both cover the Table 6 pool), and the §4.3 DSE
+/// procedures, which call the engine once per objective evaluation with
+/// the same workload cross-section every time. Keys cover everything that
+/// determines a baseline run — workload specs, system config, budgets,
+/// seed offset and the baseline prefetcher — so a hit is bit-identical to
+/// a fresh simulation (simulations are deterministic).
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    map: std::collections::HashMap<String, SimReport>,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized baseline reports.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn key(unit: &WorkUnit, kind: &PrefetcherKind, config: &ConfigPoint, seed: u64) -> String {
+        format!(
+            "{:?}|{kind:?}|{:?}|{}|{}|{seed}",
+            unit.workloads.iter().map(|w| &w.spec).collect::<Vec<_>>(),
+            config.system,
+            config.warmup,
+            config.measure
+        )
+    }
+}
+
+/// Runs one simulation for a grid coordinate.
+fn simulate(unit: &WorkUnit, kind: &PrefetcherKind, config: &ConfigPoint, seed: u64) -> SimReport {
+    let spec = config.run_spec();
+    let len = (config.warmup + config.measure) as usize;
+    let traces: Vec<_> = unit
+        .workloads
+        .iter()
+        .map(|w| {
+            let mut w = w.clone();
+            w.spec.seed = w.spec.seed.wrapping_add(seed);
+            w.trace(len)
+        })
+        .collect();
+    match kind {
+        PrefetcherKind::Named(name) => run_traces(traces, name, &spec),
+        PrefetcherKind::Pythia(cfg) => {
+            let cfg = cfg.clone();
+            run_traces_with(traces, &spec, move |_core| build_pythia_with(cfg.clone()))
+        }
+    }
+}
+
+/// Executes a sweep across `threads` worker threads and returns its typed
+/// result.
+///
+/// Every simulation in the grid — baselines included — is an independent
+/// job on the shared [`run_parallel`] pool; results come back in grid order
+/// regardless of scheduling, so the output is byte-identical for any thread
+/// count (including 1).
+///
+/// # Errors
+///
+/// Returns the first [`SweepSpec::validate`] error; never fails after
+/// validation passes.
+pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepResult, String> {
+    run_cached(spec, threads, &mut BaselineCache::new())
+}
+
+/// [`run`] with a [`BaselineCache`]: baseline coordinates already in the
+/// cache are served from memory instead of re-simulated, and fresh
+/// baseline reports are inserted for later campaigns. Results are
+/// bit-identical to an uncached [`run`].
+///
+/// # Errors
+///
+/// Returns the first [`SweepSpec::validate`] error.
+pub fn run_cached(
+    spec: &SweepSpec,
+    threads: usize,
+    cache: &mut BaselineCache,
+) -> Result<SweepResult, String> {
+    spec.validate()?;
+    let threads = threads.max(1);
+
+    // Expand the grid. Uncached baseline jobs first (one per unit × config
+    // × seed), then every measured cell, all in one batch so baselines
+    // don't serialize ahead of the cells.
+    let mut baseline_keys: Vec<String> = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = Vec::new();
+    for u in &spec.units {
+        for cp in &spec.configs {
+            for &seed in &spec.seeds {
+                let key = BaselineCache::key(u, &spec.baseline.kind, cp, seed);
+                if !cache.map.contains_key(&key) && !baseline_keys.contains(&key) {
+                    let (u, k, cp) = (u.clone(), spec.baseline.kind.clone(), cp.clone());
+                    jobs.push(Box::new(move || simulate(&u, &k, &cp, seed)));
+                    baseline_keys.push(key.clone());
+                }
+            }
+        }
+    }
+    for u in &spec.units {
+        for cp in &spec.configs {
+            for p in &spec.prefetchers {
+                for &seed in &spec.seeds {
+                    let (u, k, cp) = (u.clone(), p.kind.clone(), cp.clone());
+                    jobs.push(Box::new(move || simulate(&u, &k, &cp, seed)));
+                }
+            }
+        }
+    }
+
+    let mut reports = run_parallel(jobs, threads).into_iter();
+    for (key, report) in baseline_keys.into_iter().zip(reports.by_ref()) {
+        cache.map.insert(key, report);
+    }
+    let baseline_reports: Vec<SimReport> = {
+        let mut out = Vec::new();
+        for u in &spec.units {
+            for cp in &spec.configs {
+                for &seed in &spec.seeds {
+                    let key = BaselineCache::key(u, &spec.baseline.kind, cp, seed);
+                    out.push(cache.map[&key].clone());
+                }
+            }
+        }
+        out
+    };
+
+    // Index baselines in the same (unit, config, seed) expansion order.
+    let baseline_index =
+        |ui: usize, ci: usize, si: usize| (ui * spec.configs.len() + ci) * spec.seeds.len() + si;
+
+    let mut baselines = Vec::with_capacity(baseline_reports.len());
+    for (ui, u) in spec.units.iter().enumerate() {
+        for (ci, cp) in spec.configs.iter().enumerate() {
+            for (si, &seed) in spec.seeds.iter().enumerate() {
+                let report = &baseline_reports[baseline_index(ui, ci, si)];
+                baselines.push(CellResult {
+                    sweep: spec.name.clone(),
+                    unit: u.label.clone(),
+                    group: u.group.clone(),
+                    prefetcher: spec.baseline.label.clone(),
+                    config: cp.label.clone(),
+                    seed,
+                    metrics: metrics::compare(report, report),
+                    raw: RawSummary::of(report),
+                });
+            }
+        }
+    }
+
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    for (ui, u) in spec.units.iter().enumerate() {
+        for (ci, cp) in spec.configs.iter().enumerate() {
+            for p in &spec.prefetchers {
+                for (si, &seed) in spec.seeds.iter().enumerate() {
+                    let report = reports.next().expect("one report per cell job");
+                    let baseline = &baseline_reports[baseline_index(ui, ci, si)];
+                    cells.push(CellResult {
+                        sweep: spec.name.clone(),
+                        unit: u.label.clone(),
+                        group: u.group.clone(),
+                        prefetcher: p.label.clone(),
+                        config: cp.label.clone(),
+                        seed,
+                        metrics: metrics::compare(baseline, &report),
+                        raw: RawSummary::of(&report),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(SweepResult {
+        name: spec.name.clone(),
+        baselines,
+        cells,
+    })
+}
+
+/// Runs several sweeps (e.g. the panels of one figure) and merges them
+/// under `name`. Each panel still fans out over `threads` workers, and a
+/// shared [`BaselineCache`] keeps panels with overlapping (units ×
+/// configs × seeds) from re-simulating each other's baselines — Fig. 9's
+/// two panels cover the same 50-workload pool, for example.
+///
+/// # Errors
+///
+/// Returns the first validation error among the specs.
+pub fn run_all(name: &str, specs: &[SweepSpec], threads: usize) -> Result<SweepResult, String> {
+    let mut cache = BaselineCache::new();
+    let mut parts = Vec::with_capacity(specs.len());
+    for s in specs {
+        parts.push(run_cached(s, threads, &mut cache)?);
+    }
+    Ok(SweepResult::merge(name, parts))
+}

@@ -1,0 +1,56 @@
+//! # pythia-sweep
+//!
+//! The declarative experiment-campaign engine behind every figure/table
+//! harness of the Pythia reproduction.
+//!
+//! The paper's evaluation is ~20 figures and tables, each a grid of
+//! *(workloads × prefetchers × system configurations × seeds)* simulations
+//! followed by an aggregation (geomeans per suite, pivots per bandwidth
+//! point, ...). Instead of 22 hand-rolled serial loops, a harness describes
+//! its grid once as a [`SweepSpec`]:
+//!
+//! * [`WorkUnit`] — a single workload or an `n`-core mix,
+//! * [`PrefetcherSpec`] — a registry prefetcher name or an inline
+//!   [`pythia_core::PythiaConfig`] variant (for ablations and DSE),
+//! * [`ConfigPoint`] — a labelled system configuration plus warmup/measure
+//!   budgets (the swept axis of the Fig. 8 sensitivity studies),
+//! * a baseline prefetcher every cell is compared against (Appendix A.6).
+//!
+//! [`run`] expands the grid into independent simulation jobs, executes them
+//! across the [`pythia::runner::run_parallel`] worker pool — the in-process
+//! stand-in for the paper's slurm fan-out (§A.5) — and returns a
+//! [`SweepResult`]: one typed [`CellResult`] per grid cell, in a
+//! deterministic grid order that is **independent of the worker thread
+//! count** (the determinism tests pin parallel == serial, byte for byte).
+//!
+//! Results render as markdown ([`SweepResult::to_markdown`]), JSON
+//! ([`SweepResult::to_json`] — the `BENCH_*.json` data source) and CSV
+//! ([`SweepResult::to_csv`]), and aggregate through the combinators in
+//! [`agg`] ([`SweepResult::pivot`], [`SweepResult::aggregate`],
+//! [`SweepResult::weighted_coverage`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use pythia_sweep::{ConfigPoint, Key, SweepSpec, Value};
+//! use pythia_workloads::all_suites;
+//!
+//! let pool = all_suites();
+//! let spec = SweepSpec::new("demo")
+//!     .with_workloads(pool.iter().filter(|w| w.name.contains("mcf")).cloned())
+//!     .with_prefetchers(&["stride"])
+//!     .with_config(ConfigPoint::single_core("base", 1_000, 4_000));
+//! let result = pythia_sweep::run(&spec, 2).expect("valid spec");
+//! let table = result.pivot(Key::Unit, Key::Prefetcher, Value::Speedup);
+//! assert!(!table.is_empty());
+//! ```
+
+pub mod agg;
+pub mod engine;
+pub mod result;
+pub mod spec;
+
+pub use agg::{Key, Value};
+pub use engine::{run, run_cached, BaselineCache};
+pub use result::{CellResult, RawSummary, SweepResult};
+pub use spec::{ConfigPoint, PrefetcherKind, PrefetcherSpec, SweepSpec, WorkUnit};

@@ -2,8 +2,18 @@
 //! name, run the paper's warmup/measure methodology, and compute the
 //! Appendix A.6 metrics against a no-prefetching baseline.
 //!
-//! This is the API the examples, the integration tests and every
-//! table/figure harness binary in `pythia-bench` are written against.
+//! This is the API the examples, the integration tests and the
+//! `pythia-sweep` experiment-campaign engine are written against. The
+//! figure/table harnesses in `pythia-bench` no longer loop over
+//! [`run_workload`] directly — they declare grids as `pythia_sweep::SweepSpec`s
+//! that expand into [`run_traces`]/[`run_traces_with`] jobs executed on
+//! [`run_parallel`] (the in-process stand-in for the paper's slurm
+//! fan-out, §A.5), so regenerating the whole evaluation is an
+//! embarrassingly parallel, machine-checkable operation.
+//!
+//! [`evaluate_suite`] / [`evaluate_suite_parallel`] remain as the simple
+//! single-axis API for examples and tests; for anything with more than one
+//! swept axis, or for JSON/CSV artifacts, reach for `pythia-sweep`.
 
 use pythia_core::{Pythia, PythiaConfig};
 use pythia_prefetchers::multi::Multi;

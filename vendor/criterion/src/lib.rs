@@ -20,7 +20,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Calls `f` repeatedly for roughly [`MEASURE_TIME`] and records the
+    /// Calls `f` repeatedly for roughly 200 ms (`MEASURE_TIME`) and records the
     /// mean wall-clock cost per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm up and estimate a batch size.

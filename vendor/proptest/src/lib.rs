@@ -62,7 +62,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -158,7 +158,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -236,7 +236,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,
