@@ -76,7 +76,11 @@ fn main() {
     for (u, q) in samples.iter().step_by(2) {
         let mut row = vec![u.to_string()];
         for a in probe_actions {
-            let idx = cfg.actions.iter().position(|&x| x == a).unwrap();
+            let idx = cfg
+                .actions
+                .iter()
+                .position(|&x| x == a)
+                .expect("case-study offsets are Table 2 actions");
             row.push(format!("{:+.2}", q[idx]));
         }
         t.row(&row);
@@ -84,7 +88,11 @@ fn main() {
     println!("{}", t.to_markdown());
     let hist = pythia.action_histogram();
     let total: u64 = hist.iter().sum();
-    let plus23 = hist[cfg.actions.iter().position(|&x| x == 23).unwrap()];
+    let plus23 = hist[cfg
+        .actions
+        .iter()
+        .position(|&x| x == 23)
+        .expect("+23 is a Table 2 action")];
     println!(
         "offset +23 selected {plus23}/{total} times ({:.1}% of selections)",
         plus23 as f64 * 100.0 / total as f64

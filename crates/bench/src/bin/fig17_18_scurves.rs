@@ -22,7 +22,7 @@ fn main() {
             (b.unit.clone(), speeds)
         })
         .collect();
-    rows.sort_by(|a, b| a.1[3].partial_cmp(&b.1[3]).unwrap());
+    rows.sort_by(|a, b| a.1[3].total_cmp(&b.1[3]));
 
     let mut t = Table::new(&["workload", "spp", "bingo", "mlop", "pythia"]);
     for (name, speeds) in &rows {

@@ -54,7 +54,7 @@ fn main() {
     });
     let mut t = Table::new(&["state vector", "geomean speedup"]);
     let mut sorted = result.evaluated.clone();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (features, score) in sorted.iter().take(8) {
         let label: Vec<String> = features.iter().map(|f| f.label()).collect();
         t.row(&[label.join(" ; "), format!("{score:.3}")]);

@@ -31,14 +31,14 @@ fn main() {
         ("spp+ppf", "39.3 KB"),
     ];
     for (name, paper_kb) in paper {
-        let p = build_prefetcher(name, 0).unwrap();
+        let p = build_prefetcher(name, 0).expect("Table 4 names are registry prefetchers");
         t.row(&[
             name.to_string(),
             format!("{:.1} KB", p.storage_bits() as f64 / 8192.0),
             paper_kb.to_string(),
         ]);
     }
-    let pythia = build_prefetcher("pythia", 0).unwrap();
+    let pythia = build_prefetcher("pythia", 0).expect("pythia is a runner prefetcher");
     t.row(&[
         "pythia".into(),
         format!("{:.1} KB", pythia.storage_bits() as f64 / 8192.0),

@@ -1,12 +1,12 @@
 //! Subcommand implementations for `pythia-cli`.
 
-use std::io::Write as _;
-
-use pythia::runner::{build_prefetcher, run_workload, RunSpec};
+use pythia::runner::{build_prefetcher, run_sources, run_workload, RunSpec};
 use pythia_core::hw_model;
 use pythia_core::PythiaConfig;
 use pythia_sim::config::SystemConfig;
-use pythia_sim::trace::encode_trace;
+use pythia_sim::stats::{SimReport, Throughput};
+use pythia_sim::trace::{trace_file_info, FileTraceSource, TraceSource, TraceWriter};
+use pythia_stats::json::sim_report_json;
 use pythia_stats::metrics::compare as compare_metrics;
 use pythia_stats::report::Table;
 use pythia_workloads::suites::{all_suites, cvp_unseen};
@@ -21,7 +21,7 @@ pythia-cli — Pythia reproduction driver
 USAGE:
   pythia-cli list                               list workloads and prefetchers
   pythia-cli run <workload> <prefetcher>        simulate one configuration
-      [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
+      [--warmup N] [--measure N] [--mtps N] [--llc-kb N] [--report-json FILE]
   pythia-cli compare <workload>                 race prefetchers on a workload
       [--prefetchers spp,bingo,mlop,pythia] [--warmup N] [--measure N]
   pythia-cli sweep <figure>                     run a figure/table campaign in
@@ -30,8 +30,12 @@ USAGE:
   pythia-cli sweep --workloads a,b,c            ad-hoc sweep over named
       [--prefetchers x,y] [--baseline none]     workloads instead of a figure
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
-  pythia-cli trace <workload> <out-file>        write a binary trace file
-      [--instructions N]
+  pythia-cli trace record <workload> <file>     stream a workload to a binary
+      [--instructions N]                        trace file (O(1) memory)
+  pythia-cli trace replay <file> <prefetcher>   simulate straight from a trace
+      [--warmup N] [--measure N] [--mtps N]     file; byte-identical to the
+      [--llc-kb N] [--report-json FILE]         equivalent `run`
+  pythia-cli trace info <file>                  print trace header and stats
   pythia-cli storage                            print storage/overhead tables
 ";
 
@@ -108,6 +112,64 @@ pub fn list(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the shared `run` / `trace replay` result block: the Appendix
+/// A.6 metrics of `report` vs `baseline`, plus the wall-clock throughput
+/// of the pair of simulations.
+fn print_run_summary(
+    subject: &str,
+    prefetcher: &str,
+    baseline: &SimReport,
+    report: &SimReport,
+    throughput: Throughput,
+) {
+    let m = compare_metrics(baseline, report);
+    println!("workload        : {subject}");
+    println!("prefetcher      : {prefetcher}");
+    println!("baseline IPC    : {:.4}", baseline.geomean_ipc());
+    println!("IPC             : {:.4}", report.geomean_ipc());
+    println!("speedup         : {:.4}x", m.speedup);
+    println!("coverage        : {:.1}%", m.coverage * 100.0);
+    println!("overprediction  : {:.1}%", m.overprediction * 100.0);
+    println!("accuracy        : {:.1}%", m.accuracy * 100.0);
+    println!("baseline MPKI   : {:.1}", m.baseline_mpki);
+    println!("prefetches      : {}", report.prefetches_issued());
+    println!(
+        "throughput      : {:.2} Minst/s ({:.2} s wall)",
+        throughput.minst_per_sec(),
+        throughput.wall_seconds
+    );
+}
+
+/// Runs the baseline + measured simulation pair under one wall-clock
+/// measurement: two runs of `warmup+measure` instructions each
+/// (single-core), however the sources are built.
+fn timed_pair(
+    spec: &RunSpec,
+    baseline: impl FnOnce() -> SimReport,
+    measured: impl FnOnce() -> SimReport,
+) -> (SimReport, SimReport, Throughput) {
+    let started = std::time::Instant::now();
+    let baseline = baseline();
+    let report = measured();
+    let throughput = Throughput::new(
+        2 * (spec.warmup + spec.measure),
+        started.elapsed().as_secs_f64(),
+    );
+    (baseline, report, throughput)
+}
+
+/// Honours `--report-json FILE`: writes the deterministic [`SimReport`]
+/// JSON of the measured run (the artifact the CI record→replay smoke
+/// compares byte-for-byte).
+fn maybe_write_report_json(args: &ParsedArgs, report: &SimReport) -> Result<(), String> {
+    if let Some(path) = args.opt("report-json") {
+        std::fs::write(path, sim_report_json(report).render_pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote report JSON to {path}");
+    }
+    Ok(())
+}
+
 /// `pythia-cli run <workload> <prefetcher>`
 pub fn run(args: &ParsedArgs) -> Result<(), String> {
     let [workload, prefetcher] = args.positionals.as_slice() else {
@@ -120,20 +182,13 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
     }
     let w = find_workload(workload)?;
     let spec = spec_from(args)?;
-    let baseline = run_workload(&w, "none", &spec);
-    let report = run_workload(&w, prefetcher, &spec);
-    let m = compare_metrics(&baseline, &report);
-    println!("workload        : {}", w.name);
-    println!("prefetcher      : {prefetcher}");
-    println!("baseline IPC    : {:.4}", baseline.geomean_ipc());
-    println!("IPC             : {:.4}", report.geomean_ipc());
-    println!("speedup         : {:.4}x", m.speedup);
-    println!("coverage        : {:.1}%", m.coverage * 100.0);
-    println!("overprediction  : {:.1}%", m.overprediction * 100.0);
-    println!("accuracy        : {:.1}%", m.accuracy * 100.0);
-    println!("baseline MPKI   : {:.1}", m.baseline_mpki);
-    println!("prefetches      : {}", report.prefetches_issued());
-    Ok(())
+    let (baseline, report, throughput) = timed_pair(
+        &spec,
+        || run_workload(&w, "none", &spec),
+        || run_workload(&w, prefetcher, &spec),
+    );
+    print_run_summary(&w.name, prefetcher, &baseline, &report, throughput);
+    maybe_write_report_json(args, &report)
 }
 
 /// `pythia-cli compare <workload>`
@@ -260,23 +315,106 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// `pythia-cli trace <workload> <out-file>`
+/// `pythia-cli trace <record|replay|info> ...`
 pub fn trace(args: &ParsedArgs) -> Result<(), String> {
-    let [workload, out_file] = args.positionals.as_slice() else {
-        return Err("usage: pythia-cli trace <workload> <out-file> [--instructions N]".into());
+    match args.positionals.first().map(String::as_str) {
+        Some("record") => trace_record(args),
+        Some("replay") => trace_replay(args),
+        Some("info") => trace_info(args),
+        _ => Err(
+            "usage: pythia-cli trace record <workload> <file> [--instructions N]\n\
+             \x20      pythia-cli trace replay <file> <prefetcher> [options]\n\
+             \x20      pythia-cli trace info <file>"
+                .into(),
+        ),
+    }
+}
+
+/// `pythia-cli trace record <workload> <file>` — streams the workload's
+/// generator straight into the incremental binary encoder; no point of
+/// the pipeline holds the trace in memory.
+fn trace_record(args: &ParsedArgs) -> Result<(), String> {
+    let [_, workload, out_file] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli trace record <workload> <file> [--instructions N]".into());
     };
     let w = find_workload(workload)?;
     let n = args.opt_num("instructions", 500_000usize)?;
-    let records = w.trace(n);
-    let bytes = encode_trace(&records);
-    let mut f = std::fs::File::create(out_file).map_err(|e| format!("{out_file}: {e}"))?;
-    f.write_all(&bytes)
+    if n == 0 {
+        return Err("--instructions must be positive".into());
+    }
+    let mut writer = TraceWriter::create(out_file).map_err(|e| format!("{out_file}: {e}"))?;
+    let mut source = w.source(n);
+    while let Some(r) = source.next_record() {
+        writer
+            .write_record(&r)
+            .map_err(|e| format!("{out_file}: {e}"))?;
+    }
+    let (file, count) = writer.finish().map_err(|e| format!("{out_file}: {e}"))?;
+    let bytes = file
+        .metadata()
+        .map(|m| m.len())
         .map_err(|e| format!("{out_file}: {e}"))?;
-    println!(
-        "wrote {} instructions ({} bytes) to {out_file}",
-        records.len(),
-        bytes.len()
+    println!("recorded {count} instructions ({bytes} bytes) to {out_file}");
+    Ok(())
+}
+
+/// `pythia-cli trace replay <file> <prefetcher>` — simulates straight
+/// from a trace file. With the same budgets and a trace recorded at
+/// `--instructions warmup+measure`, the report is byte-identical to the
+/// equivalent `pythia-cli run` (pinned by the CI record→replay smoke).
+fn trace_replay(args: &ParsedArgs) -> Result<(), String> {
+    let [_, file, prefetcher] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli trace replay <file> <prefetcher> [options]".into());
+    };
+    if build_prefetcher(prefetcher, 0).is_none() {
+        return Err(format!(
+            "unknown prefetcher {prefetcher:?}; see `pythia-cli list`"
+        ));
+    }
+    let spec = spec_from(args)?;
+    // The first open fully validates the file; the baseline pass then
+    // reopens it on the header-only fast path instead of re-scanning.
+    let validated: Box<dyn TraceSource> =
+        Box::new(FileTraceSource::open(file).map_err(|e| format!("{file}: {e}"))?);
+    let trusted: Box<dyn TraceSource> =
+        Box::new(FileTraceSource::open_trusted(file).map_err(|e| format!("{file}: {e}"))?);
+    let (baseline, report, throughput) = timed_pair(
+        &spec,
+        || run_sources(vec![trusted], "none", &spec),
+        || run_sources(vec![validated], prefetcher, &spec),
     );
+    print_run_summary(file, prefetcher, &baseline, &report, throughput);
+    maybe_write_report_json(args, &report)
+}
+
+/// `pythia-cli trace info <file>` — header and one-pass stream statistics.
+fn trace_info(args: &ParsedArgs) -> Result<(), String> {
+    let [_, file] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli trace info <file>".into());
+    };
+    let info = trace_file_info(file).map_err(|e| format!("{file}: {e}"))?;
+    let pct = |n: u64| n as f64 * 100.0 / info.records.max(1) as f64;
+    println!("file            : {file}");
+    println!("format version  : {}", info.version);
+    println!("file size       : {} bytes", info.file_bytes);
+    println!("records         : {}", info.records);
+    println!("loads           : {} ({:.1}%)", info.loads, pct(info.loads));
+    println!(
+        "stores          : {} ({:.1}%)",
+        info.stores,
+        pct(info.stores)
+    );
+    println!(
+        "branches        : {} ({:.1}%, {} mispredicted)",
+        info.branches,
+        pct(info.branches),
+        info.mispredicts
+    );
+    println!("dependent loads : {}", info.dependent_loads);
+    match info.addr_range {
+        Some((lo, hi)) => println!("address range   : {lo:#x}..{hi:#x}"),
+        None => println!("address range   : (no memory operations)"),
+    }
     Ok(())
 }
 

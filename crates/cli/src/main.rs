@@ -7,7 +7,9 @@
 //! pythia-cli compare <workload> [--prefetchers a,b,c] [...]
 //! pythia-cli sweep <figure> [--threads N] [--format md|json|csv] [--out F]
 //! pythia-cli sweep --workloads a,b,c [--prefetchers x,y] [...]
-//! pythia-cli trace <workload> <out-file> [--instructions N]
+//! pythia-cli trace record <workload> <file> [--instructions N]
+//! pythia-cli trace replay <file> <prefetcher> [--warmup N] [--measure N]
+//! pythia-cli trace info <file>
 //! pythia-cli storage                           # Tables 4/7/8 summary
 //! ```
 

@@ -75,6 +75,8 @@ fn run_reports_metrics() {
         "overprediction",
         "accuracy",
         "prefetches",
+        "throughput",
+        "Minst/s",
     ] {
         assert!(
             text.contains(field),
@@ -129,17 +131,127 @@ fn compare_rejects_unknown_prefetcher_in_list() {
 }
 
 #[test]
-fn trace_writes_a_decodable_file() {
+fn trace_record_writes_a_decodable_file() {
     let dir = std::env::temp_dir().join("pythia_cli_smoke");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("out.pytr");
     let path_str = path.to_str().expect("utf-8 temp path");
-    let out = cli(&["trace", WORKLOAD, path_str, "--instructions", "5000"]);
+    let out = cli(&[
+        "trace",
+        "record",
+        WORKLOAD,
+        path_str,
+        "--instructions",
+        "5000",
+    ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    assert!(stdout(&out).contains("wrote 5000 instructions"));
+    assert!(stdout(&out).contains("recorded 5000 instructions"));
     let bytes = std::fs::read(&path).expect("trace file written");
     let records = pythia_sim::trace::decode_trace(bytes.as_slice()).expect("decodable trace");
     assert_eq!(records.len(), 5000);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_record_replay_roundtrip_matches_direct_run() {
+    let dir = std::env::temp_dir().join("pythia_cli_roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("w.pytr");
+    let trace_str = trace_path.to_str().expect("utf-8 temp path");
+    let direct_json = dir.join("direct.json");
+    let replay_json = dir.join("replay.json");
+
+    // Record exactly warmup+measure instructions, then both paths must
+    // produce byte-identical SimReport JSON.
+    let out = cli(&[
+        "trace",
+        "record",
+        WORKLOAD,
+        trace_str,
+        "--instructions",
+        "5000",
+    ]);
+    assert!(out.status.success(), "record: {}", stderr(&out));
+    let out = cli(&[
+        &["run", WORKLOAD, "stride"],
+        FAST,
+        &["--report-json", direct_json.to_str().expect("utf-8")],
+    ]
+    .concat());
+    assert!(out.status.success(), "run: {}", stderr(&out));
+    let out = cli(&[
+        &["trace", "replay", trace_str, "stride"],
+        FAST,
+        &["--report-json", replay_json.to_str().expect("utf-8")],
+    ]
+    .concat());
+    assert!(out.status.success(), "replay: {}", stderr(&out));
+    assert!(stdout(&out).contains("speedup"));
+
+    let direct = std::fs::read(&direct_json).expect("direct report");
+    let replay = std::fs::read(&replay_json).expect("replay report");
+    assert!(!direct.is_empty());
+    assert_eq!(
+        direct, replay,
+        "record → replay must reproduce the direct run byte-for-byte"
+    );
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&direct_json).ok();
+    std::fs::remove_file(&replay_json).ok();
+}
+
+#[test]
+fn trace_info_reports_header_and_mix() {
+    let dir = std::env::temp_dir().join("pythia_cli_info");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("info.pytr");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = cli(&[
+        "trace",
+        "record",
+        WORKLOAD,
+        path_str,
+        "--instructions",
+        "3000",
+    ]);
+    assert!(out.status.success(), "record: {}", stderr(&out));
+    let out = cli(&["trace", "info", path_str]);
+    assert!(out.status.success(), "info: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("records         : 3000"), "{text}");
+    for field in [
+        "format version",
+        "loads",
+        "stores",
+        "branches",
+        "address range",
+    ] {
+        assert!(text.contains(field), "info must report {field}: {text}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_rejects_bad_subcommand_and_bad_file() {
+    let out = cli(&["trace", WORKLOAD, "out.pytr"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: pythia-cli trace record"));
+
+    let out = cli(&["trace", "replay", "/no/such/file.pytr", "stride"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("/no/such/file.pytr"));
+
+    let out = cli(&["trace", "info", "/no/such/file.pytr"]);
+    assert!(!out.status.success());
+
+    // A non-trace file is rejected with a decode error, not a panic.
+    let dir = std::env::temp_dir().join("pythia_cli_badfile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("not_a_trace.pytr");
+    std::fs::write(&path, b"this is not a trace file, not even close").expect("write");
+    let out = cli(&["trace", "replay", path.to_str().expect("utf-8"), "stride"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad magic"), "{}", stderr(&out));
     std::fs::remove_file(&path).ok();
 }
 

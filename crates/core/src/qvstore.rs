@@ -135,18 +135,35 @@ impl QvStore {
         }
     }
 
-    /// Q-values of every action for `state` (one pipelined search, Fig. 6).
+    /// Q-values of every action for `state` (one pipelined search, Fig. 6),
+    /// collected into a fresh `Vec`. On per-demand paths prefer
+    /// [`q_row_into`](QvStore::q_row_into), which reuses a caller-owned
+    /// buffer, or [`argmax`](QvStore::argmax), which allocates nothing.
     pub fn q_row(&self, state: &[u64]) -> Vec<f32> {
-        (0..self.actions).map(|a| self.q(state, a)).collect()
+        let mut row = Vec::new();
+        self.q_row_into(state, &mut row);
+        row
+    }
+
+    /// Writes the Q-values of every action for `state` into `row`
+    /// (cleared and refilled), so per-demand callers can reuse one buffer
+    /// instead of allocating a fresh `Vec` per lookup.
+    pub fn q_row_into(&self, state: &[u64], row: &mut Vec<f32>) {
+        row.clear();
+        row.reserve(self.actions);
+        row.extend((0..self.actions).map(|a| self.q(state, a)));
     }
 
     /// The action with the maximum Q-value, with ties broken toward the
-    /// lowest index (deterministic hardware behaviour).
+    /// lowest index (deterministic hardware behaviour). Allocation-free —
+    /// this sits on the agent's per-demand path.
     pub fn argmax(&self, state: &[u64]) -> usize {
-        let row = self.q_row(state);
         let mut best = 0;
-        for (a, &q) in row.iter().enumerate() {
-            if q > row[best] {
+        let mut best_q = self.q(state, 0);
+        for a in 1..self.actions {
+            let q = self.q(state, a);
+            if q > best_q {
+                best_q = q;
                 best = a;
             }
         }
@@ -320,5 +337,23 @@ mod tests {
     fn q_row_length_matches_actions() {
         let s = store();
         assert_eq!(s.q_row(&[1, 2]).len(), PythiaConfig::basic().actions.len());
+    }
+
+    #[test]
+    fn q_row_into_reuses_the_buffer_and_matches_q_row() {
+        let mut s = store();
+        let cfg = PythiaConfig::basic();
+        for a in 0..cfg.actions.len() {
+            let r = if a == 3 { 12.0 } else { -3.0 };
+            s.sarsa_update(&[9, 9], a, r, &[9, 9], a, 0.05, cfg.gamma);
+        }
+        let mut buf = vec![0.0f32; 99]; // stale content must be cleared
+        s.q_row_into(&[9, 9], &mut buf);
+        assert_eq!(buf, s.q_row(&[9, 9]));
+        assert_eq!(buf.len(), cfg.actions.len());
+        // argmax agrees with the row without allocating.
+        let best = s.argmax(&[9, 9]);
+        let row = s.q_row(&[9, 9]);
+        assert!(row.iter().all(|&q| q <= row[best]));
     }
 }

@@ -21,7 +21,14 @@
 //! * a [`system::System`] that assembles 1–12 core configurations per
 //!   Table 5 of the paper and produces [`stats::SimReport`]s.
 //!
-//! Simulations are deterministic by construction: the same traces,
+//! Cores pull instructions from [`trace::TraceSource`]s — resettable,
+//! deterministic record streams — so the simulator's peak memory is
+//! independent of trace length: traces can be generated on demand
+//! (`pythia-workloads`), replayed from disk
+//! ([`trace::FileTraceSource`]), or wrapped from memory
+//! ([`trace::VecSource`]).
+//!
+//! Simulations are deterministic by construction: the same trace streams,
 //! [`config::SystemConfig`] and prefetcher seeds yield a bit-identical
 //! [`stats::SimReport`], which is what lets the `pythia-sweep` engine run
 //! experiment grids in parallel with byte-identical output. The
@@ -33,14 +40,14 @@
 //! ```rust
 //! use pythia_sim::config::SystemConfig;
 //! use pythia_sim::system::System;
-//! use pythia_sim::trace::TraceRecord;
+//! use pythia_sim::trace::{TraceRecord, VecSource};
 //!
 //! // A tiny streaming trace: one load per instruction, consecutive lines.
 //! let trace: Vec<TraceRecord> = (0..10_000u64)
 //!     .map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64))
 //!     .collect();
 //! let config = SystemConfig::single_core();
-//! let mut system = System::new(config, vec![trace]);
+//! let mut system = System::new(config, vec![VecSource::boxed(trace)]);
 //! let report = system.run(1_000, 8_000);
 //! assert!(report.cores[0].ipc() > 0.0);
 //! ```
@@ -60,4 +67,4 @@ pub use config::SystemConfig;
 pub use prefetch::{DemandAccess, PrefetchRequest, Prefetcher, SystemFeedback};
 pub use stats::SimReport;
 pub use system::System;
-pub use trace::TraceRecord;
+pub use trace::{TraceRecord, TraceSource, VecSource};

@@ -162,6 +162,52 @@ impl PrefetcherStats {
     }
 }
 
+/// Simulation throughput telemetry: simulated instructions per wall-clock
+/// second, the perf-trajectory line tracked in `BENCH_*.json`.
+///
+/// Deliberately **not** part of [`SimReport`]: reports are
+/// bit-deterministic (same inputs ⇒ byte-identical report) while wall
+/// time varies run to run, so throughput travels alongside reports — e.g.
+/// `pythia_sweep::SweepResult::throughput` — and is excluded from every
+/// determinism-pinned comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Simulated instructions covered by this measurement (warmup +
+    /// measured phases, summed over cores and runs).
+    pub instructions: u64,
+    /// Wall-clock seconds those instructions took to simulate.
+    pub wall_seconds: f64,
+}
+
+impl Throughput {
+    /// A measurement from raw parts.
+    pub fn new(instructions: u64, wall_seconds: f64) -> Self {
+        Self {
+            instructions,
+            wall_seconds,
+        }
+    }
+
+    /// Million simulated instructions per wall-clock second (0 when no
+    /// time elapsed).
+    pub fn minst_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.wall_seconds / 1e6
+        }
+    }
+
+    /// Merges two measurements (instructions and wall time add — the
+    /// batches ran one after the other).
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            instructions: self.instructions + other.instructions,
+            wall_seconds: self.wall_seconds + other.wall_seconds,
+        }
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {

@@ -36,15 +36,14 @@ use crate::cpu::CoreModel;
 use crate::dram::{BandwidthMonitor, Dram, DramRequestKind};
 use crate::prefetch::{DemandAccess, FillEvent, NoPrefetcher, Prefetcher, SystemFeedback};
 use crate::stats::{CoreStats, SimReport};
-use crate::trace::TraceRecord;
+use crate::trace::TraceSource;
 
 struct CoreUnit {
     model: CoreModel,
     l1d: Cache,
     l2: Cache,
     prefetcher: Box<dyn Prefetcher>,
-    trace: Vec<TraceRecord>,
-    pos: usize,
+    source: Box<dyn TraceSource>,
     measure_start_cycle: u64,
     finished: bool,
     final_stats: Option<CoreStats>,
@@ -69,35 +68,35 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Builds a system running one trace per core with no prefetching.
+    /// Builds a system running one trace source per core with no
+    /// prefetching. Sources are pulled on demand — the system never holds
+    /// a materialized trace, so peak memory is independent of trace
+    /// length. Wrap an in-memory trace with
+    /// [`VecSource`](crate::trace::VecSource) when needed.
     ///
     /// # Panics
     ///
-    /// Panics if the number of traces does not match `config.cores`, or if
-    /// any trace is empty.
-    pub fn new(config: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Self {
+    /// Panics if the number of sources does not match `config.cores`.
+    /// A source that yields no records at all panics when first stepped.
+    pub fn new(config: SystemConfig, sources: Vec<Box<dyn TraceSource>>) -> Self {
         assert_eq!(
-            traces.len(),
+            sources.len(),
             config.cores,
-            "need exactly one trace per core ({} cores, {} traces)",
+            "need exactly one trace per core ({} cores, {} sources)",
             config.cores,
-            traces.len()
+            sources.len()
         );
-        let cores = traces
+        let cores = sources
             .into_iter()
-            .map(|trace| {
-                assert!(!trace.is_empty(), "traces must be non-empty");
-                CoreUnit {
-                    model: CoreModel::new(config.core),
-                    l1d: Cache::new("L1D", &config.l1d),
-                    l2: Cache::new("L2", &config.l2),
-                    prefetcher: Box::new(NoPrefetcher::new()),
-                    trace,
-                    pos: 0,
-                    measure_start_cycle: 0,
-                    finished: false,
-                    final_stats: None,
-                }
+            .map(|source| CoreUnit {
+                model: CoreModel::new(config.core),
+                l1d: Cache::new("L1D", &config.l1d),
+                l2: Cache::new("L2", &config.l2),
+                prefetcher: Box::new(NoPrefetcher::new()),
+                source,
+                measure_start_cycle: 0,
+                finished: false,
+                final_stats: None,
             })
             .collect();
         Self {
@@ -117,10 +116,10 @@ impl System {
     /// core. Prefetchers sit at the L2, trained on the L1 miss stream.
     pub fn with_prefetchers(
         config: SystemConfig,
-        traces: Vec<Vec<TraceRecord>>,
+        sources: Vec<Box<dyn TraceSource>>,
         factory: impl Fn(usize) -> Box<dyn Prefetcher>,
     ) -> Self {
-        let mut sys = Self::new(config, traces);
+        let mut sys = Self::new(config, sources);
         for (i, core) in sys.cores.iter_mut().enumerate() {
             core.prefetcher = factory(i);
         }
@@ -148,9 +147,17 @@ impl System {
     fn step_core(&mut self, idx: usize) {
         let record = {
             let core = &mut self.cores[idx];
-            let r = core.trace[core.pos];
-            core.pos = (core.pos + 1) % core.trace.len();
-            r
+            match core.source.next_record() {
+                Some(r) => r,
+                None => {
+                    // Pass ended: replay the trace from the start (paper
+                    // methodology — cores wrap until their budget retires).
+                    core.source.reset();
+                    core.source
+                        .next_record()
+                        .expect("trace source must yield at least one record")
+                }
+            }
         };
 
         if let Some(branch) = record.branch {
@@ -511,12 +518,14 @@ fn ship_signature(pc: u64) -> u16 {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
-    use crate::trace::TraceRecord;
+    use crate::trace::{TraceRecord, VecSource};
 
-    fn stream_trace(n: u64, base: u64) -> Vec<TraceRecord> {
-        (0..n)
-            .map(|i| TraceRecord::load(0x400000, base + i * 64))
-            .collect()
+    fn stream_trace(n: u64, base: u64) -> Box<dyn TraceSource> {
+        VecSource::boxed(
+            (0..n)
+                .map(|i| TraceRecord::load(0x400000, base + i * 64))
+                .collect(),
+        )
     }
 
     #[test]
@@ -553,7 +562,7 @@ mod tests {
         let trace: Vec<TraceRecord> = (0..20_000)
             .map(|i| TraceRecord::load(0x400000, 0x3000_0000 + (i % lines) * 64))
             .collect();
-        let mut sys = System::new(SystemConfig::single_core(), vec![trace]);
+        let mut sys = System::new(SystemConfig::single_core(), vec![VecSource::boxed(trace)]);
         let report = sys.run(2_000, 10_000);
         let l1 = &report.l1d[0];
         assert!(

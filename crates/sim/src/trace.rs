@@ -1,9 +1,23 @@
-//! Instruction trace records and a compact binary codec.
+//! Instruction trace records, the [`TraceSource`] streaming abstraction,
+//! and a compact binary codec.
 //!
 //! The paper drives ChampSim with Pin-collected instruction traces; this
-//! module defines the equivalent in-memory record and a simple
-//! length-prefixed binary format (via [`bytes`]) so generated traces can be
-//! stored and replayed.
+//! module defines the equivalent in-memory record, the streaming
+//! [`TraceSource`] trait every trace producer implements (in-memory
+//! vectors, on-demand workload generators, on-disk trace files), and a
+//! length-prefixed binary format so traces can be recorded and replayed
+//! without ever materializing them in memory:
+//!
+//! * [`VecSource`] — wraps an in-memory `Vec<TraceRecord>`,
+//! * [`TraceWriter`] — incremental encoder writing the binary format
+//!   record-by-record (the streaming counterpart of [`encode_trace`]),
+//! * [`FileTraceSource`] — streams records back from a trace file in O(1)
+//!   memory (the streaming counterpart of [`decode_trace`]),
+//! * [`trace_file_info`] — one streaming pass computing header + mix
+//!   statistics for `pythia-cli trace info`.
+
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -121,10 +135,85 @@ impl TraceRecord {
     }
 }
 
+/// A resettable, deterministic stream of [`TraceRecord`]s.
+///
+/// This is the contract the simulator drives cores from: records are
+/// pulled on demand, and when a finite stream ends the caller calls
+/// [`reset`](TraceSource::reset) to replay it from the beginning (the
+/// paper's methodology replays traces until every core retires its
+/// instruction budget). Determinism is part of the contract — after a
+/// `reset`, a source must yield exactly the same record sequence again, so
+/// streaming and materialized execution are byte-identical.
+///
+/// Implementations: [`VecSource`] (in-memory), [`FileTraceSource`]
+/// (on-disk replay), and `pythia_workloads::TraceStream` (on-demand
+/// generation).
+pub trait TraceSource: Send {
+    /// The next record, or `None` when the stream's current pass ends.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Restarts the stream; the following
+    /// [`next_record`](TraceSource::next_record) calls replay the
+    /// identical sequence.
+    fn reset(&mut self);
+
+    /// Records per pass, when known up front (`None` for unbounded or
+    /// unknown-length streams).
+    fn len_hint(&self) -> Option<u64>;
+}
+
+/// A [`TraceSource`] over an in-memory record vector.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    records: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Wraps a record vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty — an empty source would replay nothing
+    /// forever.
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "traces must be non-empty");
+        Self { records, pos: 0 }
+    }
+
+    /// [`VecSource::new`] boxed as a trait object — the common call-site
+    /// shape (`System::new(cfg, vec![VecSource::boxed(trace)])`).
+    pub fn boxed(records: Vec<TraceRecord>) -> Box<dyn TraceSource> {
+        Box::new(Self::new(records))
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
 /// Magic bytes at the head of the binary trace format.
 const TRACE_MAGIC: u32 = 0x5059_5452; // "PYTR"
 /// Version of the binary trace format.
 const TRACE_VERSION: u16 = 1;
+/// Header size in bytes: magic (4) + version (2) + record count (8).
+const TRACE_HEADER_LEN: u64 = 14;
+/// Byte offset of the record-count field within the header.
+const TRACE_COUNT_OFFSET: u64 = 6;
 
 // Flag bits used by the codec.
 const FLAG_HAS_MEM: u8 = 1 << 0;
@@ -157,6 +246,67 @@ impl std::fmt::Display for DecodeTraceError {
 
 impl std::error::Error for DecodeTraceError {}
 
+/// The flag byte of one record's binary encoding.
+fn record_flags(r: &TraceRecord) -> u8 {
+    let mut flags = 0u8;
+    if let Some(m) = r.mem {
+        flags |= FLAG_HAS_MEM;
+        if m.is_write {
+            flags |= FLAG_IS_WRITE;
+        }
+    }
+    if let Some(b) = r.branch {
+        flags |= FLAG_HAS_BRANCH;
+        if b.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if b.mispredicted {
+            flags |= FLAG_MISPREDICTED;
+        }
+    }
+    if r.depends_on_prev_load {
+        flags |= FLAG_DEPENDENT;
+    }
+    flags
+}
+
+/// Maximum encoded size of one record: flags (1) + pc (8) + addr (8).
+const MAX_RECORD_LEN: usize = 17;
+
+/// Encodes one record into a stack buffer, returning the buffer and the
+/// encoded length — the single wire definition shared by [`encode_trace`]
+/// and [`TraceWriter::write_record`].
+fn encode_record(r: &TraceRecord) -> ([u8; MAX_RECORD_LEN], usize) {
+    let mut buf = [0u8; MAX_RECORD_LEN];
+    buf[0] = record_flags(r);
+    buf[1..9].copy_from_slice(&r.pc.to_be_bytes());
+    match r.mem {
+        Some(m) => {
+            buf[9..17].copy_from_slice(&m.addr.to_be_bytes());
+            (buf, MAX_RECORD_LEN)
+        }
+        None => (buf, 9),
+    }
+}
+
+/// Reassembles a record from its decoded wire parts — the single inverse
+/// of [`encode_record`], shared by [`decode_trace`] and the streaming
+/// file reader.
+fn record_from_parts(flags: u8, pc: u64, addr: Option<u64>) -> TraceRecord {
+    TraceRecord {
+        pc,
+        mem: addr.map(|addr| MemOp {
+            addr,
+            is_write: flags & FLAG_IS_WRITE != 0,
+        }),
+        branch: (flags & FLAG_HAS_BRANCH != 0).then_some(Branch {
+            taken: flags & FLAG_TAKEN != 0,
+            mispredicted: flags & FLAG_MISPREDICTED != 0,
+        }),
+        depends_on_prev_load: flags & FLAG_DEPENDENT != 0,
+    }
+}
+
 /// Encodes a trace into the compact binary format.
 pub fn encode_trace(records: &[TraceRecord]) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + records.len() * 10);
@@ -164,32 +314,8 @@ pub fn encode_trace(records: &[TraceRecord]) -> Bytes {
     buf.put_u16(TRACE_VERSION);
     buf.put_u64(records.len() as u64);
     for r in records {
-        let mut flags = 0u8;
-        if r.mem.is_some() {
-            flags |= FLAG_HAS_MEM;
-        }
-        if let Some(m) = r.mem {
-            if m.is_write {
-                flags |= FLAG_IS_WRITE;
-            }
-        }
-        if let Some(b) = r.branch {
-            flags |= FLAG_HAS_BRANCH;
-            if b.taken {
-                flags |= FLAG_TAKEN;
-            }
-            if b.mispredicted {
-                flags |= FLAG_MISPREDICTED;
-            }
-        }
-        if r.depends_on_prev_load {
-            flags |= FLAG_DEPENDENT;
-        }
-        buf.put_u8(flags);
-        buf.put_u64(r.pc);
-        if let Some(m) = r.mem {
-            buf.put_u64(m.addr);
-        }
+        let (bytes, len) = encode_record(r);
+        buf.put_slice(&bytes[..len]);
     }
     buf.freeze()
 }
@@ -218,33 +344,414 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<TraceRecord>, DecodeTraceEr
         }
         let flags = buf.get_u8();
         let pc = buf.get_u64();
-        let mem = if flags & FLAG_HAS_MEM != 0 {
+        let addr = if flags & FLAG_HAS_MEM != 0 {
             if buf.remaining() < 8 {
                 return Err(DecodeTraceError::Truncated);
             }
-            Some(MemOp {
-                addr: buf.get_u64(),
-                is_write: flags & FLAG_IS_WRITE != 0,
-            })
+            Some(buf.get_u64())
         } else {
             None
         };
-        let branch = if flags & FLAG_HAS_BRANCH != 0 {
-            Some(Branch {
-                taken: flags & FLAG_TAKEN != 0,
-                mispredicted: flags & FLAG_MISPREDICTED != 0,
-            })
-        } else {
-            None
-        };
-        out.push(TraceRecord {
-            pc,
-            mem,
-            branch,
-            depends_on_prev_load: flags & FLAG_DEPENDENT != 0,
-        });
+        out.push(record_from_parts(flags, pc, addr));
     }
     Ok(out)
+}
+
+/// Errors produced by the file-backed trace paths ([`TraceWriter`],
+/// [`FileTraceSource`], [`trace_file_info`]).
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file's contents are not a valid trace.
+    Decode(DecodeTraceError),
+    /// The header promised `header` records but the file holds `actual`.
+    CountMismatch {
+        /// Record count claimed by the header.
+        header: u64,
+        /// Records actually present before EOF / truncation.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace file I/O error: {e}"),
+            Self::Decode(e) => write!(f, "{e}"),
+            Self::CountMismatch { header, actual } => write!(
+                f,
+                "trace header promises {header} record(s) but the file holds {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            Self::CountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeTraceError> for TraceFileError {
+    fn from(e: DecodeTraceError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+/// Incremental encoder for the binary trace format: the streaming
+/// counterpart of [`encode_trace`], producing byte-identical output
+/// without ever holding the trace in memory.
+///
+/// The header's record count is back-patched on
+/// [`finish`](TraceWriter::finish), so the sink must support seeking (a
+/// [`std::fs::File`] does). Dropping a writer without calling `finish`
+/// leaves a file whose header claims zero records — [`FileTraceSource`]
+/// and [`trace_file_info`] reject such files with
+/// [`TraceFileError::CountMismatch`].
+pub struct TraceWriter<W: Write + Seek> {
+    out: BufWriter<W>,
+    count: u64,
+}
+
+impl TraceWriter<std::fs::File> {
+    /// Creates (or truncates) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file or writing the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        Self::new(std::fs::File::create(path)?)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Wraps a sink and writes the trace header (with a zero record count,
+    /// back-patched by [`finish`](TraceWriter::finish)).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(inner: W) -> Result<Self, TraceFileError> {
+        let mut out = BufWriter::new(inner);
+        out.write_all(&TRACE_MAGIC.to_be_bytes())?;
+        out.write_all(&TRACE_VERSION.to_be_bytes())?;
+        out.write_all(&0u64.to_be_bytes())?;
+        Ok(Self { out, count: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the sink.
+    pub fn write_record(&mut self, r: &TraceRecord) -> Result<(), TraceFileError> {
+        let (bytes, len) = encode_record(r);
+        self.out.write_all(&bytes[..len])?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Back-patches the header's record count, flushes, and returns the
+    /// sink along with the final record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from seeking or flushing.
+    pub fn finish(mut self) -> Result<(W, u64), TraceFileError> {
+        self.out.flush()?;
+        let mut inner = self
+            .out
+            .into_inner()
+            .map_err(|e| TraceFileError::Io(e.into_error()))?;
+        inner.seek(SeekFrom::Start(TRACE_COUNT_OFFSET))?;
+        inner.write_all(&self.count.to_be_bytes())?;
+        inner.flush()?;
+        Ok((inner, self.count))
+    }
+}
+
+/// Reads a big-endian `u64` mid-record; EOF here means a torn record.
+fn read_u64(r: &mut impl Read) -> Result<u64, TraceFileError> {
+    let mut bytes = [0u8; 8];
+    r.read_exact(&mut bytes).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            DecodeTraceError::Truncated.into()
+        } else {
+            TraceFileError::Io(e)
+        }
+    })?;
+    Ok(u64::from_be_bytes(bytes))
+}
+
+/// Reads one encoded record from a byte stream. `Ok(None)` means clean EOF
+/// at a record boundary; [`DecodeTraceError::Truncated`] means the stream
+/// ended mid-record. The flag byte is read on its own so EOF before it
+/// (boundary) and EOF after it (torn record) are told apart exactly.
+fn read_record(r: &mut impl Read) -> Result<Option<TraceRecord>, TraceFileError> {
+    let mut flags = [0u8; 1];
+    match r.read_exact(&mut flags) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let flags = flags[0];
+    let pc = read_u64(r)?;
+    let addr = if flags & FLAG_HAS_MEM != 0 {
+        Some(read_u64(r)?)
+    } else {
+        None
+    };
+    Ok(Some(record_from_parts(flags, pc, addr)))
+}
+
+/// Reads and validates the fixed-size header, returning the record count.
+fn read_header(r: &mut impl Read) -> Result<u64, TraceFileError> {
+    let mut header = [0u8; TRACE_HEADER_LEN as usize];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            DecodeTraceError::Truncated.into()
+        } else {
+            TraceFileError::Io(e)
+        }
+    })?;
+    if u32::from_be_bytes(header[0..4].try_into().expect("4-byte magic")) != TRACE_MAGIC {
+        return Err(DecodeTraceError::BadMagic.into());
+    }
+    let version = u16::from_be_bytes(header[4..6].try_into().expect("2-byte version"));
+    if version != TRACE_VERSION {
+        return Err(DecodeTraceError::UnsupportedVersion(version).into());
+    }
+    Ok(u64::from_be_bytes(
+        header[6..14].try_into().expect("8-byte count"),
+    ))
+}
+
+/// A [`TraceSource`] streaming records from a binary trace file in O(1)
+/// memory: the replay path for `pythia-cli trace replay` and the
+/// counterpart of the all-at-once [`decode_trace`].
+///
+/// [`open`](FileTraceSource::open) validates the entire file up front (one
+/// streaming pass checking the header count and record framing), so the
+/// replay loop afterwards cannot encounter a decode error — mid-stream
+/// `next_record` failures would mean the file changed underneath us and
+/// abort with a panic naming the file.
+pub struct FileTraceSource {
+    reader: BufReader<std::fs::File>,
+    path: PathBuf,
+    total: u64,
+    remaining: u64,
+}
+
+impl std::fmt::Debug for FileTraceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileTraceSource")
+            .field("path", &self.path)
+            .field("total", &self.total)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+impl FileTraceSource {
+    /// Opens and fully validates a trace file (header, framing, record
+    /// count), leaving the stream positioned at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError`] on I/O failures, a bad header, torn
+    /// records, or a header/content record-count mismatch. A valid file
+    /// with zero records is also rejected (a [`TraceSource`] must be
+    /// non-empty).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let mut src = Self::open_trusted(path)?;
+        // Validation pass: every record must decode, and the count must
+        // match the header exactly (no trailing garbage, no truncation).
+        let mut actual = 0u64;
+        while read_record(&mut src.reader)?.is_some() {
+            actual += 1;
+        }
+        if actual != src.total {
+            return Err(TraceFileError::CountMismatch {
+                header: src.total,
+                actual,
+            });
+        }
+        src.reset();
+        Ok(src)
+    }
+
+    /// Opens a trace file checking only the header (magic, version, a
+    /// non-zero record count) — skipping [`open`](FileTraceSource::open)'s
+    /// O(n) framing scan. For callers that validated the same file moments
+    /// before (e.g. a second replay pass); a file modified since then
+    /// aborts mid-replay with a panic naming the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError`] on I/O failures, a bad header, or a
+    /// zero-record count (an unfinished [`TraceWriter`] or empty trace).
+    pub fn open_trusted(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(std::fs::File::open(&path)?);
+        let total = read_header(&mut reader)?;
+        if total == 0 {
+            return Err(TraceFileError::CountMismatch {
+                header: 0,
+                actual: 0,
+            });
+        }
+        Ok(Self {
+            reader,
+            path,
+            total,
+            remaining: total,
+        })
+    }
+
+    /// Records per pass (the header count).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the file holds no records (never true for an opened source;
+    /// [`open`](FileTraceSource::open) rejects empty files).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl TraceSource for FileTraceSource {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // `open` validated every record, so failures here mean the file
+        // was modified while we replay it — not a recoverable state.
+        let record = read_record(&mut self.reader)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "trace file {} changed during replay: {e}",
+                    self.path.display()
+                )
+            })
+            .unwrap_or_else(|| {
+                panic!("trace file {} truncated during replay", self.path.display())
+            });
+        self.remaining -= 1;
+        Some(record)
+    }
+
+    fn reset(&mut self) {
+        self.reader
+            .seek(SeekFrom::Start(TRACE_HEADER_LEN))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "trace file {}: seek failed on reset: {e}",
+                    self.path.display()
+                )
+            });
+        self.remaining = self.total;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+/// Summary of a trace file computed by [`trace_file_info`] in one
+/// streaming pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Binary format version.
+    pub version: u16,
+    /// Record count (validated against the header).
+    pub records: u64,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Loads flagged as dependent on the previous load.
+    pub dependent_loads: u64,
+    /// Smallest and largest byte address touched, if any memory op exists.
+    pub addr_range: Option<(u64, u64)>,
+}
+
+/// Streams through a trace file and returns its [`TraceInfo`] without
+/// materializing any records.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError`] on I/O failures, a bad header, torn records,
+/// or a header/content record-count mismatch.
+pub fn trace_file_info(path: impl AsRef<Path>) -> Result<TraceInfo, TraceFileError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let file_bytes = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let total = read_header(&mut reader)?;
+    let mut info = TraceInfo {
+        version: TRACE_VERSION,
+        records: 0,
+        file_bytes,
+        loads: 0,
+        stores: 0,
+        branches: 0,
+        mispredicts: 0,
+        dependent_loads: 0,
+        addr_range: None,
+    };
+    while let Some(r) = read_record(&mut reader)? {
+        info.records += 1;
+        if let Some(m) = r.mem {
+            if m.is_write {
+                info.stores += 1;
+            } else {
+                info.loads += 1;
+            }
+            info.addr_range = Some(match info.addr_range {
+                None => (m.addr, m.addr),
+                Some((lo, hi)) => (lo.min(m.addr), hi.max(m.addr)),
+            });
+        }
+        if let Some(b) = r.branch {
+            info.branches += 1;
+            if b.mispredicted {
+                info.mispredicts += 1;
+            }
+        }
+        if r.depends_on_prev_load {
+            info.dependent_loads += 1;
+        }
+    }
+    if info.records != total {
+        return Err(TraceFileError::CountMismatch {
+            header: total,
+            actual: info.records,
+        });
+    }
+    Ok(info)
 }
 
 #[cfg(test)]
@@ -308,5 +815,114 @@ mod tests {
     fn empty_trace_roundtrip() {
         let encoded = encode_trace(&[]);
         assert_eq!(decode_trace(encoded).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn vec_source_streams_and_resets() {
+        let records = sample();
+        let mut src = VecSource::new(records.clone());
+        assert_eq!(src.len_hint(), Some(records.len() as u64));
+        let first: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(first, records);
+        assert_eq!(src.next_record(), None, "pass ended");
+        src.reset();
+        let second: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(second, records, "reset replays identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn vec_source_rejects_empty() {
+        let _ = VecSource::new(Vec::new());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pythia_trace_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn writer_output_is_byte_identical_to_encode_trace() {
+        let records = sample();
+        let path = temp_path("writer_bytes.pytr");
+        let mut w = TraceWriter::create(&path).expect("create");
+        for r in &records {
+            w.write_record(r).expect("write");
+        }
+        let (_, n) = w.finish().expect("finish");
+        assert_eq!(n, records.len() as u64);
+        let bytes = std::fs::read(&path).expect("read back");
+        assert_eq!(bytes, encode_trace(&records).to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_replays_and_resets() {
+        let records = sample();
+        let path = temp_path("file_source.pytr");
+        std::fs::write(&path, encode_trace(&records)).expect("write trace");
+        let mut src = FileTraceSource::open(&path).expect("open");
+        assert_eq!(src.len(), records.len() as u64);
+        assert_eq!(src.len_hint(), Some(records.len() as u64));
+        let first: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(first, records);
+        src.reset();
+        let second: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(second, records, "reset replays identically");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_rejects_bad_and_torn_files() {
+        let path = temp_path("garbage.pytr");
+        std::fs::write(&path, [0u8; 32]).expect("write");
+        assert!(matches!(
+            FileTraceSource::open(&path),
+            Err(TraceFileError::Decode(DecodeTraceError::BadMagic))
+        ));
+
+        // Truncate a valid trace mid-record: framing error.
+        let encoded = encode_trace(&sample());
+        std::fs::write(&path, &encoded[..encoded.len() - 4]).expect("write");
+        assert!(matches!(
+            FileTraceSource::open(&path),
+            Err(TraceFileError::Decode(DecodeTraceError::Truncated))
+        ));
+
+        // Chop whole records off the tail: count mismatch.
+        std::fs::write(&path, &encoded[..encoded.len() - 17]).expect("write");
+        assert!(matches!(
+            FileTraceSource::open(&path),
+            Err(TraceFileError::CountMismatch { .. })
+        ));
+
+        // An unfinished writer leaves a zero-count header.
+        let mut w = TraceWriter::create(&path).expect("create");
+        w.write_record(&TraceRecord::nop(1)).expect("write");
+        drop(w); // no finish()
+        assert!(matches!(
+            FileTraceSource::open(&path),
+            Err(TraceFileError::CountMismatch { header: 0, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn info_summarizes_the_mix() {
+        let records = sample();
+        let path = temp_path("info.pytr");
+        std::fs::write(&path, encode_trace(&records)).expect("write trace");
+        let info = trace_file_info(&path).expect("info");
+        assert_eq!(info.records, 6);
+        assert_eq!(info.loads, 2);
+        assert_eq!(info.stores, 1);
+        assert_eq!(info.branches, 2);
+        assert_eq!(info.mispredicts, 1);
+        assert_eq!(info.dependent_loads, 1);
+        assert_eq!(info.addr_range, Some((0xaaaa_0000, 0xdead_0040)));
+        assert_eq!(info.version, TRACE_VERSION);
+        assert_eq!(info.file_bytes, encode_trace(&records).len() as u64);
+        std::fs::remove_file(&path).ok();
     }
 }

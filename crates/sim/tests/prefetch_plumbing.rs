@@ -5,7 +5,7 @@ use pythia_sim::config::SystemConfig;
 use pythia_sim::prefetch::{DemandAccess, FillEvent, PrefetchRequest, Prefetcher, SystemFeedback};
 use pythia_sim::stats::PrefetcherStats;
 use pythia_sim::system::System;
-use pythia_sim::trace::TraceRecord;
+use pythia_sim::trace::{TraceRecord, TraceSource, VecSource};
 
 /// A scripted prefetcher: prefetches a fixed offset ahead of every demand,
 /// and records everything the simulator tells it.
@@ -76,10 +76,12 @@ impl Prefetcher for Scripted {
     }
 }
 
-fn stream(n: u64) -> Vec<TraceRecord> {
-    (0..n)
-        .map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64))
-        .collect()
+fn stream(n: u64) -> Box<dyn TraceSource> {
+    VecSource::boxed(
+        (0..n)
+            .map(|i| TraceRecord::load(0x400000, 0x1000_0000 + i * 64))
+            .collect(),
+    )
 }
 
 #[test]
@@ -163,7 +165,7 @@ fn stores_generate_writeback_traffic() {
     let trace: Vec<TraceRecord> = (0..80_000u64)
         .map(|i| TraceRecord::store(0x400000, 0x2000_0000 + i * 64))
         .collect();
-    let mut sys = System::new(SystemConfig::single_core(), vec![trace]);
+    let mut sys = System::new(SystemConfig::single_core(), vec![VecSource::boxed(trace)]);
     let report = sys.run(2_000, 70_000);
     assert!(
         report.dram.writes > 0,
@@ -211,14 +213,16 @@ fn per_core_prefetchers_are_independent_instances() {
 fn twelve_core_system_with_non_power_of_two_llc_runs() {
     // 12 cores -> 24 MB LLC -> 24576 sets (not a power of two).
     let cfg = SystemConfig::with_cores(12);
-    let traces = (0..12)
+    let sources = (0..12)
         .map(|i| {
-            (0..2_000u64)
-                .map(|j| TraceRecord::load(0x400000, (i as u64 + 1) * 0x1000_0000 + j * 64))
-                .collect()
+            VecSource::boxed(
+                (0..2_000u64)
+                    .map(|j| TraceRecord::load(0x400000, (i as u64 + 1) * 0x1000_0000 + j * 64))
+                    .collect(),
+            )
         })
         .collect();
-    let mut sys = System::new(cfg, traces);
+    let mut sys = System::new(cfg, sources);
     let report = sys.run(200, 1_000);
     assert_eq!(report.cores.len(), 12);
     assert!(report.cores.iter().all(|c| c.ipc() > 0.0));

@@ -104,6 +104,10 @@ impl SweepResult {
             name: self.name.clone(),
             baselines: self.baselines.iter().filter(|c| keep(c)).cloned().collect(),
             cells: self.cells.iter().filter(|c| keep(c)).cloned().collect(),
+            // The whole-run wall-clock telemetry does not describe the
+            // restricted subset; carrying it over would overstate the
+            // subset's throughput (and double-count under merge).
+            throughput: None,
         }
     }
 
@@ -234,6 +238,7 @@ mod tests {
                 cell("w2", "B", "spp", 8.0, 30.0, 0.4),
                 cell("w2", "B", "pythia", 16.0, 30.0, 0.5),
             ],
+            throughput: None,
         }
     }
 

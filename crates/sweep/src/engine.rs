@@ -1,7 +1,13 @@
 //! Grid expansion and parallel execution.
+//!
+//! Jobs carry *lazy* trace-source factories: a job closure owns only the
+//! (cheap) workload specs and opens streaming [`TraceSource`]s inside the
+//! worker, so neither the queue nor any worker ever holds a materialized
+//! trace and per-job peak memory is independent of trace length.
 
-use pythia::runner::{build_pythia_with, run_parallel, run_traces, run_traces_with};
-use pythia_sim::stats::SimReport;
+use pythia::runner::{build_pythia_with, run_parallel, run_sources, run_sources_with};
+use pythia_sim::stats::{SimReport, Throughput};
+use pythia_sim::trace::TraceSource;
 use pythia_stats::metrics;
 
 use crate::result::{CellResult, RawSummary, SweepResult};
@@ -49,24 +55,24 @@ impl BaselineCache {
     }
 }
 
-/// Runs one simulation for a grid coordinate.
+/// Runs one simulation for a grid coordinate, streaming every trace.
 fn simulate(unit: &WorkUnit, kind: &PrefetcherKind, config: &ConfigPoint, seed: u64) -> SimReport {
     let spec = config.run_spec();
     let len = (config.warmup + config.measure) as usize;
-    let traces: Vec<_> = unit
+    let sources: Vec<Box<dyn TraceSource>> = unit
         .workloads
         .iter()
         .map(|w| {
             let mut w = w.clone();
             w.spec.seed = w.spec.seed.wrapping_add(seed);
-            w.trace(len)
+            w.source(len)
         })
         .collect();
     match kind {
-        PrefetcherKind::Named(name) => run_traces(traces, name, &spec),
+        PrefetcherKind::Named(name) => run_sources(sources, name, &spec),
         PrefetcherKind::Pythia(cfg) => {
             let cfg = cfg.clone();
-            run_traces_with(traces, &spec, move |_core| build_pythia_with(cfg.clone()))
+            run_sources_with(sources, &spec, move |_core| build_pythia_with(cfg.clone()))
         }
     }
 }
@@ -108,12 +114,16 @@ pub fn run_cached(
     // don't serialize ahead of the cells.
     let mut baseline_keys: Vec<String> = Vec::new();
     let mut jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = Vec::new();
+    // Simulated instructions scheduled this run (freshly executed jobs
+    // only — cache hits cost no wall time), for the throughput telemetry.
+    let mut planned_instructions = 0u64;
     for u in &spec.units {
         for cp in &spec.configs {
             for &seed in &spec.seeds {
                 let key = BaselineCache::key(u, &spec.baseline.kind, cp, seed);
                 if !cache.map.contains_key(&key) && !baseline_keys.contains(&key) {
                     let (u, k, cp) = (u.clone(), spec.baseline.kind.clone(), cp.clone());
+                    planned_instructions += (cp.warmup + cp.measure) * u.cores() as u64;
                     jobs.push(Box::new(move || simulate(&u, &k, &cp, seed)));
                     baseline_keys.push(key.clone());
                 }
@@ -125,13 +135,16 @@ pub fn run_cached(
             for p in &spec.prefetchers {
                 for &seed in &spec.seeds {
                     let (u, k, cp) = (u.clone(), p.kind.clone(), cp.clone());
+                    planned_instructions += (cp.warmup + cp.measure) * u.cores() as u64;
                     jobs.push(Box::new(move || simulate(&u, &k, &cp, seed)));
                 }
             }
         }
     }
 
+    let started = std::time::Instant::now();
     let mut reports = run_parallel(jobs, threads).into_iter();
+    let throughput = Throughput::new(planned_instructions, started.elapsed().as_secs_f64());
     for (key, report) in baseline_keys.into_iter().zip(reports.by_ref()) {
         cache.map.insert(key, report);
     }
@@ -197,6 +210,7 @@ pub fn run_cached(
         name: spec.name.clone(),
         baselines,
         cells,
+        throughput: Some(throughput),
     })
 }
 

@@ -1,7 +1,7 @@
 //! Typed sweep artifacts: [`CellResult`] / [`SweepResult`] and the
 //! markdown / JSON / CSV emitters.
 
-use pythia_sim::stats::SimReport;
+use pythia_sim::stats::{SimReport, Throughput};
 use pythia_stats::json::{metrics_json, Json};
 use pythia_stats::metrics::Metrics;
 use pythia_stats::report::Table;
@@ -123,7 +123,7 @@ pub const LONG_HEADERS: [&str; 12] = [
 /// The full, typed result of one sweep (or of several merged panels):
 /// baseline rows first, then every measured cell in deterministic grid
 /// order — independent of how many worker threads executed the grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Sweep (campaign) name.
     pub name: String,
@@ -134,6 +134,20 @@ pub struct SweepResult {
     /// Measured cells, in grid order (unit-major, then config, then
     /// prefetcher, then seed).
     pub cells: Vec<CellResult>,
+    /// Wall-clock throughput of the simulations freshly executed for this
+    /// result (None for hand-built results). Telemetry only: excluded
+    /// from equality — wall time varies run to run while the cells are
+    /// bit-deterministic.
+    pub throughput: Option<Throughput>,
+}
+
+/// Equality covers the deterministic payload (name, baselines, cells);
+/// the wall-clock [`SweepResult::throughput`] telemetry is excluded so
+/// the engine's parallel == serial guarantee stays byte-exact.
+impl PartialEq for SweepResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.baselines == other.baselines && self.cells == other.cells
+    }
 }
 
 impl SweepResult {
@@ -144,10 +158,15 @@ impl SweepResult {
             name: name.to_string(),
             baselines: Vec::new(),
             cells: Vec::new(),
+            throughput: None,
         };
         for p in parts {
             out.baselines.extend(p.baselines);
             out.cells.extend(p.cells);
+            out.throughput = match (out.throughput, p.throughput) {
+                (Some(a), Some(b)) => Some(a.merged(b)),
+                (a, b) => a.or(b),
+            };
         }
         out
     }
@@ -161,13 +180,23 @@ impl SweepResult {
         t
     }
 
-    /// Renders the long-format table as markdown.
+    /// Renders the long-format table as markdown, with a throughput
+    /// footer when telemetry is present.
     pub fn to_markdown(&self) -> String {
-        format!(
+        let mut out = format!(
             "# sweep {}\n\n{}",
             self.name,
             self.long_table().to_markdown()
-        )
+        );
+        if let Some(t) = self.throughput {
+            out.push_str(&format!(
+                "\nthroughput: {:.2} Minst/s ({} simulated instructions in {:.2} s wall)\n",
+                t.minst_per_sec(),
+                t.instructions,
+                t.wall_seconds
+            ));
+        }
+        out
     }
 
     /// Renders the long-format table as CSV.
@@ -178,7 +207,7 @@ impl SweepResult {
     /// Serializes the whole result as JSON — the `BENCH_*.json` data
     /// source. Numbers are emitted exactly (shortest round-trippable form).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut out = Json::obj()
             .set("name", self.name.as_str())
             .set(
                 "baselines",
@@ -187,7 +216,17 @@ impl SweepResult {
             .set(
                 "cells",
                 Json::Arr(self.cells.iter().map(CellResult::json).collect()),
-            )
+            );
+        if let Some(t) = self.throughput {
+            out = out.set(
+                "throughput",
+                Json::obj()
+                    .set("instructions", t.instructions)
+                    .set("wall_seconds", t.wall_seconds)
+                    .set("minst_per_sec", t.minst_per_sec()),
+            );
+        }
+        out
     }
 
     /// Renders in the named format: `"md"`, `"json"` or `"csv"`.
@@ -254,6 +293,7 @@ mod tests {
             name: "t".into(),
             baselines: vec![cell("w", "none", 1.0)],
             cells: vec![cell("w", "spp", 1.25), cell("w", "pythia", 1.5)],
+            throughput: None,
         }
     }
 

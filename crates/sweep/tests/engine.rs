@@ -26,9 +26,14 @@ fn small_spec() -> SweepSpec {
 #[test]
 fn parallel_output_is_byte_identical_to_serial() {
     let spec = small_spec();
-    let serial = pythia_sweep::run(&spec, 1).expect("serial run");
-    let parallel = pythia_sweep::run(&spec, 4).expect("parallel run");
+    let mut serial = pythia_sweep::run(&spec, 1).expect("serial run");
+    let mut parallel = pythia_sweep::run(&spec, 4).expect("parallel run");
     assert_eq!(serial, parallel, "typed results must match exactly");
+    // Wall-clock throughput is telemetry, not payload: it is excluded
+    // from equality above, and stripped here so the rendered artifacts
+    // can be compared byte-for-byte.
+    serial.throughput = None;
+    parallel.throughput = None;
     assert_eq!(
         serial.to_markdown(),
         parallel.to_markdown(),
@@ -36,6 +41,23 @@ fn parallel_output_is_byte_identical_to_serial() {
     );
     assert_eq!(serial.to_json().render(), parallel.to_json().render());
     assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn throughput_telemetry_is_populated_and_rendered() {
+    let result = pythia_sweep::run(&small_spec(), 4).expect("run");
+    let t = result.throughput.expect("engine records throughput");
+    // 4 baselines + 8 cells, budgets 5 K and 8 K instructions per config.
+    assert_eq!(t.instructions, 2 * (5_000 + 8_000) + 4 * (5_000 + 8_000));
+    assert!(t.wall_seconds > 0.0);
+    assert!(result.to_markdown().contains("throughput:"));
+    let json = result.to_json().render_pretty();
+    let parsed = json::parse(&json).expect("valid json");
+    let tp = parsed.get("throughput").expect("throughput key");
+    assert_eq!(
+        tp.get("instructions").and_then(json::Json::as_f64),
+        Some(t.instructions as f64)
+    );
 }
 
 #[test]

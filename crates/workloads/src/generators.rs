@@ -1,12 +1,15 @@
-//! The trace generators: a [`TraceSpec`] describes a workload; `generate`
-//! produces a deterministic instruction trace for it.
+//! The trace generators: a [`TraceSpec`] describes a workload;
+//! [`TraceSpec::stream`] yields its records on demand as a [`TraceStream`]
+//! (a [`TraceSource`] the simulator pulls from directly, in O(1) memory),
+//! and [`TraceSpec::generate`] is the collecting convenience for code that
+//! wants the whole trace in a `Vec`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use pythia_sim::addr::{LINES_PER_PAGE, PAGE_SIZE};
-use pythia_sim::trace::TraceRecord;
+use pythia_sim::trace::{TraceRecord, TraceSource};
 
 /// The memory access pattern class a workload exhibits.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -136,66 +139,190 @@ impl TraceSpec {
         self
     }
 
-    /// Renders the spec into an instruction trace.
+    /// Opens a streaming generator over this spec: records are produced on
+    /// demand, one [`TraceStream::next_record`] call at a time, in the
+    /// exact sequence [`generate`](TraceSpec::generate) would collect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero instructions or footprint).
+    pub fn stream(&self) -> TraceStream {
+        TraceStream::new(self.clone())
+    }
+
+    /// Opens a streaming generator boxed as a [`TraceSource`] — the shape
+    /// the simulator and runner consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero instructions or footprint).
+    pub fn source(&self) -> Box<dyn TraceSource> {
+        Box::new(self.stream())
+    }
+
+    /// Renders the spec into a materialized instruction trace (collects
+    /// [`stream`](TraceSpec::stream); prefer the stream on memory-bound
+    /// paths).
     ///
     /// # Panics
     ///
     /// Panics if the spec is degenerate (zero instructions or footprint).
     pub fn generate(&self) -> Vec<TraceRecord> {
-        assert!(self.instructions > 0, "empty trace requested");
-        assert!(self.footprint_pages > 0, "zero footprint");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
-        let mut state = PatternState::new(&self.kind, self.footprint_pages, &mut rng);
-        let mut out = Vec::with_capacity(self.instructions);
-        // A distinct base address per trace (so multi-core mixes do not
-        // share data) derived from the seed.
-        let base = (self.seed % 1024 + 1) * 0x1_0000_0000;
-        let mut pc_counter = 0x400000u64;
-        let repeat = self.accesses_per_line.max(1) as u64;
-        // Element cursor within the current line: (pc, line_base, is_write,
-        // dependent, elements_left).
-        let mut cursor: Option<(u64, u64, bool, bool, u64)> = None;
-        while out.len() < self.instructions {
-            let roll = rng.gen_range(0..100u32);
-            if roll < self.mem_pct as u32 {
-                let (pc, addr, is_write, dependent) = match cursor.take() {
-                    Some((pc, line_base, w, _dep, left)) => {
-                        let elem = (repeat - left) % 8; // 8 elements of 8 B per line
-                        if left > 1 {
-                            cursor = Some((pc, line_base, w, false, left - 1));
-                        }
-                        // Element re-accesses hit in L1 and never depend.
-                        (pc, line_base + elem * 8, w, false)
-                    }
-                    None => {
-                        let (pc, offset_bytes, is_write, dependent) =
-                            state.next_access(self.footprint_pages, &mut rng);
-                        let line_base = base + (offset_bytes & !63);
-                        if repeat > 1 {
-                            cursor = Some((pc, line_base, is_write, false, repeat - 1));
-                        }
-                        (pc, line_base, is_write, dependent)
-                    }
-                };
-                let mut rec = if is_write {
-                    TraceRecord::store(pc, addr)
-                } else if dependent {
-                    TraceRecord::dependent_load(pc, addr)
-                } else {
-                    TraceRecord::load(pc, addr)
-                };
-                rec.branch = None;
-                out.push(rec);
-            } else if roll < (self.mem_pct + self.branch_pct) as u32 {
-                let mispred = rng.gen_range(0..100u32) < self.mispredict_pct as u32;
-                out.push(TraceRecord::branch(pc_counter, rng.gen_bool(0.6), mispred));
-                pc_counter = pc_counter.wrapping_add(4);
-            } else {
-                out.push(TraceRecord::nop(pc_counter));
-                pc_counter = pc_counter.wrapping_add(4);
-            }
+        self.stream().collect()
+    }
+}
+
+/// Element cursor within the current cacheline: the remaining
+/// element-sized re-accesses a generated line still owes.
+struct LineCursor {
+    pc: u64,
+    line_base: u64,
+    is_write: bool,
+    left: u64,
+}
+
+/// A streaming trace generator: the [`TraceSource`] implementation that
+/// renders a [`TraceSpec`] record-by-record, in O(1) memory, so workload
+/// length is bounded by simulation time instead of RAM.
+///
+/// Determinism: the stream yields exactly the sequence
+/// [`TraceSpec::generate`] materializes, and [`reset`](TraceSource::reset)
+/// re-seeds the generator so every pass replays identically (pinned by
+/// `tests/trace_streaming.rs`).
+pub struct TraceStream {
+    spec: TraceSpec,
+    rng: StdRng,
+    state: PatternState,
+    /// Distinct base address per trace (so multi-core mixes do not share
+    /// data), derived from the seed.
+    base: u64,
+    pc_counter: u64,
+    repeat: u64,
+    cursor: Option<LineCursor>,
+    emitted: usize,
+}
+
+impl std::fmt::Debug for TraceStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStream")
+            .field("spec", &self.spec.name)
+            .field("emitted", &self.emitted)
+            .field("instructions", &self.spec.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceStream {
+    fn new(spec: TraceSpec) -> Self {
+        assert!(spec.instructions > 0, "empty trace requested");
+        assert!(spec.footprint_pages > 0, "zero footprint");
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9);
+        let state = PatternState::new(&spec.kind, spec.footprint_pages, &mut rng);
+        let base = (spec.seed % 1024 + 1) * 0x1_0000_0000;
+        let repeat = spec.accesses_per_line.max(1) as u64;
+        Self {
+            rng,
+            state,
+            base,
+            pc_counter: 0x400000,
+            repeat,
+            cursor: None,
+            emitted: 0,
+            spec,
         }
-        out
+    }
+
+    /// The spec this stream renders.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    /// Produces the next record of the current pass, ignoring the
+    /// instruction budget (the budgeted entry point is
+    /// [`next_record`](TraceSource::next_record)).
+    fn step(&mut self) -> TraceRecord {
+        let roll = self.rng.gen_range(0..100u32);
+        if roll < self.spec.mem_pct as u32 {
+            let (pc, addr, is_write, dependent) = match self.cursor.take() {
+                Some(c) => {
+                    let elem = (self.repeat - c.left) % 8; // 8 elements of 8 B per line
+                    let addr = c.line_base + elem * 8;
+                    let (pc, w) = (c.pc, c.is_write);
+                    if c.left > 1 {
+                        self.cursor = Some(LineCursor {
+                            left: c.left - 1,
+                            ..c
+                        });
+                    }
+                    // Element re-accesses hit in L1 and never depend.
+                    (pc, addr, w, false)
+                }
+                None => {
+                    let (pc, offset_bytes, is_write, dependent) = self
+                        .state
+                        .next_access(self.spec.footprint_pages, &mut self.rng);
+                    let line_base = self.base + (offset_bytes & !63);
+                    if self.repeat > 1 {
+                        self.cursor = Some(LineCursor {
+                            pc,
+                            line_base,
+                            is_write,
+                            left: self.repeat - 1,
+                        });
+                    }
+                    (pc, line_base, is_write, dependent)
+                }
+            };
+            let mut rec = if is_write {
+                TraceRecord::store(pc, addr)
+            } else if dependent {
+                TraceRecord::dependent_load(pc, addr)
+            } else {
+                TraceRecord::load(pc, addr)
+            };
+            rec.branch = None;
+            rec
+        } else if roll < (self.spec.mem_pct + self.spec.branch_pct) as u32 {
+            let mispred = self.rng.gen_range(0..100u32) < self.spec.mispredict_pct as u32;
+            let rec = TraceRecord::branch(self.pc_counter, self.rng.gen_bool(0.6), mispred);
+            self.pc_counter = self.pc_counter.wrapping_add(4);
+            rec
+        } else {
+            let rec = TraceRecord::nop(self.pc_counter);
+            self.pc_counter = self.pc_counter.wrapping_add(4);
+            rec
+        }
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.next_record()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.instructions - self.emitted.min(self.spec.instructions);
+        (left, Some(left))
+    }
+}
+
+impl TraceSource for TraceStream {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.emitted >= self.spec.instructions {
+            return None;
+        }
+        self.emitted += 1;
+        Some(self.step())
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.spec.clone());
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.spec.instructions as u64)
     }
 }
 

@@ -31,9 +31,14 @@
 //! [`suites`] names ~50 workloads across the five suites (Table 6) plus the
 //! unseen CVP-2-like categories of §6.4, and [`mixes`] builds the
 //! homogeneous/heterogeneous multi-programmed mixes of §5.1.
+//!
+//! Traces stream: [`TraceSpec::stream`] / [`Workload::source`] yield
+//! records on demand as `pythia_sim::trace::TraceSource`s, so simulated
+//! workload length is bounded by time, not RAM; `generate()`/`trace()`
+//! are the collecting conveniences.
 
 pub mod generators;
 pub mod suites;
 
-pub use generators::{PatternKind, TraceSpec};
+pub use generators::{PatternKind, TraceSpec, TraceStream};
 pub use suites::{all_suites, mixes, suite, Suite, Workload};

@@ -60,9 +60,18 @@ impl Workload {
         }
     }
 
-    /// Generates the trace with `instructions` instructions.
+    /// Generates the trace with `instructions` instructions, materialized
+    /// as a `Vec` (prefer [`source`](Workload::source) on memory-bound
+    /// paths).
     pub fn trace(&self, instructions: usize) -> Vec<pythia_sim::trace::TraceRecord> {
         self.spec.clone().with_instructions(instructions).generate()
+    }
+
+    /// Opens a streaming [`TraceSource`](pythia_sim::trace::TraceSource)
+    /// generating `instructions` instructions on demand — the same record
+    /// sequence as [`trace`](Workload::trace) without materializing it.
+    pub fn source(&self, instructions: usize) -> Box<dyn pythia_sim::trace::TraceSource> {
+        self.spec.clone().with_instructions(instructions).source()
     }
 }
 

@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_prefetcher
 //! ```
 
-use pythia::runner::{run_traces_with, run_workload, RunSpec};
+use pythia::runner::{run_sources_with, run_workload, RunSpec};
 use pythia_sim::prefetch::{DemandAccess, PrefetchRequest, Prefetcher, SystemFeedback};
 use pythia_sim::stats::PrefetcherStats;
 use pythia_stats::metrics::compare;
@@ -87,7 +87,7 @@ fn main() {
     // and spatial prefetchers cannot.
     let workload = pool.iter().find(|w| w.name == "429.mcf-184B").expect("mcf");
     let spec = RunSpec::single_core().with_budget(100_000, 400_000);
-    let trace = workload.trace(500_000);
+    let source = workload.source(500_000);
 
     let baseline = run_workload(workload, "none", &spec);
     println!("pointer-chase workload, single core\n");
@@ -100,7 +100,7 @@ fn main() {
             m.coverage * 100.0
         );
     }
-    let report = run_traces_with(vec![trace], &spec, |_| {
+    let report = run_sources_with(vec![source], &spec, |_| {
         Box::new(PairwiseCorrelation::new(1 << 20))
     });
     let m = compare(&baseline, &report);

@@ -6,10 +6,16 @@
 //! `pythia-sweep` experiment-campaign engine are written against. The
 //! figure/table harnesses in `pythia-bench` no longer loop over
 //! [`run_workload`] directly — they declare grids as `pythia_sweep::SweepSpec`s
-//! that expand into [`run_traces`]/[`run_traces_with`] jobs executed on
+//! that expand into [`run_sources`]/[`run_sources_with`] jobs executed on
 //! [`run_parallel`] (the in-process stand-in for the paper's slurm
 //! fan-out, §A.5), so regenerating the whole evaluation is an
 //! embarrassingly parallel, machine-checkable operation.
+//!
+//! Simulations are fed by `pythia_sim::trace::TraceSource` streams —
+//! workload generators ([`pythia_workloads::Workload::source`]) or trace
+//! files (`pythia_sim::trace::FileTraceSource`) — so no path in the
+//! runner ever materializes a full trace; peak memory is independent of
+//! trace length.
 //!
 //! [`evaluate_suite`] / [`evaluate_suite_parallel`] remain as the simple
 //! single-axis API for examples and tests; for anything with more than one
@@ -23,7 +29,7 @@ use pythia_sim::config::SystemConfig;
 use pythia_sim::prefetch::Prefetcher;
 use pythia_sim::stats::SimReport;
 use pythia_sim::system::System;
-use pythia_sim::trace::TraceRecord;
+use pythia_sim::trace::TraceSource;
 use pythia_stats::metrics::{self, Metrics};
 use pythia_workloads::Workload;
 
@@ -116,13 +122,15 @@ impl RunSpec {
         self
     }
 
-    fn trace_len(&self) -> usize {
+    /// Trace length covering the whole run (warmup + measured phase) —
+    /// the length [`run_workload`] streams per core.
+    pub fn trace_len(&self) -> usize {
         (self.warmup + self.measure) as usize
     }
 }
 
 /// Runs one workload on a single-core (or the spec's) system with the named
-/// prefetcher.
+/// prefetcher, streaming the trace on demand.
 ///
 /// # Panics
 ///
@@ -132,37 +140,43 @@ pub fn run_workload(workload: &Workload, prefetcher: &str, spec: &RunSpec) -> Si
         spec.system.cores, 1,
         "run_workload is single-core; use run_mix"
     );
-    let trace = workload.trace(spec.trace_len());
-    run_traces(vec![trace], prefetcher, spec)
+    run_sources(vec![workload.source(spec.trace_len())], prefetcher, spec)
 }
 
-/// Runs an `n`-core mix (one workload per core).
+/// Runs an `n`-core mix (one workload per core), streaming every trace.
 pub fn run_mix(workloads: &[Workload], prefetcher: &str, spec: &RunSpec) -> SimReport {
     assert_eq!(workloads.len(), spec.system.cores, "one workload per core");
-    let traces = workloads
+    let sources = workloads
         .iter()
-        .map(|w| w.trace(spec.trace_len()))
+        .map(|w| w.source(spec.trace_len()))
         .collect();
-    run_traces(traces, prefetcher, spec)
+    run_sources(sources, prefetcher, spec)
 }
 
-/// Runs raw traces with the named prefetcher.
-pub fn run_traces(traces: Vec<Vec<TraceRecord>>, prefetcher: &str, spec: &RunSpec) -> SimReport {
+/// Runs raw trace sources (one per core) with the named prefetcher.
+/// Sources can be streaming generators ([`Workload::source`]), trace
+/// files (`pythia_sim::trace::FileTraceSource`), or in-memory traces
+/// (`pythia_sim::trace::VecSource`).
+pub fn run_sources(
+    sources: Vec<Box<dyn TraceSource>>,
+    prefetcher: &str,
+    spec: &RunSpec,
+) -> SimReport {
     let name = prefetcher.to_string();
-    let mut system = System::with_prefetchers(spec.system, traces, move |core| {
+    let mut system = System::with_prefetchers(spec.system, sources, move |core| {
         build_prefetcher(&name, 0x517e_a5e5 ^ core as u64)
             .unwrap_or_else(|| panic!("unknown prefetcher {name:?}"))
     });
     system.run(spec.warmup, spec.measure)
 }
 
-/// Runs raw traces with per-core prefetchers built by `factory`.
-pub fn run_traces_with(
-    traces: Vec<Vec<TraceRecord>>,
+/// Runs raw trace sources with per-core prefetchers built by `factory`.
+pub fn run_sources_with(
+    sources: Vec<Box<dyn TraceSource>>,
     spec: &RunSpec,
     factory: impl Fn(usize) -> Box<dyn Prefetcher>,
 ) -> SimReport {
-    let mut system = System::with_prefetchers(spec.system, traces, factory);
+    let mut system = System::with_prefetchers(spec.system, sources, factory);
     system.run(spec.warmup, spec.measure)
 }
 

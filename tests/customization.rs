@@ -1,9 +1,10 @@
 //! Integration tests for the paper's customization story (§6.6): the same
 //! Pythia hardware re-targeted through configuration registers.
 
-use pythia::runner::{build_pythia_with, run_traces_with, run_workload, RunSpec};
+use pythia::runner::{build_pythia_with, run_sources_with, run_workload, RunSpec};
 use pythia_core::{ControlFlow, DataFlow, Feature, Pythia, PythiaConfig};
 use pythia_sim::prefetch::Prefetcher;
+use pythia_sim::trace::VecSource;
 use pythia_stats::metrics::compare;
 use pythia_workloads::generators::{PatternKind, TraceSpec};
 use pythia_workloads::suites::Suite;
@@ -67,7 +68,9 @@ fn custom_feature_vector_is_honoured() {
         .generate();
     let spec = RunSpec::single_core().with_budget(10_000, 50_000);
     let c = cfg.clone();
-    let report = run_traces_with(vec![trace], &spec, move |_| build_pythia_with(c.clone()));
+    let report = run_sources_with(vec![VecSource::boxed(trace)], &spec, move |_| {
+        build_pythia_with(c.clone())
+    });
     assert!(report.cores[0].ipc() > 0.0);
     assert_eq!(Pythia::new(cfg).qvstore().vaults(), 1);
 }
@@ -100,7 +103,9 @@ fn reward_register_changes_policy_direction() {
         .generate();
     let spec = RunSpec::single_core().with_budget(100_000, 300_000);
     let c = cfg.clone();
-    let report = run_traces_with(vec![trace], &spec, move |_| build_pythia_with(c.clone()));
+    let report = run_sources_with(vec![VecSource::boxed(trace)], &spec, move |_| {
+        build_pythia_with(c.clone())
+    });
     let issued = report.prefetchers[0].issued;
     assert!(
         issued < report.cores[0].instructions / 100,
@@ -118,7 +123,9 @@ fn seed_controls_exploration_stream() {
     let spec = RunSpec::single_core().with_budget(10_000, 50_000);
     let run = |cfg: PythiaConfig| {
         let t = trace.clone();
-        run_traces_with(vec![t], &spec, move |_| build_pythia_with(cfg.clone()))
+        run_sources_with(vec![VecSource::boxed(t)], &spec, move |_| {
+            build_pythia_with(cfg.clone())
+        })
     };
     let a = run(cfg_a.clone());
     let a2 = run(cfg_a);

@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: whole-system runs exercising the public
 //! API the way the paper's experiments do.
 
-use pythia::runner::{build_prefetcher, run_traces, run_workload, RunSpec};
+use pythia::runner::{build_prefetcher, run_sources, run_workload, RunSpec};
 use pythia_sim::config::SystemConfig;
+use pythia_sim::trace::VecSource;
 use pythia_stats::metrics::compare;
 use pythia_workloads::generators::{PatternKind, TraceSpec};
 use pythia_workloads::suites::{all_suites, Suite};
@@ -146,7 +147,7 @@ fn multi_core_contention_lowers_per_core_ipc() {
     };
     let solo = {
         let spec = RunSpec::single_core().with_budget(20_000, 80_000);
-        run_traces(vec![mk(21)], "none", &spec)
+        run_sources(vec![VecSource::boxed(mk(21))], "none", &spec)
     };
     let crowd = {
         let mut cfg = SystemConfig::with_cores(4);
@@ -156,7 +157,14 @@ fn multi_core_contention_lowers_per_core_ipc() {
         let spec = RunSpec::multi_core(4)
             .with_system(cfg)
             .with_budget(20_000, 80_000);
-        run_traces(vec![mk(21), mk(22), mk(23), mk(24)], "none", &spec)
+        run_sources(
+            vec![mk(21), mk(22), mk(23), mk(24)]
+                .into_iter()
+                .map(VecSource::boxed)
+                .collect(),
+            "none",
+            &spec,
+        )
     };
     assert!(
         crowd.cores[0].ipc() < solo.cores[0].ipc(),

@@ -1,0 +1,159 @@
+//! The streaming trace pipeline's contract, pinned for every
+//! [`PatternKind`]:
+//!
+//! 1. the streaming generator yields exactly the sequence `generate()`
+//!    materializes (and replays it identically after a reset),
+//! 2. the binary codec round-trips (encode → decode → re-encode is
+//!    byte-identical), streaming writer included,
+//! 3. simulating from a stream, from a materialized `Vec`, and from a
+//!    recorded trace file all produce byte-identical [`SimReport`]s.
+
+use pythia::runner::{run_sources, RunSpec};
+use pythia_sim::stats::SimReport;
+use pythia_sim::trace::{
+    decode_trace, encode_trace, FileTraceSource, TraceSource, TraceWriter, VecSource,
+};
+use pythia_workloads::{PatternKind, TraceSpec};
+
+/// One spec per pattern class, small enough to simulate quickly.
+fn all_pattern_specs() -> Vec<TraceSpec> {
+    let kinds = vec![
+        PatternKind::Stream { store_every: 3 },
+        PatternKind::Stride { lines: 4 },
+        PatternKind::PageVisit {
+            offsets: vec![0, 23],
+        },
+        PatternKind::SpatialFootprint {
+            patterns: vec![vec![0, 3, 7, 12], vec![1, 4]],
+            noise_pct: 10,
+        },
+        PatternKind::DeltaChain {
+            deltas: vec![2, 5, -1, 3],
+        },
+        PatternKind::IrregularGraph {
+            vertices: 50_000,
+            avg_degree: 6,
+        },
+        PatternKind::PointerChase,
+        PatternKind::CloudMix { hot_pct: 30 },
+        PatternKind::Phased {
+            phases: vec![
+                PatternKind::Stream { store_every: 0 },
+                PatternKind::PointerChase,
+            ],
+            phase_len: 500,
+        },
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            TraceSpec::new(format!("pattern-{i}"), kind)
+                .with_instructions(12_000)
+                .with_seed(40 + i as u64)
+                .with_footprint_pages(1024)
+        })
+        .collect()
+}
+
+#[test]
+fn stream_yields_exactly_the_materialized_sequence() {
+    for spec in all_pattern_specs() {
+        let materialized = spec.generate();
+        let streamed: Vec<_> = spec.stream().collect();
+        assert_eq!(
+            materialized, streamed,
+            "{}: stream() must equal generate()",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn stream_reset_replays_identically() {
+    for spec in all_pattern_specs() {
+        let mut stream = spec.stream();
+        let first: Vec<_> = std::iter::from_fn(|| stream.next_record()).collect();
+        assert_eq!(stream.next_record(), None, "{}: pass ended", spec.name);
+        stream.reset();
+        let second: Vec<_> = std::iter::from_fn(|| stream.next_record()).collect();
+        assert_eq!(first, second, "{}: reset must replay", spec.name);
+        assert_eq!(first.len(), spec.instructions);
+    }
+}
+
+#[test]
+fn codec_roundtrips_byte_identically_for_every_pattern() {
+    for spec in all_pattern_specs() {
+        let records = spec.generate();
+        let encoded = encode_trace(&records);
+        let decoded = decode_trace(encoded.clone()).expect("decode");
+        assert_eq!(records, decoded, "{}: decode(encode(t)) == t", spec.name);
+        let reencoded = encode_trace(&decoded);
+        assert_eq!(
+            encoded, reencoded,
+            "{}: encode → decode → re-encode must be byte-identical",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn streaming_writer_matches_the_one_shot_encoder() {
+    let dir = std::env::temp_dir().join("pythia_trace_streaming");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for spec in all_pattern_specs() {
+        let path = dir.join(format!("{}_{}.pytr", spec.name, std::process::id()));
+        let mut writer = TraceWriter::create(&path).expect("create");
+        let mut stream = spec.stream();
+        while let Some(r) = stream.next_record() {
+            writer.write_record(&r).expect("write record");
+        }
+        writer.finish().expect("finish");
+        let on_disk = std::fs::read(&path).expect("read back");
+        assert_eq!(
+            on_disk,
+            encode_trace(&spec.generate()).to_vec(),
+            "{}: streamed file must equal encode_trace output",
+            spec.name
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn simulate(source: Box<dyn TraceSource>, spec: &RunSpec) -> SimReport {
+    run_sources(vec![source], "pythia", spec)
+}
+
+#[test]
+fn streaming_materialized_and_file_replay_reports_are_byte_identical() {
+    let dir = std::env::temp_dir().join("pythia_trace_streaming_sim");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // Budgets force trace wrap-around (trace len 12 K < warmup+measure),
+    // so the reset path is covered too.
+    let run = RunSpec::single_core().with_budget(4_000, 16_000);
+    for spec in all_pattern_specs() {
+        let from_stream = simulate(spec.source(), &run);
+        let from_vec = simulate(VecSource::boxed(spec.generate()), &run);
+        assert_eq!(
+            from_stream, from_vec,
+            "{}: streaming and materialized runs must agree",
+            spec.name
+        );
+
+        let path = dir.join(format!("{}_{}.pytr", spec.name, std::process::id()));
+        let mut writer = TraceWriter::create(&path).expect("create");
+        let mut stream = spec.stream();
+        while let Some(r) = stream.next_record() {
+            writer.write_record(&r).expect("write record");
+        }
+        writer.finish().expect("finish");
+        let from_file = simulate(Box::new(FileTraceSource::open(&path).expect("open")), &run);
+        assert_eq!(
+            from_stream, from_file,
+            "{}: file replay must reproduce the direct run",
+            spec.name
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
