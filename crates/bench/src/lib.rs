@@ -31,9 +31,12 @@ pub enum Budget {
     MultiCore,
 }
 
-/// Parses `PYTHIA_BENCH_SCALE`, warning (once) on garbage instead of
-/// silently falling back.
-fn scale() -> f64 {
+/// Parses `PYTHIA_BENCH_SCALE` (a positive float scaling every
+/// instruction budget and benchmark fixture, default 1.0), warning (once)
+/// on garbage instead of silently falling back. Shared by the figure
+/// harnesses and the `pythia-perf` microbenchmark fixtures so one knob
+/// scales both.
+pub fn scale() -> f64 {
     static WARNED: std::sync::Once = std::sync::Once::new();
     match std::env::var("PYTHIA_BENCH_SCALE") {
         Err(_) => 1.0,
@@ -79,14 +82,23 @@ pub fn spec(kind: Budget) -> RunSpec {
 }
 
 /// Worker thread count for harness fan-out: `PYTHIA_BENCH_THREADS` if set
-/// (warning on garbage), otherwise every available core.
+/// (`0` is clamped to 1 with a warning, garbage warns and falls back),
+/// otherwise every available core.
 pub fn threads() -> usize {
     static WARNED: std::sync::Once = std::sync::Once::new();
     match std::env::var("PYTHIA_BENCH_THREADS") {
         Err(_) => default_threads(),
         Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
+            Ok(0) => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PYTHIA_BENCH_THREADS=0 would run no workers; clamping to 1"
+                    );
+                });
+                1
+            }
+            Ok(n) => n,
+            Err(_) => {
                 WARNED.call_once(|| {
                     eprintln!(
                         "warning: PYTHIA_BENCH_THREADS={raw:?} is not a positive integer; \
@@ -148,5 +160,15 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("PYTHIA_BENCH_THREADS", "0");
+        assert_eq!(threads(), 1, "0 must clamp to one worker, not fan out");
+        std::env::set_var("PYTHIA_BENCH_THREADS", "3");
+        assert_eq!(threads(), 3);
+        std::env::remove_var("PYTHIA_BENCH_THREADS");
     }
 }

@@ -30,6 +30,10 @@ USAGE:
   pythia-cli sweep --workloads a,b,c            ad-hoc sweep over named
       [--prefetchers x,y] [--baseline none]     workloads instead of a figure
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
+  pythia-cli bench                              run the hot-path microbenchmarks
+      [--filter SUBSTR] [--reps N] [--out FILE] (BENCH_micro.json) and optionally
+      [--baseline FILE] [--max-regress PCT]     gate against a baseline report
+      [--list]                                  (PYTHIA_BENCH_SCALE scales work)
   pythia-cli trace record <workload> <file>     stream a workload to a binary
       [--instructions N]                        trace file (O(1) memory)
   pythia-cli trace replay <file> <prefetcher>   simulate straight from a trace
@@ -310,6 +314,70 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
                 result.cells.len(),
                 result.baselines.len()
             );
+        }
+    }
+    Ok(())
+}
+
+/// `pythia-cli bench [--filter S] [--reps N] [--out F] [--baseline F]
+/// [--max-regress PCT] [--list]` — runs the `pythia-perf` microbenchmark
+/// registry, prints the results table, optionally writes
+/// `BENCH_micro.json`, and optionally gates against a baseline report.
+pub fn bench(args: &ParsedArgs) -> Result<(), String> {
+    if args.flag("list") {
+        println!("# Registered microbenchmarks\n");
+        for def in pythia_perf::registry() {
+            println!("  {} ({})", def.name, def.unit);
+        }
+        return Ok(());
+    }
+
+    let reps = args.opt_num("reps", 7u32)?;
+    if reps == 0 {
+        return Err("--reps must be positive".into());
+    }
+    let harness = pythia_perf::Harness {
+        measure_reps: reps,
+        ..pythia_perf::Harness::default()
+    };
+    let report = pythia_perf::run_filtered(args.opt("filter"), &harness);
+    if report.benchmarks.is_empty() {
+        return Err(format!(
+            "no benchmark matches filter {:?}; see `pythia-cli bench --list`",
+            args.opt("filter").unwrap_or_default()
+        ));
+    }
+    print!("{}", report.to_markdown());
+
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {} benchmark(s) to {path}", report.benchmarks.len());
+    }
+
+    if let Some(path) = args.opt("baseline") {
+        let max_regress = args.opt_num("max-regress", 25.0f64)?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = pythia_stats::json::parse(&text)
+            .and_then(|v| pythia_stats::BenchReport::from_json(&v))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let regressions = report.compare(&baseline, max_regress)?;
+        if regressions.is_empty() {
+            println!("no benchmark regressed more than {max_regress}% vs {path}");
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "regression: {} is {:.1}% slower than baseline ({:.2} vs {:.2} Munits/s)",
+                    r.name,
+                    r.slowdown_pct,
+                    r.current_units_per_sec / 1e6,
+                    r.baseline_units_per_sec / 1e6,
+                );
+            }
+            return Err(format!(
+                "{} benchmark(s) regressed more than {max_regress}% vs {path}",
+                regressions.len()
+            ));
         }
     }
     Ok(())

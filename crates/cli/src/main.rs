@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         Some("run") => commands::run(&parsed),
         Some("compare") => commands::compare(&parsed),
         Some("sweep") => commands::sweep(&parsed),
+        Some("bench") => commands::bench(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("storage") => commands::storage(&parsed),
         Some("help") | None => {

@@ -328,6 +328,159 @@ fn sweep_rejects_unknown_figure_and_format() {
     assert!(stderr(&out).contains("unknown format"));
 }
 
+/// `bench` variant of [`cli`] pinning a tiny `PYTHIA_BENCH_SCALE` so each
+/// repetition stays in the millisecond range.
+fn bench_cli(args: &[&str], threads_env: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pythia-cli"));
+    cmd.args(args).env("PYTHIA_BENCH_SCALE", "0.01");
+    if let Some(v) = threads_env {
+        cmd.env("PYTHIA_BENCH_THREADS", v);
+    }
+    cmd.output().expect("spawn pythia-cli")
+}
+
+#[test]
+fn bench_list_names_required_benchmarks() {
+    let out = bench_cli(&["bench", "--list"], None);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in [
+        "agent_step",
+        "cache_probe",
+        "trace_decode",
+        "e2e_single_core",
+    ] {
+        assert!(text.contains(name), "bench --list must mention {name}");
+    }
+}
+
+#[test]
+fn bench_filtered_run_writes_json_report() {
+    let dir = std::env::temp_dir().join("pythia_cli_bench_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("BENCH_micro.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = bench_cli(
+        &[
+            "bench",
+            "--filter",
+            "trace_decode",
+            "--reps",
+            "2",
+            "--out",
+            path_str,
+        ],
+        None,
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("trace_decode"), "table row present: {text}");
+    let json = std::fs::read_to_string(&path).expect("report written");
+    let report = pythia_stats::json::parse(&json)
+        .and_then(|v| pythia_stats::BenchReport::from_json(&v))
+        .expect("valid BENCH_micro.json");
+    assert_eq!(report.benchmarks.len(), 1);
+    assert_eq!(report.benchmarks[0].name, "trace_decode");
+    assert!((report.scale - 0.01).abs() < 1e-12);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_baseline_gate_passes_against_itself_and_fails_vs_impossible() {
+    let dir = std::env::temp_dir().join("pythia_cli_bench_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("baseline.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    // Record a baseline, then compare a fresh run against it: never a
+    // >400% regression between two back-to-back runs.
+    let out = bench_cli(
+        &[
+            "bench", "--filter", "qvstore", "--reps", "3", "--out", path_str,
+        ],
+        None,
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let out = bench_cli(
+        &[
+            "bench",
+            "--filter",
+            "qvstore",
+            "--reps",
+            "3",
+            "--baseline",
+            path_str,
+            "--max-regress",
+            "400",
+        ],
+        None,
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("no benchmark regressed"));
+
+    // Doctor the baseline to claim implausibly fast numbers: the gate must
+    // fail and name the regressing benchmark.
+    let doctored = std::fs::read_to_string(&path)
+        .expect("baseline written")
+        .replace("\"median_ns\": ", "\"median_ns\": 0.0000");
+    std::fs::write(&path, doctored).expect("rewrite baseline");
+    let out = bench_cli(
+        &[
+            "bench",
+            "--filter",
+            "qvstore_argmax",
+            "--reps",
+            "2",
+            "--baseline",
+            path_str,
+        ],
+        None,
+    );
+    assert!(!out.status.success(), "doctored baseline must gate");
+    let err = stderr(&out);
+    assert!(
+        err.contains("regression: qvstore_argmax"),
+        "regression names the benchmark: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_rejects_unmatched_filter_and_bad_reps() {
+    let out = bench_cli(&["bench", "--filter", "no-such-benchmark"], None);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no benchmark matches"));
+    let out = bench_cli(&["bench", "--reps", "0"], None);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--reps must be positive"));
+}
+
+#[test]
+fn bench_threads_zero_is_clamped_with_a_warning() {
+    // PYTHIA_BENCH_THREADS=0 must not abort or silently fan out to zero
+    // workers: the sweep engine warns and clamps to one thread.
+    let out = Command::new(env!("CARGO_BIN_EXE_pythia-cli"))
+        .args([
+            "sweep",
+            "--workloads",
+            WORKLOAD,
+            "--prefetchers",
+            "stride",
+            "--warmup",
+            "1000",
+            "--measure",
+            "4000",
+        ])
+        .env("PYTHIA_BENCH_THREADS", "0")
+        .output()
+        .expect("spawn pythia-cli");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("PYTHIA_BENCH_THREADS=0 would run no workers; clamping to 1"),
+        "clamp warning must reach the user: {}",
+        stderr(&out)
+    );
+}
+
 #[test]
 fn storage_prints_overhead_tables() {
     let out = cli(&["storage"]);

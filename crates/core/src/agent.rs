@@ -83,6 +83,12 @@ pub struct Pythia {
     stats: PrefetcherStats,
     rewards_seen: RewardCounters,
     action_histogram: Vec<u64>,
+    /// Recycled state-vector buffers: evicted EQ entries hand their
+    /// allocation back here, so steady-state demand handling allocates
+    /// nothing per access.
+    state_pool: Vec<Vec<u64>>,
+    /// Reusable Q-row buffer for greedy action selection.
+    q_row: Vec<f32>,
 }
 
 impl Pythia {
@@ -108,6 +114,8 @@ impl Pythia {
             stats: PrefetcherStats::default(),
             rewards_seen: RewardCounters::default(),
             action_histogram: vec![0; n_actions],
+            state_pool: Vec::new(),
+            q_row: Vec::new(),
         }
     }
 
@@ -172,11 +180,12 @@ impl Prefetcher for Pythia {
         "pythia"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let r = self.config.rewards;
 
         // (1) Reward any earlier action whose prefetch this demand confirms.
@@ -201,22 +210,22 @@ impl Prefetcher for Pythia {
             crate::eq::DemandMatch::Miss => {}
         }
 
-        // (2) Extract the state vector.
+        // (2) Extract the state vector (into a recycled buffer).
         self.ctx.update(access);
-        let state = self.ctx.state(&self.config.features);
+        let mut state = self.state_pool.pop().unwrap_or_default();
+        self.ctx.state_into(&self.config.features, &mut state);
 
         // (3) ε-greedy action selection.
         let n = self.config.actions.len();
         let action = if self.rng.gen::<f32>() <= self.config.epsilon {
             self.rng.gen_range(0..n)
         } else {
-            self.qv.argmax(&state)
+            self.qv.argmax_with_row(&state, &mut self.q_row)
         };
         self.action_histogram[action] += 1;
         let offset = self.config.actions[action];
 
         // (4) Generate the prefetch and the EQ entry.
-        let mut out = Vec::new();
         let mut entry = EqEntry::new(state, action, None, access.cycle);
         if offset == 0 {
             self.assign_insertion_reward(&mut entry, 0, feedback);
@@ -240,22 +249,21 @@ impl Prefetcher for Pythia {
                 });
                 self.rewards_seen.inaccurate += 1;
             }
-            let (s2, a2) = {
-                let head = self.eq.head().expect("EQ non-empty after insert");
-                (head.state.clone(), head.action)
-            };
+            let head = self.eq.head().expect("EQ non-empty after insert");
             self.qv.sarsa_update(
                 &evicted.state,
                 evicted.action,
                 evicted.reward.expect("assigned above") as f32,
-                &s2,
-                a2,
+                &head.state,
+                head.action,
                 self.config.alpha,
                 self.config.gamma,
             );
+            // Recycle the evicted entry's state allocation.
+            let mut buf = evicted.state;
+            buf.clear();
+            self.state_pool.push(buf);
         }
-
-        out
     }
 
     fn on_fill(&mut self, event: &FillEvent) {

@@ -15,7 +15,34 @@
 //! The evicted entry, together with the (new) EQ head, feeds the SARSA
 //! update (Algorithm 1, lines 23–29).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the cacheline-keyed index. The default
+/// SipHash costs more than the whole indexed lookup it guards; line
+/// numbers need no DoS resistance, and the map's iteration order is never
+/// observed, so a fast mixer is deterministic-safe here.
+#[derive(Debug, Default)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = x ^ (x >> 32);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 
 /// One queued action awaiting its reward.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +95,30 @@ pub enum DemandMatch {
     Miss,
 }
 
+/// Sentinel for "no newer same-line entry" in the intrusive chain.
+const NO_LINK: u64 = u64::MAX;
+
 /// The evaluation queue.
+///
+/// Demand-hit and fill matching are O(per-line residency) instead of a
+/// front-to-back scan of the whole queue: a side index maps each resident
+/// prefetch line to an intrusive chain of its entries, in queue order.
+/// Every match still verifies its predicate on the entry itself, so the
+/// behaviour is identical to the linear scans the index replaced — just
+/// without touching 256 entries per demand.
 #[derive(Debug, Clone)]
 pub struct EvaluationQueue {
     entries: VecDeque<EqEntry>,
     capacity: usize,
+    /// Sequence number of the front entry; `entries[i]` has sequence
+    /// `head_seq + i`.
+    head_seq: u64,
+    /// Parallel to `entries`: sequence number of the next newer entry
+    /// with the same prefetch line ([`NO_LINK`] at chain end) — an
+    /// intrusive per-line list, so indexing allocates nothing per entry.
+    links: VecDeque<u64>,
+    /// Oldest and newest resident sequence number per prefetch line.
+    by_line: LineMap<(u64, u64)>,
 }
 
 impl EvaluationQueue {
@@ -86,6 +132,9 @@ impl EvaluationQueue {
         Self {
             entries: VecDeque::with_capacity(capacity + 1),
             capacity,
+            head_seq: 0,
+            links: VecDeque::with_capacity(capacity + 1),
+            by_line: LineMap::default(),
         }
     }
 
@@ -99,6 +148,27 @@ impl EvaluationQueue {
         self.entries.is_empty()
     }
 
+    /// First resident entry for `line` (queue order) passing `pred`.
+    #[inline]
+    fn find_for_line(
+        &mut self,
+        line: u64,
+        pred: impl Fn(&EqEntry) -> bool,
+    ) -> Option<&mut EqEntry> {
+        let head_seq = self.head_seq;
+        let (mut seq, _) = *self.by_line.get(&line)?;
+        loop {
+            let i = (seq - head_seq) as usize;
+            if pred(&self.entries[i]) {
+                return Some(&mut self.entries[i]);
+            }
+            seq = self.links[i];
+            if seq == NO_LINK {
+                return None;
+            }
+        }
+    }
+
     /// Searches for an un-rewarded entry whose prefetch address matches the
     /// demanded `line` (Algorithm 1, lines 6–11). On a match, assigns
     /// R_AT/R_AL (passed in by the caller from its reward levels) and
@@ -110,16 +180,14 @@ impl EvaluationQueue {
         r_at: i16,
         r_al: i16,
     ) -> DemandMatch {
-        for e in self.entries.iter_mut() {
-            if e.reward.is_none() && e.prefetch_line == Some(line) {
-                let filled = e.fill_ready.is_some_and(|t| t <= cycle);
-                e.reward = Some(if filled { r_at } else { r_al });
-                return if filled {
-                    DemandMatch::AccurateTimely
-                } else {
-                    DemandMatch::AccurateLate
-                };
-            }
+        if let Some(e) = self.find_for_line(line, |e| e.reward.is_none()) {
+            let filled = e.fill_ready.is_some_and(|t| t <= cycle);
+            e.reward = Some(if filled { r_at } else { r_al });
+            return if filled {
+                DemandMatch::AccurateTimely
+            } else {
+                DemandMatch::AccurateLate
+            };
         }
         DemandMatch::Miss
     }
@@ -137,26 +205,24 @@ impl EvaluationQueue {
         r_at: i16,
         r_al: i16,
     ) -> DemandMatch {
-        for e in self.entries.iter_mut() {
-            if e.reward.is_none() && e.prefetch_line == Some(line) {
-                let (reward, timely) = match e.fill_ready {
-                    Some(fill) if fill <= cycle => (r_at, true),
-                    Some(fill) => {
-                        let flight = fill.saturating_sub(e.issued_at).max(1);
-                        let progressed = cycle.saturating_sub(e.issued_at).min(flight);
-                        let frac = progressed as f64 / flight as f64;
-                        let graded = r_al as f64 + (r_at - r_al) as f64 * frac;
-                        (graded.round() as i16, false)
-                    }
-                    None => (r_al, false),
-                };
-                e.reward = Some(reward);
-                return if timely {
-                    DemandMatch::AccurateTimely
-                } else {
-                    DemandMatch::AccurateLate
-                };
-            }
+        if let Some(e) = self.find_for_line(line, |e| e.reward.is_none()) {
+            let (reward, timely) = match e.fill_ready {
+                Some(fill) if fill <= cycle => (r_at, true),
+                Some(fill) => {
+                    let flight = fill.saturating_sub(e.issued_at).max(1);
+                    let progressed = cycle.saturating_sub(e.issued_at).min(flight);
+                    let frac = progressed as f64 / flight as f64;
+                    let graded = r_al as f64 + (r_at - r_al) as f64 * frac;
+                    (graded.round() as i16, false)
+                }
+                None => (r_al, false),
+            };
+            e.reward = Some(reward);
+            return if timely {
+                DemandMatch::AccurateTimely
+            } else {
+                DemandMatch::AccurateLate
+            };
         }
         DemandMatch::Miss
     }
@@ -164,23 +230,47 @@ impl EvaluationQueue {
     /// Records a prefetch fill (Algorithm 1, line 32): sets the fill
     /// timestamp of the matching entry.
     pub fn mark_filled(&mut self, line: u64, ready_at: u64) {
-        for e in self.entries.iter_mut() {
-            if e.prefetch_line == Some(line) && e.fill_ready.is_none() {
-                e.fill_ready = Some(ready_at);
-                return;
-            }
+        if let Some(e) = self.find_for_line(line, |e| e.fill_ready.is_none()) {
+            e.fill_ready = Some(ready_at);
         }
     }
 
     /// Inserts an entry; if the queue is at capacity, evicts and returns the
     /// oldest entry (Algorithm 1, line 23).
     pub fn insert(&mut self, entry: EqEntry) -> Option<EqEntry> {
+        if let Some(line) = entry.prefetch_line {
+            let seq = self.head_seq + self.entries.len() as u64;
+            match self.by_line.entry(line) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    // Chain behind the current newest same-line entry.
+                    let (_, tail) = *o.get();
+                    self.links[(tail - self.head_seq) as usize] = seq;
+                    o.get_mut().1 = seq;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((seq, seq));
+                }
+            }
+        }
         let evicted = if self.entries.len() >= self.capacity {
-            self.entries.pop_front()
+            let evicted = self.entries.pop_front();
+            let link = self.links.pop_front().expect("links parallel to entries");
+            self.head_seq += 1;
+            if let Some(line) = evicted.as_ref().and_then(|e| e.prefetch_line) {
+                // The evicted entry is the oldest resident, so it heads its
+                // line's chain.
+                if link == NO_LINK {
+                    self.by_line.remove(&line);
+                } else {
+                    self.by_line.get_mut(&line).expect("indexed entry").0 = link;
+                }
+            }
+            evicted
         } else {
             None
         };
         self.entries.push_back(entry);
+        self.links.push_back(NO_LINK);
         evicted
     }
 
@@ -192,6 +282,9 @@ impl EvaluationQueue {
     /// Clears the queue (Algorithm 1, line 3).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.links.clear();
+        self.by_line.clear();
+        self.head_seq = 0;
     }
 }
 

@@ -155,11 +155,14 @@ impl Feature {
 }
 
 const PAGE_TABLE_ENTRIES: usize = 64;
+// `valid_mask` packs one bit per slot into a u64.
+const _: () = assert!(PAGE_TABLE_ENTRIES == u64::BITS as usize);
 
+/// Per-page access history (everything but the tag, which lives in the
+/// context's SoA tag array so the per-access page lookup scans a dense
+/// 512-byte tag vector instead of a strided struct array).
 #[derive(Debug, Clone, Copy, Default)]
-struct PageEntry {
-    valid: bool,
-    page: u64,
+struct PageHistory {
     last_offset: i32,
     /// Last four deltas, most recent in slot 0 (7-bit signed each).
     deltas: [i8; 4],
@@ -175,7 +178,14 @@ struct PageEntry {
 pub struct FeatureContext {
     pcs: [u64; 3],
     prev_pc: u64,
-    pages: Vec<PageEntry>,
+    /// Page tags, scanned contiguously on every access.
+    page_tags: [u64; PAGE_TABLE_ENTRIES],
+    /// Bit `i` set ⇔ `page_tags[i]`/`page_hist[i]` hold a live entry.
+    valid_mask: u64,
+    /// Slot of the most recently touched page — checked before the full
+    /// tag scan (demand streams revisit the same page in bursts).
+    mru_slot: usize,
+    page_hist: [PageHistory; PAGE_TABLE_ENTRIES],
     clock: u64,
     /// Snapshot of the current access, filled by [`FeatureContext::update`].
     line: u64,
@@ -192,7 +202,10 @@ impl FeatureContext {
         Self {
             pcs: [0; 3],
             prev_pc: 0,
-            pages: vec![PageEntry::default(); PAGE_TABLE_ENTRIES],
+            page_tags: [0; PAGE_TABLE_ENTRIES],
+            valid_mask: 0,
+            mru_slot: 0,
+            page_hist: [PageHistory::default(); PAGE_TABLE_ENTRIES],
             clock: 0,
             line: 0,
             page: 0,
@@ -201,6 +214,48 @@ impl FeatureContext {
             deltas: [0; 4],
             offsets: [0; 4],
         }
+    }
+
+    /// First live slot holding `page`, scanning slots in index order (the
+    /// same order the old `Vec::position` scan used). Branchless
+    /// match-mask over the dense tag array so the compiler can vectorize.
+    #[inline]
+    fn find_page(&self, page: u64) -> Option<usize> {
+        // MRU shortcut: page tags are unique, so finding the page in the
+        // last-touched slot is the same answer the full scan would give.
+        let mru = self.mru_slot;
+        if self.valid_mask & (1 << mru) != 0 && self.page_tags[mru] == page {
+            return Some(mru);
+        }
+        let mut matches = 0u64;
+        for (i, &t) in self.page_tags.iter().enumerate() {
+            matches |= u64::from(t == page) << i;
+        }
+        matches &= self.valid_mask;
+        if matches != 0 {
+            Some(matches.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Victim slot for a new page: the first invalid slot, else the first
+    /// slot with the minimum LRU stamp — exactly the old
+    /// `min_by_key(if valid { lru } else { 0 })` selection.
+    #[inline]
+    fn victim_slot(&self) -> usize {
+        if self.valid_mask != u64::MAX {
+            return (!self.valid_mask).trailing_zeros() as usize;
+        }
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (i, h) in self.page_hist.iter().enumerate() {
+            if h.lru < best {
+                best = h.lru;
+                victim = i;
+            }
+        }
+        victim
     }
 
     /// Ingests a demand access, updating PC and per-page histories. After
@@ -212,10 +267,10 @@ impl FeatureContext {
         let offset = access.page_offset();
 
         // Per-page history.
-        let pos = self.pages.iter().position(|e| e.valid && e.page == page);
-        let (delta, deltas, offsets) = match pos {
+        let (delta, deltas, offsets) = match self.find_page(page) {
             Some(i) => {
-                let e = &mut self.pages[i];
+                self.mru_slot = i;
+                let e = &mut self.page_hist[i];
                 e.lru = self.clock;
                 let delta = offset as i32 - e.last_offset;
                 if delta != 0 {
@@ -226,16 +281,11 @@ impl FeatureContext {
                 (delta, e.deltas, e.offsets)
             }
             None => {
-                let victim = self
-                    .pages
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("page table non-empty");
-                self.pages[victim] = PageEntry {
-                    valid: true,
-                    page,
+                let victim = self.victim_slot();
+                self.mru_slot = victim;
+                self.page_tags[victim] = page;
+                self.valid_mask |= 1 << victim;
+                self.page_hist[victim] = PageHistory {
                     last_offset: offset as i32,
                     deltas: [0; 4],
                     offsets: [offset as u8, 0, 0, 0],
@@ -295,6 +345,13 @@ impl FeatureContext {
     /// Evaluates a whole state vector.
     pub fn state(&self, features: &[Feature]) -> Vec<u64> {
         features.iter().map(|f| self.value(f)).collect()
+    }
+
+    /// Evaluates a whole state vector into `out` (cleared and refilled) so
+    /// per-demand callers can reuse one buffer instead of allocating.
+    pub fn state_into(&self, features: &[Feature], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(features.iter().map(|f| self.value(f)));
     }
 }
 

@@ -46,15 +46,51 @@ fn plane_hash(value: u64, plane: usize, index_bits: u32) -> usize {
     (h >> (64 - index_bits)) as usize
 }
 
+/// Plane-base scratch is kept on the stack for state vectors with up to
+/// this many (vault, plane) cells — large enough for every configuration
+/// the DSE explores; bigger stores fall back to one heap allocation per
+/// lookup.
+const INLINE_BASES: usize = 64;
+
+/// Runs `f` over an `n`-element zeroed scratch slice, stack-allocated up
+/// to `N` elements and heap-allocated beyond — the one shared
+/// inline-or-heap policy behind every per-lookup scratch buffer here
+/// (plane bases, SARSA write-back bases, the argmax Q-row).
+#[inline]
+fn with_scratch<T: Copy + Default, const N: usize, R>(
+    n: usize,
+    f: impl FnOnce(&mut [T]) -> R,
+) -> R {
+    if n <= N {
+        let mut buf = [T::default(); N];
+        f(&mut buf[..n])
+    } else {
+        let mut buf = vec![T::default(); n];
+        f(&mut buf)
+    }
+}
+
 /// The Q-value store.
+///
+/// Storage is a single flat `[vault][plane][index][action]` array (SoA):
+/// one allocation, one cache-friendly stride walk per lookup, instead of
+/// the pointer-chasing `Vec<Vec<Vec<f32>>>` layout this replaced. Per-state
+/// plane hashes are computed once per lookup and shared by every action
+/// probed against that state, which turns the per-demand argmax from
+/// `actions × vaults × planes` hash computations into `vaults × planes`.
 #[derive(Debug, Clone)]
 pub struct QvStore {
-    /// `tables[vault][plane]` is a flat `[index][action]` matrix.
-    tables: Vec<Vec<Vec<f32>>>,
+    /// Flat partial-Q storage, indexed by
+    /// `vault * vault_stride + plane * plane_stride + index * actions + action`.
+    table: Vec<f32>,
     vaults: usize,
     planes: usize,
     index_bits: u32,
     actions: usize,
+    /// Elements per plane: `entries * actions`.
+    plane_stride: usize,
+    /// Elements per vault: `planes * plane_stride`.
+    vault_stride: usize,
     combine: VaultCombine,
     updates: u64,
 }
@@ -69,12 +105,16 @@ impl QvStore {
         let entries = 1usize << config.plane_index_bits;
         let actions = config.actions.len();
         let init = config.q_init() / planes as f32;
+        let plane_stride = entries * actions;
+        let vault_stride = planes * plane_stride;
         Self {
-            tables: vec![vec![vec![init; entries * actions]; planes]; vaults],
+            table: vec![init; vaults * vault_stride],
             vaults,
             planes,
             index_bits: config.plane_index_bits,
             actions,
+            plane_stride,
+            vault_stride,
             combine: config.vault_combine,
             updates: 0,
         }
@@ -90,16 +130,145 @@ impl QvStore {
         self.updates
     }
 
+    /// Flat-array offset of the `(vault, plane, value)` cell row (the
+    /// element holding action 0).
     #[inline]
-    fn cell(&self, vault: usize, plane: usize, value: u64, action: usize) -> f32 {
+    fn base(&self, vault: usize, plane: usize, value: u64) -> usize {
         let idx = plane_hash(value, plane, self.index_bits);
-        self.tables[vault][plane][idx * self.actions + action]
+        vault * self.vault_stride + plane * self.plane_stride + idx * self.actions
     }
 
     #[inline]
-    fn cell_mut(&mut self, vault: usize, plane: usize, value: u64, action: usize) -> &mut f32 {
-        let idx = plane_hash(value, plane, self.index_bits);
-        &mut self.tables[vault][plane][idx * self.actions + action]
+    fn cell(&self, vault: usize, plane: usize, value: u64, action: usize) -> f32 {
+        self.table[self.base(vault, plane, value) + action]
+    }
+
+    /// Computes every `(vault, plane)` cell base for `state` once, then
+    /// hands the slice to `f`: lookups probing several actions against one
+    /// state (argmax, `q_row_into`, the SARSA update) hash each plane a
+    /// single time instead of once per action.
+    #[inline]
+    fn with_bases<R>(&self, state: &[u64], f: impl FnOnce(&[usize]) -> R) -> R {
+        assert_eq!(state.len(), self.vaults, "state dimension mismatch");
+        with_scratch::<usize, INLINE_BASES, R>(self.vaults * self.planes, |bases| {
+            self.fill_bases(state, bases);
+            f(bases)
+        })
+    }
+
+    #[inline]
+    fn fill_bases(&self, state: &[u64], bases: &mut [usize]) {
+        let mut i = 0;
+        for (v, &value) in state.iter().enumerate() {
+            for p in 0..self.planes {
+                bases[i] = self.base(v, p, value);
+                i += 1;
+            }
+        }
+    }
+
+    /// State-action Q-value from precomputed plane bases, combining vaults
+    /// in exactly the order [`QvStore::q`] documents (plane-order partial
+    /// sums, then max/mean across vaults) so the two paths are
+    /// bit-identical.
+    #[inline]
+    fn q_from_bases(&self, bases: &[usize], action: usize) -> f32 {
+        let vaults = bases.chunks_exact(self.planes).map(|planes| {
+            planes
+                .iter()
+                .map(|&base| self.table[base + action])
+                .sum::<f32>()
+        });
+        match self.combine {
+            VaultCombine::Max => vaults.fold(f32::NEG_INFINITY, f32::max),
+            VaultCombine::Mean => {
+                let mut sum = 0.0;
+                let mut n = 0;
+                for v in vaults {
+                    sum += v;
+                    n += 1;
+                }
+                sum / n as f32
+            }
+        }
+    }
+
+    /// Q-values of every action at once, transposed so each `(vault,
+    /// plane)` cell row is walked contiguously (`actions` consecutive
+    /// floats) — the vectorizable layout of the per-demand argmax. The
+    /// float combination order per action is exactly
+    /// [`q_from_bases`](QvStore::q_from_bases)'s (planes in order within a
+    /// vault, then max/mean across vaults in order), so results are
+    /// bit-identical to probing each action individually.
+    #[inline]
+    fn q_all_from_bases(&self, bases: &[usize], row: &mut [f32]) {
+        debug_assert_eq!(row.len(), self.actions);
+        let n = self.actions;
+        let init = match self.combine {
+            VaultCombine::Max => f32::NEG_INFINITY,
+            VaultCombine::Mean => 0.0,
+        };
+        row.fill(init);
+        let mut vaults = 0u32;
+        // Scratch for the rare plane counts without a fused loop below.
+        let mut acc_heap: Vec<f32> = Vec::new();
+        for planes in bases.chunks_exact(self.planes) {
+            // Fused per-action vault sums for the common plane counts
+            // (Table 2 uses 3). The explicit leading `0.0 +` keeps the
+            // addition chain identical to the iterator sum in
+            // [`q_from_bases`](QvStore::q_from_bases), which starts from
+            // zero.
+            macro_rules! combine {
+                ($vault_q:expr) => {
+                    match self.combine {
+                        VaultCombine::Max => {
+                            for (a, r) in row.iter_mut().enumerate() {
+                                *r = r.max($vault_q(a));
+                            }
+                        }
+                        VaultCombine::Mean => {
+                            for (a, r) in row.iter_mut().enumerate() {
+                                *r += $vault_q(a);
+                            }
+                        }
+                    }
+                };
+            }
+            match *planes {
+                [b0] => {
+                    let t0 = &self.table[b0..b0 + n];
+                    combine!(|a: usize| 0.0 + t0[a]);
+                }
+                [b0, b1] => {
+                    let t0 = &self.table[b0..b0 + n];
+                    let t1 = &self.table[b1..b1 + n];
+                    combine!(|a: usize| (0.0 + t0[a]) + t1[a]);
+                }
+                [b0, b1, b2] => {
+                    let t0 = &self.table[b0..b0 + n];
+                    let t1 = &self.table[b1..b1 + n];
+                    let t2 = &self.table[b2..b2 + n];
+                    combine!(|a: usize| ((0.0 + t0[a]) + t1[a]) + t2[a]);
+                }
+                _ => {
+                    acc_heap.clear();
+                    acc_heap.resize(n, 0.0);
+                    for &base in planes {
+                        let cells = &self.table[base..base + n];
+                        for (acc, &c) in acc_heap.iter_mut().zip(cells) {
+                            *acc += c;
+                        }
+                    }
+                    combine!(|a: usize| acc_heap[a]);
+                }
+            }
+            vaults += 1;
+        }
+        if self.combine == VaultCombine::Mean {
+            for r in row.iter_mut() {
+                *r /= vaults as f32;
+            }
+        }
     }
 
     /// Feature-action Q-value: the sum of plane partials (Fig. 5(b)).
@@ -116,23 +285,7 @@ impl QvStore {
     ///
     /// Panics if `state.len()` differs from the number of vaults.
     pub fn q(&self, state: &[u64], action: usize) -> f32 {
-        assert_eq!(state.len(), self.vaults, "state dimension mismatch");
-        let vals = state
-            .iter()
-            .enumerate()
-            .map(|(v, &value)| self.feature_q(v, value, action));
-        match self.combine {
-            VaultCombine::Max => vals.fold(f32::NEG_INFINITY, f32::max),
-            VaultCombine::Mean => {
-                let mut sum = 0.0;
-                let mut n = 0;
-                for v in vals {
-                    sum += v;
-                    n += 1;
-                }
-                sum / n as f32
-            }
-        }
+        self.with_bases(state, |bases| self.q_from_bases(bases, action))
     }
 
     /// Q-values of every action for `state` (one pipelined search, Fig. 6),
@@ -150,24 +303,48 @@ impl QvStore {
     /// instead of allocating a fresh `Vec` per lookup.
     pub fn q_row_into(&self, state: &[u64], row: &mut Vec<f32>) {
         row.clear();
-        row.reserve(self.actions);
-        row.extend((0..self.actions).map(|a| self.q(state, a)));
+        row.resize(self.actions, 0.0);
+        self.with_bases(state, |bases| self.q_all_from_bases(bases, row));
     }
 
-    /// The action with the maximum Q-value, with ties broken toward the
-    /// lowest index (deterministic hardware behaviour). Allocation-free —
-    /// this sits on the agent's per-demand path.
-    pub fn argmax(&self, state: &[u64]) -> usize {
+    /// First index of the row maximum — [`QvStore::argmax`]'s tie-break
+    /// (strictly-greater scan from index 0).
+    #[inline]
+    fn first_max(row: &[f32]) -> usize {
         let mut best = 0;
-        let mut best_q = self.q(state, 0);
-        for a in 1..self.actions {
-            let q = self.q(state, a);
+        let mut best_q = row[0];
+        for (a, &q) in row.iter().enumerate().skip(1) {
             if q > best_q {
                 best_q = q;
                 best = a;
             }
         }
         best
+    }
+
+    /// The action with the maximum Q-value, with ties broken toward the
+    /// lowest index (deterministic hardware behaviour). Allocation-free
+    /// for action lists up to 32 entries — this sits on the agent's
+    /// per-demand path; callers that probe repeatedly (or run the 127-way
+    /// unpruned list) can reuse a buffer through
+    /// [`argmax_with_row`](QvStore::argmax_with_row) instead.
+    pub fn argmax(&self, state: &[u64]) -> usize {
+        const INLINE_ROW: usize = 32;
+        self.with_bases(state, |bases| {
+            with_scratch::<f32, INLINE_ROW, usize>(self.actions, |row| {
+                self.q_all_from_bases(bases, row);
+                Self::first_max(row)
+            })
+        })
+    }
+
+    /// [`QvStore::argmax`] through a caller-owned row buffer (resized and
+    /// overwritten), leaving the buffer holding every action's Q-value.
+    /// The agent threads one buffer through every demand, so steady-state
+    /// action selection allocates nothing regardless of action-list size.
+    pub fn argmax_with_row(&self, state: &[u64], row: &mut Vec<f32>) -> usize {
+        self.q_row_into(state, row);
+        Self::first_max(row)
     }
 
     /// Applies the SARSA update (Algorithm 1, line 29):
@@ -190,15 +367,19 @@ impl QvStore {
         alpha: f32,
         gamma: f32,
     ) {
-        let q1 = self.q(s1, a1);
-        let q2 = self.q(s2, a2);
-        let delta = reward + gamma * q2 - q1;
-        let per_plane = alpha * delta / self.planes as f32;
-        for (v, &value) in s1.iter().enumerate() {
-            for p in 0..self.planes {
-                *self.cell_mut(v, p, value, a1) += per_plane;
+        // S1's plane bases serve both the Q(S1,A1) read and the update
+        // write-back, so each plane is hashed once.
+        assert_eq!(s1.len(), self.vaults, "state dimension mismatch");
+        with_scratch::<usize, INLINE_BASES, ()>(self.vaults * self.planes, |bases| {
+            self.fill_bases(s1, bases);
+            let q1 = self.q_from_bases(bases, a1);
+            let q2 = self.q(s2, a2);
+            let delta = reward + gamma * q2 - q1;
+            let per_plane = alpha * delta / self.planes as f32;
+            for &base in bases.iter() {
+                self.table[base + a1] += per_plane;
             }
-        }
+        });
         self.updates += 1;
     }
 

@@ -1,0 +1,433 @@
+//! # pythia-perf
+//!
+//! The in-repo microbenchmark subsystem: a hand-rolled harness (no
+//! external benchmarking dependency) that pins the simulator's hot paths
+//! to numbers — per-access agent cost, cache probe cost, trace decode
+//! throughput, and the end-to-end simulated-instructions-per-second of
+//! the default single-core workload.
+//!
+//! Each benchmark runs a warmup phase, then `measure_reps` timed
+//! repetitions of a deterministic fixed-seed fixture
+//! ([`fixtures`]), reduced to median + MAD
+//! ([`pythia_stats::bench::BenchMeasurement`]). `pythia-cli bench` drives
+//! the registry and emits `BENCH_micro.json` (same hand-rolled JSON
+//! schema family as the sweep engine's `BENCH_*.json`); CI replays it at
+//! tiny scale against a checked-in baseline and fails on >25%
+//! regressions.
+//!
+//! ```no_run
+//! let harness = pythia_perf::Harness::default();
+//! let report = pythia_perf::run_filtered(Some("qvstore"), &harness);
+//! println!("{}", report.to_markdown());
+//! ```
+
+pub mod fixtures;
+
+use std::hint::black_box;
+
+use pythia::runner::{run_workload, RunSpec};
+use pythia_core::eq::{EqEntry, EvaluationQueue};
+use pythia_core::{FeatureContext, Pythia, PythiaConfig, QvStore};
+use pythia_sim::cache::{AccessKind, Cache, Lookup, MshrFile};
+use pythia_sim::config::SystemConfig;
+use pythia_sim::prefetch::{Prefetcher, SystemFeedback};
+use pythia_sim::trace::{decode_trace, encode_trace, FileTraceSource, TraceSource, TraceWriter};
+use pythia_stats::bench::{BenchMeasurement, BenchReport};
+
+use fixtures::scaled;
+
+/// Harness knobs: untimed warmup repetitions, then timed repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Untimed repetitions before measurement (cache/branch warmup).
+    pub warmup_reps: u32,
+    /// Timed repetitions reduced to median/MAD.
+    pub measure_reps: u32,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self {
+            warmup_reps: 2,
+            measure_reps: 7,
+        }
+    }
+}
+
+/// One registered microbenchmark: `build(scale)` constructs its fixture
+/// and returns the work units one repetition processes plus the
+/// repetition closure.
+pub struct BenchDef {
+    /// Benchmark name (`--filter` substring-matches it).
+    pub name: &'static str,
+    /// Work-unit label (`"inst"`, `"ops"`, `"records"`).
+    pub unit: &'static str,
+    /// Fixture constructor.
+    #[allow(clippy::type_complexity)]
+    pub build: fn(f64) -> (u64, Box<dyn FnMut()>),
+}
+
+impl std::fmt::Debug for BenchDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchDef")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Budgets of the end-to-end benchmark (scaled): the default single-core
+/// methodology of `pythia-cli run` (100 K warmup + 400 K measured).
+const E2E_WARMUP: u64 = 100_000;
+const E2E_MEASURE: u64 = 400_000;
+
+fn e2e_spec(scale: f64) -> RunSpec {
+    RunSpec {
+        system: SystemConfig::single_core(),
+        warmup: scaled(E2E_WARMUP as usize, scale) as u64,
+        measure: scaled(E2E_MEASURE as usize, scale) as u64,
+    }
+}
+
+fn e2e_bench(scale: f64, prefetcher: &'static str) -> (u64, Box<dyn FnMut()>) {
+    let spec = e2e_spec(scale);
+    let workload = fixtures::e2e_workload();
+    (
+        spec.warmup + spec.measure,
+        Box::new(move || {
+            black_box(run_workload(&workload, prefetcher, &spec));
+        }),
+    )
+}
+
+/// Every registered microbenchmark, in report order.
+pub fn registry() -> Vec<BenchDef> {
+    vec![
+        BenchDef {
+            name: "e2e_single_core",
+            unit: "inst",
+            build: |scale| e2e_bench(scale, "pythia"),
+        },
+        BenchDef {
+            name: "e2e_baseline_sim",
+            unit: "inst",
+            build: |scale| e2e_bench(scale, "none"),
+        },
+        BenchDef {
+            name: "agent_step",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(300_000, scale);
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut agent = Pythia::new(PythiaConfig::tuned());
+                        let fb = SystemFeedback::idle();
+                        let mut out = Vec::new();
+                        for a in fixtures::demand_stream(n) {
+                            out.clear();
+                            agent.on_demand_into(&a, &fb, &mut out);
+                            black_box(out.len());
+                        }
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "feature_extract",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                let features = PythiaConfig::tuned().features;
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut ctx = FeatureContext::new();
+                        let mut state = Vec::new();
+                        for a in fixtures::demand_stream(n) {
+                            ctx.update(&a);
+                            ctx.state_into(&features, &mut state);
+                            black_box(&state);
+                        }
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "qvstore_argmax",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                let store = QvStore::new(&PythiaConfig::tuned());
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut row = Vec::new();
+                        let mut acc = 0usize;
+                        for i in 0..n as u64 {
+                            acc = acc.wrapping_add(
+                                store.argmax_with_row(&[i % 4096, (i * 7) % 4096], &mut row),
+                            );
+                        }
+                        black_box(acc);
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "qvstore_sarsa",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(400_000, scale);
+                let cfg = PythiaConfig::tuned();
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut store = QvStore::new(&cfg);
+                        for i in 0..n as u64 {
+                            store.sarsa_update(
+                                &[i % 4096, (i * 7) % 4096],
+                                (i % 16) as usize,
+                                -3.0,
+                                &[(i + 1) % 4096, (i * 7 + 3) % 4096],
+                                ((i + 5) % 16) as usize,
+                                0.05,
+                                cfg.gamma,
+                            );
+                        }
+                        black_box(store.updates());
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "eq_churn",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(400_000, scale);
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut eq = EvaluationQueue::new(256);
+                        let mut evictions = 0u64;
+                        for i in 0..n as u64 {
+                            eq.reward_demand_hit(i % 4096, i, 20, 12);
+                            let entry = EqEntry::new(
+                                vec![i, i ^ 7],
+                                (i % 16) as usize,
+                                Some((i * 3) % 4096),
+                                i,
+                            );
+                            if eq.insert(entry).is_some() {
+                                evictions += 1;
+                            }
+                            if i % 5 == 0 {
+                                eq.mark_filled((i * 3) % 4096, i + 100);
+                            }
+                        }
+                        black_box(evictions);
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "cache_probe",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                let cfg = SystemConfig::single_core();
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut cache = Cache::new("bench-l1", &cfg.l1d);
+                        let mut hits = 0u64;
+                        for (i, line) in fixtures::line_stream(n).enumerate() {
+                            match cache.access(line, AccessKind::DemandLoad, i as u64) {
+                                Lookup::Hit { .. } => hits += 1,
+                                Lookup::Miss => {
+                                    cache.fill(line, i as u64 + 20, AccessKind::DemandLoad, 0);
+                                }
+                            }
+                        }
+                        black_box(hits);
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "mshr_allocate",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut mshr = MshrFile::new(32);
+                        let mut waited = 0u64;
+                        for i in 0..n as u64 {
+                            waited += mshr.allocate(i * 3, i * 3 + 200);
+                        }
+                        black_box(waited);
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "trace_decode",
+            unit: "records",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                let encoded = encode_trace(&fixtures::trace_records(n));
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let decoded = decode_trace(encoded.clone()).expect("valid fixture");
+                        black_box(decoded.len());
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            name: "trace_file_replay",
+            unit: "records",
+            build: |scale| {
+                let n = scaled(500_000, scale);
+                // The guard owns the fixture file and removes it when the
+                // benchmark closure is dropped after its last repetition.
+                struct TempTrace(std::path::PathBuf);
+                impl Drop for TempTrace {
+                    fn drop(&mut self) {
+                        std::fs::remove_file(&self.0).ok();
+                    }
+                }
+                let file = TempTrace(std::env::temp_dir().join(format!(
+                    "pythia_perf_replay_{}_{n}.pytr",
+                    std::process::id()
+                )));
+                let mut writer = TraceWriter::create(&file.0).expect("create fixture trace");
+                for r in fixtures::trace_records(n) {
+                    writer.write_record(&r).expect("write fixture record");
+                }
+                writer.finish().expect("finish fixture trace");
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut src =
+                            FileTraceSource::open_trusted(&file.0).expect("open fixture trace");
+                        let mut count = 0u64;
+                        while let Some(r) = src.next_record() {
+                            black_box(r.pc);
+                            count += 1;
+                        }
+                        black_box(count);
+                    }),
+                )
+            },
+        },
+    ]
+}
+
+/// Runs one benchmark under the harness at `scale`.
+pub fn run_benchmark(def: &BenchDef, harness: &Harness, scale: f64) -> BenchMeasurement {
+    let (units, mut rep) = (def.build)(scale);
+    for _ in 0..harness.warmup_reps {
+        rep();
+    }
+    let reps = harness.measure_reps.max(1);
+    let mut times_ns = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let started = std::time::Instant::now();
+        rep();
+        times_ns.push(started.elapsed().as_nanos() as f64);
+    }
+    BenchMeasurement::from_times(def.name, def.unit, units, &times_ns)
+}
+
+/// Runs every benchmark whose name contains `filter` (all when `None`),
+/// at the ambient `PYTHIA_BENCH_SCALE`, and returns the report.
+pub fn run_filtered(filter: Option<&str>, harness: &Harness) -> BenchReport {
+    let scale = pythia_bench::scale();
+    let benchmarks = registry()
+        .iter()
+        .filter(|d| filter.is_none_or(|f| d.name.contains(f)))
+        .map(|d| run_benchmark(d, harness, scale))
+        .collect();
+    BenchReport {
+        name: "micro".into(),
+        scale,
+        benchmarks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        Harness {
+            warmup_reps: 0,
+            measure_reps: 2,
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_cover_required_paths() {
+        let defs = registry();
+        assert!(defs.len() >= 6, "need at least six benchmarks");
+        let names: Vec<_> = defs.iter().map(|d| d.name).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate benchmark names");
+        for required in [
+            "agent_step",
+            "cache_probe",
+            "trace_decode",
+            "e2e_single_core",
+        ] {
+            assert!(names.contains(&required), "missing benchmark {required}");
+        }
+    }
+
+    #[test]
+    fn micro_benchmarks_produce_positive_medians_at_tiny_scale() {
+        // Every non-e2e benchmark runs in milliseconds at 0.01 scale; the
+        // e2e pair is exercised by the CLI smoke instead (spawning full
+        // simulations twice per unit-test run is too slow here).
+        let harness = tiny();
+        for def in registry().iter().filter(|d| !d.name.starts_with("e2e")) {
+            let m = run_benchmark(def, &harness, 0.01);
+            assert!(m.median_ns > 0.0, "{}: zero median", def.name);
+            assert!(m.units_per_rep >= 1_000, "{}: fixture floor", def.name);
+            assert_eq!(m.reps, 2);
+            assert!(m.units_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn filtered_run_selects_by_substring() {
+        let report = run_filtered(Some("qvstore"), &tiny());
+        assert_eq!(report.benchmarks.len(), 2);
+        assert!(report
+            .benchmarks
+            .iter()
+            .all(|b| b.name.starts_with("qvstore")));
+    }
+
+    #[test]
+    fn measurements_are_reduced_with_median_and_mad() {
+        let defs = registry();
+        let def = defs
+            .iter()
+            .find(|d| d.name == "qvstore_argmax")
+            .expect("registered");
+        let m = run_benchmark(
+            def,
+            &Harness {
+                warmup_reps: 1,
+                measure_reps: 5,
+            },
+            0.01,
+        );
+        assert_eq!(m.reps, 5);
+        assert!(m.mad_ns >= 0.0);
+        assert!(m.mad_ns < m.median_ns, "MAD should be far below the median");
+    }
+}

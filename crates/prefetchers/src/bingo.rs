@@ -222,18 +222,19 @@ impl Prefetcher for Bingo {
         "bingo"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let region = region_of_line(access.line);
         let offset = region_offset(access.line);
-        let mut out = Vec::new();
+        let start = out.len();
 
         // Already accumulating: just record the footprint bit.
         if self.at_record(region, offset) {
-            return out;
+            return;
         }
 
         // Second access to a filtered region promotes it to the AT.
@@ -253,7 +254,7 @@ impl Prefetcher for Bingo {
                     lru: clock,
                 });
             }
-            return out;
+            return;
         }
 
         // First access to the region: trigger. Predict the footprint and
@@ -281,8 +282,7 @@ impl Prefetcher for Bingo {
             lru: clock,
         };
 
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

@@ -82,11 +82,12 @@ impl Prefetcher for CpHw {
         "cp_hw"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let state = self.state_of(access);
         self.last_line = access.line;
 
@@ -100,7 +101,6 @@ impl Prefetcher for CpHw {
         };
 
         let offset = ACTIONS[action];
-        let mut out = Vec::new();
         if offset != 0 && addr::offset_stays_in_page(access.line, offset) {
             let target = addr::apply_offset(access.line, offset);
             out.push(PrefetchRequest::to_l2(target));
@@ -113,7 +113,6 @@ impl Prefetcher for CpHw {
             self.recall_next = (self.recall_next + 1) % RECALL_ENTRIES;
             self.stats.issued += 1;
         }
-        out
     }
 
     fn on_useful(&mut self, line: u64) {

@@ -159,20 +159,21 @@ impl Prefetcher for DsPatch {
         "dspatch"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as usize;
-        let mut out = Vec::new();
+        let start = out.len();
 
         if let Some(e) = self.pb.iter_mut().find(|e| e.valid && e.page == page) {
             e.footprint |= 1u64 << offset;
             e.lru = self.clock;
-            return out;
+            return;
         }
 
         // First access to this page: predict, then start tracking it.
@@ -205,8 +206,7 @@ impl Prefetcher for DsPatch {
             lru: self.clock,
         };
 
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

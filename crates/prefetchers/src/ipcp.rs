@@ -115,13 +115,14 @@ impl Prefetcher for Ipcp {
         "ipcp"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let (idx, tag) = Self::ip_slot(access.pc);
-        let mut out = Vec::new();
+        let start = out.len();
         let dense = self.region_dense(access.page(), access.page_offset());
 
         let entry = &mut self.ipt[idx];
@@ -132,13 +133,13 @@ impl Prefetcher for Ipcp {
                 last_line: access.line,
                 ..Default::default()
             };
-            return out;
+            return;
         }
 
         let delta = (access.line as i64 - entry.last_line as i64).clamp(-63, 63) as i32;
         entry.last_line = access.line;
         if delta == 0 {
-            return out;
+            return;
         }
 
         // CS training.
@@ -170,7 +171,7 @@ impl Prefetcher for Ipcp {
         // Prediction: priority CS > CPLX > GS (per the original design).
         if conf >= 2 && stride != 0 {
             for d in 1..=CS_DEGREE {
-                push_in_page(&mut out, access.line, stride * d, true);
+                push_in_page(out, access.line, stride * d, true);
             }
         } else {
             let pred = self.cspt[cur_sig as usize % CSPT_ENTRIES];
@@ -184,20 +185,19 @@ impl Prefetcher for Ipcp {
                         break;
                     }
                     let rel = (line as i64 + p.delta as i64 - access.line as i64) as i32;
-                    push_in_page(&mut out, access.line, rel, true);
+                    push_in_page(out, access.line, rel, true);
                     line = (line as i64 + p.delta as i64).max(0) as u64;
                     sig = Self::sig_update(sig, p.delta as i32);
                 }
             } else if dense {
                 let dir = if stride >= 0 { 1 } else { -1 };
                 for d in 1..=GS_DEGREE {
-                    push_in_page(&mut out, access.line, dir * d, true);
+                    push_in_page(out, access.line, dir * d, true);
                 }
             }
         }
 
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

@@ -109,11 +109,12 @@ impl Prefetcher for Mlop {
         "mlop"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as i32;
@@ -165,7 +166,7 @@ impl Prefetcher for Mlop {
         // Prefetch with every armed offset, consulting the access map so
         // already-touched (or already-prefetched) lines are skipped — this
         // is MLOP's AMT check, without which it floods redundant requests.
-        let mut out = Vec::new();
+        let start = out.len();
         let chosen = self.chosen.clone();
         let e = &self.amt[idx];
         let mut covered = e.accessed | e.prefetched;
@@ -173,13 +174,12 @@ impl Prefetcher for Mlop {
             let target = offset + d;
             if (0..addr::LINES_PER_PAGE as i32).contains(&target) && covered & (1u64 << target) == 0
             {
-                push_in_page(&mut out, access.line, d, true);
+                push_in_page(out, access.line, d, true);
                 covered |= 1u64 << target;
             }
         }
         self.amt[idx].prefetched = covered & !self.amt[idx].accessed;
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

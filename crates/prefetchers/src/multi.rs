@@ -16,6 +16,10 @@ pub struct Multi {
     name: String,
     parts: Vec<Box<dyn Prefetcher>>,
     stats: PrefetcherStats,
+    /// Reusable per-component request buffer (cleared per component).
+    child_buf: Vec<PrefetchRequest>,
+    /// Reusable dedup set (cleared per demand).
+    seen: HashSet<u64>,
 }
 
 impl std::fmt::Debug for Multi {
@@ -41,6 +45,8 @@ impl Multi {
             name,
             parts,
             stats: PrefetcherStats::default(),
+            child_buf: Vec::new(),
+            seen: HashSet::new(),
         }
     }
 }
@@ -50,27 +56,31 @@ impl Prefetcher for Multi {
         &self.name
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut out = Vec::new();
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let start = out.len();
+        let mut child = std::mem::take(&mut self.child_buf);
+        self.seen.clear();
         for p in &mut self.parts {
-            for req in p.on_demand(access, feedback) {
-                if seen.insert(req.line) {
+            child.clear();
+            p.on_demand_into(access, feedback, &mut child);
+            for req in child.drain(..) {
+                if self.seen.insert(req.line) {
                     out.push(req);
                 } else if req.fill_l2 {
                     // Upgrade an LLC-only duplicate to fill L2.
-                    if let Some(existing) = out.iter_mut().find(|r| r.line == req.line) {
+                    if let Some(existing) = out[start..].iter_mut().find(|r| r.line == req.line) {
                         existing.fill_l2 = true;
                     }
                 }
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.child_buf = child;
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_fill(&mut self, event: &FillEvent) {

@@ -34,17 +34,17 @@ impl Prefetcher for NextLine {
         "next_line"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let start = out.len();
         for d in 1..=self.degree as i32 {
-            push_in_page(&mut out, access.line, d, true);
+            push_in_page(out, access.line, d, true);
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

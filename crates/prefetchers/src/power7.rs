@@ -89,11 +89,12 @@ impl Prefetcher for Power7 {
         "power7"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         self.clock += 1;
         self.epoch_demands += 1;
         if self.epoch_demands >= EPOCH_DEMANDS {
@@ -102,7 +103,7 @@ impl Prefetcher for Power7 {
 
         let page = access.page();
         let offset = access.page_offset() as i32;
-        let mut out = Vec::new();
+        let start = out.len();
 
         if let Some(e) = self.streams.iter_mut().find(|e| e.valid && e.page == page) {
             e.lru = self.clock;
@@ -120,7 +121,7 @@ impl Prefetcher for Power7 {
                 let depth = DEPTH_LEVELS[self.depth_level];
                 let direction = e.direction;
                 for d in 1..=depth as i32 {
-                    push_in_page(&mut out, access.line, direction * d, true);
+                    push_in_page(out, access.line, direction * d, true);
                 }
             }
         } else {
@@ -138,8 +139,7 @@ impl Prefetcher for Power7 {
                 lru: self.clock,
             };
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

@@ -70,6 +70,9 @@ pub struct SppPpf {
     issued: RecallQueue,
     rejected: RecallQueue,
     stats: PrefetcherStats,
+    /// Reusable buffer for the underlying SPP's candidate requests, so the
+    /// filtering pass allocates nothing per demand.
+    candidates: Vec<PrefetchRequest>,
 }
 
 impl SppPpf {
@@ -78,6 +81,7 @@ impl SppPpf {
         Self {
             spp: Spp::new(),
             weights: [[0; TABLE_ENTRIES]; NUM_FEATURES],
+            candidates: Vec::new(),
             issued: RecallQueue::new(),
             rejected: RecallQueue::new(),
             stats: PrefetcherStats::default(),
@@ -128,20 +132,23 @@ impl Prefetcher for SppPpf {
         "spp+ppf"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         // Recall: if this demand was previously rejected by the filter, that
         // was lost coverage -- train the perceptron up.
         if let Some(features) = self.rejected.take(access.line) {
             self.train(&features, true);
         }
 
-        let candidates = self.spp.on_demand(access, feedback);
-        let mut out = Vec::with_capacity(candidates.len());
-        for req in candidates {
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        self.spp.on_demand_into(access, feedback, &mut candidates);
+        let start = out.len();
+        for req in candidates.drain(..) {
             let features = Self::features(access, req.line);
             if self.sum(&features) >= TAU_ACCEPT {
                 self.issued.push(req.line, features);
@@ -150,8 +157,8 @@ impl Prefetcher for SppPpf {
                 self.rejected.push(req.line, features);
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.candidates = candidates;
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_fill(&mut self, event: &FillEvent) {

@@ -183,15 +183,16 @@ impl Prefetcher for Spp {
         "spp"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let page = access.page();
         let offset = access.page_offset() as u8;
         let (idx, tag) = Self::st_slot(page);
-        let mut out = Vec::new();
+        let start = out.len();
 
         let entry = self.st[idx];
         let current_sig = if entry.valid && entry.tag == tag {
@@ -247,8 +248,7 @@ impl Prefetcher for Spp {
             line = next;
             let _ = depth;
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

@@ -54,15 +54,16 @@ impl Prefetcher for Streamer {
         "streamer"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_offset() as i32;
-        let mut out = Vec::new();
+        let start = out.len();
 
         let pos = self.table.iter().position(|e| e.valid && e.page == page);
         match pos {
@@ -84,7 +85,7 @@ impl Prefetcher for Streamer {
                 if e.confidence >= 1 && e.direction != 0 {
                     let direction = e.direction;
                     for d in 1..=self.degree as i32 {
-                        push_in_page(&mut out, access.line, direction * d, true);
+                        push_in_page(out, access.line, direction * d, true);
                     }
                 }
             }
@@ -106,8 +107,7 @@ impl Prefetcher for Streamer {
                 };
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

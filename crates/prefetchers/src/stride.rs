@@ -60,14 +60,15 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let (idx, tag) = Self::slot(access.pc);
         let entry = &mut self.table[idx];
-        let mut out = Vec::new();
+        let start = out.len();
 
         if !entry.valid || entry.tag != tag {
             *entry = Entry {
@@ -77,7 +78,7 @@ impl Prefetcher for StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return out;
+            return;
         }
 
         let observed = access.line as i64 - entry.last_line as i64;
@@ -94,11 +95,10 @@ impl Prefetcher for StridePrefetcher {
 
         if entry.confidence >= CONF_ARM && entry.stride != 0 {
             for d in 1..=self.degree as i32 {
-                push_in_page(&mut out, access.line, entry.stride * d, true);
+                push_in_page(out, access.line, entry.stride * d, true);
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += (out.len() - start) as u64;
     }
 
     fn on_useful(&mut self, _line: u64) {

@@ -55,15 +55,14 @@ pub enum Lookup {
     Miss,
 }
 
+/// Per-line bookkeeping kept out of the tag array so the per-access tag
+/// scan touches nothing but a dense `u64` vector.
 #[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
+struct LineMeta {
     dirty: bool,
     prefetched: bool,
     demanded: bool,
     ready_at: u64,
-    lru: u64,
     rrpv: u8,
     ship_sig: u16,
 }
@@ -81,10 +80,26 @@ pub struct Eviction {
 }
 
 /// A set-associative cache level.
+///
+/// Lines are stored structure-of-arrays style in flat, whole-cache
+/// allocations: a dense tag vector (`tags`), a per-set validity bitmask
+/// (`valid`), and the per-line metadata (`meta`) off the lookup path. The
+/// way scan for a set therefore reads `ways` consecutive `u64`s from one
+/// open-addressed tag array instead of chasing a per-set `Vec<Line>`
+/// allocation — the hottest loop in the whole simulator.
 #[derive(Debug)]
 pub struct Cache {
     name: &'static str,
-    sets: Vec<Vec<Line>>,
+    /// `tags[set * ways + way]`, meaningful where the valid bit is set.
+    tags: Vec<u64>,
+    /// Bit `way` of `valid[set]` ⇔ that slot holds a live line.
+    valid: Vec<u64>,
+    /// `meta[set * ways + way]`, parallel to `tags`.
+    meta: Vec<LineMeta>,
+    /// LRU stamps, parallel to `tags` but kept in their own dense vector
+    /// so the per-fill victim scan reads contiguous `u64`s.
+    lru: Vec<u64>,
+    sets: usize,
     /// Fast-path mask when the set count is a power of two; otherwise the
     /// index falls back to a modulo (e.g. the 24 MB LLC of a 12-core
     /// system has 24576 sets).
@@ -103,13 +118,22 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration yields zero sets.
+    /// Panics if the configuration yields zero sets, zero ways, or more
+    /// ways than the per-set validity bitmask holds (64).
     pub fn new(name: &'static str, config: &CacheConfig) -> Self {
         let sets = config.sets();
         assert!(sets > 0, "{name}: cache must have at least one set");
+        assert!(
+            (1..=64).contains(&config.ways),
+            "{name}: ways must be in 1..=64"
+        );
         Self {
             name,
-            sets: vec![vec![Line::default(); config.ways]; sets],
+            tags: vec![0; sets * config.ways],
+            valid: vec![0; sets],
+            meta: vec![LineMeta::default(); sets * config.ways],
+            lru: vec![0; sets * config.ways],
+            sets,
             set_mask: if sets.is_power_of_two() {
                 Some(sets as u64 - 1)
             } else {
@@ -155,30 +179,59 @@ impl Cache {
     fn set_index(&self, line: u64) -> usize {
         match self.set_mask {
             Some(mask) => (line & mask) as usize,
-            None => (line % self.sets.len() as u64) as usize,
+            None => (line % self.sets as u64) as usize,
+        }
+    }
+
+    /// Bitmask with one bit set per way.
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
+    /// Way currently holding `line` in `set_idx`, scanning the flat tag
+    /// array (first match in way order, like the per-set linear scan this
+    /// replaced). The comparison loop is branchless — it builds a match
+    /// bitmask over all ways and lets the compiler vectorize it — because
+    /// this runs once per cache access, the hottest loop in the simulator.
+    #[inline]
+    fn find_way(&self, set_idx: usize, line: u64) -> Option<usize> {
+        let base = set_idx * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let mut matches = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            matches |= u64::from(t == line) << w;
+        }
+        matches &= self.valid[set_idx];
+        if matches != 0 {
+            Some(matches.trailing_zeros() as usize)
+        } else {
+            None
         }
     }
 
     /// Probes for `line` without modifying any state (used to drop redundant
     /// prefetches).
     pub fn probe(&self, line: u64) -> bool {
-        let set = &self.sets[self.set_index(line)];
-        set.iter().any(|l| l.valid && l.tag == line)
+        self.find_way(self.set_index(line), line).is_some()
     }
 
+    #[inline]
     /// Accesses the cache at `cycle`. Updates replacement/dirty state and
     /// statistics, and returns whether the line was present.
     pub fn access(&mut self, line: u64, kind: AccessKind, cycle: u64) -> Lookup {
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_index(line);
-        let way = self.sets[set_idx]
-            .iter()
-            .position(|l| l.valid && l.tag == line);
-        match way {
+        match self.find_way(set_idx, line) {
             Some(w) => {
                 let replacement = self.replacement;
-                let slot = &mut self.sets[set_idx][w];
+                self.lru[set_idx * self.ways + w] = clock;
+                let slot = &mut self.meta[set_idx * self.ways + w];
                 let first_demand_touch = kind.is_demand() && slot.prefetched && !slot.demanded;
                 if kind.is_demand() {
                     slot.demanded = true;
@@ -186,7 +239,6 @@ impl Cache {
                 if kind == AccessKind::DemandStore || kind == AccessKind::Writeback {
                     slot.dirty = true;
                 }
-                slot.lru = clock;
                 slot.rrpv = 0;
                 let sig = slot.ship_sig;
                 let ready_at = slot.ready_at;
@@ -207,37 +259,27 @@ impl Cache {
         }
     }
 
+    #[inline]
     fn record_access(&mut self, kind: AccessKind, hit: bool, useful_prefetch: bool, late: bool) {
+        let (hits, misses) = (u64::from(hit), u64::from(!hit));
         match kind {
             AccessKind::DemandLoad => {
                 self.stats.demand_loads += 1;
-                if hit {
-                    self.stats.demand_load_hits += 1;
-                } else {
-                    self.stats.demand_load_misses += 1;
-                }
+                self.stats.demand_load_hits += hits;
+                self.stats.demand_load_misses += misses;
             }
             AccessKind::DemandStore => {
                 self.stats.demand_stores += 1;
-                if hit {
-                    self.stats.demand_store_hits += 1;
-                } else {
-                    self.stats.demand_store_misses += 1;
-                }
+                self.stats.demand_store_hits += hits;
+                self.stats.demand_store_misses += misses;
             }
             AccessKind::Prefetch => {
-                if hit {
-                    self.stats.prefetch_redundant += 1;
-                }
+                self.stats.prefetch_redundant += hits;
             }
             AccessKind::Writeback => {}
         }
-        if useful_prefetch {
-            self.stats.useful_prefetches += 1;
-            if late {
-                self.stats.late_prefetch_hits += 1;
-            }
-        }
+        self.stats.useful_prefetches += u64::from(useful_prefetch);
+        self.stats.late_prefetch_hits += u64::from(useful_prefetch && late);
     }
 
     /// Fills `line` into the cache, returning the eviction it caused (if the
@@ -256,21 +298,21 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_index(line);
+        let base = set_idx * self.ways;
 
         // Fill into an existing copy (e.g. prefetch raced with demand): just
         // refresh readiness.
-        if let Some(slot) = self.sets[set_idx]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == line)
-        {
+        if let Some(w) = self.find_way(set_idx, line) {
+            let slot = &mut self.meta[base + w];
             slot.ready_at = slot.ready_at.min(ready_at);
             return None;
         }
 
         let way = self.choose_victim(set_idx);
         let replacement = self.replacement;
-        let victim = self.sets[set_idx][way];
-        let evicted = if victim.valid {
+        let victim_valid = self.valid[set_idx] & (1 << way) != 0;
+        let evicted = if victim_valid {
+            let victim = self.meta[base + way];
             self.stats.evictions += 1;
             if victim.dirty {
                 self.stats.dirty_evictions += 1;
@@ -284,7 +326,7 @@ impl Cache {
                 self.ship.on_eviction_unused(victim.ship_sig);
             }
             Some(Eviction {
-                line: victim.tag,
+                line: self.tags[base + way],
                 dirty: victim.dirty,
                 unused_prefetch,
             })
@@ -301,14 +343,14 @@ impl Cache {
         } else {
             0
         };
-        self.sets[set_idx][way] = Line {
-            tag: line,
-            valid: true,
+        self.tags[base + way] = line;
+        self.valid[set_idx] |= 1 << way;
+        self.lru[base + way] = clock;
+        self.meta[base + way] = LineMeta {
             dirty: kind == AccessKind::Writeback || kind == AccessKind::DemandStore,
             prefetched,
             demanded: kind.is_demand(),
             ready_at,
-            lru: clock,
             rrpv: insert_rrpv,
             ship_sig: pc_sig,
         };
@@ -318,35 +360,37 @@ impl Cache {
     /// Invalidates `line` if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let set_idx = self.set_index(line);
-        for slot in &mut self.sets[set_idx] {
-            if slot.valid && slot.tag == line {
-                slot.valid = false;
-                return Some(slot.dirty);
-            }
+        if let Some(w) = self.find_way(set_idx, line) {
+            self.valid[set_idx] &= !(1 << w);
+            return Some(self.meta[set_idx * self.ways + w].dirty);
         }
         None
     }
 
     fn choose_victim(&mut self, set_idx: usize) -> usize {
-        // Prefer invalid ways.
-        if let Some(w) = self.sets[set_idx].iter().position(|l| !l.valid) {
-            return w;
+        // Prefer invalid ways (lowest way index first, like the linear
+        // position scan this replaced).
+        let invalid = !self.valid[set_idx] & self.full_mask();
+        if invalid != 0 {
+            return invalid.trailing_zeros() as usize;
         }
+        let base = set_idx * self.ways;
         match self.replacement {
-            ReplacementKind::Lru => self.sets[set_idx]
+            ReplacementKind::Lru => self.lru[base..base + self.ways]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, l)| l.lru)
+                .min_by_key(|(_, &l)| l)
                 .map(|(w, _)| w)
                 .expect("non-empty set"),
             ReplacementKind::Ship => {
+                let set = &mut self.meta[base..base + self.ways];
                 // SRRIP victim search: find RRPV==3, aging all ways until one
                 // appears.
                 loop {
-                    if let Some(w) = self.sets[set_idx].iter().position(|l| l.rrpv >= 3) {
+                    if let Some(w) = set.iter().position(|l| l.rrpv >= 3) {
                         return w;
                     }
-                    for l in &mut self.sets[set_idx] {
+                    for l in set.iter_mut() {
                         l.rrpv = (l.rrpv + 1).min(3);
                     }
                 }
@@ -356,12 +400,12 @@ impl Cache {
 
     /// Number of valid lines currently resident (for tests/diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.sets * self.ways
     }
 }
 

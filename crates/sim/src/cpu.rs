@@ -9,23 +9,68 @@
 //! as IPC in a trace-driven simulator. A mispredicted branch inserts the
 //! 20-cycle front-end bubble of Table 5.
 
-use std::collections::VecDeque;
-
 use crate::config::CoreConfig;
 use crate::stats::CoreStats;
 
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    completion: u64,
-    is_load: bool,
-    is_store: bool,
+/// ROB entries are packed into one word — completion cycle in the high
+/// bits, load/store flags in the low two — and kept in a power-of-two
+/// ring buffer. One ROB push and (usually) one retire pop run per
+/// simulated instruction, so this layout is sized to the hottest loop of
+/// the core model.
+const ROB_IS_LOAD: u64 = 1;
+const ROB_IS_STORE: u64 = 2;
+
+#[derive(Debug)]
+struct Rob {
+    buf: Vec<u64>,
+    mask: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl Rob {
+    fn new(capacity: usize) -> Self {
+        // One slot of slack: occupancy can reach `capacity` after a push,
+        // and a full ring (head == tail) would read as empty.
+        let size = (capacity + 1).next_power_of_two().max(2);
+        Self {
+            buf: vec![0; size],
+            mask: size - 1,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.tail.wrapping_sub(self.head)
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    #[inline]
+    fn push(&mut self, packed: u64) {
+        self.buf[self.tail & self.mask] = packed;
+        self.tail = self.tail.wrapping_add(1);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> u64 {
+        debug_assert!(!self.is_empty(), "retire from empty ROB");
+        let v = self.buf[self.head & self.mask];
+        self.head = self.head.wrapping_add(1);
+        v
+    }
 }
 
 /// The per-core timing model.
 #[derive(Debug)]
 pub struct CoreModel {
     config: CoreConfig,
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     loads_in_flight: usize,
     stores_in_flight: usize,
     /// Cycle at which the front-end can dispatch the next instruction.
@@ -46,7 +91,7 @@ impl CoreModel {
     pub fn new(config: CoreConfig) -> Self {
         Self {
             config,
-            rob: VecDeque::with_capacity(config.rob_entries),
+            rob: Rob::new(config.rob_entries),
             loads_in_flight: 0,
             stores_in_flight: 0,
             fetch_cycle: 0,
@@ -86,20 +131,21 @@ impl CoreModel {
     }
 
     fn retire_one(&mut self) {
-        let head = self.rob.pop_front().expect("retire from empty ROB");
+        let head = self.rob.pop();
+        let completion = head >> 2;
         if self.retire_slots_used >= self.config.width {
             self.retire_cycle += 1;
             self.retire_slots_used = 0;
         }
-        if head.completion > self.retire_cycle {
-            self.retire_cycle = head.completion;
+        if completion > self.retire_cycle {
+            self.retire_cycle = completion;
             self.retire_slots_used = 0;
         }
         self.retire_slots_used += 1;
-        if head.is_load {
+        if head & ROB_IS_LOAD != 0 {
             self.loads_in_flight -= 1;
         }
-        if head.is_store {
+        if head & ROB_IS_STORE != 0 {
             self.stores_in_flight -= 1;
         }
     }
@@ -143,11 +189,11 @@ impl CoreModel {
 
         let dispatch_at = self.fetch_cycle;
         let completion = dispatch_at + exec_latency;
-        self.rob.push_back(RobEntry {
-            completion,
-            is_load,
-            is_store,
-        });
+        self.rob.push(
+            (completion << 2)
+                | (u64::from(is_load) * ROB_IS_LOAD)
+                | (u64::from(is_store) * ROB_IS_STORE),
+        );
         if is_load {
             self.loads_in_flight += 1;
             self.last_load_completion = completion;

@@ -3,9 +3,13 @@
 //! Per §5.2 of the paper, every evaluated prefetcher is trained on the
 //! L1-cache miss stream (i.e. the L2's demand accesses) and fills prefetched
 //! lines into the L2 and the LLC. The simulator calls
-//! [`Prefetcher::on_demand`] for each such access and issues the returned
-//! [`PrefetchRequest`]s into the hierarchy; [`Prefetcher::on_fill`] notifies
-//! the prefetcher when one of its requests is scheduled to land in the cache.
+//! [`Prefetcher::on_demand_into`] for each such access — pushing requests
+//! into a scratch buffer the simulator reuses across accesses, so the hot
+//! path allocates nothing — and issues them into the hierarchy;
+//! [`Prefetcher::on_fill`] notifies the prefetcher when one of its requests
+//! is scheduled to land in the cache. The allocating
+//! [`Prefetcher::on_demand`] convenience wrapper remains for tests and
+//! examples.
 //!
 //! [`SystemFeedback`] carries the system-level information the paper argues
 //! prefetchers should be *inherently* aware of — currently memory bandwidth
@@ -31,16 +35,17 @@
 //!     fn name(&self) -> &str {
 //!         "next-line"
 //!     }
-//!     fn on_demand(
+//!     fn on_demand_into(
 //!         &mut self,
 //!         access: &DemandAccess,
 //!         _feedback: &SystemFeedback,
-//!     ) -> Vec<PrefetchRequest> {
+//!         out: &mut Vec<PrefetchRequest>,
+//!     ) {
 //!         if !addr::offset_stays_in_page(access.line, 1) {
-//!             return Vec::new();
+//!             return;
 //!         }
 //!         self.0.issued += 1;
-//!         vec![PrefetchRequest::to_l2(access.line + 1)]
+//!         out.push(PrefetchRequest::to_l2(access.line + 1));
 //!     }
 //!     fn stats(&self) -> PrefetcherStats {
 //!         self.0
@@ -155,15 +160,31 @@ pub trait Prefetcher {
     /// `"pythia"`).
     fn name(&self) -> &str;
 
-    /// Called on every demand access at the training level. Returns the
-    /// prefetch requests to issue. The simulator deduplicates against cache
+    /// Called on every demand access at the training level. Pushes the
+    /// prefetch requests to issue into `out` — a scratch buffer the
+    /// simulator clears and reuses across accesses, keeping the per-access
+    /// hot path allocation-free. The simulator deduplicates against cache
     /// contents and clamps addresses; prefetchers are responsible for any
     /// page-boundary policy of their own.
+    fn on_demand_into(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+        out: &mut Vec<PrefetchRequest>,
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`on_demand_into`](Prefetcher::on_demand_into), for tests and
+    /// example code off the hot path.
     fn on_demand(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest>;
+    ) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_demand_into(access, feedback, &mut out);
+        out
+    }
 
     /// Called when a line fills into the L2 (demand or prefetch).
     fn on_fill(&mut self, _event: &FillEvent) {}
@@ -207,12 +228,12 @@ impl Prefetcher for NoPrefetcher {
         "none"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         _access: &DemandAccess,
         _feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
-        Vec::new()
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
     }
 
     fn stats(&self) -> PrefetcherStats {

@@ -12,7 +12,7 @@
 //! ```text
 //! trace record → core model (ROB/LQ/SQ timing) → L1D → L2 ──→ LLC → DRAM
 //!                                                      │
-//!                                  prefetcher.on_demand(..) at the L2
+//!                                  prefetcher.on_demand_into(..) at the L2
 //!                                  (L1-miss stream, §5.2); returned
 //!                                  requests fill into L2 + LLC and
 //!                                  are charged to the DRAM bus
@@ -34,9 +34,11 @@ use crate::cache::{AccessKind, Cache, Lookup};
 use crate::config::SystemConfig;
 use crate::cpu::CoreModel;
 use crate::dram::{BandwidthMonitor, Dram, DramRequestKind};
-use crate::prefetch::{DemandAccess, FillEvent, NoPrefetcher, Prefetcher, SystemFeedback};
+use crate::prefetch::{
+    DemandAccess, FillEvent, NoPrefetcher, PrefetchRequest, Prefetcher, SystemFeedback,
+};
 use crate::stats::{CoreStats, SimReport};
-use crate::trace::TraceSource;
+use crate::trace::{TraceRecord, TraceSource};
 
 struct CoreUnit {
     model: CoreModel,
@@ -49,6 +51,36 @@ struct CoreUnit {
     final_stats: Option<CoreStats>,
 }
 
+impl CoreUnit {
+    /// The next trace record, wrapping the source at end of pass (the
+    /// paper's replay methodology — cores wrap until their budget
+    /// retires).
+    #[inline]
+    fn next_record(&mut self) -> TraceRecord {
+        match self.source.next_record() {
+            Some(r) => r,
+            None => {
+                self.source.reset();
+                self.source
+                    .next_record()
+                    .expect("trace source must yield at least one record")
+            }
+        }
+    }
+}
+
+/// Reusable per-access scratch buffers, threaded through
+/// [`System::step_core`] → `access_hierarchy` so the per-access hot path
+/// performs no heap allocation in steady state. One set per system is
+/// enough: a system steps exactly one core at a time.
+#[derive(Debug, Default)]
+struct AccessCtx {
+    /// Prefetch requests emitted by the prefetcher for one demand.
+    requests: Vec<PrefetchRequest>,
+    /// Lines whose prefetches this demand proved useful.
+    useful_lines: Vec<u64>,
+}
+
 /// A complete simulated system.
 pub struct System {
     config: SystemConfig,
@@ -56,6 +88,7 @@ pub struct System {
     llc: Cache,
     dram: Dram,
     monitor: BandwidthMonitor,
+    scratch: AccessCtx,
 }
 
 impl std::fmt::Debug for System {
@@ -108,6 +141,7 @@ impl System {
                 config.dram.channels,
                 config.bandwidth_high_pct,
             ),
+            scratch: AccessCtx::default(),
             config,
         }
     }
@@ -145,20 +179,7 @@ impl System {
 
     /// Executes one instruction on core `idx`.
     fn step_core(&mut self, idx: usize) {
-        let record = {
-            let core = &mut self.cores[idx];
-            match core.source.next_record() {
-                Some(r) => r,
-                None => {
-                    // Pass ended: replay the trace from the start (paper
-                    // methodology — cores wrap until their budget retires).
-                    core.source.reset();
-                    core.source
-                        .next_record()
-                        .expect("trace source must yield at least one record")
-                }
-            }
-        };
+        let record = self.cores[idx].next_record();
 
         if let Some(branch) = record.branch {
             self.cores[idx].model.record_branch(branch.mispredicted);
@@ -231,7 +252,9 @@ impl System {
         let l1_latency = core.l1d.latency();
         let l2_latency = core.l2.latency();
         let l2_lookup = core.l2.access(line, kind, cycle);
-        let mut useful_lines: Vec<u64> = Vec::new();
+        let mut useful_lines = std::mem::take(&mut self.scratch.useful_lines);
+        useful_lines.clear();
+        let mut l2_filled = false;
 
         let data_ready = match l2_lookup {
             Lookup::Hit {
@@ -273,6 +296,7 @@ impl System {
                             self.handle_llc_eviction(ev, cycle);
                         }
                         let core = &mut self.cores[idx];
+                        l2_filled = true;
                         if let Some(ev) = core.l2.fill(line, done, kind, pc_sig) {
                             if ev.dirty {
                                 self.writeback_to_llc(ev.line, cycle, pc_sig);
@@ -284,8 +308,10 @@ impl System {
             }
         };
 
-        // Fill the L2 if the line came from LLC/DRAM (l2 missed).
-        if matches!(l2_lookup, Lookup::Miss) {
+        // Fill the L2 if the line came from the LLC (the DRAM branch above
+        // already filled it; re-filling would only re-probe the set and
+        // refresh `ready_at` with a strictly later time — a no-op).
+        if matches!(l2_lookup, Lookup::Miss) && !l2_filled {
             let core = &mut self.cores[idx];
             if let Some(ev) = core.l2.fill(line, data_ready, kind, pc_sig) {
                 if ev.dirty {
@@ -321,11 +347,13 @@ impl System {
         }
 
         // Notify the prefetcher of useful prefetches observed on this path.
-        for l in useful_lines {
+        for &l in &useful_lines {
             self.cores[idx].prefetcher.on_useful(l);
         }
+        self.scratch.useful_lines = useful_lines;
 
-        // Train the prefetcher and issue its requests.
+        // Train the prefetcher and issue its requests, through the reusable
+        // scratch buffer (no per-access allocation).
         let feedback = self.feedback();
         let access = DemandAccess {
             pc,
@@ -335,10 +363,15 @@ impl System {
             cycle,
             missed: matches!(l2_lookup, Lookup::Miss),
         };
-        let requests = self.cores[idx].prefetcher.on_demand(&access, &feedback);
-        for req in requests {
+        let mut requests = std::mem::take(&mut self.scratch.requests);
+        requests.clear();
+        self.cores[idx]
+            .prefetcher
+            .on_demand_into(&access, &feedback, &mut requests);
+        for req in requests.drain(..) {
             self.issue_prefetch(idx, req.line, req.fill_l2, pc_sig, cycle);
         }
+        self.scratch.requests = requests;
 
         let l1_wait_adjusted = data_ready; // already includes waits
         l1_wait_adjusted - cycle
@@ -451,6 +484,9 @@ impl System {
 
     /// Index of the core with the smallest local clock (next to step).
     fn next_core(&self) -> usize {
+        if self.cores.len() == 1 {
+            return 0;
+        }
         self.cores
             .iter()
             .enumerate()

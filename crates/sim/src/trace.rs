@@ -16,7 +16,7 @@
 //! * [`trace_file_info`] — one streaming pass computing header + mix
 //!   statistics for `pythia-cli trace info`.
 
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -486,60 +486,115 @@ impl<W: Write + Seek> TraceWriter<W> {
     }
 }
 
-/// Reads a big-endian `u64` mid-record; EOF here means a torn record.
-fn read_u64(r: &mut impl Read) -> Result<u64, TraceFileError> {
-    let mut bytes = [0u8; 8];
-    r.read_exact(&mut bytes).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            DecodeTraceError::Truncated.into()
-        } else {
-            TraceFileError::Io(e)
-        }
-    })?;
-    Ok(u64::from_be_bytes(bytes))
+/// Refill granularity of [`RecordReader`].
+const READER_BUF_LEN: usize = 64 * 1024;
+
+/// Buffered record decoder over a file: keeps a large refill buffer and
+/// decodes each record inline from the buffered bytes, instead of issuing
+/// two or three `read_exact` calls per record through a `BufReader`. This
+/// is the hot loop of `pythia-cli trace replay` — per record it costs one
+/// bounds check and a couple of `u64::from_be_bytes`.
+struct RecordReader {
+    file: std::fs::File,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
 }
 
-/// Reads one encoded record from a byte stream. `Ok(None)` means clean EOF
-/// at a record boundary; [`DecodeTraceError::Truncated`] means the stream
-/// ended mid-record. The flag byte is read on its own so EOF before it
-/// (boundary) and EOF after it (torn record) are told apart exactly.
-fn read_record(r: &mut impl Read) -> Result<Option<TraceRecord>, TraceFileError> {
-    let mut flags = [0u8; 1];
-    match r.read_exact(&mut flags) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+impl std::fmt::Debug for RecordReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordReader")
+            .field("buffered", &(self.len - self.pos))
+            .finish()
     }
-    let flags = flags[0];
-    let pc = read_u64(r)?;
-    let addr = if flags & FLAG_HAS_MEM != 0 {
-        Some(read_u64(r)?)
-    } else {
-        None
-    };
-    Ok(Some(record_from_parts(flags, pc, addr)))
 }
 
-/// Reads and validates the fixed-size header, returning the record count.
-fn read_header(r: &mut impl Read) -> Result<u64, TraceFileError> {
-    let mut header = [0u8; TRACE_HEADER_LEN as usize];
-    r.read_exact(&mut header).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            DecodeTraceError::Truncated.into()
-        } else {
-            TraceFileError::Io(e)
+impl RecordReader {
+    fn new(file: std::fs::File) -> Self {
+        Self {
+            file,
+            buf: vec![0; READER_BUF_LEN],
+            pos: 0,
+            len: 0,
         }
-    })?;
-    if u32::from_be_bytes(header[0..4].try_into().expect("4-byte magic")) != TRACE_MAGIC {
-        return Err(DecodeTraceError::BadMagic.into());
     }
-    let version = u16::from_be_bytes(header[4..6].try_into().expect("2-byte version"));
-    if version != TRACE_VERSION {
-        return Err(DecodeTraceError::UnsupportedVersion(version).into());
+
+    /// Ensures up to `n` bytes are buffered (compacting + refilling as
+    /// needed) and returns how many are actually available — fewer than
+    /// `n` only at end of file.
+    #[inline]
+    fn available(&mut self, n: usize) -> Result<usize, std::io::Error> {
+        debug_assert!(n <= READER_BUF_LEN);
+        if self.len - self.pos >= n {
+            return Ok(n);
+        }
+        self.buf.copy_within(self.pos..self.len, 0);
+        self.len -= self.pos;
+        self.pos = 0;
+        while self.len < n {
+            match self.file.read(&mut self.buf[self.len..]) {
+                Ok(0) => break,
+                Ok(got) => self.len += got,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.len.min(n))
     }
-    Ok(u64::from_be_bytes(
-        header[6..14].try_into().expect("8-byte count"),
-    ))
+
+    /// Decodes the next record. `Ok(None)` means clean EOF at a record
+    /// boundary; [`DecodeTraceError::Truncated`] means the file ended
+    /// mid-record.
+    #[inline]
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceFileError> {
+        let have = self.available(MAX_RECORD_LEN)?;
+        if have == 0 {
+            return Ok(None);
+        }
+        let flags = self.buf[self.pos];
+        let need = if flags & FLAG_HAS_MEM != 0 {
+            MAX_RECORD_LEN
+        } else {
+            9
+        };
+        if have < need {
+            return Err(DecodeTraceError::Truncated.into());
+        }
+        let b = &self.buf[self.pos..self.pos + need];
+        let pc = u64::from_be_bytes(b[1..9].try_into().expect("8-byte pc"));
+        let addr = (need == MAX_RECORD_LEN)
+            .then(|| u64::from_be_bytes(b[9..17].try_into().expect("8-byte addr")));
+        self.pos += need;
+        Ok(Some(record_from_parts(flags, pc, addr)))
+    }
+
+    /// Reads and validates the fixed-size header, returning the record
+    /// count.
+    fn read_header(&mut self) -> Result<u64, TraceFileError> {
+        let n = TRACE_HEADER_LEN as usize;
+        if self.available(n)? < n {
+            return Err(DecodeTraceError::Truncated.into());
+        }
+        let header = &self.buf[self.pos..self.pos + n];
+        if u32::from_be_bytes(header[0..4].try_into().expect("4-byte magic")) != TRACE_MAGIC {
+            return Err(DecodeTraceError::BadMagic.into());
+        }
+        let version = u16::from_be_bytes(header[4..6].try_into().expect("2-byte version"));
+        if version != TRACE_VERSION {
+            return Err(DecodeTraceError::UnsupportedVersion(version).into());
+        }
+        let count = u64::from_be_bytes(header[6..14].try_into().expect("8-byte count"));
+        self.pos += n;
+        Ok(count)
+    }
+
+    /// Repositions the underlying file and discards buffered bytes.
+    fn seek_to(&mut self, offset: u64) -> Result<(), std::io::Error> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.pos = 0;
+        self.len = 0;
+        Ok(())
+    }
 }
 
 /// A [`TraceSource`] streaming records from a binary trace file in O(1)
@@ -552,7 +607,7 @@ fn read_header(r: &mut impl Read) -> Result<u64, TraceFileError> {
 /// `next_record` failures would mean the file changed underneath us and
 /// abort with a panic naming the file.
 pub struct FileTraceSource {
-    reader: BufReader<std::fs::File>,
+    reader: RecordReader,
     path: PathBuf,
     total: u64,
     remaining: u64,
@@ -583,7 +638,7 @@ impl FileTraceSource {
         // Validation pass: every record must decode, and the count must
         // match the header exactly (no trailing garbage, no truncation).
         let mut actual = 0u64;
-        while read_record(&mut src.reader)?.is_some() {
+        while src.reader.next_record()?.is_some() {
             actual += 1;
         }
         if actual != src.total {
@@ -608,8 +663,8 @@ impl FileTraceSource {
     /// zero-record count (an unfinished [`TraceWriter`] or empty trace).
     pub fn open_trusted(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
         let path = path.as_ref().to_path_buf();
-        let mut reader = BufReader::new(std::fs::File::open(&path)?);
-        let total = read_header(&mut reader)?;
+        let mut reader = RecordReader::new(std::fs::File::open(&path)?);
+        let total = reader.read_header()?;
         if total == 0 {
             return Err(TraceFileError::CountMismatch {
                 header: 0,
@@ -643,7 +698,9 @@ impl TraceSource for FileTraceSource {
         }
         // `open` validated every record, so failures here mean the file
         // was modified while we replay it — not a recoverable state.
-        let record = read_record(&mut self.reader)
+        let record = self
+            .reader
+            .next_record()
             .unwrap_or_else(|e| {
                 panic!(
                     "trace file {} changed during replay: {e}",
@@ -658,14 +715,12 @@ impl TraceSource for FileTraceSource {
     }
 
     fn reset(&mut self) {
-        self.reader
-            .seek(SeekFrom::Start(TRACE_HEADER_LEN))
-            .unwrap_or_else(|e| {
-                panic!(
-                    "trace file {}: seek failed on reset: {e}",
-                    self.path.display()
-                )
-            });
+        self.reader.seek_to(TRACE_HEADER_LEN).unwrap_or_else(|e| {
+            panic!(
+                "trace file {}: seek failed on reset: {e}",
+                self.path.display()
+            )
+        });
         self.remaining = self.total;
     }
 
@@ -709,8 +764,8 @@ pub fn trace_file_info(path: impl AsRef<Path>) -> Result<TraceInfo, TraceFileErr
     let path = path.as_ref();
     let file = std::fs::File::open(path)?;
     let file_bytes = file.metadata()?.len();
-    let mut reader = BufReader::new(file);
-    let total = read_header(&mut reader)?;
+    let mut reader = RecordReader::new(file);
+    let total = reader.read_header()?;
     let mut info = TraceInfo {
         version: TRACE_VERSION,
         records: 0,
@@ -722,7 +777,7 @@ pub fn trace_file_info(path: impl AsRef<Path>) -> Result<TraceInfo, TraceFileErr
         dependent_loads: 0,
         addr_range: None,
     };
-    while let Some(r) = read_record(&mut reader)? {
+    while let Some(r) = reader.next_record()? {
         info.records += 1;
         if let Some(m) = r.mem {
             if m.is_write {

@@ -34,23 +34,24 @@ impl Prefetcher for Scripted {
         "scripted"
     }
 
-    fn on_demand(
+    fn on_demand_into(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         if feedback.bandwidth_high {
             self.feedback_high_seen = true;
         }
         let target = access.line as i64 + self.offset;
         if target < 0 {
-            return Vec::new();
+            return;
         }
         self.stats.issued += 1;
-        vec![PrefetchRequest {
+        out.push(PrefetchRequest {
             line: target as u64,
             fill_l2: self.fill_l2,
-        }]
+        });
     }
 
     fn on_fill(&mut self, event: &FillEvent) {

@@ -1,0 +1,328 @@
+//! Microbenchmark report artifacts: the typed result of a `pythia-perf`
+//! run, its `BENCH_micro.json` emitter/parser (the same hand-rolled
+//! [`Json`] schema family the sweep engine's `BENCH_*.json` artifacts
+//! use), and the baseline regression comparison consumed by
+//! `pythia-cli bench --baseline` and the CI bench smoke job.
+
+use crate::json::Json;
+use crate::report::Table;
+
+/// Statistics of one named microbenchmark: repetition timings reduced to
+/// median and MAD (median absolute deviation — robust to the stray slow
+/// repetition a loaded machine produces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMeasurement {
+    /// Benchmark name (e.g. `"agent_step"`).
+    pub name: String,
+    /// Work-unit label (`"inst"`, `"ops"`, `"records"`).
+    pub unit: String,
+    /// Work units processed per repetition.
+    pub units_per_rep: u64,
+    /// Measured repetitions.
+    pub reps: u32,
+    /// Median wall time of one repetition, in nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the repetition times, in nanoseconds.
+    pub mad_ns: f64,
+}
+
+impl BenchMeasurement {
+    /// Reduces raw repetition timings (nanoseconds) to a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times_ns` is empty.
+    pub fn from_times(name: &str, unit: &str, units_per_rep: u64, times_ns: &[f64]) -> Self {
+        assert!(!times_ns.is_empty(), "need at least one repetition");
+        let med = median(times_ns);
+        let deviations: Vec<f64> = times_ns.iter().map(|t| (t - med).abs()).collect();
+        Self {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            units_per_rep,
+            reps: times_ns.len() as u32,
+            median_ns: med,
+            mad_ns: median(&deviations),
+        }
+    }
+
+    /// Work units per second at the median repetition time.
+    pub fn units_per_sec(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            0.0
+        } else {
+            self.units_per_rep as f64 * 1e9 / self.median_ns
+        }
+    }
+
+    /// Nanoseconds per work unit at the median repetition time.
+    pub fn ns_per_unit(&self) -> f64 {
+        if self.units_per_rep == 0 {
+            0.0
+        } else {
+            self.median_ns / self.units_per_rep as f64
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("unit", self.unit.as_str())
+            .set("units_per_rep", self.units_per_rep)
+            .set("reps", u64::from(self.reps))
+            .set("median_ns", self.median_ns)
+            .set("mad_ns", self.mad_ns)
+            .set("units_per_sec", self.units_per_sec())
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("benchmark entry missing string {key:?}"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("benchmark entry missing number {key:?}"))
+        };
+        Ok(Self {
+            name: str_field("name")?,
+            unit: str_field("unit")?,
+            units_per_rep: num_field("units_per_rep")? as u64,
+            reps: num_field("reps")? as u32,
+            median_ns: num_field("median_ns")?,
+            mad_ns: num_field("mad_ns")?,
+        })
+    }
+}
+
+/// A full microbenchmark report — what `BENCH_micro.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report name (`"micro"`).
+    pub name: String,
+    /// The `PYTHIA_BENCH_SCALE` the fixtures ran at (measurements taken at
+    /// different scales are not comparable; the regression check refuses
+    /// to compare across scales).
+    pub scale: f64,
+    /// One entry per benchmark, in registry order.
+    pub benchmarks: Vec<BenchMeasurement>,
+}
+
+/// One benchmark's regression verdict from [`BenchReport::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline units/second.
+    pub baseline_units_per_sec: f64,
+    /// Current units/second.
+    pub current_units_per_sec: f64,
+    /// Relative slowdown in percent (positive = regression).
+    pub slowdown_pct: f64,
+}
+
+impl BenchReport {
+    /// Serializes the report (the `BENCH_micro.json` schema).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("scale", self.scale)
+            .set(
+                "benchmarks",
+                Json::Arr(self.benchmarks.iter().map(BenchMeasurement::json).collect()),
+            )
+    }
+
+    /// Parses a report emitted by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report missing string \"name\"")?
+            .to_string();
+        let scale = v
+            .get("scale")
+            .and_then(Json::as_f64)
+            .ok_or("report missing number \"scale\"")?;
+        let benchmarks = v
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or("report missing array \"benchmarks\"")?
+            .iter()
+            .map(BenchMeasurement::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            name,
+            scale,
+            benchmarks,
+        })
+    }
+
+    /// Renders the human-readable results table.
+    pub fn to_markdown(&self) -> String {
+        let mut t = Table::new(&["benchmark", "unit", "median", "mad", "throughput"]);
+        for b in &self.benchmarks {
+            t.row(&[
+                b.name.clone(),
+                b.unit.clone(),
+                format_ns(b.median_ns),
+                format_ns(b.mad_ns),
+                format!("{:.2} M{}/s", b.units_per_sec() / 1e6, b.unit),
+            ]);
+        }
+        t.to_markdown()
+    }
+
+    /// Compares against a baseline report: every benchmark present in both
+    /// whose throughput dropped more than `max_regress_pct` percent is
+    /// returned (empty = no regressions). Benchmarks only present on one
+    /// side are ignored — adding or retiring benchmarks is not a
+    /// regression.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two reports ran at different
+    /// `PYTHIA_BENCH_SCALE`s (their numbers are not comparable).
+    pub fn compare(
+        &self,
+        baseline: &Self,
+        max_regress_pct: f64,
+    ) -> Result<Vec<Regression>, String> {
+        if (self.scale - baseline.scale).abs() > 1e-12 {
+            return Err(format!(
+                "scale mismatch: current report ran at {} but baseline at {}",
+                self.scale, baseline.scale
+            ));
+        }
+        let mut out = Vec::new();
+        for b in &self.benchmarks {
+            let Some(base) = baseline.benchmarks.iter().find(|x| x.name == b.name) else {
+                continue;
+            };
+            let (cur, was) = (b.units_per_sec(), base.units_per_sec());
+            if was <= 0.0 {
+                continue;
+            }
+            let slowdown_pct = (1.0 - cur / was) * 100.0;
+            if slowdown_pct > max_regress_pct {
+                out.push(Regression {
+                    name: b.name.clone(),
+                    baseline_units_per_sec: was,
+                    current_units_per_sec: cur,
+                    slowdown_pct,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Median of a non-empty slice.
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+/// Human-scale duration formatting for the markdown table.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(name: &str, median_ns: f64) -> BenchMeasurement {
+        BenchMeasurement::from_times(name, "ops", 1_000, &[median_ns, median_ns * 1.1])
+    }
+
+    #[test]
+    fn from_times_reduces_to_median_and_mad() {
+        let m = BenchMeasurement::from_times("x", "ops", 100, &[10.0, 30.0, 20.0]);
+        assert_eq!(m.median_ns, 20.0);
+        assert_eq!(m.mad_ns, 10.0);
+        assert_eq!(m.reps, 3);
+        assert!((m.units_per_sec() - 100.0 * 1e9 / 20.0).abs() < 1e-6);
+        assert!((m.ns_per_unit() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = BenchReport {
+            name: "micro".into(),
+            scale: 0.5,
+            benchmarks: vec![measurement("a", 500.0), measurement("b", 900.0)],
+        };
+        let text = report.to_json().render_pretty();
+        let parsed =
+            BenchReport::from_json(&crate::json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![measurement("a", 100.0), measurement("b", 100.0)],
+        };
+        let current = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            // `a` got 10% slower (under threshold), `b` 2x slower.
+            benchmarks: vec![measurement("a", 110.0), measurement("b", 200.0)],
+        };
+        let regressions = current.compare(&base, 25.0).expect("comparable");
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "b");
+        assert!(regressions[0].slowdown_pct > 49.0);
+    }
+
+    #[test]
+    fn compare_rejects_scale_mismatch() {
+        let base = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![],
+        };
+        let current = BenchReport {
+            name: "micro".into(),
+            scale: 0.1,
+            benchmarks: vec![],
+        };
+        assert!(current.compare(&base, 25.0).is_err());
+    }
+
+    #[test]
+    fn markdown_lists_every_benchmark() {
+        let report = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![BenchMeasurement::from_times(
+                "agent_step",
+                "ops",
+                10,
+                &[123.0],
+            )],
+        };
+        let md = report.to_markdown();
+        assert!(md.contains("agent_step"));
+        assert!(md.contains("123 ns"));
+    }
+}

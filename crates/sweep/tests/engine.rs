@@ -181,6 +181,55 @@ fn multi_core_mix_units_run_through_the_engine() {
 }
 
 #[test]
+fn multi_core_grid_is_byte_identical_across_thread_counts() {
+    // The full multi-core determinism pin: a grid of heterogeneous and
+    // homogeneous 4-core mixes × 2 prefetchers × seeds, executed at
+    // --threads 1/2/8, must render byte-identical artifacts. (The
+    // single-config pin above leaves multi-core scheduling unexercised;
+    // this closes that gap for the parallel runner.)
+    let mix = WorkUnit::mix(
+        "hetero-4c",
+        "mix",
+        vec![
+            workload("429.mcf-184B"),
+            workload("462.libquantum-714B"),
+            workload("401.gcc-13B"),
+            workload("470.lbm-164B"),
+        ],
+    );
+    let spec = SweepSpec::new("mt-grid")
+        .with_units([
+            mix,
+            WorkUnit::homogeneous(&workload("462.libquantum-714B"), 4, 7919),
+        ])
+        .with_prefetchers(&["stride", "pythia"])
+        .with_seeds(&[0, 13])
+        .with_config(ConfigPoint::new(
+            "4c",
+            SystemConfig::with_cores(4),
+            1_000,
+            4_000,
+        ));
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let mut r = pythia_sweep::run(&spec, threads).expect("run");
+            r.throughput = None; // wall-clock telemetry, not payload
+            r
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+    assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+    assert_eq!(runs[0].to_json().render(), runs[2].to_json().render());
+    assert_eq!(runs[0].to_csv(), runs[2].to_csv());
+    assert_eq!(
+        runs[0].cells.len(),
+        2 * 2 * 2,
+        "units x prefetchers x seeds"
+    );
+}
+
+#[test]
 fn seed_axis_replicates_cells_deterministically() {
     let spec = SweepSpec::new("seeded")
         .with_workloads([workload("429.mcf-184B")])

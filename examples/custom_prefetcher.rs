@@ -42,7 +42,12 @@ impl Prefetcher for PairwiseCorrelation {
         "pairwise"
     }
 
-    fn on_demand(&mut self, access: &DemandAccess, _fb: &SystemFeedback) -> Vec<PrefetchRequest> {
+    fn on_demand_into(
+        &mut self,
+        access: &DemandAccess,
+        _fb: &SystemFeedback,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         // Train: record that `last_line` was followed by this line.
         if self.last_line != u64::MAX {
             let idx = self.slot(self.last_line);
@@ -53,9 +58,7 @@ impl Prefetcher for PairwiseCorrelation {
         let (tag, next) = self.table[self.slot(access.line)];
         if tag == access.line && next != access.line {
             self.stats.issued += 1;
-            vec![PrefetchRequest::to_l2(next)]
-        } else {
-            Vec::new()
+            out.push(PrefetchRequest::to_l2(next));
         }
     }
 

@@ -1,0 +1,123 @@
+//! Golden-report pins for every figure-registry campaign.
+//!
+//! Each registered figure runs at a tiny `PYTHIA_BENCH_SCALE` and the
+//! digest of its rendered result JSON (throughput telemetry stripped) is
+//! compared against a checked-in golden value. Any change to the hot
+//! paths — cache layout, QVStore storage, EQ indexing, trace decode —
+//! that perturbs even one counter of one cell shows up as a digest
+//! mismatch here, so performance rewrites cannot silently change results.
+//!
+//! The digests pin IEEE float arithmetic on the x86-64 CI target; when a
+//! figure's definition (or an intentional semantic change) moves them,
+//! regenerate with:
+//!
+//! ```text
+//! PYTHIA_GOLDEN_PRINT=1 cargo test -q --test golden_reports -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use pythia_stats::json::Json;
+
+/// Scale every figure runs at (budgets floor at 1 K warmup + 4 K measured
+/// instructions per cell).
+const SCALE: &str = "0.01";
+
+/// Worker threads per figure: the engine's output is pinned byte-identical
+/// for any thread count, so this only affects wall time.
+const THREADS: usize = 4;
+
+/// `(figure id, FNV-1a-64 digest of the stripped result JSON)`.
+const GOLDEN: &[(&str, u64)] = &[
+    ("fig01", 0x5f2ce0158dc557d3),
+    ("fig07", 0x7f94374a592d27f9),
+    ("fig08a", 0x97dd0f88ffac0d85),
+    ("fig08b", 0xcb017716928facda),
+    ("fig08c", 0x3c40af256e64f99a),
+    ("fig08d", 0x96e1e2febb09171b),
+    ("fig09", 0xd62b8c7d9f98276c),
+    ("fig10", 0x700ee6f7d74ba815),
+    ("fig11", 0x98f862c4d3f5d93d),
+    ("fig12", 0xa6b2bed1a16dd633),
+    ("fig14", 0x29da07107a0d2523),
+    ("fig15", 0x258d9e8a365538bd),
+    ("fig16", 0x4abaee87a8d6dcf4),
+    ("fig17", 0xf64942f22694b879),
+    ("fig20", 0x1eaf0844f140c38d),
+    ("fig21", 0xe5e92dfc0e25b4cf),
+    ("fig22", 0xe5779ff0bfd506c4),
+    ("fig23", 0x401a6ff69b37eb04),
+    ("tab02", 0x57c5218fbfd99be6),
+    ("ablation", 0x4dcb70a206d8d0f9),
+];
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drops the wall-clock throughput telemetry, the only nondeterministic
+/// part of a sweep artifact.
+fn strip_throughput(json: Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "throughput")
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[test]
+fn every_figure_registry_entry_pins_its_report_digest() {
+    // One test, one process: the scale variable is process-global and the
+    // figure budgets read it when specs are built.
+    std::env::set_var("PYTHIA_BENCH_SCALE", SCALE);
+
+    let print_mode = std::env::var("PYTHIA_GOLDEN_PRINT").is_ok();
+    let mut computed = Vec::new();
+    let mut mismatches = Vec::new();
+    for def in pythia_bench::figures::registry() {
+        let specs = (def.build)();
+        let result =
+            pythia_sweep::engine::run_all(def.id, &specs, THREADS).expect("figure runs clean");
+        let digest = fnv1a(strip_throughput(result.to_json()).render().as_bytes());
+        computed.push((def.id, digest));
+        match GOLDEN.iter().find(|(id, _)| *id == def.id) {
+            Some(&(_, expected)) if expected == digest => {}
+            Some(&(_, expected)) => mismatches.push(format!(
+                "{}: digest {digest:#018x} != pinned {expected:#018x}",
+                def.id
+            )),
+            None => mismatches.push(format!("{}: no pinned digest for this figure", def.id)),
+        }
+    }
+    // Retired figures must drop their pins too.
+    for (id, _) in GOLDEN {
+        if !computed.iter().any(|(cid, _)| cid == id) {
+            mismatches.push(format!("{id}: pinned digest for an unregistered figure"));
+        }
+    }
+
+    if print_mode {
+        println!("const GOLDEN: &[(&str, u64)] = &[");
+        for (id, digest) in &computed {
+            println!("    ({id:?}, {digest:#018x}),");
+        }
+        println!("];");
+        return;
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden report digests changed — if intentional, regenerate with \
+         PYTHIA_GOLDEN_PRINT=1 cargo test --test golden_reports -- --nocapture\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -11,6 +11,7 @@ pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 
     /// Returns the next random `u32`.
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -59,6 +60,7 @@ pub trait Standard {
 }
 
 impl Standard for f64 {
+    #[inline]
     fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
         // 53 random mantissa bits in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -66,12 +68,14 @@ impl Standard for f64 {
 }
 
 impl Standard for f32 {
+    #[inline]
     fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
         (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 }
 
 impl Standard for bool {
+    #[inline]
     fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
     }
@@ -80,6 +84,7 @@ impl Standard for bool {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
+            #[inline]
             fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -88,6 +93,18 @@ macro_rules! impl_standard_int {
 }
 
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `word % span`, avoiding 128-bit division when the span fits in 64 bits
+/// (the overwhelmingly common case — `span` only exceeds `u64::MAX` for
+/// near-full 64-bit-wide ranges). Bit-identical to the plain `u128`
+/// modulo it replaces.
+#[inline]
+fn reduce_u64(word: u64, span: u128) -> u128 {
+    match u64::try_from(span) {
+        Ok(span64) => (word % span64) as u128,
+        Err(_) => (word as u128) % span,
+    }
+}
 
 /// Ranges that [`Rng::gen_range`] can sample values of `T` from.
 pub trait SampleRange<T> {
@@ -98,20 +115,22 @@ pub trait SampleRange<T> {
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                let v = reduce_u64(rng.next_u64(), span);
                 (self.start as i128 + v as i128) as $t
             }
         }
 
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
+                let v = reduce_u64(rng.next_u64(), span);
                 (lo as i128 + v as i128) as $t
             }
         }
@@ -123,6 +142,7 @@ impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! impl_sample_range_float {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
             fn sample<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 self.start + <$t>::sample_standard(rng) * (self.end - self.start)
@@ -144,6 +164,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = self.state;
