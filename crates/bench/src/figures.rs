@@ -603,6 +603,15 @@ pub fn specs(id: &str) -> Option<Vec<SweepSpec>> {
         .map(|f| (f.build)())
 }
 
+/// Builds one registered figure as a content-addressable
+/// [`pythia_sweep::Campaign`] — the submission unit of `pythia-serve` and
+/// the cache key of `pythia-cli sweep --cache-dir`. The digest covers the
+/// fully expanded grid (budgets included), so the same figure id at a
+/// different `PYTHIA_BENCH_SCALE` addresses a different artifact.
+pub fn campaign(id: &str) -> Option<pythia_sweep::Campaign> {
+    specs(id).map(|panels| pythia_sweep::Campaign::new(id, panels))
+}
+
 /// A quick-eval campaign: one inline Pythia config over the DSE workload
 /// cross-section (the objective function the §4.3 search procedures call).
 pub fn dse_eval_spec(label: &str, cfg: PythiaConfig, units: &[WorkUnit]) -> SweepSpec {

@@ -26,7 +26,8 @@ USAGE:
       [--prefetchers spp,bingo,mlop,pythia] [--warmup N] [--measure N]
   pythia-cli sweep <figure>                     run a figure/table campaign in
       [--threads N] [--format md|json|csv]      parallel and emit its results
-      [--out FILE]                              (`--list` shows figure ids)
+      [--out FILE] [--cache-dir DIR]            (`--list` shows figure ids;
+                                                the cache skips repeat runs)
   pythia-cli sweep --workloads a,b,c            ad-hoc sweep over named
       [--prefetchers x,y] [--baseline none]     workloads instead of a figure
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
@@ -39,8 +40,15 @@ USAGE:
   pythia-cli trace replay <file> <prefetcher>   simulate straight from a trace
       [--warmup N] [--measure N] [--mtps N]     file; byte-identical to the
       [--llc-kb N] [--report-json FILE]         equivalent `run`
-  pythia-cli trace info <file>                  print trace header and stats
+  pythia-cli trace info <file> [--json]         print trace header and stats
   pythia-cli storage                            print storage/overhead tables
+  pythia-cli serve                              run the campaign service: job
+      [--addr 127.0.0.1:7071] [--workers N]     scheduling, in-flight dedup and
+      [--threads N] [--queue N]                 a content-addressed result
+      [--cache-dir DIR]                         cache behind an HTTP API
+  pythia-cli submit <figure> --addr HOST:PORT   submit a campaign to a running
+      [--format md|json|csv] [--out FILE]       service, poll to completion and
+      [--poll-ms N] [--timeout-s N]             fetch the rendered result
 ";
 
 fn find_workload(name: &str) -> Result<Workload, String> {
@@ -162,13 +170,24 @@ fn timed_pair(
     (baseline, report, throughput)
 }
 
+/// Writes an output artifact, creating missing parent directories first —
+/// `--out results/fig09/BENCH.json` should not fail with a raw io error
+/// just because `results/fig09/` does not exist yet.
+fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Honours `--report-json FILE`: writes the deterministic [`SimReport`]
 /// JSON of the measured run (the artifact the CI record→replay smoke
 /// compares byte-for-byte).
 fn maybe_write_report_json(args: &ParsedArgs, report: &SimReport) -> Result<(), String> {
     if let Some(path) = args.opt("report-json") {
-        std::fs::write(path, sim_report_json(report).render_pretty())
-            .map_err(|e| format!("{path}: {e}"))?;
+        write_artifact(path, &sim_report_json(report).render_pretty())?;
         println!("wrote report JSON to {path}");
     }
     Ok(())
@@ -293,27 +312,58 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
     };
     let format = args.opt("format").unwrap_or("md");
 
-    let result = match args.positionals.as_slice() {
-        [id] => {
-            let specs = pythia_bench::figures::specs(id)
-                .ok_or_else(|| format!("unknown figure {id:?}; see `pythia-cli sweep --list`"))?;
-            pythia_sweep::engine::run_all(id, &specs, threads)?
-        }
-        [] => pythia_sweep::run(&adhoc_sweep_spec(args)?, threads)?,
+    let campaign = match args.positionals.as_slice() {
+        [id] => pythia_bench::figures::campaign(id)
+            .ok_or_else(|| format!("unknown figure {id:?}; see `pythia-cli sweep --list`"))?,
+        [] => pythia_sweep::Campaign::single(adhoc_sweep_spec(args)?),
         _ => return Err("usage: pythia-cli sweep <figure> [options]".into()),
     };
 
-    let rendered = result.render(format)?;
+    // With a cache directory the campaign is content-addressed: a digest
+    // hit loads the stored artifact instead of simulating, and the output
+    // carries `cached`/`digest` provenance (md and JSON formats).
+    let (result, provenance) = match args.opt("cache-dir") {
+        None => (
+            pythia_sweep::engine::run_all(&campaign.name, &campaign.panels, threads)?,
+            None,
+        ),
+        Some(dir) => {
+            let store = pythia_sweep::ResultStore::open(dir)?;
+            let (result, cached) = pythia_sweep::run_campaign(&campaign, threads, Some(&store))?;
+            (result, Some((cached, campaign.digest())))
+        }
+    };
+
+    let rendered = match &provenance {
+        None => result.render(format)?,
+        Some((cached, digest)) => match format {
+            "json" => result
+                .to_json()
+                .set("cached", *cached)
+                .set("digest", digest.as_str())
+                .render_pretty(),
+            "md" | "markdown" => format!(
+                "{}\ncached: {cached}\ndigest: {digest}\n",
+                result.to_markdown().trim_end()
+            ),
+            other => result.render(other)?,
+        },
+    };
     match args.opt("out") {
         None => print!("{rendered}"),
         Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+            write_artifact(path, &rendered)?;
             println!(
                 "wrote sweep {} ({} cells + {} baselines, {format}) to {path}",
                 result.name,
                 result.cells.len(),
                 result.baselines.len()
             );
+        }
+    }
+    if let Some((cached, digest)) = &provenance {
+        if args.opt("out").is_some() {
+            println!("cached: {cached} (digest {digest})");
         }
     }
     Ok(())
@@ -350,8 +400,7 @@ pub fn bench(args: &ParsedArgs) -> Result<(), String> {
     print!("{}", report.to_markdown());
 
     if let Some(path) = args.opt("out") {
-        std::fs::write(path, report.to_json().render_pretty())
-            .map_err(|e| format!("{path}: {e}"))?;
+        write_artifact(path, &report.to_json().render_pretty())?;
         println!("wrote {} benchmark(s) to {path}", report.benchmarks.len());
     }
 
@@ -455,12 +504,34 @@ fn trace_replay(args: &ParsedArgs) -> Result<(), String> {
     maybe_write_report_json(args, &report)
 }
 
-/// `pythia-cli trace info <file>` — header and one-pass stream statistics.
+/// `pythia-cli trace info <file> [--json]` — header and one-pass stream
+/// statistics, human-readable by default, machine-readable with `--json`.
 fn trace_info(args: &ParsedArgs) -> Result<(), String> {
     let [_, file] = args.positionals.as_slice() else {
-        return Err("usage: pythia-cli trace info <file>".into());
+        return Err("usage: pythia-cli trace info <file> [--json]".into());
     };
     let info = trace_file_info(file).map_err(|e| format!("{file}: {e}"))?;
+    if args.flag("json") {
+        let mut out = pythia_stats::json::Json::obj()
+            .set("file", file.as_str())
+            .set("version", u64::from(info.version))
+            .set("file_bytes", info.file_bytes)
+            .set("records", info.records)
+            .set("loads", info.loads)
+            .set("stores", info.stores)
+            .set("branches", info.branches)
+            .set("mispredicts", info.mispredicts)
+            .set("dependent_loads", info.dependent_loads);
+        out = match info.addr_range {
+            None => out.set("addr_range", pythia_stats::json::Json::Null),
+            Some((lo, hi)) => out.set(
+                "addr_range",
+                pythia_stats::json::Json::obj().set("lo", lo).set("hi", hi),
+            ),
+        };
+        print!("{}", out.render_pretty());
+        return Ok(());
+    }
     let pct = |n: u64| n as f64 * 100.0 / info.records.max(1) as f64;
     println!("file            : {file}");
     println!("format version  : {}", info.version);
@@ -483,6 +554,71 @@ fn trace_info(args: &ParsedArgs) -> Result<(), String> {
         Some((lo, hi)) => println!("address range   : {lo:#x}..{hi:#x}"),
         None => println!("address range   : (no memory operations)"),
     }
+    Ok(())
+}
+
+/// `pythia-cli serve [--addr A] [--workers N] [--threads N] [--queue N]
+/// [--cache-dir DIR]` — runs the campaign service until killed.
+pub fn serve(args: &ParsedArgs) -> Result<(), String> {
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:7071");
+    let workers = args.opt_num("workers", 1usize)?.max(1);
+    let queue_cap = args.opt_num("queue", 64usize)?.max(1);
+    let sim_threads = match args.opt("threads") {
+        None => pythia_bench::threads(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("--threads: bad value {v:?}")),
+        },
+    };
+    let config = pythia_serve::ServeConfig {
+        workers,
+        queue_cap,
+        sim_threads,
+        cache_dir: args.opt("cache-dir").map(std::path::PathBuf::from),
+    };
+    let server = pythia_serve::Server::bind(addr, &config)?;
+    // The `listening on` line is the startup handshake: scripts (and the
+    // CI smoke) parse the resolved address from it when binding to :0.
+    println!("listening on {}", server.local_addr()?);
+    println!(
+        "workers: {workers}  queue: {queue_cap}  sim-threads: {sim_threads}  cache: {}",
+        config
+            .cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "(memory only)".into())
+    );
+    server.serve_forever()
+}
+
+/// `pythia-cli submit <figure> --addr HOST:PORT` — submits a campaign,
+/// polls it to completion, and fetches the rendered result.
+pub fn submit(args: &ParsedArgs) -> Result<(), String> {
+    let [figure] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli submit <figure> --addr HOST:PORT [options]".into());
+    };
+    let addr = args
+        .opt("addr")
+        .ok_or("submit needs --addr HOST:PORT (see `pythia-cli serve`)")?;
+    let format = args.opt("format").unwrap_or("md");
+    let poll = std::time::Duration::from_millis(args.opt_num("poll-ms", 200u64)?.max(10));
+    let timeout = std::time::Duration::from_secs(args.opt_num("timeout-s", 600u64)?.max(1));
+
+    let submitted = pythia_serve::client::submit_figure(addr, figure)?;
+    eprintln!(
+        "submitted {figure} as {} (status: {}, cached: {})",
+        submitted.digest, submitted.status, submitted.cached
+    );
+    pythia_serve::client::wait_done(addr, &submitted.digest, poll, timeout)?;
+    let rendered = pythia_serve::client::result(addr, &submitted.digest, format)?;
+    match args.opt("out") {
+        None => print!("{rendered}"),
+        Some(path) => {
+            write_artifact(path, &rendered)?;
+            println!("wrote campaign {} ({format}) to {path}", submitted.digest);
+        }
+    }
+    println!("cached: {}", submitted.cached);
     Ok(())
 }
 

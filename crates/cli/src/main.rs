@@ -9,8 +9,10 @@
 //! pythia-cli sweep --workloads a,b,c [--prefetchers x,y] [...]
 //! pythia-cli trace record <workload> <file> [--instructions N]
 //! pythia-cli trace replay <file> <prefetcher> [--warmup N] [--measure N]
-//! pythia-cli trace info <file>
+//! pythia-cli trace info <file> [--json]
 //! pythia-cli storage                           # Tables 4/7/8 summary
+//! pythia-cli serve [--addr A] [--workers N] [--cache-dir DIR]
+//! pythia-cli submit <figure> --addr HOST:PORT [--format md|json|csv]
 //! ```
 
 mod args;
@@ -34,6 +36,8 @@ fn main() -> ExitCode {
         Some("bench") => commands::bench(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("storage") => commands::storage(&parsed),
+        Some("serve") => commands::serve(&parsed),
+        Some("submit") => commands::submit(&parsed),
         Some("help") | None => {
             print!("{}", commands::HELP);
             Ok(())

@@ -510,3 +510,264 @@ fn parser_error_paths_reach_the_user() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unexpected bare"));
 }
+
+#[test]
+fn trace_info_json_is_machine_readable() {
+    let dir = std::env::temp_dir().join("pythia_cli_info_json");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("info.pytr");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = cli(&[
+        "trace",
+        "record",
+        WORKLOAD,
+        path_str,
+        "--instructions",
+        "3000",
+    ]);
+    assert!(out.status.success(), "record: {}", stderr(&out));
+    let out = cli(&["trace", "info", path_str, "--json"]);
+    assert!(out.status.success(), "info --json: {}", stderr(&out));
+    let parsed = pythia_stats::json::parse(&stdout(&out)).expect("info JSON parses");
+    assert_eq!(
+        parsed.get("records").and_then(|v| v.as_u64()),
+        Some(3000),
+        "record count"
+    );
+    assert_eq!(parsed.get("version").and_then(|v| v.as_u64()), Some(1));
+    let size = parsed
+        .get("file_bytes")
+        .and_then(|v| v.as_u64())
+        .expect("file size");
+    assert_eq!(size, std::fs::metadata(&path).expect("metadata").len());
+    for key in [
+        "loads",
+        "stores",
+        "branches",
+        "mispredicts",
+        "dependent_loads",
+    ] {
+        assert!(
+            parsed.get(key).and_then(|v| v.as_u64()).is_some(),
+            "info JSON must carry {key}"
+        );
+    }
+    assert!(
+        parsed.get("addr_range").is_some(),
+        "info JSON must carry addr_range"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn out_paths_create_missing_parent_directories() {
+    let root = std::env::temp_dir().join(format!("pythia_cli_outdirs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // sweep --out into a directory that does not exist yet.
+    let sweep_out = root.join("a/b/sweep.json");
+    let out = cli(&[
+        &[
+            "sweep",
+            "--workloads",
+            WORKLOAD,
+            "--prefetchers",
+            "stride",
+            "--format",
+            "json",
+            "--out",
+            sweep_out.to_str().expect("utf-8"),
+        ],
+        FAST,
+    ]
+    .concat());
+    assert!(out.status.success(), "sweep --out: {}", stderr(&out));
+    assert!(sweep_out.is_file(), "sweep artifact written");
+
+    // run --report-json likewise.
+    let report_out = root.join("c/d/report.json");
+    let out = cli(&[
+        &["run", WORKLOAD, "stride"],
+        FAST,
+        &["--report-json", report_out.to_str().expect("utf-8")],
+    ]
+    .concat());
+    assert!(out.status.success(), "run --report-json: {}", stderr(&out));
+    assert!(report_out.is_file(), "report artifact written");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sweep_cache_dir_hits_skip_simulation_and_carry_provenance() {
+    let root = std::env::temp_dir().join(format!("pythia_cli_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let args: &[&str] = &[
+        &[
+            "sweep",
+            "--workloads",
+            WORKLOAD,
+            "--prefetchers",
+            "stride",
+            "--format",
+            "json",
+            "--cache-dir",
+            root.to_str().expect("utf-8"),
+        ],
+        FAST,
+    ]
+    .concat();
+
+    let miss = cli(args);
+    assert!(miss.status.success(), "miss: {}", stderr(&miss));
+    let miss_json = pythia_stats::json::parse(&stdout(&miss)).expect("miss JSON parses");
+    assert_eq!(
+        miss_json.get("cached").and_then(|v| v.as_bool()),
+        Some(false),
+        "first run is a miss"
+    );
+    let digest = miss_json
+        .get("digest")
+        .and_then(|v| v.as_str())
+        .expect("digest provenance")
+        .to_string();
+    assert!(
+        root.join(format!("{digest}.json")).is_file(),
+        "artifact persisted"
+    );
+
+    let hit = cli(args);
+    assert!(hit.status.success(), "hit: {}", stderr(&hit));
+    let hit_json = pythia_stats::json::parse(&stdout(&hit)).expect("hit JSON parses");
+    assert_eq!(
+        hit_json.get("cached").and_then(|v| v.as_bool()),
+        Some(true),
+        "second run is a hit"
+    );
+
+    // Identical payload modulo the provenance flag.
+    let strip = |j: &pythia_stats::json::Json| match j {
+        pythia_stats::json::Json::Obj(fields) => pythia_stats::json::Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "cached")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    assert_eq!(
+        strip(&hit_json).render(),
+        strip(&miss_json).render(),
+        "hit payload is byte-identical to the miss payload"
+    );
+
+    // The md format prints the same provenance lines.
+    let md_args: Vec<&str> = args
+        .iter()
+        .map(|a| if *a == "json" { "md" } else { *a })
+        .collect();
+    let md = cli(&md_args);
+    assert!(md.status.success(), "md hit: {}", stderr(&md));
+    let text = stdout(&md);
+    assert!(text.contains("cached: true"), "{text}");
+    assert!(text.contains(&format!("digest: {digest}")), "{text}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn serve_and_submit_usage_errors() {
+    // submit without --addr is a usage error, not a hang.
+    let out = cli(&["submit", "fig01"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--addr"), "{}", stderr(&out));
+
+    // submit against a dead port fails fast with a transport error.
+    let out = cli(&[
+        "submit",
+        "fig01",
+        "--addr",
+        "127.0.0.1:9",
+        "--timeout-s",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("connect"), "{}", stderr(&out));
+
+    // serve on an unbindable address reports the bind failure.
+    let out = cli(&["serve", "--addr", "256.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bind"), "{}", stderr(&out));
+
+    // help advertises the new subcommands.
+    let help = cli(&[]);
+    let text = stdout(&help);
+    assert!(text.contains("serve"), "{text}");
+    assert!(text.contains("submit"), "{text}");
+}
+
+#[test]
+fn serve_submit_round_trip_over_a_real_socket() {
+    use std::io::BufRead;
+
+    // Start the service on an ephemeral port and parse the handshake line.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_pythia-cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut reader = std::io::BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("handshake line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected handshake {line:?}"))
+        .to_string();
+
+    let submit = |expect_cached: &str| {
+        let out = cli(&[
+            "submit",
+            "fig01",
+            "--addr",
+            &addr,
+            "--format",
+            "csv",
+            "--timeout-s",
+            "300",
+        ]);
+        assert!(out.status.success(), "submit: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.starts_with("sweep,unit,group,"), "{text}");
+        assert!(
+            text.contains(&format!("cached: {expect_cached}")),
+            "expected cached: {expect_cached}: {text}"
+        );
+        text
+    };
+    let strip_provenance = |text: String| {
+        text.lines()
+            .filter(|l| !l.starts_with("cached: "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first = strip_provenance(submit("false"));
+    let second = strip_provenance(submit("true"));
+    assert_eq!(
+        first, second,
+        "cache hit serves the byte-identical rendering"
+    );
+
+    server.kill().expect("stop serve");
+    server.wait().expect("reap serve");
+}

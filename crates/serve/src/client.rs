@@ -1,0 +1,148 @@
+//! Client helpers over [`crate::http::request`] — the machinery behind
+//! `pythia-cli submit`.
+
+use std::time::{Duration, Instant};
+
+use pythia_stats::json::{parse, Json};
+
+use crate::http;
+
+/// A submission acknowledgement.
+#[derive(Debug, Clone)]
+pub struct Submitted {
+    /// Campaign digest (the job id to poll).
+    pub digest: String,
+    /// Status at submission time (`"queued"`, `"running"`, `"done"`, ...).
+    pub status: String,
+    /// Whether the service answered from its cache.
+    pub cached: bool,
+}
+
+fn json_of(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "response is not utf-8".to_string())?;
+    parse(text)
+}
+
+fn error_of(status: u16, body: &[u8]) -> String {
+    let detail = json_of(body)
+        .ok()
+        .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| String::from_utf8_lossy(body).into_owned());
+    format!("HTTP {status}: {detail}")
+}
+
+/// Submits a campaign body (already-rendered JSON) to `addr`.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-2xx responses (a full
+/// queue surfaces as the service's 429 message).
+pub fn submit(addr: &str, body: &str) -> Result<Submitted, String> {
+    let (status, response) = http::request(addr, "POST", "/campaigns", body.as_bytes())?;
+    if status != 200 && status != 202 {
+        return Err(error_of(status, &response));
+    }
+    let json = json_of(&response)?;
+    let field = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("submission response missing {key:?}"))
+    };
+    Ok(Submitted {
+        digest: field("digest")?,
+        status: field("status")?,
+        cached: json.get("cached").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+/// Submits a registry figure by id.
+///
+/// # Errors
+///
+/// See [`submit`].
+pub fn submit_figure(addr: &str, figure: &str) -> Result<Submitted, String> {
+    submit(addr, &Json::obj().set("figure", figure).render())
+}
+
+/// Fetches the status document of a digest.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200 responses.
+pub fn status(addr: &str, digest: &str) -> Result<Json, String> {
+    let (code, body) = http::request(addr, "GET", &format!("/campaigns/{digest}"), b"")?;
+    if code != 200 {
+        return Err(error_of(code, &body));
+    }
+    json_of(&body)
+}
+
+/// Polls status every `poll` until the job reports `done`, failing on
+/// `failed` or after `timeout`.
+///
+/// # Errors
+///
+/// Returns the failure message, a timeout message, or transport errors.
+pub fn wait_done(
+    addr: &str,
+    digest: &str,
+    poll: Duration,
+    timeout: Duration,
+) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let doc = status(addr, digest)?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("done") => return Ok(()),
+            Some("failed") => {
+                let e = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown failure");
+                return Err(format!("campaign {digest} failed: {e}"));
+            }
+            Some(_) => {}
+            None => return Err("status response missing \"status\"".into()),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "campaign {digest} not done after {:.0} s",
+                timeout.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Fetches the rendered result of a done campaign.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200 responses (409 while
+/// the job is still running).
+pub fn result(addr: &str, digest: &str, format: &str) -> Result<String, String> {
+    let (code, body) = http::request(
+        addr,
+        "GET",
+        &format!("/campaigns/{digest}/result?format={format}"),
+        b"",
+    )?;
+    if code != 200 {
+        return Err(error_of(code, &body));
+    }
+    String::from_utf8(body).map_err(|_| "result is not utf-8".into())
+}
+
+/// Fetches the figure listing.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200 responses.
+pub fn figures(addr: &str) -> Result<Json, String> {
+    let (code, body) = http::request(addr, "GET", "/figures", b"")?;
+    if code != 200 {
+        return Err(error_of(code, &body));
+    }
+    json_of(&body)
+}

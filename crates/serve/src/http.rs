@@ -1,0 +1,344 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net`.
+//!
+//! The build environment has no network crates, so `pythia-serve` speaks
+//! just enough HTTP/1.1 itself: one request per connection
+//! (`Connection: close` semantics), `Content-Length` bodies only (no
+//! chunked encoding), and a small, strict parser with hard size limits.
+//! Both the server and the [`crate::client`] helpers are built on this
+//! module, so the two ends agree by construction.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted request-line + header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted body bytes (canonical specs for the largest registry
+/// campaigns are well under 2 MiB; 16 MiB leaves headroom).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Socket read/write timeout: a stalled peer cannot wedge a handler.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed request: method, split target, and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), upper-cased as received.
+    pub method: String,
+    /// Path portion of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response about to be written: status code plus JSON or text payload.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// Returns a message on malformed requests, oversized heads/bodies, io
+/// errors, or timeouts.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+
+    // Read until the end-of-head marker, keeping any body bytes that came
+    // along in the same segments.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "head is not utf-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_uppercase();
+    let target = parts.next().ok_or("missing target")?;
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version:?}"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".into());
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = split_target(target);
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a response and flushes the stream.
+///
+/// # Errors
+///
+/// Returns a message on io errors.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), String> {
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| format!("set_write_timeout: {e}"))?;
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&response.body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write: {e}"))
+}
+
+/// Client side: sends one request to `addr` and returns
+/// `(status, body)`. Opens a fresh connection per call (the server closes
+/// after each response anyway).
+///
+/// # Errors
+///
+/// Returns a message on connection, io, or protocol errors.
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| format!("timeouts: {e}"))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write {addr}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let head_end = find_head_end(&raw).ok_or("response missing head terminator")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head not utf-8")?;
+    let status_line = head.split("\r\n").next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splitting_and_decoding() {
+        let (path, query) = split_target("/campaigns/abc/result?format=md&x=a%20b");
+        assert_eq!(path, "/campaigns/abc/result");
+        assert_eq!(query[0], ("format".into(), "md".into()));
+        assert_eq!(query[1], ("x".into(), "a b".into()));
+        let (path, query) = split_target("/figures");
+        assert_eq!(path, "/figures");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_over_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let req = read_request(&mut stream).expect("parse request");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            assert_eq!(req.query("tag"), Some("t1"));
+            let resp = Response::json(200, req.body.clone());
+            write_response(&mut stream, &resp).expect("write response");
+        });
+        let (status, body) = request(&addr, "POST", "/echo?tag=t1", b"{\"k\":1}").expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"k\":1}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            read_request(&mut stream)
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        let err = server.join().expect("join").unwrap_err();
+        assert!(err.contains("too large"), "{err}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # pythia-serve
+//!
+//! A long-running campaign service over the deterministic sweep engine:
+//! many clients submit figure/table campaigns, duplicate campaigns cost
+//! one simulation, and results are served from a content-addressed cache.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 subset on `std::net` (this build
+//!   environment has no network crates): one request per connection,
+//!   `Content-Length` bodies, strict limits.
+//! * [`scheduler`] — a bounded job queue + worker pool running
+//!   [`pythia_sweep::engine::run_all`], with in-flight dedup (identical
+//!   digests coalesce onto one job), per-job status, service counters,
+//!   and 429-style backpressure when the queue is full.
+//! * [`server`] — routing: `POST /campaigns` (submit a figure id or a
+//!   canonical spec), `GET /campaigns/<digest>` (status),
+//!   `GET /campaigns/<digest>/result` (md/JSON/CSV via the existing
+//!   [`pythia_sweep::SweepResult`] formatters), `GET /figures` (registry
+//!   listing).
+//! * [`client`] — the `pythia-cli submit` side, built on the same
+//!   [`http`] module.
+//!
+//! Content addressing comes from [`pythia_sweep::codec`]: a campaign's
+//! canonical encoding digests to a stable id, simulations are
+//! bit-deterministic, so "same digest" means "byte-identical result" —
+//! cache hits (in memory or through [`pythia_sweep::ResultStore`]) are
+//! indistinguishable from fresh runs minus the wall-clock telemetry.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pythia_serve::server::{ServeConfig, Server};
+//!
+//! let server = Server::bind("127.0.0.1:7071", &ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.serve_forever().unwrap();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod scheduler;
+pub mod server;
+
+pub use scheduler::{JobStatus, Scheduler, SubmitError};
+pub use server::{ServeConfig, Server, ServerHandle};

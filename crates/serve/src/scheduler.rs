@@ -1,0 +1,503 @@
+//! Job scheduling: a bounded queue, a worker-thread pool, in-flight
+//! dedup, and a content-addressed cache in front of the simulations.
+//!
+//! Every submission is keyed by its campaign digest
+//! ([`Campaign::digest`]). The scheduler guarantees that a digest costs at
+//! most one simulation per process lifetime:
+//!
+//! * a digest already **done** in memory is served instantly,
+//! * a digest present in the on-disk [`ResultStore`] is loaded, not run,
+//! * a digest currently **queued/running** is *coalesced* — the new
+//!   submission attaches to the in-flight job instead of enqueuing a copy,
+//! * only a never-seen digest occupies a queue slot, and a full queue
+//!   rejects the submission ([`SubmitError::Busy`] → HTTP 429).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pythia_stats::json::Json;
+use pythia_sweep::codec::Campaign;
+use pythia_sweep::{engine, ResultStore, SweepResult};
+
+/// Lifecycle of one campaign job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the stripped result is held in memory (and on disk when a
+    /// cache directory is configured).
+    Done(Arc<SweepResult>),
+    /// Validation passed but execution failed (should not happen for
+    /// validated specs; kept for fail-soft behaviour).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// The wire label (`"queued"`, `"running"`, `"done"`, `"failed"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// What a submission observed.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The campaign digest (the job id).
+    pub digest: String,
+    /// Status right after this submission.
+    pub status: JobStatus,
+    /// Whether the result came from cache (memory or disk) rather than a
+    /// fresh simulation scheduled by *some* submission of this digest.
+    pub cached: bool,
+    /// Whether this submission coalesced onto an in-flight job.
+    pub coalesced: bool,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job queue is full — retry later (HTTP 429).
+    Busy {
+        /// Configured queue capacity at rejection time.
+        queue_cap: usize,
+    },
+    /// The campaign failed validation (HTTP 400).
+    Invalid(String),
+}
+
+/// Monotonic service counters, readable without any lock.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Campaigns accepted (every non-error submission).
+    pub submitted: AtomicU64,
+    /// Campaigns actually simulated by a worker.
+    pub executed: AtomicU64,
+    /// Submissions served from the in-memory done map or the disk store.
+    pub cache_hits: AtomicU64,
+    /// Submissions coalesced onto a queued/running job.
+    pub coalesced: AtomicU64,
+    /// Jobs finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs that failed during execution.
+    pub failed: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: AtomicU64,
+}
+
+impl Counters {
+    /// Snapshot as a JSON object (the `counters` key of status responses).
+    pub fn to_json(&self) -> Json {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Json::obj()
+            .set("submitted", get(&self.submitted))
+            .set("executed", get(&self.executed))
+            .set("cache_hits", get(&self.cache_hits))
+            .set("coalesced", get(&self.coalesced))
+            .set("completed", get(&self.completed))
+            .set("failed", get(&self.failed))
+            .set("rejected", get(&self.rejected))
+    }
+}
+
+struct Job {
+    /// Campaign name, kept for status responses after completion.
+    name: String,
+    /// The expanded campaign, taken by the worker that runs it (and absent
+    /// for disk-cache hits) so finished jobs don't pin whole grids in
+    /// memory.
+    campaign: Option<Campaign>,
+    status: JobStatus,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<String>,
+    jobs: HashMap<String, Job>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    job_finished: Condvar,
+    queue_cap: usize,
+    sim_threads: usize,
+    store: Option<ResultStore>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// The campaign scheduler: owns the queue, the status map, and the worker
+/// pool. Cloneable handle semantics come from wrapping it in an `Arc` at
+/// the server layer.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler with `workers` worker threads, a queue bounded at
+    /// `queue_cap`, `sim_threads` simulation threads per job, and an
+    /// optional on-disk result store.
+    ///
+    /// `workers == 0` is permitted (jobs queue but never run) — useful for
+    /// deterministic backpressure tests; the CLI clamps to ≥ 1.
+    pub fn start(
+        workers: usize,
+        queue_cap: usize,
+        sim_threads: usize,
+        store: Option<ResultStore>,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            job_finished: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            sim_threads: sim_threads.max(1),
+            store,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Submits a campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] on validation failure, [`SubmitError::Busy`]
+    /// when the queue is full.
+    pub fn submit(&self, campaign: Campaign) -> Result<Submission, SubmitError> {
+        campaign.validate().map_err(SubmitError::Invalid)?;
+        let digest = campaign.digest();
+        let c = &self.inner.counters;
+
+        // Fast path: the digest is already known in this process.
+        {
+            let state = self.inner.state.lock().expect("scheduler lock");
+            if let Some(hit) = Self::attach(c, &state, &digest) {
+                return Ok(hit);
+            }
+        }
+
+        // First sighting — probe the disk store WITHOUT holding the lock
+        // (the load reads and decodes a potentially large artifact; status
+        // polls and other submissions must not stall behind it).
+        let disk_hit = match &self.inner.store {
+            None => None,
+            Some(store) => match store.load(&digest) {
+                Ok(hit) => hit,
+                Err(e) => {
+                    // A corrupt artifact must not take the digest down
+                    // permanently: fall through and re-simulate.
+                    eprintln!("serve: ignoring corrupt cache artifact for {digest}: {e}");
+                    None
+                }
+            },
+        };
+
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        // Re-check: a racing submission may have inserted meanwhile.
+        if let Some(hit) = Self::attach(c, &state, &digest) {
+            return Ok(hit);
+        }
+
+        if let Some(result) = disk_hit {
+            let status = JobStatus::Done(Arc::new(result));
+            state.jobs.insert(
+                digest.clone(),
+                Job {
+                    name: campaign.name,
+                    campaign: None,
+                    status: status.clone(),
+                },
+            );
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+            c.submitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(Submission {
+                digest,
+                status,
+                cached: true,
+                coalesced: false,
+            });
+        }
+
+        if state.queue.len() >= self.inner.queue_cap {
+            c.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy {
+                queue_cap: self.inner.queue_cap,
+            });
+        }
+        state.jobs.insert(
+            digest.clone(),
+            Job {
+                name: campaign.name.clone(),
+                campaign: Some(campaign),
+                status: JobStatus::Queued,
+            },
+        );
+        state.queue.push_back(digest.clone());
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.inner.work_ready.notify_one();
+        Ok(Submission {
+            digest,
+            status: JobStatus::Queued,
+            cached: false,
+            coalesced: false,
+        })
+    }
+
+    /// Attaches a submission to an already-known digest: a cache hit when
+    /// the job is finished, a coalesce onto the in-flight job otherwise.
+    fn attach(c: &Counters, state: &State, digest: &str) -> Option<Submission> {
+        let job = state.jobs.get(digest)?;
+        let (cached, coalesced) = match job.status {
+            JobStatus::Done(_) | JobStatus::Failed(_) => (true, false),
+            JobStatus::Queued | JobStatus::Running => (false, true),
+        };
+        if cached {
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        Some(Submission {
+            digest: digest.to_string(),
+            status: job.status.clone(),
+            cached,
+            coalesced,
+        })
+    }
+
+    /// Current status of a digest, with its campaign name.
+    pub fn status(&self, digest: &str) -> Option<(String, JobStatus)> {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        state
+            .jobs
+            .get(digest)
+            .map(|j| (j.name.clone(), j.status.clone()))
+    }
+
+    /// The result of a digest, if the job is done.
+    pub fn result(&self, digest: &str) -> Option<Arc<SweepResult>> {
+        match self.status(digest) {
+            Some((_, JobStatus::Done(result))) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job for `digest` leaves the queued/running states,
+    /// or until `timeout` elapses. Returns the final status, or `None` on
+    /// an unknown digest or timeout.
+    pub fn wait(&self, digest: &str, timeout: std::time::Duration) -> Option<JobStatus> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        loop {
+            match state.jobs.get(digest) {
+                None => return None,
+                Some(job) => match &job.status {
+                    JobStatus::Done(_) | JobStatus::Failed(_) => return Some(job.status.clone()),
+                    JobStatus::Queued | JobStatus::Running => {}
+                },
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .inner
+                .job_finished
+                .wait_timeout(state, deadline - now)
+                .expect("scheduler lock");
+            state = s;
+        }
+    }
+
+    /// The service counters.
+    pub fn counters(&self) -> &Counters {
+        &self.inner.counters
+    }
+
+    /// Queue occupancy and capacity, for status output.
+    pub fn queue_depth(&self) -> (usize, usize) {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        (state.queue.len(), self.inner.queue_cap)
+    }
+
+    /// Stops the workers after their current job and joins them.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (digest, campaign) = {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(digest) = state.queue.pop_front() {
+                    let job = state.jobs.get_mut(&digest).expect("queued job exists");
+                    job.status = JobStatus::Running;
+                    // Take (not clone) the campaign: once the job finishes,
+                    // only its name and result stay resident.
+                    let campaign = job.campaign.take().expect("queued job has its campaign");
+                    break (digest, campaign);
+                }
+                state = inner.work_ready.wait(state).expect("scheduler lock");
+            }
+        };
+
+        let outcome = engine::run_all(&campaign.name, &campaign.panels, inner.sim_threads)
+            .map(SweepResult::stripped);
+        inner.counters.executed.fetch_add(1, Ordering::Relaxed);
+
+        let status = match outcome {
+            Ok(result) => {
+                if let Some(store) = &inner.store {
+                    if let Err(e) = store.store(&digest, &result) {
+                        eprintln!("serve: failed to persist {digest}: {e}");
+                    }
+                }
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                JobStatus::Done(Arc::new(result))
+            }
+            Err(e) => {
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                JobStatus::Failed(e)
+            }
+        };
+
+        let mut state = inner.state.lock().expect("scheduler lock");
+        state
+            .jobs
+            .get_mut(&digest)
+            .expect("running job exists")
+            .status = status;
+        drop(state);
+        inner.job_finished.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_sweep::{ConfigPoint, SweepSpec};
+    use pythia_workloads::all_suites;
+    use std::time::Duration;
+
+    fn tiny_campaign(tag: &str, measure: u64) -> Campaign {
+        let w = all_suites()
+            .into_iter()
+            .find(|w| w.name == "429.mcf-184B")
+            .expect("known workload");
+        Campaign::single(
+            SweepSpec::new(tag)
+                .with_workloads([w])
+                .with_prefetchers(&["stride"])
+                .with_config(ConfigPoint::single_core("base", 1_000, measure)),
+        )
+    }
+
+    #[test]
+    fn submit_run_and_memory_cache_hit() {
+        let s = Scheduler::start(1, 8, 1, None);
+        let campaign = tiny_campaign("sched-basic", 4_000);
+        let sub = s.submit(campaign.clone()).expect("accepted");
+        assert!(!sub.cached);
+        let done = s
+            .wait(&sub.digest, Duration::from_secs(60))
+            .expect("finishes");
+        assert!(matches!(done, JobStatus::Done(_)));
+
+        let again = s.submit(campaign).expect("accepted");
+        assert!(again.cached, "second submission hits the done map");
+        assert!(matches!(again.status, JobStatus::Done(_)));
+        assert_eq!(s.counters().executed.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters().cache_hits.load(Ordering::Relaxed), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn coalescing_shares_one_job() {
+        // One worker pinned down by a blocker job makes coalescing
+        // deterministic: the second identical submission arrives while the
+        // target job is still queued.
+        let s = Scheduler::start(1, 8, 1, None);
+        let blocker = s
+            .submit(tiny_campaign("sched-blocker", 30_000))
+            .expect("accepted");
+        let target = tiny_campaign("sched-target", 4_000);
+        let first = s.submit(target.clone()).expect("accepted");
+        let second = s.submit(target).expect("accepted");
+        assert!(second.coalesced, "identical in-flight submission coalesces");
+        assert_eq!(first.digest, second.digest);
+
+        assert!(s.wait(&blocker.digest, Duration::from_secs(60)).is_some());
+        let done = s
+            .wait(&first.digest, Duration::from_secs(60))
+            .expect("finishes");
+        assert!(matches!(done, JobStatus::Done(_)));
+        assert_eq!(
+            s.counters().executed.load(Ordering::Relaxed),
+            2,
+            "blocker + one shared target job"
+        );
+        assert_eq!(s.counters().coalesced.load(Ordering::Relaxed), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        // No workers: nothing ever drains, so occupancy is exact.
+        let s = Scheduler::start(0, 2, 1, None);
+        s.submit(tiny_campaign("bp-1", 4_000)).expect("slot 1");
+        s.submit(tiny_campaign("bp-2", 4_000)).expect("slot 2");
+        let err = s.submit(tiny_campaign("bp-3", 4_000)).unwrap_err();
+        assert!(matches!(err, SubmitError::Busy { queue_cap: 2 }));
+        assert_eq!(s.counters().rejected.load(Ordering::Relaxed), 1);
+        // A coalescing resubmission still works when the queue is full.
+        let again = s.submit(tiny_campaign("bp-1", 4_000)).expect("coalesces");
+        assert!(again.coalesced);
+        s.shutdown();
+    }
+
+    #[test]
+    fn invalid_campaigns_are_rejected_up_front() {
+        let s = Scheduler::start(0, 2, 1, None);
+        let invalid = Campaign::single(SweepSpec::new("empty"));
+        match s.submit(invalid).unwrap_err() {
+            SubmitError::Invalid(msg) => assert!(msg.contains("no work units"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(s.status("0123456789abcdef").is_none());
+        s.shutdown();
+    }
+}

@@ -1,0 +1,353 @@
+//! The campaign service: TCP accept loop + request routing.
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /figures` | figure-registry listing (id, title, panels, cells, digest) |
+//! | `POST /campaigns` | submit `{"figure": id}`, `{"spec": {...}}` or `{"campaign": {...}}` |
+//! | `GET /campaigns/<digest>` | job status + service counters |
+//! | `GET /campaigns/<digest>/result?format=md\|json\|csv` | rendered result |
+//!
+//! Submissions answer `200` when the digest is already done (cache hit),
+//! `202` when queued/running/coalesced, `429` when the bounded queue is
+//! full, and `400` for malformed or invalid campaigns. Results answer
+//! `409` while the job is still in flight.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use pythia_stats::json::{parse, Json};
+use pythia_sweep::codec::{is_digest, Campaign};
+use pythia_sweep::ResultStore;
+
+use crate::http::{read_request, write_response, Request, Response};
+use crate::scheduler::{JobStatus, Scheduler, SubmitError};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing campaigns (0 allowed for tests).
+    pub workers: usize,
+    /// Bounded job-queue capacity (backpressure threshold).
+    pub queue_cap: usize,
+    /// Simulation threads each worker fans a campaign out over.
+    pub sim_threads: usize,
+    /// On-disk result store directory (`None` = in-memory only).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_cap: 64,
+            sim_threads: 1,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A bound, ready-to-serve campaign service.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+}
+
+/// Handle to a server running on a background thread (test harness /
+/// embedded use).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared scheduler (counters, direct status checks).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+impl Server {
+    /// Binds the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound or the cache
+    /// directory cannot be opened.
+    pub fn bind(addr: &str, config: &ServeConfig) -> Result<Self, String> {
+        let store = match &config.cache_dir {
+            None => None,
+            Some(dir) => Some(ResultStore::open(dir.clone())?),
+        };
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let scheduler = Arc::new(Scheduler::start(
+            config.workers,
+            config.queue_cap,
+            config.sim_threads,
+            store,
+        ));
+        Ok(Self {
+            listener,
+            scheduler,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the socket address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))
+    }
+
+    /// Serves forever on the calling thread, one handler thread per
+    /// connection. Only returns on an accept error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the listener fails.
+    pub fn serve_forever(self) -> Result<(), String> {
+        for conn in self.listener.incoming() {
+            let stream = conn.map_err(|e| format!("accept: {e}"))?;
+            let scheduler = Arc::clone(&self.scheduler);
+            std::thread::spawn(move || handle_connection(&scheduler, stream));
+        }
+        Ok(())
+    }
+
+    /// Spawns the accept loop on a background thread and returns a handle
+    /// (the thread is detached; dropping the handle leaves it serving, so
+    /// this is for tests and embedded smoke use).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the socket address cannot be read.
+    pub fn spawn(self) -> Result<ServerHandle, String> {
+        let addr = self.local_addr()?;
+        let scheduler = Arc::clone(&self.scheduler);
+        std::thread::spawn(move || {
+            if let Err(e) = self.serve_forever() {
+                eprintln!("serve: accept loop stopped: {e}");
+            }
+        });
+        Ok(ServerHandle { addr, scheduler })
+    }
+}
+
+fn handle_connection(scheduler: &Scheduler, mut stream: TcpStream) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(scheduler, &request),
+        Err(e) => error_response(400, &format!("bad request: {e}")),
+    };
+    if let Err(e) = write_response(&mut stream, &response) {
+        eprintln!("serve: failed to write response: {e}");
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, Json::obj().set("error", message).render_pretty())
+}
+
+/// Routes one request (exposed for in-process tests).
+pub fn route(scheduler: &Scheduler, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["figures"]) => figures_response(),
+        ("POST", ["campaigns"]) => submit(scheduler, &request.body),
+        ("GET", ["campaigns", digest]) => status(scheduler, digest),
+        ("GET", ["campaigns", digest, "result"]) => {
+            result(scheduler, digest, request.query("format").unwrap_or("json"))
+        }
+        ("POST", _) | ("GET", _) => error_response(404, "no such route"),
+        _ => error_response(405, "method not allowed"),
+    }
+}
+
+fn figures_response() -> Response {
+    // Expanding ~20 registry grids and digesting their canonical JSON is
+    // milliseconds of CPU per call, and the listing is constant for the
+    // process lifetime (the budget scale is fixed at startup) — render once.
+    static LISTING: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    let body = LISTING.get_or_init(|| {
+        let list: Vec<Json> = pythia_bench::figures::registry()
+            .iter()
+            .map(|def| {
+                let campaign = pythia_bench::figures::campaign(def.id)
+                    .expect("registry entries resolve themselves");
+                Json::obj()
+                    .set("id", def.id)
+                    .set("title", def.title)
+                    .set("panels", campaign.panels.len())
+                    .set("cells", campaign.cell_count())
+                    .set("digest", campaign.digest())
+            })
+            .collect();
+        Json::obj().set("figures", Json::Arr(list)).render_pretty()
+    });
+    Response::json(200, body.clone())
+}
+
+/// Decodes a submission body into a campaign: `{"figure": id}` resolves
+/// through the figure registry, `{"spec": {...}}` wraps one canonical
+/// spec, `{"campaign": {...}}` is the full canonical form.
+fn campaign_of(body: &[u8]) -> Result<Campaign, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let json = parse(text)?;
+    match (json.get("figure"), json.get("spec"), json.get("campaign")) {
+        (Some(fig), None, None) => {
+            let id = fig.as_str().ok_or("\"figure\" must be a string")?;
+            pythia_bench::figures::campaign(id)
+                .ok_or_else(|| format!("unknown figure {id:?}; see GET /figures"))
+        }
+        (None, Some(spec), None) => {
+            Ok(Campaign::single(pythia_sweep::codec::spec_from_json(spec)?))
+        }
+        (None, None, Some(campaign)) => Campaign::from_json(campaign),
+        _ => Err("body must have exactly one of \"figure\", \"spec\", \"campaign\"".into()),
+    }
+}
+
+fn submit(scheduler: &Scheduler, body: &[u8]) -> Response {
+    let campaign = match campaign_of(body) {
+        Ok(c) => c,
+        Err(e) => return error_response(400, &e),
+    };
+    let name = campaign.name.clone();
+    match scheduler.submit(campaign) {
+        Ok(submission) => {
+            let status = if matches!(submission.status, JobStatus::Done(_) | JobStatus::Failed(_)) {
+                200
+            } else {
+                202
+            };
+            Response::json(
+                status,
+                Json::obj()
+                    .set("digest", submission.digest.as_str())
+                    .set("name", name)
+                    .set("status", submission.status.label())
+                    .set("cached", submission.cached)
+                    .set("coalesced", submission.coalesced)
+                    .render_pretty(),
+            )
+        }
+        Err(SubmitError::Invalid(e)) => error_response(400, &e),
+        Err(SubmitError::Busy { queue_cap }) => Response::json(
+            429,
+            Json::obj()
+                .set("error", "job queue full, retry later")
+                .set("queue_cap", queue_cap)
+                .render_pretty(),
+        ),
+    }
+}
+
+fn status(scheduler: &Scheduler, digest: &str) -> Response {
+    if !is_digest(digest) {
+        return error_response(400, &format!("malformed digest {digest:?}"));
+    }
+    match scheduler.status(digest) {
+        None => error_response(404, &format!("unknown campaign {digest:?}")),
+        Some((name, job_status)) => {
+            let (queued, queue_cap) = scheduler.queue_depth();
+            let mut out = Json::obj()
+                .set("digest", digest)
+                .set("name", name)
+                .set("status", job_status.label());
+            if let JobStatus::Failed(e) = &job_status {
+                out = out.set("error", e.as_str());
+            }
+            Response::json(
+                200,
+                out.set(
+                    "queue",
+                    Json::obj().set("depth", queued).set("cap", queue_cap),
+                )
+                .set("counters", scheduler.counters().to_json())
+                .render_pretty(),
+            )
+        }
+    }
+}
+
+fn result(scheduler: &Scheduler, digest: &str, format: &str) -> Response {
+    if !is_digest(digest) {
+        return error_response(400, &format!("malformed digest {digest:?}"));
+    }
+    match scheduler.status(digest) {
+        None => error_response(404, &format!("unknown campaign {digest:?}")),
+        Some((_, JobStatus::Failed(e))) => error_response(409, &format!("campaign failed: {e}")),
+        Some((_, JobStatus::Queued | JobStatus::Running)) => {
+            error_response(409, "campaign not done yet; poll GET /campaigns/<digest>")
+        }
+        Some((_, JobStatus::Done(result))) => match result.render(format) {
+            Err(e) => error_response(400, &e),
+            Ok(rendered) => {
+                let content_type = match format {
+                    "json" => "application/json",
+                    "csv" => "text/csv; charset=utf-8",
+                    _ => "text/markdown; charset=utf-8",
+                };
+                Response {
+                    status: 200,
+                    content_type,
+                    body: rendered.into_bytes(),
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+
+    fn req(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn routing_edges() {
+        let scheduler = Scheduler::start(0, 2, 1, None);
+        assert_eq!(route(&scheduler, &req("GET", "/nope", b"")).status, 404);
+        assert_eq!(route(&scheduler, &req("PUT", "/figures", b"")).status, 405);
+        assert_eq!(
+            route(&scheduler, &req("POST", "/campaigns", b"not json")).status,
+            400
+        );
+        assert_eq!(
+            route(
+                &scheduler,
+                &req("POST", "/campaigns", b"{\"figure\":\"nope\"}")
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            route(&scheduler, &req("GET", "/campaigns/0123456789abcdef", b"")).status,
+            404
+        );
+        assert_eq!(
+            route(&scheduler, &req("GET", "/campaigns/zzz", b"")).status,
+            400
+        );
+        let figures = route(&scheduler, &req("GET", "/figures", b""));
+        assert_eq!(figures.status, 200);
+        let listing = String::from_utf8(figures.body).expect("utf-8");
+        assert!(listing.contains("fig09"), "{listing}");
+        scheduler.shutdown();
+    }
+}

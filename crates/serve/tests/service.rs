@@ -1,0 +1,279 @@
+//! End-to-end service tests over real TCP sockets.
+//!
+//! The acceptance pin: a figure campaign submitted over HTTP produces a
+//! `SweepResult` JSON byte-identical to a direct `sweep` engine run of the
+//! same spec; resubmission is a cache hit that re-simulates nothing; and
+//! identical concurrent submissions coalesce into one job.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use pythia_serve::client;
+use pythia_serve::server::{ServeConfig, Server, ServerHandle};
+use pythia_stats::json::Json;
+use pythia_sweep::codec::Campaign;
+use pythia_sweep::{ConfigPoint, SweepSpec};
+use pythia_workloads::all_suites;
+
+fn spawn(config: ServeConfig) -> (ServerHandle, String) {
+    let server = Server::bind("127.0.0.1:0", &config).expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn tiny_spec(tag: &str, measure: u64) -> SweepSpec {
+    let w = all_suites()
+        .into_iter()
+        .find(|w| w.name == "429.mcf-184B")
+        .expect("known workload");
+    SweepSpec::new(tag)
+        .with_workloads([w])
+        .with_prefetchers(&["stride"])
+        .with_config(ConfigPoint::single_core("base", 1_000, measure))
+}
+
+fn submit_spec(addr: &str, spec: &SweepSpec) -> client::Submitted {
+    let body = Json::obj()
+        .set("spec", pythia_sweep::codec::spec_json(spec))
+        .render();
+    client::submit(addr, &body).expect("submission accepted")
+}
+
+/// The headline end-to-end test (acceptance criteria of the service PR):
+/// fig09 at tiny scale served over TCP == direct `run_all`, byte for byte;
+/// the resubmission is answered from cache without a second simulation.
+#[test]
+fn served_fig09_tiny_scale_is_byte_identical_to_direct_run() {
+    // Process-global: this is the only test in this binary that touches
+    // the scale, and it sets it before any registry build.
+    std::env::set_var("PYTHIA_BENCH_SCALE", "0.01");
+
+    let campaign = pythia_bench::figures::campaign("fig09").expect("fig09 registered");
+    let direct = pythia_sweep::engine::run_all("fig09", &campaign.panels, 4)
+        .expect("direct run")
+        .stripped()
+        .to_json()
+        .render_pretty();
+
+    let (handle, addr) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 4,
+        cache_dir: None,
+    });
+
+    let submitted = client::submit_figure(&addr, "fig09").expect("submission accepted");
+    assert_eq!(
+        submitted.digest,
+        campaign.digest(),
+        "client and server agree on the digest"
+    );
+    assert!(!submitted.cached);
+
+    client::wait_done(
+        &addr,
+        &submitted.digest,
+        Duration::from_millis(50),
+        Duration::from_secs(300),
+    )
+    .expect("campaign completes");
+    let fetched = client::result(&addr, &submitted.digest, "json").expect("result fetched");
+    assert_eq!(
+        fetched, direct,
+        "served result is byte-identical to the direct run"
+    );
+
+    // Resubmission: answered done from the in-memory cache, nothing re-run.
+    let again = client::submit_figure(&addr, "fig09").expect("resubmission accepted");
+    assert!(
+        again.cached,
+        "second submission of the same digest is a cache hit"
+    );
+    assert_eq!(again.status, "done");
+    let counters = handle.scheduler().counters();
+    assert_eq!(
+        counters.executed.load(Ordering::Relaxed),
+        1,
+        "one simulation total"
+    );
+    assert_eq!(counters.cache_hits.load(Ordering::Relaxed), 1);
+
+    // The md and csv renderings come from the same formatters as the CLI.
+    let md = client::result(&addr, &submitted.digest, "md").expect("md");
+    assert!(
+        md.starts_with("# sweep fig09"),
+        "{}",
+        &md[..md.len().min(60)]
+    );
+    let csv = client::result(&addr, &submitted.digest, "csv").expect("csv");
+    assert!(csv.starts_with("sweep,unit,group,"));
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_into_one_job() {
+    let (handle, addr) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 1,
+        cache_dir: None,
+    });
+
+    // Pin the single worker down so the target job stays queued while the
+    // concurrent submissions race in.
+    let blocker = submit_spec(&addr, &tiny_spec("svc-blocker", 40_000));
+
+    let target = tiny_spec("svc-target", 4_000);
+    let submissions: Vec<client::Submitted> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let target = target.clone();
+                scope.spawn(move || submit_spec(&addr, &target))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    assert_eq!(submissions[0].digest, submissions[1].digest);
+
+    client::wait_done(
+        &addr,
+        &blocker.digest,
+        Duration::from_millis(20),
+        Duration::from_secs(120),
+    )
+    .expect("blocker completes");
+    client::wait_done(
+        &addr,
+        &submissions[0].digest,
+        Duration::from_millis(20),
+        Duration::from_secs(120),
+    )
+    .expect("target completes");
+
+    let counters = handle.scheduler().counters();
+    assert_eq!(
+        counters.executed.load(Ordering::Relaxed),
+        2,
+        "blocker + exactly one shared job for the two identical submissions"
+    );
+    assert_eq!(counters.coalesced.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn full_queue_answers_429_and_result_races_answer_409() {
+    // No workers: the queue never drains, so every state is deterministic.
+    let (_handle, addr) = spawn(ServeConfig {
+        workers: 0,
+        queue_cap: 1,
+        sim_threads: 1,
+        cache_dir: None,
+    });
+
+    let queued = submit_spec(&addr, &tiny_spec("svc-bp-a", 4_000));
+    assert_eq!(queued.status, "queued");
+
+    // Queue is full now — a *different* campaign bounces with 429.
+    let body = Json::obj()
+        .set(
+            "spec",
+            pythia_sweep::codec::spec_json(&tiny_spec("svc-bp-b", 4_000)),
+        )
+        .render();
+    let err = client::submit(&addr, &body).expect_err("queue full");
+    assert!(err.contains("429"), "{err}");
+
+    // The queued job has no result yet: 409.
+    let err = client::result(&addr, &queued.digest, "json").expect_err("not done");
+    assert!(err.contains("409"), "{err}");
+
+    // Unknown digest: 404. Malformed digest: 400.
+    let err = client::result(&addr, "ffffffffffffffff", "json").expect_err("unknown");
+    assert!(err.contains("404"), "{err}");
+    let err = client::status(&addr, "nope").expect_err("malformed");
+    assert!(err.contains("400"), "{err}");
+}
+
+#[test]
+fn disk_cache_survives_service_restarts() {
+    let cache_dir = std::env::temp_dir().join(format!(
+        "pythia-serve-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let spec = tiny_spec("svc-restart", 4_000);
+    let digest = Campaign::single(spec.clone()).digest();
+
+    // First service instance simulates and persists.
+    let (_h1, addr1) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 1,
+        cache_dir: Some(cache_dir.clone()),
+    });
+    let first = submit_spec(&addr1, &spec);
+    assert_eq!(first.digest, digest);
+    client::wait_done(
+        &addr1,
+        &digest,
+        Duration::from_millis(20),
+        Duration::from_secs(120),
+    )
+    .expect("completes");
+    let served = client::result(&addr1, &digest, "json").expect("result");
+
+    // A fresh service instance on the same cache dir answers from disk.
+    let (h2, addr2) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 1,
+        cache_dir: Some(cache_dir.clone()),
+    });
+    let resubmitted = submit_spec(&addr2, &spec);
+    assert!(resubmitted.cached, "restarted service hits the disk store");
+    assert_eq!(resubmitted.status, "done");
+    let counters = h2.scheduler().counters();
+    assert_eq!(
+        counters.executed.load(Ordering::Relaxed),
+        0,
+        "nothing simulated"
+    );
+    assert_eq!(counters.cache_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        client::result(&addr2, &digest, "json").expect("result"),
+        served,
+        "disk-cached result is byte-identical to the originally served one"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn figures_listing_names_every_registry_entry() {
+    let (_handle, addr) = spawn(ServeConfig {
+        workers: 0,
+        queue_cap: 1,
+        sim_threads: 1,
+        cache_dir: None,
+    });
+    let listing = client::figures(&addr).expect("listing");
+    let figures = listing
+        .get("figures")
+        .and_then(Json::as_arr)
+        .expect("figures array");
+    let ids: Vec<&str> = figures
+        .iter()
+        .filter_map(|f| f.get("id").and_then(Json::as_str))
+        .collect();
+    for expected in ["fig01", "fig09", "tab02", "ablation"] {
+        assert!(ids.contains(&expected), "{expected} missing from {ids:?}");
+    }
+    for f in figures {
+        let digest = f.get("digest").and_then(Json::as_str).expect("digest");
+        assert!(pythia_sweep::codec::is_digest(digest));
+    }
+}

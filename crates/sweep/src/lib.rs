@@ -45,12 +45,23 @@
 //! assert!(!table.is_empty());
 //! ```
 
+//!
+//! Campaigns are **content-addressable**: [`codec`] gives every spec one
+//! canonical serialized form plus an FNV-1a digest, and [`store`] maps
+//! digests to on-disk result artifacts, so identical campaigns cost one
+//! simulation — the engine under `pythia-serve` and the one-shot
+//! `pythia-cli sweep --cache-dir` path.
+
 pub mod agg;
+pub mod codec;
 pub mod engine;
 pub mod result;
 pub mod spec;
+pub mod store;
 
 pub use agg::{Key, Value};
+pub use codec::Campaign;
 pub use engine::{run, run_cached, BaselineCache};
 pub use result::{CellResult, RawSummary, SweepResult};
 pub use spec::{ConfigPoint, PrefetcherKind, PrefetcherSpec, SweepSpec, WorkUnit};
+pub use store::{run_campaign, ResultStore};

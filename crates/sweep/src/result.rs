@@ -64,7 +64,9 @@ impl CellResult {
             .set("group", self.group.as_str())
             .set("prefetcher", self.prefetcher.as_str())
             .set("config", self.config.as_str())
-            .set("seed", self.seed)
+            // Seeds share the canonical codec's lossless u64 encoding
+            // (decimal string beyond 2^53), unchanged for ordinary seeds.
+            .set("seed", crate::codec::u64_json(self.seed))
             .set("metrics", metrics_json(&self.metrics))
             .set(
                 "raw",
@@ -83,6 +85,65 @@ impl CellResult {
                         ),
                     ),
             )
+    }
+
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let str_of = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell: missing string {key:?}"))
+        };
+        let metrics = j.get("metrics").ok_or("cell: missing metrics")?;
+        let mf = |key: &str| -> Result<f64, String> {
+            metrics
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell metrics: missing {key:?}"))
+        };
+        let raw = j.get("raw").ok_or("cell: missing raw")?;
+        let rf = |key: &str| -> Result<f64, String> {
+            raw.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell raw: missing {key:?}"))
+        };
+        let buckets = raw
+            .get("bw_bucket_windows")
+            .and_then(Json::as_arr)
+            .ok_or("cell raw: missing bw_bucket_windows")?;
+        if buckets.len() != 4 {
+            return Err("cell raw: bw_bucket_windows must have 4 entries".into());
+        }
+        let mut bw_bucket_windows = [0u64; 4];
+        for (slot, b) in bw_bucket_windows.iter_mut().zip(buckets) {
+            *slot = b.as_u64().ok_or("cell raw: bad bucket value")?;
+        }
+        Ok(Self {
+            sweep: str_of("sweep")?,
+            unit: str_of("unit")?,
+            group: str_of("group")?,
+            prefetcher: str_of("prefetcher")?,
+            config: str_of("config")?,
+            seed: crate::codec::u64_value(j.get("seed").ok_or("cell: missing seed")?)
+                .map_err(|e| format!("cell seed: {e}"))?,
+            metrics: Metrics {
+                speedup: mf("speedup")?,
+                coverage: mf("coverage")?,
+                overprediction: mf("overprediction")?,
+                ipc: mf("ipc")?,
+                baseline_mpki: mf("baseline_mpki")?,
+                accuracy: mf("accuracy")?,
+            },
+            raw: RawSummary {
+                ipc: rf("ipc")?,
+                llc_mpki: rf("llc_mpki")?,
+                prefetches_issued: raw
+                    .get("prefetches_issued")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell raw: missing prefetches_issued")?,
+                bw_bucket_windows,
+            },
+        })
     }
 
     fn table_row(&self) -> Vec<String> {
@@ -229,6 +290,51 @@ impl SweepResult {
         out
     }
 
+    /// Drops the wall-clock [`SweepResult::throughput`] telemetry, leaving
+    /// only the deterministic payload — the form the content-addressed
+    /// result store persists and the service serves.
+    pub fn stripped(mut self) -> Self {
+        self.throughput = None;
+        self
+    }
+
+    /// Decodes a result from the JSON produced by [`SweepResult::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed key.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let cells_of = |key: &str| -> Result<Vec<CellResult>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing array {key:?}"))?
+                .iter()
+                .map(CellResult::from_json)
+                .collect()
+        };
+        let throughput = match j.get("throughput") {
+            None => None,
+            Some(t) => Some(Throughput::new(
+                t.get("instructions")
+                    .and_then(Json::as_u64)
+                    .ok_or("throughput: missing instructions")?,
+                t.get("wall_seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or("throughput: missing wall_seconds")?,
+            )),
+        };
+        Ok(Self {
+            name: j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing name")?
+                .to_string(),
+            baselines: cells_of("baselines")?,
+            cells: cells_of("cells")?,
+            throughput,
+        })
+    }
+
     /// Renders in the named format: `"md"`, `"json"` or `"csv"`.
     ///
     /// # Errors
@@ -321,6 +427,21 @@ mod tests {
             .and_then(|m| m.get("speedup"))
             .and_then(Json::as_f64);
         assert_eq!(speedup, Some(1.5));
+    }
+
+    #[test]
+    fn decoded_result_reproduces_the_artifact_even_with_huge_seeds() {
+        // Seeds beyond f64's exact range must survive the artifact
+        // round-trip (the spec codec supports them, so results must too).
+        let mut r = result();
+        r.cells[0].seed = u64::MAX;
+        r.baselines[0].seed = (1 << 53) + 1;
+        let rendered = r.to_json().render_pretty();
+        let parsed = pythia_stats::json::parse(&rendered).expect("valid json");
+        let back = SweepResult::from_json(&parsed).expect("decodes");
+        assert_eq!(back.cells[0].seed, u64::MAX);
+        assert_eq!(back.baselines[0].seed, (1 << 53) + 1);
+        assert_eq!(back.to_json().render_pretty(), rendered, "byte-stable");
     }
 
     #[test]

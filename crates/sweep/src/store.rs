@@ -1,0 +1,206 @@
+//! Content-addressed on-disk result store.
+//!
+//! Maps a campaign digest ([`crate::codec::Campaign::digest`]) to the
+//! stripped [`SweepResult`] JSON artifact. Because simulations are
+//! bit-deterministic and specs are canonically encoded, a stored artifact
+//! is byte-identical to what a fresh run of the same campaign would
+//! produce (minus the wall-clock throughput telemetry, which is stripped
+//! before storage) — so a hit can be served without simulating anything.
+//!
+//! Writes are atomic: the artifact is rendered into a hidden temp file in
+//! the same directory and `rename`d into place, so readers (other serve
+//! workers, concurrent one-shot CLI runs) never observe a torn file.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec::{is_digest, Campaign};
+use crate::engine::run_all;
+use crate::result::SweepResult;
+
+/// A directory of `<digest>.json` result artifacts.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// The artifact path for a digest.
+    pub fn path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether an artifact exists for `digest`.
+    pub fn contains(&self, digest: &str) -> bool {
+        is_digest(digest) && self.path(digest).is_file()
+    }
+
+    /// Loads the result stored under `digest`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed digest or an unreadable/corrupt
+    /// artifact (a missing artifact is `Ok(None)`).
+    pub fn load(&self, digest: &str) -> Result<Option<SweepResult>, String> {
+        if !is_digest(digest) {
+            return Err(format!("malformed digest {digest:?}"));
+        }
+        let path = self.path(digest);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let json =
+            pythia_stats::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        SweepResult::from_json(&json)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Stores `result` under `digest`, stripping the wall-clock telemetry
+    /// so the artifact is deterministic. The write is atomic
+    /// (temp-file + rename); concurrent writers of the same digest race
+    /// benignly because they write identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed digest or an io failure.
+    pub fn store(&self, digest: &str, result: &SweepResult) -> Result<(), String> {
+        if !is_digest(digest) {
+            return Err(format!("malformed digest {digest:?}"));
+        }
+        let rendered = result.clone().stripped().to_json().render_pretty();
+        let tmp = self.dir.join(format!(
+            ".tmp-{digest}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&tmp, rendered).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        let path = self.path(digest);
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("{}: {e}", path.display())
+        })
+    }
+}
+
+/// Runs a campaign through an optional [`ResultStore`]: on a digest hit the
+/// stored artifact is returned without simulating; on a miss the campaign
+/// runs ([`run_all`] semantics) and the stripped result is persisted.
+///
+/// Returns `(result, cached)` where `cached` reports whether the result
+/// came from the store. The returned result is always stripped of
+/// throughput telemetry so hit and miss render identically.
+///
+/// # Errors
+///
+/// Returns validation errors, simulation-spec errors, or store io errors.
+pub fn run_campaign(
+    campaign: &Campaign,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> Result<(SweepResult, bool), String> {
+    campaign.validate()?;
+    let digest = campaign.digest();
+    if let Some(store) = store {
+        if let Some(hit) = store.load(&digest)? {
+            return Ok((hit, true));
+        }
+    }
+    let result = run_all(&campaign.name, &campaign.panels, threads)?.stripped();
+    if let Some(store) = store {
+        store.store(&digest, &result)?;
+    }
+    Ok((result, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfigPoint, SweepSpec};
+    use pythia_workloads::all_suites;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pythia-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_campaign() -> Campaign {
+        let w = all_suites()
+            .into_iter()
+            .find(|w| w.name == "429.mcf-184B")
+            .expect("known workload");
+        Campaign::single(
+            SweepSpec::new("store-test")
+                .with_workloads([w])
+                .with_prefetchers(&["stride"])
+                .with_config(ConfigPoint::single_core("base", 1_000, 4_000)),
+        )
+    }
+
+    #[test]
+    fn miss_runs_and_hit_is_byte_identical() {
+        let dir = tmp_dir("roundtrip");
+        let store = ResultStore::open(&dir).expect("store opens");
+        let campaign = tiny_campaign();
+        let digest = campaign.digest();
+        assert!(!store.contains(&digest));
+
+        let (fresh, cached) = run_campaign(&campaign, 1, Some(&store)).expect("runs");
+        assert!(!cached);
+        assert!(store.contains(&digest));
+
+        let (hit, cached) = run_campaign(&campaign, 1, Some(&store)).expect("loads");
+        assert!(cached);
+        assert_eq!(
+            hit.to_json().render_pretty(),
+            fresh.to_json().render_pretty(),
+            "cache hit is byte-identical to the fresh run"
+        );
+        // And byte-identical to the on-disk artifact itself.
+        let on_disk = std::fs::read_to_string(store.path(&digest)).expect("artifact");
+        assert_eq!(on_disk, fresh.to_json().render_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_digests_are_rejected() {
+        let dir = tmp_dir("malformed");
+        let store = ResultStore::open(&dir).expect("store opens");
+        assert!(store.load("../../etc/passwd").is_err());
+        assert!(store.load("ABCD").is_err());
+        assert!(!store.contains("not-a-digest"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifacts_error_instead_of_panicking() {
+        let dir = tmp_dir("corrupt");
+        let store = ResultStore::open(&dir).expect("store opens");
+        let digest = "0123456789abcdef";
+        std::fs::write(store.path(digest), "{ not json").expect("write");
+        assert!(store.load(digest).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

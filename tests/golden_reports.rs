@@ -51,15 +51,9 @@ const GOLDEN: &[(&str, u64)] = &[
     ("ablation", 0x4dcb70a206d8d0f9),
 ];
 
-/// FNV-1a 64-bit.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// FNV-1a 64-bit — the same digest the content-addressed campaign cache
+/// uses, re-exported so the two cannot drift.
+use pythia_sweep::codec::fnv1a_64 as fnv1a;
 
 /// Drops the wall-clock throughput telemetry, the only nondeterministic
 /// part of a sweep artifact.

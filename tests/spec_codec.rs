@@ -1,0 +1,152 @@
+//! Canonical-codec invariants: encode → parse → re-encode is a fixed
+//! point (property-tested over generated specs and pinned over the whole
+//! figure registry), and campaign digests are collision-free across every
+//! registered figure and panel.
+
+use proptest::prelude::*;
+
+use pythia_bench::figures;
+use pythia_core::PythiaConfig;
+use pythia_stats::json::parse;
+use pythia_sweep::codec::{self, Campaign};
+use pythia_sweep::{ConfigPoint, PrefetcherSpec, SweepSpec, WorkUnit};
+use pythia_workloads::all_suites;
+
+/// A pseudo-random but *structurally rich* spec drawn from primitive
+/// values: workload subsets, mixes, named prefetchers, an inline Pythia
+/// variant, swept configs and a replication seed axis all get exercised.
+#[allow(clippy::type_complexity)]
+fn build_spec(
+    name_tag: u16,
+    unit_picks: Vec<(usize, bool)>,
+    prefetcher_picks: Vec<usize>,
+    variant: Option<(u8, u8, bool)>,
+    configs: Vec<(u16, u16, u8)>,
+    seeds: Vec<u64>,
+) -> SweepSpec {
+    const NAMES: [&str; 6] = ["stride", "spp", "bingo", "mlop", "next_line", "streamer"];
+    let pool = all_suites();
+    let mut spec = SweepSpec::new(&format!("gen-{name_tag}"));
+    for (pick, homogeneous) in unit_picks {
+        let w = &pool[pick % pool.len()];
+        spec.units.push(if homogeneous {
+            WorkUnit::homogeneous(w, 2, 7919)
+        } else {
+            WorkUnit::single(w.clone())
+        });
+    }
+    for pick in prefetcher_picks {
+        spec.prefetchers
+            .push(PrefetcherSpec::named(NAMES[pick % NAMES.len()]));
+    }
+    if let Some((alpha_step, eq_pow, graded)) = variant {
+        let mut cfg = PythiaConfig::tuned();
+        // Exact f32 values only (the codec requires exact f32↔f64 trips).
+        cfg.alpha = f32::from(alpha_step) / 256.0;
+        cfg.eq_size = 1usize << (eq_pow % 12);
+        cfg.graded_timeliness = graded;
+        spec = spec.with_pythia_variant("gen-variant", cfg);
+    }
+    for (warmup, measure, mtps_pow) in configs {
+        let system =
+            pythia_sim::config::SystemConfig::single_core_with_mtps(150u64 << (mtps_pow % 7));
+        spec.configs.push(ConfigPoint::new(
+            &format!("cfg-{warmup}-{measure}"),
+            system,
+            u64::from(warmup) + 1_000,
+            u64::from(measure) + 4_000,
+        ));
+    }
+    spec.seeds = if seeds.is_empty() { vec![0] } else { seeds };
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_encode_parse_reencode_is_a_fixed_point(
+        name_tag in any::<u16>(),
+        unit_picks in proptest::collection::vec((0usize..64, any::<bool>()), 1..5),
+        prefetcher_picks in proptest::collection::vec(0usize..6, 1..4),
+        variant in proptest::option::of((any::<u8>(), any::<u8>(), any::<bool>())),
+        configs in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 1..4),
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let spec = build_spec(name_tag, unit_picks, prefetcher_picks, variant, configs, seeds);
+        let encoded = codec::spec_json(&spec).render();
+        let decoded = codec::spec_from_json(&parse(&encoded).expect("canonical text parses"))
+            .expect("canonical text decodes");
+        prop_assert_eq!(&decoded, &spec, "decode reproduces the spec");
+        prop_assert_eq!(
+            codec::spec_json(&decoded).render(),
+            encoded,
+            "re-encode reproduces the bytes"
+        );
+
+        // The digest is a pure function of the canonical bytes.
+        let c1 = Campaign::single(spec.clone());
+        let c2 = Campaign::single(decoded);
+        prop_assert_eq!(c1.digest(), c2.digest());
+    }
+}
+
+#[test]
+fn every_registry_campaign_round_trips_exactly() {
+    for def in figures::registry() {
+        let campaign = figures::campaign(def.id).expect("registry entry builds");
+        let text = campaign.canonical();
+        let back = Campaign::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: canonical text fails to decode: {e}", def.id));
+        assert_eq!(back, campaign, "{}: decode changed the campaign", def.id);
+        assert_eq!(
+            back.canonical(),
+            text,
+            "{}: re-encode changed the bytes",
+            def.id
+        );
+    }
+}
+
+#[test]
+fn registry_digests_are_collision_free_across_figures_and_panels() {
+    let mut seen: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for def in figures::registry() {
+        let campaign = figures::campaign(def.id).expect("registry entry builds");
+        let digest = campaign.digest();
+        assert!(
+            codec::is_digest(&digest),
+            "{}: malformed digest {digest:?}",
+            def.id
+        );
+        if let Some(previous) = seen.insert(digest.clone(), def.id.to_string()) {
+            panic!(
+                "digest collision between {previous} and {} ({digest})",
+                def.id
+            );
+        }
+        // Individual panels are campaigns too (the ad-hoc submission path)
+        // and must not collide with each other or with any whole figure.
+        // A one-panel figure IS its panel (same content, same digest by
+        // design), so only multi-panel figures contribute extra entries.
+        if campaign.panels.len() == 1 {
+            continue;
+        }
+        for panel in campaign.panels {
+            let digest = Campaign::single(panel.clone()).digest();
+            if let Some(previous) =
+                seen.insert(digest.clone(), format!("{}:{}", def.id, panel.name))
+            {
+                panic!(
+                    "digest collision between {previous} and {}:{} ({digest})",
+                    def.id, panel.name
+                );
+            }
+        }
+    }
+    assert!(
+        seen.len() > 30,
+        "expected figures + panels, saw {}",
+        seen.len()
+    );
+}
