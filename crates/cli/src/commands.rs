@@ -43,9 +43,10 @@ USAGE:
   pythia-cli trace info <file> [--json]         print trace header and stats
   pythia-cli storage                            print storage/overhead tables
   pythia-cli serve                              run the campaign service: job
-      [--addr 127.0.0.1:7071] [--workers N]     scheduling, in-flight dedup and
-      [--threads N] [--queue N]                 a content-addressed result
-      [--cache-dir DIR]                         cache behind an HTTP API
+      [--addr 127.0.0.1:7071] [--workers N]     scheduling, in-flight dedup, a
+      [--threads N] [--queue N]                 content-addressed result cache,
+      [--cache-dir DIR] [--cache-max-bytes N]   a crash-safe job journal and
+      [--max-conns N] [--journal FILE]          GET /metrics behind an HTTP API
   pythia-cli submit <figure> --addr HOST:PORT   submit a campaign to a running
       [--format md|json|csv] [--out FILE]       service, poll to completion and
       [--poll-ms N] [--timeout-s N]             fetch the rendered result
@@ -558,11 +559,20 @@ fn trace_info(args: &ParsedArgs) -> Result<(), String> {
 }
 
 /// `pythia-cli serve [--addr A] [--workers N] [--threads N] [--queue N]
-/// [--cache-dir DIR]` — runs the campaign service until killed.
+/// [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]
+/// [--journal FILE]` — runs the campaign service until killed.
 pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     let addr = args.opt("addr").unwrap_or("127.0.0.1:7071");
     let workers = args.opt_num("workers", 1usize)?.max(1);
     let queue_cap = args.opt_num("queue", 64usize)?.max(1);
+    let max_conns = args.opt_num("max-conns", 64usize)?.max(1);
+    let cache_max_bytes = match args.opt("cache-max-bytes") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => return Err(format!("--cache-max-bytes: bad value {v:?}")),
+        },
+    };
     let sim_threads = match args.opt("threads") {
         None => pythia_bench::threads(),
         Some(v) => match v.parse::<usize>() {
@@ -575,13 +585,17 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         queue_cap,
         sim_threads,
         cache_dir: args.opt("cache-dir").map(std::path::PathBuf::from),
+        cache_max_bytes,
+        max_conns,
+        journal: args.opt("journal").map(std::path::PathBuf::from),
+        ..pythia_serve::ServeConfig::default()
     };
     let server = pythia_serve::Server::bind(addr, &config)?;
     // The `listening on` line is the startup handshake: scripts (and the
     // CI smoke) parse the resolved address from it when binding to :0.
     println!("listening on {}", server.local_addr()?);
     println!(
-        "workers: {workers}  queue: {queue_cap}  sim-threads: {sim_threads}  cache: {}",
+        "workers: {workers}  queue: {queue_cap}  sim-threads: {sim_threads}  max-conns: {max_conns}  cache: {}",
         config
             .cache_dir
             .as_deref()

@@ -146,3 +146,61 @@ pub fn figures(addr: &str) -> Result<Json, String> {
     }
     json_of(&body)
 }
+
+/// Fetches the `/metrics` snapshot.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200 responses.
+pub fn metrics(addr: &str) -> Result<Json, String> {
+    let (code, body) = http::request(addr, "GET", "/metrics", b"")?;
+    if code != 200 {
+        return Err(error_of(code, &body));
+    }
+    json_of(&body)
+}
+
+/// Outcome of a conditional result fetch.
+#[derive(Debug, Clone)]
+pub enum CachedFetch {
+    /// The server's `ETag` matched: the caller's copy is current.
+    NotModified,
+    /// A fresh body, with the `ETag` to send next time.
+    Fresh {
+        /// The validator for the next conditional fetch.
+        etag: Option<String>,
+        /// The rendered result.
+        body: String,
+    },
+}
+
+/// Fetches the rendered result of a done campaign conditionally: when
+/// `etag` is supplied and still matches, the server answers 304 and no
+/// body is transferred.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200/304 responses (409
+/// while the job is still running).
+pub fn result_conditional(
+    addr: &str,
+    digest: &str,
+    format: &str,
+    etag: Option<&str>,
+) -> Result<CachedFetch, String> {
+    let mut conn = http::ClientConn::connect(addr)?;
+    let target = format!("/campaigns/{digest}/result?format={format}");
+    let mut headers: Vec<(&str, &str)> = vec![("connection", "close")];
+    if let Some(etag) = etag {
+        headers.push(("if-none-match", etag));
+    }
+    let reply = conn.request_with("GET", &target, b"", &headers)?;
+    match reply.status {
+        304 => Ok(CachedFetch::NotModified),
+        200 => Ok(CachedFetch::Fresh {
+            etag: reply.header("etag").map(str::to_string),
+            body: String::from_utf8(reply.body).map_err(|_| "result is not utf-8".to_string())?,
+        }),
+        code => Err(error_of(code, &reply.body)),
+    }
+}

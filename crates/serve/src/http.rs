@@ -1,11 +1,14 @@
 //! A hand-rolled HTTP/1.1 subset over `std::net`.
 //!
 //! The build environment has no network crates, so `pythia-serve` speaks
-//! just enough HTTP/1.1 itself: one request per connection
-//! (`Connection: close` semantics), `Content-Length` bodies only (no
-//! chunked encoding), and a small, strict parser with hard size limits.
-//! Both the server and the [`crate::client`] helpers are built on this
-//! module, so the two ends agree by construction.
+//! just enough HTTP/1.1 itself: persistent connections with
+//! `Connection: keep-alive`/`close` semantics, `Content-Length` bodies
+//! only (no chunked encoding), and a small, strict parser with hard size
+//! limits. A [`RequestReader`] carries bytes read past one request's body
+//! into the next request's parse, so pipelined requests on one connection
+//! are delivered byte-exactly. Both the server and the [`crate::client`]
+//! helpers are built on this module, so the two ends agree by
+//! construction.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -19,7 +22,7 @@ pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 /// Socket read/write timeout: a stalled peer cannot wedge a handler.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A parsed request: method, split target, and body.
+/// A parsed request: method, split target, headers, and body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), upper-cased as received.
@@ -28,8 +31,13 @@ pub struct Request {
     pub path: String,
     /// Decoded `key=value` pairs of the query string, in order.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the peer asked to close the connection after this request
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
 impl Request {
@@ -40,9 +48,18 @@ impl Request {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// First header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
-/// A response about to be written: status code plus JSON or text payload.
+/// A response about to be written: status code, payload, and any extra
+/// headers (`etag`, ...).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -51,6 +68,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Extra `(name, value)` headers emitted verbatim after the standard
+    /// ones. Names should be lower-case; values must not contain CR/LF.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -60,6 +80,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            headers: Vec::new(),
         }
     }
 
@@ -69,6 +90,42 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Returns the response with an extra header appended.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// Why reading a request failed, so the caller can pick the right close
+/// behavior: a clean 408 on timeout, a 400 on malformed bytes, a 413 on
+/// oversized heads/bodies, or a silent drop when the peer simply left.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out waiting for (more of) a request.
+    Timeout,
+    /// The bytes received do not form a valid request.
+    Malformed(String),
+    /// The head or declared body exceeds the configured limits.
+    TooLarge(String),
+    /// Any other io failure (peer vanished mid-request, reset, ...).
+    Io(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::Timeout => write!(f, "read timed out"),
+            Self::Malformed(m) => write!(f, "malformed request: {m}"),
+            Self::TooLarge(m) => write!(f, "request too large: {m}"),
+            Self::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }
@@ -78,13 +135,16 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -142,110 +202,419 @@ fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     }
 }
 
-/// Reads one request from the stream.
-///
-/// # Errors
-///
-/// Returns a message on malformed requests, oversized heads/bodies, io
-/// errors, or timeouts.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    stream
-        .set_read_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| format!("set_read_timeout: {e}"))?;
+/// Reads from `stream`, retrying `Interrupted` and mapping timeout kinds
+/// to [`RequestError::Timeout`]. `Ok(0)` is end-of-stream.
+fn read_some(stream: &mut TcpStream, chunk: &mut [u8]) -> Result<usize, RequestError> {
+    loop {
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(RequestError::Timeout)
+            }
+            Err(e) => return Err(RequestError::Io(format!("read: {e}"))),
+        }
+    }
+}
 
-    // Read until the end-of-head marker, keeping any body bytes that came
-    // along in the same segments.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err("request head too large".into());
-        }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-request".into());
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
+/// Finds the `\r\n\r\n` end-of-head marker, scanning each byte once.
+///
+/// `scanned` is the resume offset: bytes before it were already checked
+/// on a previous call, so the scan restarts at most 3 bytes back (the
+/// marker may straddle a chunk boundary). On a miss, `scanned` advances
+/// to the buffer length.
+fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let start = scanned.saturating_sub(3);
+    if let Some(pos) = buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(start + pos);
+    }
+    *scanned = buf.len();
+    None
+}
 
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "head is not utf-8")?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or("empty request")?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next().ok_or("missing method")?.to_uppercase();
-    let target = parts.next().ok_or("missing target")?;
-    let version = parts.next().ok_or("missing version")?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version:?}"));
+/// Reads successive requests off one connection, carrying bytes that
+/// arrive past one request's body into the next request's parse.
+///
+/// The old read-and-truncate parser dropped those bytes on the floor,
+/// which silently corrupted any connection carrying more than one
+/// request. Keep one `RequestReader` per connection and call
+/// [`RequestReader::read_request`] in a loop.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    carry: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A reader with no carried-over bytes.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let mut content_length = 0usize;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length {value:?}"))?;
+    /// Reads one request, using carried-over bytes first.
+    ///
+    /// Socket timeouts are the caller's to configure (the server sets the
+    /// idle timeout before each request).
+    ///
+    /// # Errors
+    ///
+    /// See [`RequestError`] for the cases.
+    pub fn read_request(&mut self, stream: &mut TcpStream) -> Result<Request, RequestError> {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let mut scanned = 0usize;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf, &mut scanned) {
+                break pos;
+            }
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(RequestError::TooLarge("request head too large".into()));
+            }
+            let n = read_some(stream, &mut chunk)?;
+            if n == 0 {
+                if buf.is_empty() {
+                    return Err(RequestError::Closed);
+                }
+                return Err(RequestError::Io("connection closed mid-request".into()));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| RequestError::Malformed("head is not utf-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .ok_or_else(|| RequestError::Malformed("missing method".into()))?
+            .to_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| RequestError::Malformed("missing target".into()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| RequestError::Malformed("missing version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(RequestError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                let parsed: usize = value.parse().map_err(|_| {
+                    RequestError::Malformed(format!("bad content-length {value:?}"))
+                })?;
+                // Duplicate Content-Length headers are a request-smuggling
+                // vector under keep-alive: two parsers that disagree on
+                // which copy wins disagree on where the next request
+                // starts. Reject even agreeing duplicates.
+                if content_length.is_some() {
+                    return Err(RequestError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+                content_length = Some(parsed);
+            }
+            headers.push((name, value));
+        }
+        let content_length = content_length.unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(RequestError::TooLarge("body too large".into()));
+        }
+
+        // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive. An
+        // explicit Connection header (a comma-separated token list)
+        // overrides the default either way.
+        let mut close = version == "HTTP/1.0";
+        if let Some(conn) = headers
+            .iter()
+            .find(|(k, _)| k == "connection")
+            .map(|(_, v)| v.as_str())
+        {
+            for token in conn.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
             }
         }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err("body too large".into());
-    }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-body".into());
+        let total = head_end + 4 + content_length;
+        while buf.len() < total {
+            let n = read_some(stream, &mut chunk)?;
+            if n == 0 {
+                return Err(RequestError::Io("connection closed mid-body".into()));
+            }
+            buf.extend_from_slice(&chunk[..n]);
         }
-        body.extend_from_slice(&chunk[..n]);
+        // Anything past the body belongs to the next request.
+        self.carry = buf.split_off(total);
+        let body = buf.split_off(head_end + 4);
+
+        let (path, query) = split_target(&target);
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            close,
+        })
     }
-    body.truncate(content_length);
-
-    let (path, query) = split_target(target);
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-    })
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+fn write_all_retry(stream: &mut TcpStream, mut bytes: &[u8]) -> std::io::Result<()> {
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "wrote zero bytes",
+                ))
+            }
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
-/// Writes a response and flushes the stream.
+/// Writes a response and flushes the stream. `keep_alive` selects the
+/// `connection:` header; the caller decides whether to actually keep
+/// reading afterwards.
 ///
 /// # Errors
 ///
 /// Returns a message on io errors.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), String> {
-    stream
-        .set_write_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| format!("set_write_timeout: {e}"))?;
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> Result<(), String> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(&response.body))
-        .and_then(|()| stream.flush())
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    write_all_retry(stream, head.as_bytes())
+        .and_then(|()| write_all_retry(stream, &response.body))
+        .and_then(|()| loop {
+            match stream.flush() {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                other => break other,
+            }
+        })
         .map_err(|e| format!("write: {e}"))
 }
 
+/// A parsed response on the client side.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// First header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A client connection that keeps the socket alive across requests,
+/// mirroring the server's [`RequestReader`] carry-over on the response
+/// side.
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+    addr: String,
+    carry: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connects to `addr` with the standard io timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or socket-option errors.
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(IO_TIMEOUT))
+            .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+            .map_err(|e| format!("timeouts: {e}"))?;
+        Ok(Self {
+            stream,
+            addr: addr.to_string(),
+            carry: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads the reply, leaving the connection open.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on io or protocol errors.
+    pub fn request(&mut self, method: &str, target: &str, body: &[u8]) -> Result<Reply, String> {
+        self.request_with(method, target, body, &[])
+    }
+
+    /// Like [`ClientConn::request`], with extra headers (name, value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on io or protocol errors.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+    ) -> Result<Reply, String> {
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        write_all_retry(&mut self.stream, head.as_bytes())
+            .and_then(|()| write_all_retry(&mut self.stream, body))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("write {}: {e}", self.addr))?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, String> {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let mut scanned = 0usize;
+        let mut eof = false;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf, &mut scanned) {
+                break pos;
+            }
+            if eof {
+                return Err("response missing head terminator".into());
+            }
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| format!("read {}: {e}", self.addr))?;
+            if n == 0 {
+                eof = true;
+                continue;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+
+        let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "response head not utf-8")?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or("empty response")?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
+                }
+                headers.push((name, value));
+            }
+        }
+
+        let body = match content_length {
+            Some(len) => {
+                let total = head_end + 4 + len;
+                while buf.len() < total && !eof {
+                    let n = self
+                        .stream
+                        .read(&mut chunk)
+                        .map_err(|e| format!("read {}: {e}", self.addr))?;
+                    if n == 0 {
+                        eof = true;
+                    } else {
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                if buf.len() < total {
+                    return Err("connection closed mid-response".into());
+                }
+                self.carry = buf.split_off(total);
+                buf.split_off(head_end + 4)
+            }
+            None => {
+                // No content-length: the body runs to end-of-stream.
+                while !eof {
+                    let n = self
+                        .stream
+                        .read(&mut chunk)
+                        .map_err(|e| format!("read {}: {e}", self.addr))?;
+                    if n == 0 {
+                        eof = true;
+                    } else {
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                buf.split_off(head_end + 4)
+            }
+        };
+        Ok(Reply {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
 /// Client side: sends one request to `addr` and returns
-/// `(status, body)`. Opens a fresh connection per call (the server closes
-/// after each response anyway).
+/// `(status, body)`. Opens a fresh connection per call and asks the
+/// server to close it afterwards.
 ///
 /// # Errors
 ///
@@ -256,34 +625,9 @@ pub fn request(
     target: &str,
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(IO_TIMEOUT))
-        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
-        .map_err(|e| format!("timeouts: {e}"))?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body))
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("write {addr}: {e}"))?;
-
-    let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("read {addr}: {e}"))?;
-    let head_end = find_head_end(&raw).ok_or("response missing head terminator")?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head not utf-8")?;
-    let status_line = head.split("\r\n").next().ok_or("empty response")?;
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
-    Ok((status, raw[head_end + 4..].to_vec()))
+    let mut conn = ClientConn::connect(addr)?;
+    let reply = conn.request_with(method, target, body, &[("connection", "close")])?;
+    Ok((reply.status, reply.body))
 }
 
 #[cfg(test)]
@@ -302,17 +646,34 @@ mod tests {
     }
 
     #[test]
+    fn head_end_scan_resumes_where_it_left_off() {
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        let mut scanned = 0usize;
+        assert!(find_head_end(&buf, &mut scanned).is_none());
+        assert_eq!(scanned, buf.len());
+        buf.extend_from_slice(b"\r\n");
+        // The marker straddles the chunk boundary; the back-off of 3
+        // bytes must still find it.
+        assert_eq!(find_head_end(&buf, &mut scanned), Some(14));
+    }
+
+    #[test]
     fn roundtrip_over_a_real_socket() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr").to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().expect("accept");
-            let req = read_request(&mut stream).expect("parse request");
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .expect("set timeout");
+            let mut reader = RequestReader::new();
+            let req = reader.read_request(&mut stream).expect("parse request");
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/echo");
             assert_eq!(req.query("tag"), Some("t1"));
+            assert!(req.close, "one-shot client asks for close");
             let resp = Response::json(200, req.body.clone());
-            write_response(&mut stream, &resp).expect("write response");
+            write_response(&mut stream, &resp, false).expect("write response");
         });
         let (status, body) = request(&addr, "POST", "/echo?tag=t1", b"{\"k\":1}").expect("request");
         assert_eq!(status, 200);
@@ -321,12 +682,98 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_parse_byte_exactly() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .expect("set timeout");
+            let mut reader = RequestReader::new();
+            let a = reader.read_request(&mut stream).expect("first request");
+            let b = reader.read_request(&mut stream).expect("second request");
+            (a, b)
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Both requests land in one write: the bytes of the second must be
+        // carried over, not truncated away with the first body.
+        stream
+            .write_all(
+                b"POST /a HTTP/1.1\r\ncontent-length: 5\r\n\r\nAAAAAPOST /b HTTP/1.1\r\ncontent-length: 3\r\n\r\nBBB",
+            )
+            .expect("write");
+        let (a, b) = server.join().expect("join");
+        assert_eq!(a.path, "/a");
+        assert_eq!(a.body, b"AAAAA");
+        assert!(!a.close);
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"BBB");
+    }
+
+    #[test]
+    fn requests_split_at_every_byte_boundary_still_parse() {
+        let raw = b"POST /split?x=1 HTTP/1.1\r\ncontent-length: 4\r\nx-probe: v\r\n\r\nwxyz";
+        for cut in 1..raw.len() {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let server = std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().expect("accept");
+                stream
+                    .set_read_timeout(Some(IO_TIMEOUT))
+                    .expect("set timeout");
+                RequestReader::new().read_request(&mut stream)
+            });
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.write_all(&raw[..cut]).expect("first half");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(1));
+            stream.write_all(&raw[cut..]).expect("second half");
+            let req = server.join().expect("join").expect("parses");
+            assert_eq!(req.path, "/split", "cut at {cut}");
+            assert_eq!(req.body, b"wxyz", "cut at {cut}");
+            assert_eq!(req.header("x-probe"), Some("v"), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        for raw in [
+            // Conflicting copies.
+            b"POST /x HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nAAAAA".as_slice(),
+            // Even agreeing copies are a smuggling hazard.
+            b"POST /x HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 3\r\n\r\nAAA".as_slice(),
+        ] {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let server = std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().expect("accept");
+                stream
+                    .set_read_timeout(Some(IO_TIMEOUT))
+                    .expect("set timeout");
+                RequestReader::new().read_request(&mut stream)
+            });
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(raw).expect("write");
+            let err = server.join().expect("join").unwrap_err();
+            assert!(
+                matches!(err, RequestError::Malformed(ref m) if m.contains("content-length")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_content_length_is_rejected() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().expect("accept");
-            read_request(&mut stream)
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .expect("set timeout");
+            RequestReader::new().read_request(&mut stream)
         });
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream
@@ -339,6 +786,97 @@ mod tests {
             )
             .expect("write");
         let err = server.join().expect("join").unwrap_err();
-        assert!(err.contains("too large"), "{err}");
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .expect("set timeout");
+            RequestReader::new().read_request(&mut stream)
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /x HTTP/1.1\r\n").expect("write");
+        let filler = format!("x-pad: {}\r\n", "y".repeat(4000));
+        for _ in 0..((MAX_HEAD_BYTES / filler.len()) + 2) {
+            if stream.write_all(filler.as_bytes()).is_err() {
+                break; // Server already rejected and closed.
+            }
+        }
+        let err = server.join().expect("join").unwrap_err();
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn clean_close_and_idle_timeout_are_distinguished() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        // Peer connects and closes without sending anything: Closed.
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .expect("set timeout");
+            RequestReader::new().read_request(&mut stream)
+        });
+        drop(TcpStream::connect(addr).expect("connect"));
+        let err = server.join().expect("join").unwrap_err();
+        assert!(matches!(err, RequestError::Closed), "{err}");
+
+        // Peer connects and stalls: Timeout.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .expect("set timeout");
+            RequestReader::new().read_request(&mut stream)
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        let err = server.join().expect("join").unwrap_err();
+        assert!(matches!(err, RequestError::Timeout), "{err}");
+        drop(stream);
+    }
+
+    #[test]
+    fn connection_header_controls_close() {
+        for (raw, expect_close) in [
+            (b"GET / HTTP/1.1\r\n\r\n".as_slice(), false),
+            (
+                b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n".as_slice(),
+                true,
+            ),
+            (b"GET / HTTP/1.0\r\n\r\n".as_slice(), true),
+            (
+                b"GET / HTTP/1.0\r\nconnection: Keep-Alive\r\n\r\n".as_slice(),
+                false,
+            ),
+        ] {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let server = std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().expect("accept");
+                stream
+                    .set_read_timeout(Some(IO_TIMEOUT))
+                    .expect("set timeout");
+                RequestReader::new().read_request(&mut stream)
+            });
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(raw).expect("write");
+            let req = server.join().expect("join").expect("parses");
+            assert_eq!(
+                req.close,
+                expect_close,
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 }

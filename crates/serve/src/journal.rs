@@ -1,0 +1,349 @@
+//! Crash-safe append-only job journal.
+//!
+//! The scheduler's queue lives in memory, so before this module a restart
+//! silently dropped every queued and in-flight campaign — only the disk
+//! result cache survived. The journal records each job's lifecycle as one
+//! JSON line per event:
+//!
+//! ```text
+//! {"event":"submitted","digest":"<16 hex>","campaign":{...canonical spec...}}
+//! {"event":"started","digest":"<16 hex>"}
+//! {"event":"done","digest":"<16 hex>","ok":true}
+//! ```
+//!
+//! `submitted` carries the full campaign body so an unfinished job can be
+//! re-run from the journal alone. On [`Journal::open`] the file is
+//! replayed: jobs with a `done` record are dropped, everything else is
+//! exposed via [`Journal::take_pending`] for the scheduler to requeue
+//! (order preserved). A torn trailing line — the expected artifact of a
+//! crash mid-append — is skipped with a warning, never an error.
+//!
+//! Once the scheduler has decided what actually needs requeueing (a
+//! replayed job may already have its artifact on disk), it calls
+//! [`Journal::compact`] to rewrite the file with just the survivors, so
+//! the journal does not grow without bound across restarts.
+//!
+//! Appends are fail-soft: a full disk degrades durability, not service.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use pythia_stats::json::Json;
+use pythia_sweep::codec::Campaign;
+
+/// A job recovered from the journal that has no `done` record.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// The campaign digest (recomputed from the replayed body).
+    pub digest: String,
+    /// The campaign itself, ready to requeue.
+    pub campaign: Campaign,
+    /// Whether a `started` record was seen (the job was in flight when
+    /// the previous process died).
+    pub started: bool,
+}
+
+/// An append-only journal of job lifecycle events.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    pending: Vec<PendingJob>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, replaying any
+    /// existing records into the pending list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file or its parent directory cannot be
+    /// created or read. Corrupt lines are skipped with a warning, not an
+    /// error: a torn trailing line is the normal crash artifact.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, String> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+        }
+        let pending = match std::fs::read_to_string(&path) {
+            Ok(text) => replay(&text, &path),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            pending,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Takes the jobs replayed at open time (empties the list).
+    pub fn take_pending(&mut self) -> Vec<PendingJob> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Rewrites the journal to contain exactly one `submitted` record per
+    /// surviving job, dropping all completed history. Atomic
+    /// (temp-file + rename); the append handle is swapped to the new file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on io failures (the old journal is left intact).
+    pub fn compact(&self, survivors: &[(String, Campaign)]) -> Result<(), String> {
+        let mut text = String::new();
+        for (digest, campaign) in survivors {
+            text.push_str(&submitted_line(digest, campaign));
+        }
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &text).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("{}: {e}", self.path.display())
+        })?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("{}: {e}", self.path.display()))?;
+        *self.file.lock().expect("journal lock poisoned") = file;
+        Ok(())
+    }
+
+    /// Records a fresh submission (with the campaign body).
+    pub fn record_submitted(&self, digest: &str, campaign: &Campaign) {
+        self.append(&submitted_line(digest, campaign));
+    }
+
+    /// Records that a worker picked the job up.
+    pub fn record_started(&self, digest: &str) {
+        let line = Json::obj().set("event", "started").set("digest", digest);
+        self.append(&format!("{}\n", line.render()));
+    }
+
+    /// Records completion (success or failure — either way the job must
+    /// not be replayed).
+    pub fn record_done(&self, digest: &str, ok: bool) {
+        let line = Json::obj()
+            .set("event", "done")
+            .set("digest", digest)
+            .set("ok", Json::Bool(ok));
+        self.append(&format!("{}\n", line.render()));
+    }
+
+    fn append(&self, line: &str) {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        let outcome = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .and_then(|()| file.sync_data());
+        if let Err(e) = outcome {
+            // Fail-soft: losing durability beats refusing service.
+            eprintln!("journal append failed ({}): {e}", self.path.display());
+        }
+    }
+}
+
+fn submitted_line(digest: &str, campaign: &Campaign) -> String {
+    let line = Json::obj()
+        .set("event", "submitted")
+        .set("digest", digest)
+        .set("campaign", campaign.to_json());
+    format!("{}\n", line.render())
+}
+
+/// Replays journal text into the pending-job list.
+fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
+    // Digest → position in `order`; preserves first-submission order.
+    let mut order: Vec<PendingJob> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some((event, digest, campaign)) = parse_line(line) else {
+            // A torn line (crash mid-append) or stray corruption: skip.
+            eprintln!(
+                "journal {}: skipping unparseable line {}",
+                path.display(),
+                lineno + 1
+            );
+            continue;
+        };
+        match event.as_str() {
+            "submitted" => {
+                let Some(campaign) = campaign else {
+                    eprintln!(
+                        "journal {}: submitted record without campaign at line {}",
+                        path.display(),
+                        lineno + 1
+                    );
+                    continue;
+                };
+                // Trust the body, not the recorded digest: recomputing
+                // guards against a corrupted digest field.
+                let digest = campaign.digest();
+                if !order.iter().any(|p| p.digest == digest) {
+                    order.push(PendingJob {
+                        digest,
+                        campaign,
+                        started: false,
+                    });
+                }
+            }
+            "started" => {
+                if let Some(job) = order.iter_mut().find(|p| p.digest == digest) {
+                    job.started = true;
+                }
+            }
+            "done" => {
+                order.retain(|p| p.digest != digest);
+            }
+            other => {
+                eprintln!(
+                    "journal {}: unknown event {other:?} at line {}",
+                    path.display(),
+                    lineno + 1
+                );
+            }
+        }
+    }
+    order
+}
+
+/// Parses one journal line into `(event, digest, campaign)`.
+fn parse_line(line: &str) -> Option<(String, String, Option<Campaign>)> {
+    let json = pythia_stats::json::parse(line).ok()?;
+    let event = json.get("event")?.as_str()?.to_string();
+    let digest = json.get("digest")?.as_str()?.to_string();
+    let campaign = match json.get("campaign") {
+        Some(c) => Some(Campaign::from_json(c).ok()?),
+        None => None,
+    };
+    Some((event, digest, campaign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_sweep::spec::{ConfigPoint, SweepSpec};
+    use pythia_workloads::all_suites;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "pythia-journal-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn tiny_campaign(tag: &str) -> Campaign {
+        let w = all_suites()
+            .into_iter()
+            .find(|w| w.name == "429.mcf-184B")
+            .expect("known workload");
+        Campaign::single(
+            SweepSpec::new(tag)
+                .with_workloads([w])
+                .with_prefetchers(&["stride"])
+                .with_config(ConfigPoint::single_core("base", 1_000, 4_000)),
+        )
+    }
+
+    #[test]
+    fn replay_roundtrip_preserves_unfinished_jobs_in_order() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (a, b, c) = (
+            tiny_campaign("job-a"),
+            tiny_campaign("job-b"),
+            tiny_campaign("job-c"),
+        );
+        {
+            let journal = Journal::open(&path).expect("open");
+            journal.record_submitted(&a.digest(), &a);
+            journal.record_submitted(&b.digest(), &b);
+            journal.record_submitted(&c.digest(), &c);
+            journal.record_started(&a.digest());
+            journal.record_started(&b.digest());
+            journal.record_done(&b.digest(), true);
+        }
+        let mut journal = Journal::open(&path).expect("reopen");
+        let pending = journal.take_pending();
+        assert_eq!(pending.len(), 2, "b is done, a and c survive");
+        assert_eq!(pending[0].digest, a.digest());
+        assert!(pending[0].started, "a was in flight");
+        assert_eq!(pending[1].digest, c.digest());
+        assert!(!pending[1].started, "c was still queued");
+        // The replayed campaign is byte-identical to the original.
+        assert_eq!(pending[0].campaign.canonical(), a.canonical());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_not_fatal() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let a = tiny_campaign("torn-a");
+        {
+            let journal = Journal::open(&path).expect("open");
+            journal.record_submitted(&a.digest(), &a);
+        }
+        // Simulate a crash mid-append of a second record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+            f.write_all(b"{\"event\":\"submitted\",\"digest\":\"00")
+                .expect("tear");
+        }
+        let mut journal = Journal::open(&path).expect("reopen tolerates tear");
+        let pending = journal.take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].digest, a.digest());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_rewrites_to_survivors_only() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let (a, b) = (tiny_campaign("comp-a"), tiny_campaign("comp-b"));
+        {
+            let journal = Journal::open(&path).expect("open");
+            journal.record_submitted(&a.digest(), &a);
+            journal.record_submitted(&b.digest(), &b);
+            journal.record_done(&a.digest(), true);
+        }
+        {
+            let mut journal = Journal::open(&path).expect("reopen");
+            let pending = journal.take_pending();
+            assert_eq!(pending.len(), 1);
+            let survivors: Vec<(String, Campaign)> = pending
+                .into_iter()
+                .map(|p| (p.digest, p.campaign))
+                .collect();
+            journal.compact(&survivors).expect("compact");
+            // Appends after compaction land in the new file.
+            journal.record_done(&b.digest(), true);
+        }
+        let mut journal = Journal::open(&path).expect("final open");
+        assert!(
+            journal.take_pending().is_empty(),
+            "b was compacted in, then done"
+        );
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 2, "one submitted + one done record");
+        let _ = std::fs::remove_file(&path);
+    }
+}

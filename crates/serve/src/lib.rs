@@ -7,17 +7,26 @@
 //! The stack, bottom to top:
 //!
 //! * [`http`] — a hand-rolled HTTP/1.1 subset on `std::net` (this build
-//!   environment has no network crates): one request per connection,
-//!   `Content-Length` bodies, strict limits.
+//!   environment has no network crates): persistent keep-alive
+//!   connections with byte-exact pipelining, `Content-Length` bodies,
+//!   strict limits, and typed read errors (timeout vs malformed vs
+//!   oversized) so the server can answer 408/400/413 precisely.
+//! * [`journal`] — a crash-safe append-only job journal: queued and
+//!   in-flight campaigns are replayed (and the journal compacted) on
+//!   restart instead of being silently dropped.
 //! * [`scheduler`] — a bounded job queue + worker pool running
 //!   [`pythia_sweep::engine::run_all`], with in-flight dedup (identical
 //!   digests coalesce onto one job), per-job status, service counters,
-//!   and 429-style backpressure when the queue is full.
+//!   journal-backed recovery, and 429-style backpressure when the queue
+//!   is full.
 //! * [`server`] — routing: `POST /campaigns` (submit a figure id or a
 //!   canonical spec), `GET /campaigns/<digest>` (status),
 //!   `GET /campaigns/<digest>/result` (md/JSON/CSV via the existing
-//!   [`pythia_sweep::SweepResult`] formatters), `GET /figures` (registry
-//!   listing).
+//!   [`pythia_sweep::SweepResult`] formatters, with digest-derived
+//!   `ETag`/`If-None-Match` 304s), `GET /figures` (registry listing),
+//!   and `GET /metrics` (queue depth, worker occupancy, store and
+//!   connection counters, aggregate Minst/s). A server-wide connection
+//!   cap sheds overload with 503.
 //! * [`client`] — the `pythia-cli submit` side, built on the same
 //!   [`http`] module.
 //!
@@ -39,8 +48,10 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod scheduler;
 pub mod server;
 
+pub use journal::Journal;
 pub use scheduler::{JobStatus, Scheduler, SubmitError};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ConnStats, ServeConfig, Server, ServerHandle};

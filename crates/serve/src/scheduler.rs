@@ -1,5 +1,6 @@
 //! Job scheduling: a bounded queue, a worker-thread pool, in-flight
-//! dedup, and a content-addressed cache in front of the simulations.
+//! dedup, a content-addressed cache, and a crash-safe journal in front of
+//! the simulations.
 //!
 //! Every submission is keyed by its campaign digest
 //! ([`Campaign::digest`]). The scheduler guarantees that a digest costs at
@@ -11,15 +12,23 @@
 //!   submission attaches to the in-flight job instead of enqueuing a copy,
 //! * only a never-seen digest occupies a queue slot, and a full queue
 //!   rejects the submission ([`SubmitError::Busy`] → HTTP 429).
+//!
+//! When a [`Journal`] is attached, every fresh enqueue is recorded before
+//! the submission returns, and on startup unfinished journal entries are
+//! replayed: digests whose artifact already landed in the store are
+//! marked done, everything else is requeued, and the journal is compacted
+//! down to the survivors.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use pythia_stats::json::Json;
 use pythia_sweep::codec::Campaign;
 use pythia_sweep::{engine, ResultStore, SweepResult};
+
+use crate::journal::Journal;
 
 /// Lifecycle of one campaign job.
 #[derive(Debug, Clone)]
@@ -91,6 +100,9 @@ pub struct Counters {
     pub failed: AtomicU64,
     /// Submissions rejected because the queue was full.
     pub rejected: AtomicU64,
+    /// Jobs recovered from the journal at startup (requeued or resolved
+    /// from the disk store).
+    pub replayed: AtomicU64,
 }
 
 impl Counters {
@@ -105,6 +117,7 @@ impl Counters {
             .set("completed", get(&self.completed))
             .set("failed", get(&self.failed))
             .set("rejected", get(&self.rejected))
+            .set("replayed", get(&self.replayed))
     }
 }
 
@@ -131,7 +144,14 @@ struct Inner {
     queue_cap: usize,
     sim_threads: usize,
     store: Option<ResultStore>,
+    journal: Option<Journal>,
     counters: Counters,
+    workers_total: usize,
+    busy_workers: AtomicUsize,
+    /// Total instructions simulated by this process (for Minst/s).
+    sim_instructions: AtomicU64,
+    /// Total simulation wall time in nanoseconds.
+    sim_wall_nanos: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -145,8 +165,13 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Starts a scheduler with `workers` worker threads, a queue bounded at
-    /// `queue_cap`, `sim_threads` simulation threads per job, and an
-    /// optional on-disk result store.
+    /// `queue_cap`, `sim_threads` simulation threads per job, an optional
+    /// on-disk result store, and an optional crash-safe journal.
+    ///
+    /// Unfinished journal entries are replayed before the workers start:
+    /// digests already resolvable from `store` are inserted as done,
+    /// everything else is requeued (ignoring `queue_cap` — journaled work
+    /// was already accepted once), and the journal is compacted.
     ///
     /// `workers == 0` is permitted (jobs queue but never run) — useful for
     /// deterministic backpressure tests; the CLI clamps to ≥ 1.
@@ -155,7 +180,12 @@ impl Scheduler {
         queue_cap: usize,
         sim_threads: usize,
         store: Option<ResultStore>,
+        mut journal: Option<Journal>,
     ) -> Self {
+        let pending = journal
+            .as_mut()
+            .map(Journal::take_pending)
+            .unwrap_or_default();
         let inner = Arc::new(Inner {
             state: Mutex::new(State::default()),
             work_ready: Condvar::new(),
@@ -163,9 +193,19 @@ impl Scheduler {
             queue_cap: queue_cap.max(1),
             sim_threads: sim_threads.max(1),
             store,
+            journal,
             counters: Counters::default(),
+            workers_total: workers,
+            busy_workers: AtomicUsize::new(0),
+            sim_instructions: AtomicU64::new(0),
+            sim_wall_nanos: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
+
+        if !pending.is_empty() {
+            replay_pending(&inner, pending);
+        }
+
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -247,6 +287,12 @@ impl Scheduler {
             return Err(SubmitError::Busy {
                 queue_cap: self.inner.queue_cap,
             });
+        }
+        // Journal before releasing the lock: a worker must not be able to
+        // write this digest's `started` record before its `submitted`
+        // record exists.
+        if let Some(journal) = &self.inner.journal {
+            journal.record_submitted(&digest, &campaign);
         }
         state.jobs.insert(
             digest.clone(),
@@ -345,12 +391,81 @@ impl Scheduler {
         (state.queue.len(), self.inner.queue_cap)
     }
 
+    /// Worker occupancy: `(busy, total)`.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (
+            self.inner.busy_workers.load(Ordering::Relaxed),
+            self.inner.workers_total,
+        )
+    }
+
+    /// Aggregate simulation telemetry since startup:
+    /// `(instructions, wall_seconds)` summed over executed jobs.
+    pub fn sim_totals(&self) -> (u64, f64) {
+        (
+            self.inner.sim_instructions.load(Ordering::Relaxed),
+            self.inner.sim_wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        )
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.inner.store.as_ref()
+    }
+
     /// Stops the workers after their current job and joins them.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work_ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Re-inserts journaled jobs at startup: store hits become done jobs,
+/// the rest requeue (in original submission order), and the journal is
+/// compacted down to the requeued survivors.
+fn replay_pending(inner: &Inner, pending: Vec<crate::journal::PendingJob>) {
+    let mut survivors: Vec<(String, Campaign)> = Vec::new();
+    let mut state = inner.state.lock().expect("scheduler lock");
+    for job in pending {
+        if state.jobs.contains_key(&job.digest) {
+            continue;
+        }
+        inner.counters.replayed.fetch_add(1, Ordering::Relaxed);
+        let disk_hit = inner
+            .store
+            .as_ref()
+            .and_then(|store| store.load(&job.digest).ok().flatten());
+        if let Some(result) = disk_hit {
+            // The previous process finished the simulation and persisted
+            // the artifact but died before the `done` record landed.
+            state.jobs.insert(
+                job.digest,
+                Job {
+                    name: job.campaign.name,
+                    campaign: None,
+                    status: JobStatus::Done(Arc::new(result)),
+                },
+            );
+            continue;
+        }
+        state.jobs.insert(
+            job.digest.clone(),
+            Job {
+                name: job.campaign.name.clone(),
+                campaign: Some(job.campaign.clone()),
+                status: JobStatus::Queued,
+            },
+        );
+        state.queue.push_back(job.digest.clone());
+        survivors.push((job.digest, job.campaign));
+    }
+    drop(state);
+    if let Some(journal) = &inner.journal {
+        if let Err(e) = journal.compact(&survivors) {
+            eprintln!("serve: journal compaction failed: {e}");
         }
     }
 }
@@ -375,11 +490,28 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
-        let outcome = engine::run_all(&campaign.name, &campaign.panels, inner.sim_threads)
-            .map(SweepResult::stripped);
+        inner.busy_workers.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &inner.journal {
+            journal.record_started(&digest);
+        }
+        // Capture the throughput telemetry before stripping it: the stored
+        // artifact stays deterministic, but the aggregate Minst/s survives
+        // in the metrics counters.
+        let outcome =
+            engine::run_all(&campaign.name, &campaign.panels, inner.sim_threads).map(|result| {
+                if let Some(t) = &result.throughput {
+                    inner
+                        .sim_instructions
+                        .fetch_add(t.instructions, Ordering::Relaxed);
+                    inner
+                        .sim_wall_nanos
+                        .fetch_add((t.wall_seconds * 1e9) as u64, Ordering::Relaxed);
+                }
+                result.stripped()
+            });
         inner.counters.executed.fetch_add(1, Ordering::Relaxed);
 
-        let status = match outcome {
+        let (status, ok) = match outcome {
             Ok(result) => {
                 if let Some(store) = &inner.store {
                     if let Err(e) = store.store(&digest, &result) {
@@ -387,11 +519,11 @@ fn worker_loop(inner: &Inner) {
                     }
                 }
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                JobStatus::Done(Arc::new(result))
+                (JobStatus::Done(Arc::new(result)), true)
             }
             Err(e) => {
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                JobStatus::Failed(e)
+                (JobStatus::Failed(e), false)
             }
         };
 
@@ -402,6 +534,10 @@ fn worker_loop(inner: &Inner) {
             .expect("running job exists")
             .status = status;
         drop(state);
+        if let Some(journal) = &inner.journal {
+            journal.record_done(&digest, ok);
+        }
+        inner.busy_workers.fetch_sub(1, Ordering::Relaxed);
         inner.job_finished.notify_all();
     }
 }
@@ -426,9 +562,19 @@ mod tests {
         )
     }
 
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pythia-sched-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn submit_run_and_memory_cache_hit() {
-        let s = Scheduler::start(1, 8, 1, None);
+        let s = Scheduler::start(1, 8, 1, None, None);
         let campaign = tiny_campaign("sched-basic", 4_000);
         let sub = s.submit(campaign.clone()).expect("accepted");
         assert!(!sub.cached);
@@ -442,6 +588,9 @@ mod tests {
         assert!(matches!(again.status, JobStatus::Done(_)));
         assert_eq!(s.counters().executed.load(Ordering::Relaxed), 1);
         assert_eq!(s.counters().cache_hits.load(Ordering::Relaxed), 1);
+        let (instructions, wall) = s.sim_totals();
+        assert!(instructions > 0, "telemetry captured before stripping");
+        assert!(wall > 0.0);
         s.shutdown();
     }
 
@@ -450,7 +599,7 @@ mod tests {
         // One worker pinned down by a blocker job makes coalescing
         // deterministic: the second identical submission arrives while the
         // target job is still queued.
-        let s = Scheduler::start(1, 8, 1, None);
+        let s = Scheduler::start(1, 8, 1, None, None);
         let blocker = s
             .submit(tiny_campaign("sched-blocker", 30_000))
             .expect("accepted");
@@ -477,7 +626,7 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_busy() {
         // No workers: nothing ever drains, so occupancy is exact.
-        let s = Scheduler::start(0, 2, 1, None);
+        let s = Scheduler::start(0, 2, 1, None, None);
         s.submit(tiny_campaign("bp-1", 4_000)).expect("slot 1");
         s.submit(tiny_campaign("bp-2", 4_000)).expect("slot 2");
         let err = s.submit(tiny_campaign("bp-3", 4_000)).unwrap_err();
@@ -491,7 +640,7 @@ mod tests {
 
     #[test]
     fn invalid_campaigns_are_rejected_up_front() {
-        let s = Scheduler::start(0, 2, 1, None);
+        let s = Scheduler::start(0, 2, 1, None, None);
         let invalid = Campaign::single(SweepSpec::new("empty"));
         match s.submit(invalid).unwrap_err() {
             SubmitError::Invalid(msg) => assert!(msg.contains("no work units"), "{msg}"),
@@ -499,5 +648,104 @@ mod tests {
         }
         assert!(s.status("0123456789abcdef").is_none());
         s.shutdown();
+    }
+
+    #[test]
+    fn journal_replay_resumes_queued_jobs_byte_identically() {
+        let dir = tmp_dir("journal-replay");
+        let journal_path = dir.join("journal.jsonl");
+        let store_dir = dir.join("cache");
+        let (a, b) = (
+            tiny_campaign("replay-a", 4_000),
+            tiny_campaign("replay-b", 5_000),
+        );
+
+        // Phase 1: a zero-worker scheduler accepts two jobs and is dropped
+        // with the queue full — the moral equivalent of kill -9.
+        {
+            let store = ResultStore::open(&store_dir).expect("store");
+            let journal = Journal::open(&journal_path).expect("journal");
+            let s = Scheduler::start(0, 8, 1, Some(store), Some(journal));
+            s.submit(a.clone()).expect("accepted");
+            s.submit(b.clone()).expect("accepted");
+            s.shutdown();
+        }
+        // Simulate job A having been picked up before the crash.
+        {
+            let journal = Journal::open(&journal_path).expect("journal");
+            journal.record_started(&a.digest());
+        }
+
+        // Phase 2: a fresh scheduler on the same dirs replays and runs both.
+        {
+            let store = ResultStore::open(&store_dir).expect("store");
+            let journal = Journal::open(&journal_path).expect("journal");
+            let s = Scheduler::start(1, 8, 1, Some(store), Some(journal));
+            assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 2);
+            for c in [&a, &b] {
+                let done = s
+                    .wait(&c.digest(), Duration::from_secs(60))
+                    .expect("replayed job finishes");
+                assert!(matches!(done, JobStatus::Done(_)));
+            }
+            // Byte-identical to a direct run of the same campaign.
+            let direct = engine::run_all(&a.name, &a.panels, 1)
+                .expect("direct run")
+                .stripped();
+            let replayed = s.result(&a.digest()).expect("result");
+            assert_eq!(
+                replayed.to_json().render_pretty(),
+                direct.to_json().render_pretty(),
+                "replayed result matches a direct run byte-for-byte"
+            );
+            s.shutdown();
+        }
+
+        // Phase 3: everything completed, so a third startup replays nothing
+        // and serves both digests straight from the disk store.
+        {
+            let store = ResultStore::open(&store_dir).expect("store");
+            let journal = Journal::open(&journal_path).expect("journal");
+            let s = Scheduler::start(1, 8, 1, Some(store), Some(journal));
+            assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 0);
+            let sub = s.submit(a.clone()).expect("accepted");
+            assert!(sub.cached, "resubmission hits the disk store");
+            assert_eq!(s.counters().executed.load(Ordering::Relaxed), 0);
+            s.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_replay_skips_digests_already_in_store() {
+        let dir = tmp_dir("journal-store-hit");
+        let journal_path = dir.join("journal.jsonl");
+        let store_dir = dir.join("cache");
+        let a = tiny_campaign("storehit-a", 4_000);
+
+        // Run the campaign directly into the store, then journal it as
+        // submitted-but-unfinished (artifact landed, `done` record lost).
+        let store = ResultStore::open(&store_dir).expect("store");
+        let result = engine::run_all(&a.name, &a.panels, 1)
+            .expect("run")
+            .stripped();
+        store.store(&a.digest(), &result).expect("persist");
+        {
+            let journal = Journal::open(&journal_path).expect("journal");
+            journal.record_submitted(&a.digest(), &a);
+        }
+
+        let journal = Journal::open(&journal_path).expect("journal");
+        let s = Scheduler::start(0, 8, 1, Some(store), Some(journal));
+        assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 1);
+        // Resolved from the store without a worker (there are none).
+        assert!(s.result(&a.digest()).is_some());
+        let (depth, _) = s.queue_depth();
+        assert_eq!(depth, 0, "nothing requeued");
+        // The journal compacted down to nothing.
+        let text = std::fs::read_to_string(&journal_path).expect("read journal");
+        assert!(text.is_empty(), "compacted journal is empty: {text:?}");
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,21 +5,32 @@
 //! | `GET /figures` | figure-registry listing (id, title, panels, cells, digest) |
 //! | `POST /campaigns` | submit `{"figure": id}`, `{"spec": {...}}` or `{"campaign": {...}}` |
 //! | `GET /campaigns/<digest>` | job status + service counters |
-//! | `GET /campaigns/<digest>/result?format=md\|json\|csv` | rendered result |
+//! | `GET /campaigns/<digest>/result?format=md\|json\|csv` | rendered result (ETag / If-None-Match aware) |
+//! | `GET /metrics` | queue depth, worker occupancy, store + connection counters, Minst/s |
 //!
 //! Submissions answer `200` when the digest is already done (cache hit),
 //! `202` when queued/running/coalesced, `429` when the bounded queue is
 //! full, and `400` for malformed or invalid campaigns. Results answer
-//! `409` while the job is still in flight.
+//! `409` while the job is still in flight, and `304` when the client's
+//! `If-None-Match` matches the digest-derived `ETag`.
+//!
+//! Connections are persistent: each handler thread loops over requests
+//! until the peer asks for `Connection: close`, idles past the timeout
+//! (answered with `408`), or errors. A server-wide connection cap sheds
+//! load with a clean `503` instead of letting accept-queue growth hide
+//! saturation.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use pythia_stats::json::{parse, Json};
 use pythia_sweep::codec::{is_digest, Campaign};
 use pythia_sweep::ResultStore;
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::http::{write_response, Request, RequestError, RequestReader, Response, IO_TIMEOUT};
+use crate::journal::Journal;
 use crate::scheduler::{JobStatus, Scheduler, SubmitError};
 
 /// Server construction parameters.
@@ -33,6 +44,17 @@ pub struct ServeConfig {
     pub sim_threads: usize,
     /// On-disk result store directory (`None` = in-memory only).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the result store (`None` = unbounded). Ignored
+    /// without a `cache_dir`.
+    pub cache_max_bytes: Option<u64>,
+    /// Maximum simultaneously-open connections; excess connects get 503.
+    pub max_conns: usize,
+    /// How long a kept-alive connection may idle before a 408 + close.
+    pub idle_timeout: Duration,
+    /// Journal file for crash-safe job recovery. Defaults to
+    /// `journal.jsonl` inside `cache_dir` when unset; `None` with no
+    /// `cache_dir` means no journal.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -42,7 +64,49 @@ impl Default for ServeConfig {
             queue_cap: 64,
             sim_threads: 1,
             cache_dir: None,
+            cache_max_bytes: None,
+            max_conns: 64,
+            idle_timeout: IO_TIMEOUT,
+            journal: None,
         }
+    }
+}
+
+/// Connection-level counters for `/metrics`.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Connections currently open.
+    pub active: AtomicUsize,
+    /// Connections accepted (including ones later shed).
+    pub accepted: AtomicU64,
+    /// Connections shed with 503 because the cap was reached.
+    pub rejected: AtomicU64,
+    /// Requests served across all connections.
+    pub requests: AtomicU64,
+    /// Connections closed with 408 after idling out.
+    pub timeouts: AtomicU64,
+}
+
+impl ConnStats {
+    /// Snapshot as a JSON object (the `connections` key of `/metrics`).
+    pub fn to_json(&self) -> Json {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Json::obj()
+            .set("active", self.active.load(Ordering::Relaxed) as u64)
+            .set("accepted", get(&self.accepted))
+            .set("rejected", get(&self.rejected))
+            .set("requests", get(&self.requests))
+            .set("timeouts", get(&self.timeouts))
+    }
+}
+
+/// Decrements the active-connection gauge when a handler exits, however
+/// it exits.
+struct ActiveGuard(Arc<ConnStats>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -50,6 +114,9 @@ impl Default for ServeConfig {
 pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
+    conns: Arc<ConnStats>,
+    max_conns: usize,
+    idle_timeout: Duration,
 }
 
 /// Handle to a server running on a background thread (test harness /
@@ -57,6 +124,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     scheduler: Arc<Scheduler>,
+    conns: Arc<ConnStats>,
 }
 
 impl ServerHandle {
@@ -69,6 +137,11 @@ impl ServerHandle {
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
     }
+
+    /// The connection counters.
+    pub fn conn_stats(&self) -> &ConnStats {
+        &self.conns
+    }
 }
 
 impl Server {
@@ -77,11 +150,24 @@ impl Server {
     /// # Errors
     ///
     /// Returns a message when the address cannot be bound or the cache
-    /// directory cannot be opened.
+    /// directory/journal cannot be opened.
     pub fn bind(addr: &str, config: &ServeConfig) -> Result<Self, String> {
         let store = match &config.cache_dir {
             None => None,
-            Some(dir) => Some(ResultStore::open(dir.clone())?),
+            Some(dir) => Some(ResultStore::open_bounded(
+                dir.clone(),
+                config.cache_max_bytes,
+            )?),
+        };
+        let journal_path = config.journal.clone().or_else(|| {
+            config
+                .cache_dir
+                .as_ref()
+                .map(|dir| dir.join("journal.jsonl"))
+        });
+        let journal = match journal_path {
+            None => None,
+            Some(path) => Some(Journal::open(path)?),
         };
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let scheduler = Arc::new(Scheduler::start(
@@ -89,10 +175,14 @@ impl Server {
             config.queue_cap,
             config.sim_threads,
             store,
+            journal,
         ));
         Ok(Self {
             listener,
             scheduler,
+            conns: Arc::new(ConnStats::default()),
+            max_conns: config.max_conns.max(1),
+            idle_timeout: config.idle_timeout,
         })
     }
 
@@ -116,8 +206,23 @@ impl Server {
     pub fn serve_forever(self) -> Result<(), String> {
         for conn in self.listener.incoming() {
             let stream = conn.map_err(|e| format!("accept: {e}"))?;
+            self.conns.accepted.fetch_add(1, Ordering::Relaxed);
+            if self.conns.active.load(Ordering::Relaxed) >= self.max_conns {
+                self.conns.rejected.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || reject_connection(stream));
+                continue;
+            }
+            // Claim the slot in the accept loop, not the handler thread,
+            // so a connect burst cannot overshoot the cap before the
+            // handlers get scheduled.
+            self.conns.active.fetch_add(1, Ordering::Relaxed);
             let scheduler = Arc::clone(&self.scheduler);
-            std::thread::spawn(move || handle_connection(&scheduler, stream));
+            let conns = Arc::clone(&self.conns);
+            let idle = self.idle_timeout;
+            std::thread::spawn(move || {
+                let _guard = ActiveGuard(Arc::clone(&conns));
+                handle_connection(&scheduler, &conns, stream, idle);
+            });
         }
         Ok(())
     }
@@ -132,22 +237,70 @@ impl Server {
     pub fn spawn(self) -> Result<ServerHandle, String> {
         let addr = self.local_addr()?;
         let scheduler = Arc::clone(&self.scheduler);
+        let conns = Arc::clone(&self.conns);
         std::thread::spawn(move || {
             if let Err(e) = self.serve_forever() {
                 eprintln!("serve: accept loop stopped: {e}");
             }
         });
-        Ok(ServerHandle { addr, scheduler })
+        Ok(ServerHandle {
+            addr,
+            scheduler,
+            conns,
+        })
     }
 }
 
-fn handle_connection(scheduler: &Scheduler, mut stream: TcpStream) {
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(scheduler, &request),
-        Err(e) => error_response(400, &format!("bad request: {e}")),
-    };
-    if let Err(e) = write_response(&mut stream, &response) {
-        eprintln!("serve: failed to write response: {e}");
+/// Sheds a connection over the cap with a 503 and closes it.
+fn reject_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = error_response(503, "connection limit reached, retry later");
+    let _ = write_response(&mut stream, &response, false);
+}
+
+fn handle_connection(
+    scheduler: &Scheduler,
+    conns: &ConnStats,
+    mut stream: TcpStream,
+    idle_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(idle_timeout)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut reader = RequestReader::new();
+    loop {
+        match reader.read_request(&mut stream) {
+            Ok(request) => {
+                conns.requests.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = !request.close;
+                let response = route(scheduler, conns, &request);
+                if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RequestError::Closed) => return,
+            Err(RequestError::Timeout) => {
+                conns.timeouts.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(408, "idle timeout waiting for a request");
+                let _ = write_response(&mut stream, &response, false);
+                return;
+            }
+            Err(RequestError::TooLarge(e)) => {
+                let _ = write_response(&mut stream, &error_response(413, &e), false);
+                return;
+            }
+            Err(RequestError::Malformed(e)) => {
+                let message = format!("bad request: {e}");
+                let _ = write_response(&mut stream, &error_response(400, &message), false);
+                return;
+            }
+            Err(RequestError::Io(e)) => {
+                eprintln!("serve: dropping connection: {e}");
+                return;
+            }
+        }
     }
 }
 
@@ -156,15 +309,19 @@ fn error_response(status: u16, message: &str) -> Response {
 }
 
 /// Routes one request (exposed for in-process tests).
-pub fn route(scheduler: &Scheduler, request: &Request) -> Response {
+pub fn route(scheduler: &Scheduler, conns: &ConnStats, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["figures"]) => figures_response(),
+        ("GET", ["metrics"]) => metrics_response(scheduler, conns),
         ("POST", ["campaigns"]) => submit(scheduler, &request.body),
         ("GET", ["campaigns", digest]) => status(scheduler, digest),
-        ("GET", ["campaigns", digest, "result"]) => {
-            result(scheduler, digest, request.query("format").unwrap_or("json"))
-        }
+        ("GET", ["campaigns", digest, "result"]) => result(
+            scheduler,
+            digest,
+            request.query("format").unwrap_or("json"),
+            request.header("if-none-match"),
+        ),
         ("POST", _) | ("GET", _) => error_response(404, "no such route"),
         _ => error_response(405, "method not allowed"),
     }
@@ -192,6 +349,52 @@ fn figures_response() -> Response {
         Json::obj().set("figures", Json::Arr(list)).render_pretty()
     });
     Response::json(200, body.clone())
+}
+
+/// Builds the `/metrics` snapshot: queue, workers, scheduler counters,
+/// store occupancy, connection gauges, and aggregate simulation
+/// throughput (Minst/s).
+fn metrics_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
+    let (depth, cap) = scheduler.queue_depth();
+    let (busy, total) = scheduler.occupancy();
+    let (instructions, wall_seconds) = scheduler.sim_totals();
+    let minst_per_sec = if wall_seconds > 0.0 {
+        instructions as f64 / wall_seconds / 1e6
+    } else {
+        0.0
+    };
+    let store = match scheduler.store() {
+        None => Json::obj().set("enabled", false),
+        Some(store) => {
+            let mut obj = Json::obj()
+                .set("enabled", true)
+                .set("hits", store.stats().hits.load(Ordering::Relaxed))
+                .set("misses", store.stats().misses.load(Ordering::Relaxed))
+                .set("stored", store.stats().stored.load(Ordering::Relaxed))
+                .set("evicted", store.stats().evicted.load(Ordering::Relaxed))
+                .set("bytes_used", store.bytes_used());
+            obj = match store.max_bytes() {
+                Some(max) => obj.set("max_bytes", max),
+                None => obj.set("max_bytes", Json::Null),
+            };
+            obj
+        }
+    };
+    let body = Json::obj()
+        .set("queue", Json::obj().set("depth", depth).set("cap", cap))
+        .set("workers", Json::obj().set("busy", busy).set("total", total))
+        .set("counters", scheduler.counters().to_json())
+        .set("store", store)
+        .set("connections", conns.to_json())
+        .set(
+            "throughput",
+            Json::obj()
+                .set("sim_instructions", instructions)
+                .set("sim_wall_seconds", Json::Num(wall_seconds))
+                .set("minst_per_sec", Json::Num(minst_per_sec)),
+        )
+        .render_pretty();
+    Response::json(200, body)
 }
 
 /// Decodes a submission body into a campaign: `{"figure": id}` resolves
@@ -277,7 +480,29 @@ fn status(scheduler: &Scheduler, digest: &str) -> Response {
     }
 }
 
-fn result(scheduler: &Scheduler, digest: &str, format: &str) -> Response {
+/// The `ETag` for a rendered result: digest plus render format. Strong
+/// validation is sound because identical digests render identical bytes
+/// (bit-deterministic sims, canonical encoding).
+fn result_etag(digest: &str, format: &str) -> String {
+    format!("\"{digest}.{format}\"")
+}
+
+/// Whether an `If-None-Match` header matches `etag` (token list; `*`
+/// matches anything).
+fn if_none_match_hits(header: &str, etag: &str) -> bool {
+    header.split(',').any(|token| {
+        let token = token.trim();
+        let token = token.strip_prefix("W/").unwrap_or(token);
+        token == "*" || token == etag
+    })
+}
+
+fn result(
+    scheduler: &Scheduler,
+    digest: &str,
+    format: &str,
+    if_none_match: Option<&str>,
+) -> Response {
     if !is_digest(digest) {
         return error_response(400, &format!("malformed digest {digest:?}"));
     }
@@ -287,21 +512,32 @@ fn result(scheduler: &Scheduler, digest: &str, format: &str) -> Response {
         Some((_, JobStatus::Queued | JobStatus::Running)) => {
             error_response(409, "campaign not done yet; poll GET /campaigns/<digest>")
         }
-        Some((_, JobStatus::Done(result))) => match result.render(format) {
-            Err(e) => error_response(400, &e),
-            Ok(rendered) => {
-                let content_type = match format {
-                    "json" => "application/json",
-                    "csv" => "text/csv; charset=utf-8",
-                    _ => "text/markdown; charset=utf-8",
-                };
-                Response {
-                    status: 200,
-                    content_type,
-                    body: rendered.into_bytes(),
+        Some((_, JobStatus::Done(result))) => {
+            // Normalize aliases so "md" and "markdown" share one ETag.
+            let format_key = if format == "markdown" { "md" } else { format };
+            let etag = result_etag(digest, format_key);
+            if let Some(header) = if_none_match {
+                if if_none_match_hits(header, &etag) {
+                    return Response::text(304, "").with_header("etag", etag);
                 }
             }
-        },
+            match result.render(format) {
+                Err(e) => error_response(400, &e),
+                Ok(rendered) => {
+                    let content_type = match format_key {
+                        "json" => "application/json",
+                        "csv" => "text/csv; charset=utf-8",
+                        _ => "text/markdown; charset=utf-8",
+                    };
+                    Response {
+                        status: 200,
+                        content_type,
+                        body: rendered.into_bytes(),
+                        headers: vec![("etag".into(), etag)],
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -315,39 +551,81 @@ mod tests {
             method: method.into(),
             path: path.into(),
             query: Vec::new(),
+            headers: Vec::new(),
             body: body.to_vec(),
+            close: false,
         }
     }
 
     #[test]
     fn routing_edges() {
-        let scheduler = Scheduler::start(0, 2, 1, None);
-        assert_eq!(route(&scheduler, &req("GET", "/nope", b"")).status, 404);
-        assert_eq!(route(&scheduler, &req("PUT", "/figures", b"")).status, 405);
+        let scheduler = Scheduler::start(0, 2, 1, None, None);
+        let conns = ConnStats::default();
         assert_eq!(
-            route(&scheduler, &req("POST", "/campaigns", b"not json")).status,
+            route(&scheduler, &conns, &req("GET", "/nope", b"")).status,
+            404
+        );
+        assert_eq!(
+            route(&scheduler, &conns, &req("PUT", "/figures", b"")).status,
+            405
+        );
+        assert_eq!(
+            route(&scheduler, &conns, &req("POST", "/campaigns", b"not json")).status,
             400
         );
         assert_eq!(
             route(
                 &scheduler,
+                &conns,
                 &req("POST", "/campaigns", b"{\"figure\":\"nope\"}")
             )
             .status,
             400
         );
         assert_eq!(
-            route(&scheduler, &req("GET", "/campaigns/0123456789abcdef", b"")).status,
+            route(
+                &scheduler,
+                &conns,
+                &req("GET", "/campaigns/0123456789abcdef", b"")
+            )
+            .status,
             404
         );
         assert_eq!(
-            route(&scheduler, &req("GET", "/campaigns/zzz", b"")).status,
+            route(&scheduler, &conns, &req("GET", "/campaigns/zzz", b"")).status,
             400
         );
-        let figures = route(&scheduler, &req("GET", "/figures", b""));
+        let figures = route(&scheduler, &conns, &req("GET", "/figures", b""));
         assert_eq!(figures.status, 200);
         let listing = String::from_utf8(figures.body).expect("utf-8");
         assert!(listing.contains("fig09"), "{listing}");
+        let metrics = route(&scheduler, &conns, &req("GET", "/metrics", b""));
+        assert_eq!(metrics.status, 200);
+        let parsed = parse(&String::from_utf8(metrics.body).expect("utf-8")).expect("json");
+        assert_eq!(
+            parsed
+                .get("queue")
+                .and_then(|q| q.get("cap"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("store")
+                .and_then(|s| s.get("enabled"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
         scheduler.shutdown();
+    }
+
+    #[test]
+    fn if_none_match_token_matching() {
+        let etag = result_etag("0123456789abcdef", "json");
+        assert!(if_none_match_hits(&etag, &etag));
+        assert!(if_none_match_hits("*", &etag));
+        assert!(if_none_match_hits(&format!("\"other\", {etag}"), &etag));
+        assert!(if_none_match_hits(&format!("W/{etag}"), &etag));
+        assert!(!if_none_match_hits("\"other\"", &etag));
     }
 }

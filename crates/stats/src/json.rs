@@ -84,6 +84,14 @@ impl Json {
         }
     }
 
+    /// The value as an object's `(key, value)` fields, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The value as a non-negative integer, if it is an integral number
     /// within `f64`'s exact range.
     pub fn as_u64(&self) -> Option<u64> {
@@ -585,5 +593,9 @@ mod tests {
         assert_eq!(v.get("b").and_then(Json::as_arr).map(|a| a.len()), Some(1));
         assert_eq!(v.get("missing"), None);
         assert_eq!(v.get("b").unwrap().as_str(), None);
+        let fields = v.as_obj().expect("object");
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "a");
+        assert_eq!(v.get("b").unwrap().as_obj(), None);
     }
 }

@@ -64,4 +64,4 @@ pub use codec::Campaign;
 pub use engine::{run, run_cached, BaselineCache};
 pub use result::{CellResult, RawSummary, SweepResult};
 pub use spec::{ConfigPoint, PrefetcherKind, PrefetcherSpec, SweepSpec, WorkUnit};
-pub use store::{run_campaign, ResultStore};
+pub use store::{run_campaign, ResultStore, StoreStats};
