@@ -48,8 +48,11 @@ USAGE:
       [--cache-dir DIR] [--cache-max-bytes N]   a crash-safe job journal and
       [--max-conns N] [--journal FILE]          GET /metrics behind an HTTP API
   pythia-cli submit <figure> --addr HOST:PORT   submit a campaign to a running
-      [--format md|json|csv] [--out FILE]       service, poll to completion and
-      [--poll-ms N] [--timeout-s N]             fetch the rendered result
+      [--format md|json|csv] [--out FILE]       service, poll to completion
+      [--poll-ms N] [--timeout-s N]             (printing cell progress) and
+      [--tenant KEY] [--priority N]             fetch the rendered result;
+                                                tenants share the pool fairly,
+                                                priority weights the quantum
 ";
 
 fn find_workload(name: &str) -> Result<Workload, String> {
@@ -605,8 +608,10 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     server.serve_forever()
 }
 
-/// `pythia-cli submit <figure> --addr HOST:PORT` — submits a campaign,
-/// polls it to completion, and fetches the rendered result.
+/// `pythia-cli submit <figure> --addr HOST:PORT` — submits a campaign
+/// (optionally under a `--tenant` key with a fair-queueing `--priority`),
+/// polls it to completion printing cell progress, and fetches the
+/// rendered result.
 pub fn submit(args: &ParsedArgs) -> Result<(), String> {
     let [figure] = args.positionals.as_slice() else {
         return Err("usage: pythia-cli submit <figure> --addr HOST:PORT [options]".into());
@@ -617,13 +622,23 @@ pub fn submit(args: &ParsedArgs) -> Result<(), String> {
     let format = args.opt("format").unwrap_or("md");
     let poll = std::time::Duration::from_millis(args.opt_num("poll-ms", 200u64)?.max(10));
     let timeout = std::time::Duration::from_secs(args.opt_num("timeout-s", 600u64)?.max(1));
+    let tenant = args.opt("tenant").unwrap_or("");
+    let priority = args.opt_num("priority", 1u64)?;
 
-    let submitted = pythia_serve::client::submit_figure(addr, figure)?;
+    let submitted = pythia_serve::client::submit_figure_as(addr, figure, tenant, priority)?;
     eprintln!(
         "submitted {figure} as {} (status: {}, cached: {})",
         submitted.digest, submitted.status, submitted.cached
     );
-    pythia_serve::client::wait_done(addr, &submitted.digest, poll, timeout)?;
+    // Progress lines go to stderr (like the submission banner) so stdout
+    // stays a clean artifact stream for `--out`-less pipelines.
+    let mut last_done = None;
+    pythia_serve::client::wait_done_with(addr, &submitted.digest, poll, timeout, |done, total| {
+        if last_done != Some(done) {
+            last_done = Some(done);
+            eprintln!("progress: {done}/{total} cells");
+        }
+    })?;
     let rendered = pythia_serve::client::result(addr, &submitted.digest, format)?;
     match args.opt("out") {
         None => print!("{rendered}"),

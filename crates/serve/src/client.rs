@@ -65,6 +65,26 @@ pub fn submit_figure(addr: &str, figure: &str) -> Result<Submitted, String> {
     submit(addr, &Json::obj().set("figure", figure).render())
 }
 
+/// Submits a registry figure by id under a tenant key (fair-queueing
+/// bucket) and a weighted-round-robin priority. An empty tenant means
+/// the service default.
+///
+/// # Errors
+///
+/// See [`submit`].
+pub fn submit_figure_as(
+    addr: &str,
+    figure: &str,
+    tenant: &str,
+    priority: u64,
+) -> Result<Submitted, String> {
+    let mut body = Json::obj().set("figure", figure).set("priority", priority);
+    if !tenant.is_empty() {
+        body = body.set("tenant", tenant);
+    }
+    submit(addr, &body.render())
+}
+
 /// Fetches the status document of a digest.
 ///
 /// # Errors
@@ -90,9 +110,33 @@ pub fn wait_done(
     poll: Duration,
     timeout: Duration,
 ) -> Result<(), String> {
+    wait_done_with(addr, digest, poll, timeout, |_, _| {})
+}
+
+/// Like [`wait_done`], invoking `on_progress(cells_done, cells_total)`
+/// after every status poll that carries cell progress.
+///
+/// # Errors
+///
+/// See [`wait_done`].
+pub fn wait_done_with(
+    addr: &str,
+    digest: &str,
+    poll: Duration,
+    timeout: Duration,
+    mut on_progress: impl FnMut(u64, u64),
+) -> Result<(), String> {
     let deadline = Instant::now() + timeout;
     loop {
         let doc = status(addr, digest)?;
+        let cells = |key: &str| {
+            doc.get("cells")
+                .and_then(|c| c.get(key))
+                .and_then(Json::as_u64)
+        };
+        if let (Some(done), Some(total)) = (cells("done"), cells("total")) {
+            on_progress(done, total);
+        }
         match doc.get("status").and_then(Json::as_str) {
             Some("done") => return Ok(()),
             Some("failed") => {
@@ -132,6 +176,52 @@ pub fn result(addr: &str, digest: &str, format: &str) -> Result<String, String> 
         return Err(error_of(code, &body));
     }
     String::from_utf8(body).map_err(|_| "result is not utf-8".into())
+}
+
+/// A merged-so-far snapshot fetched with `?partial=1`.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// The rendered prefix (the full artifact when `complete`).
+    pub body: String,
+    /// Cells finished so far (`x-cells-done`).
+    pub cells_done: u64,
+    /// Total planned cells (`x-cells-total`).
+    pub cells_total: u64,
+    /// Whether the campaign is done and `body` is the final artifact.
+    pub complete: bool,
+}
+
+/// Fetches the merged-so-far prefix of a campaign (`?partial=1`): a
+/// `206` snapshot while cells are still running, or the final `200`
+/// artifact once done. Every snapshot's rows are a prefix of the final
+/// row order.
+///
+/// # Errors
+///
+/// Returns a message on transport errors, unknown digests (404), and
+/// failed campaigns (409).
+pub fn partial_result(addr: &str, digest: &str, format: &str) -> Result<PartialResult, String> {
+    let mut conn = http::ClientConn::connect(addr)?;
+    let target = format!("/campaigns/{digest}/result?format={format}&partial=1");
+    let reply = conn.request_with("GET", &target, b"", &[("connection", "close")])?;
+    if reply.status != 200 && reply.status != 206 {
+        return Err(error_of(reply.status, &reply.body));
+    }
+    let header_num = |name: &str| {
+        reply
+            .header(name)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    let cells_done = header_num("x-cells-done");
+    let cells_total = header_num("x-cells-total");
+    let complete = reply.status == 200;
+    Ok(PartialResult {
+        body: String::from_utf8(reply.body).map_err(|_| "result is not utf-8".to_string())?,
+        cells_done,
+        cells_total,
+        complete,
+    })
 }
 
 /// Fetches the figure listing.

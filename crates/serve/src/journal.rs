@@ -6,32 +6,46 @@
 //! JSON line per event:
 //!
 //! ```text
-//! {"event":"submitted","digest":"<16 hex>","campaign":{...canonical spec...}}
+//! {"event":"submitted","digest":"<16 hex>","tenant":"...","priority":1,"campaign":{...}}
 //! {"event":"started","digest":"<16 hex>"}
+//! {"event":"cell","digest":"<16 hex>","cell":3,"report":{...lossless SimReport...}}
 //! {"event":"done","digest":"<16 hex>","ok":true}
 //! ```
 //!
 //! `submitted` carries the full campaign body so an unfinished job can be
-//! re-run from the journal alone. On [`Journal::open`] the file is
-//! replayed: jobs with a `done` record are dropped, everything else is
-//! exposed via [`Journal::take_pending`] for the scheduler to requeue
-//! (order preserved). A torn trailing line — the expected artifact of a
-//! crash mid-append — is skipped with a warning, never an error.
+//! re-run from the journal alone; `cell` carries the completed cell's
+//! full report (the lossless wire codec from `pythia-stats`), so a
+//! restart re-executes **only the cells that had not finished** —
+//! journaled reports are bit-identical to fresh simulations. On
+//! [`Journal::open`] the file is replayed: jobs with a `done` record are
+//! dropped, everything else is exposed via [`Journal::take_pending`] for
+//! the scheduler to requeue (order preserved) with its completed cells
+//! attached. A torn trailing line — the expected artifact of a crash
+//! mid-append — is skipped with a warning, never an error.
 //!
 //! Once the scheduler has decided what actually needs requeueing (a
 //! replayed job may already have its artifact on disk), it calls
-//! [`Journal::compact`] to rewrite the file with just the survivors, so
-//! the journal does not grow without bound across restarts.
+//! [`Journal::compact`] to rewrite the file with just the survivors and
+//! their surviving cell records, so the journal does not grow without
+//! bound across restarts.
 //!
 //! Appends are fail-soft: a full disk degrades durability, not service.
+//!
+//! Journals written before the cell-level records (no `tenant`,
+//! `priority` or `cell` lines) replay fine: the missing fields default to
+//! the anonymous tenant at baseline priority with no completed cells.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use pythia_stats::json::Json;
+use pythia_sim::stats::SimReport;
+use pythia_stats::json::{sim_report_from_wire, sim_report_wire_json, Json};
 use pythia_sweep::codec::Campaign;
+
+/// Tenant key recorded when a submission names none.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// A job recovered from the journal that has no `done` record.
 #[derive(Debug, Clone)]
@@ -40,9 +54,16 @@ pub struct PendingJob {
     pub digest: String,
     /// The campaign itself, ready to requeue.
     pub campaign: Campaign,
+    /// Submitter key for fair queueing.
+    pub tenant: String,
+    /// Scheduling weight recorded at submission.
+    pub priority: u64,
     /// Whether a `started` record was seen (the job was in flight when
     /// the previous process died).
     pub started: bool,
+    /// Completed cells recovered from `cell` records: `(flat job index,
+    /// report)`, in completion order, deduplicated by index.
+    pub cells: Vec<(usize, SimReport)>,
 }
 
 /// An append-only journal of job lifecycle events.
@@ -98,16 +119,25 @@ impl Journal {
     }
 
     /// Rewrites the journal to contain exactly one `submitted` record per
-    /// surviving job, dropping all completed history. Atomic
-    /// (temp-file + rename); the append handle is swapped to the new file.
+    /// surviving job — followed by its surviving `cell` records — and
+    /// drops all completed history. Atomic (temp-file + rename); the
+    /// append handle is swapped to the new file.
     ///
     /// # Errors
     ///
     /// Returns a message on io failures (the old journal is left intact).
-    pub fn compact(&self, survivors: &[(String, Campaign)]) -> Result<(), String> {
+    pub fn compact(&self, survivors: &[PendingJob]) -> Result<(), String> {
         let mut text = String::new();
-        for (digest, campaign) in survivors {
-            text.push_str(&submitted_line(digest, campaign));
+        for job in survivors {
+            text.push_str(&submitted_line(
+                &job.digest,
+                &job.campaign,
+                &job.tenant,
+                job.priority,
+            ));
+            for (index, report) in &job.cells {
+                text.push_str(&cell_line(&job.digest, *index, report));
+            }
         }
         let tmp = self.path.with_extension("tmp");
         std::fs::write(&tmp, &text).map_err(|e| format!("{}: {e}", tmp.display()))?;
@@ -123,15 +153,22 @@ impl Journal {
         Ok(())
     }
 
-    /// Records a fresh submission (with the campaign body).
-    pub fn record_submitted(&self, digest: &str, campaign: &Campaign) {
-        self.append(&submitted_line(digest, campaign));
+    /// Records a fresh submission (with the campaign body and its
+    /// scheduling identity).
+    pub fn record_submitted(&self, digest: &str, campaign: &Campaign, tenant: &str, priority: u64) {
+        self.append(&submitted_line(digest, campaign, tenant, priority));
     }
 
-    /// Records that a worker picked the job up.
+    /// Records that a worker picked the job's first cell up.
     pub fn record_started(&self, digest: &str) {
         let line = Json::obj().set("event", "started").set("digest", digest);
         self.append(&format!("{}\n", line.render()));
+    }
+
+    /// Records one completed cell with its full report, so a restart can
+    /// resume the campaign without re-executing it.
+    pub fn record_cell(&self, digest: &str, index: usize, report: &SimReport) {
+        self.append(&cell_line(digest, index, report));
     }
 
     /// Records completion (success or failure — either way the job must
@@ -157,11 +194,22 @@ impl Journal {
     }
 }
 
-fn submitted_line(digest: &str, campaign: &Campaign) -> String {
+fn submitted_line(digest: &str, campaign: &Campaign, tenant: &str, priority: u64) -> String {
     let line = Json::obj()
         .set("event", "submitted")
         .set("digest", digest)
+        .set("tenant", tenant)
+        .set("priority", priority)
         .set("campaign", campaign.to_json());
+    format!("{}\n", line.render())
+}
+
+fn cell_line(digest: &str, index: usize, report: &SimReport) -> String {
+    let line = Json::obj()
+        .set("event", "cell")
+        .set("digest", digest)
+        .set("cell", index as u64)
+        .set("report", sim_report_wire_json(report));
     format!("{}\n", line.render())
 }
 
@@ -173,23 +221,32 @@ fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
         if line.trim().is_empty() {
             continue;
         }
-        let Some((event, digest, campaign)) = parse_line(line) else {
-            // A torn line (crash mid-append) or stray corruption: skip.
+        let skip = |what: &str| {
             eprintln!(
-                "journal {}: skipping unparseable line {}",
+                "journal {}: skipping {what} at line {}",
                 path.display(),
                 lineno + 1
             );
+        };
+        let Ok(json) = pythia_stats::json::parse(line) else {
+            // A torn line (crash mid-append) or stray corruption: skip.
+            skip("unparseable line");
             continue;
         };
-        match event.as_str() {
+        let (Some(event), Some(digest)) = (
+            json.get("event").and_then(Json::as_str),
+            json.get("digest").and_then(Json::as_str),
+        ) else {
+            skip("record without event/digest");
+            continue;
+        };
+        match event {
             "submitted" => {
+                let campaign = json
+                    .get("campaign")
+                    .and_then(|c| Campaign::from_json(c).ok());
                 let Some(campaign) = campaign else {
-                    eprintln!(
-                        "journal {}: submitted record without campaign at line {}",
-                        path.display(),
-                        lineno + 1
-                    );
+                    skip("submitted record without a valid campaign");
                     continue;
                 };
                 // Trust the body, not the recorded digest: recomputing
@@ -199,13 +256,40 @@ fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
                     order.push(PendingJob {
                         digest,
                         campaign,
+                        tenant: json
+                            .get("tenant")
+                            .and_then(Json::as_str)
+                            .unwrap_or(DEFAULT_TENANT)
+                            .to_string(),
+                        priority: json
+                            .get("priority")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(1)
+                            .max(1),
                         started: false,
+                        cells: Vec::new(),
                     });
                 }
             }
             "started" => {
                 if let Some(job) = order.iter_mut().find(|p| p.digest == digest) {
                     job.started = true;
+                }
+            }
+            "cell" => {
+                let index = json.get("cell").and_then(Json::as_u64);
+                let report = json
+                    .get("report")
+                    .and_then(|r| sim_report_from_wire(r).ok());
+                let (Some(index), Some(report)) = (index, report) else {
+                    skip("cell record without a valid index/report");
+                    continue;
+                };
+                if let Some(job) = order.iter_mut().find(|p| p.digest == digest) {
+                    let index = index as usize;
+                    if !job.cells.iter().any(|(i, _)| *i == index) {
+                        job.cells.push((index, report));
+                    }
                 }
             }
             "done" => {
@@ -221,18 +305,6 @@ fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
         }
     }
     order
-}
-
-/// Parses one journal line into `(event, digest, campaign)`.
-fn parse_line(line: &str) -> Option<(String, String, Option<Campaign>)> {
-    let json = pythia_stats::json::parse(line).ok()?;
-    let event = json.get("event")?.as_str()?.to_string();
-    let digest = json.get("digest")?.as_str()?.to_string();
-    let campaign = match json.get("campaign") {
-        Some(c) => Some(Campaign::from_json(c).ok()?),
-        None => None,
-    };
-    Some((event, digest, campaign))
 }
 
 #[cfg(test)]
@@ -262,6 +334,21 @@ mod tests {
         )
     }
 
+    fn tiny_report(seed: u64) -> SimReport {
+        SimReport {
+            cores: vec![pythia_sim::stats::CoreStats {
+                instructions: seed,
+                cycles: seed * 2,
+                ..Default::default()
+            }],
+            l1d: vec![],
+            l2: vec![],
+            llc: Default::default(),
+            dram: Default::default(),
+            prefetchers: vec![],
+        }
+    }
+
     #[test]
     fn replay_roundtrip_preserves_unfinished_jobs_in_order() {
         let path = tmp_path("roundtrip");
@@ -273,9 +360,9 @@ mod tests {
         );
         {
             let journal = Journal::open(&path).expect("open");
-            journal.record_submitted(&a.digest(), &a);
-            journal.record_submitted(&b.digest(), &b);
-            journal.record_submitted(&c.digest(), &c);
+            journal.record_submitted(&a.digest(), &a, "alice", 3);
+            journal.record_submitted(&b.digest(), &b, DEFAULT_TENANT, 1);
+            journal.record_submitted(&c.digest(), &c, DEFAULT_TENANT, 1);
             journal.record_started(&a.digest());
             journal.record_started(&b.digest());
             journal.record_done(&b.digest(), true);
@@ -285,10 +372,62 @@ mod tests {
         assert_eq!(pending.len(), 2, "b is done, a and c survive");
         assert_eq!(pending[0].digest, a.digest());
         assert!(pending[0].started, "a was in flight");
+        assert_eq!(pending[0].tenant, "alice");
+        assert_eq!(pending[0].priority, 3);
         assert_eq!(pending[1].digest, c.digest());
         assert!(!pending[1].started, "c was still queued");
         // The replayed campaign is byte-identical to the original.
         assert_eq!(pending[0].campaign.canonical(), a.canonical());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_records_replay_with_their_reports() {
+        let path = tmp_path("cells");
+        let _ = std::fs::remove_file(&path);
+        let a = tiny_campaign("cell-a");
+        let (r0, r2) = (tiny_report(10), tiny_report(30));
+        {
+            let journal = Journal::open(&path).expect("open");
+            journal.record_submitted(&a.digest(), &a, DEFAULT_TENANT, 1);
+            journal.record_started(&a.digest());
+            journal.record_cell(&a.digest(), 0, &r0);
+            journal.record_cell(&a.digest(), 2, &r2);
+            // A duplicate index (crash between journal write and in-memory
+            // bookkeeping, then re-execution) keeps the first record.
+            journal.record_cell(&a.digest(), 0, &tiny_report(99));
+        }
+        let mut journal = Journal::open(&path).expect("reopen");
+        let pending = journal.take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(
+            pending[0].cells.len(),
+            2,
+            "two distinct cells, duplicate dropped"
+        );
+        assert_eq!(pending[0].cells[0], (0, r0));
+        assert_eq!(pending[0].cells[1], (2, r2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_cell_journals_replay_with_defaults() {
+        // A journal written before tenant/priority/cell records existed
+        // must still replay (fields default, no cells attached).
+        let path = tmp_path("legacy");
+        let _ = std::fs::remove_file(&path);
+        let a = tiny_campaign("legacy-a");
+        let line = Json::obj()
+            .set("event", "submitted")
+            .set("digest", a.digest().as_str())
+            .set("campaign", a.to_json());
+        std::fs::write(&path, format!("{}\n", line.render())).expect("write");
+        let mut journal = Journal::open(&path).expect("open");
+        let pending = journal.take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].tenant, DEFAULT_TENANT);
+        assert_eq!(pending[0].priority, 1);
+        assert!(pending[0].cells.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -299,7 +438,7 @@ mod tests {
         let a = tiny_campaign("torn-a");
         {
             let journal = Journal::open(&path).expect("open");
-            journal.record_submitted(&a.digest(), &a);
+            journal.record_submitted(&a.digest(), &a, DEFAULT_TENANT, 1);
         }
         // Simulate a crash mid-append of a second record.
         {
@@ -321,19 +460,16 @@ mod tests {
         let (a, b) = (tiny_campaign("comp-a"), tiny_campaign("comp-b"));
         {
             let journal = Journal::open(&path).expect("open");
-            journal.record_submitted(&a.digest(), &a);
-            journal.record_submitted(&b.digest(), &b);
+            journal.record_submitted(&a.digest(), &a, DEFAULT_TENANT, 1);
+            journal.record_submitted(&b.digest(), &b, "bob", 2);
+            journal.record_cell(&b.digest(), 1, &tiny_report(7));
             journal.record_done(&a.digest(), true);
         }
         {
             let mut journal = Journal::open(&path).expect("reopen");
             let pending = journal.take_pending();
             assert_eq!(pending.len(), 1);
-            let survivors: Vec<(String, Campaign)> = pending
-                .into_iter()
-                .map(|p| (p.digest, p.campaign))
-                .collect();
-            journal.compact(&survivors).expect("compact");
+            journal.compact(&pending).expect("compact");
             // Appends after compaction land in the new file.
             journal.record_done(&b.digest(), true);
         }
@@ -343,7 +479,13 @@ mod tests {
             "b was compacted in, then done"
         );
         let text = std::fs::read_to_string(&path).expect("read");
-        assert_eq!(text.lines().count(), 2, "one submitted + one done record");
+        assert_eq!(
+            text.lines().count(),
+            3,
+            "one submitted + one cell + one done record"
+        );
+        // The compacted submitted line kept tenant and priority.
+        assert!(text.contains("\"bob\""), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 }

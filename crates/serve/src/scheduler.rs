@@ -1,6 +1,7 @@
-//! Job scheduling: a bounded queue, a worker-thread pool, in-flight
-//! dedup, a content-addressed cache, and a crash-safe journal in front of
-//! the simulations.
+//! Cell-granular job scheduling: a per-tenant fair ready queue, a worker
+//! pool that pulls individual grid cells, in-flight dedup, a
+//! content-addressed cache, and a crash-safe journal in front of the
+//! simulations.
 //!
 //! Every submission is keyed by its campaign digest
 //! ([`Campaign::digest`]). The scheduler guarantees that a digest costs at
@@ -13,10 +14,26 @@
 //! * only a never-seen digest occupies a queue slot, and a full queue
 //!   rejects the submission ([`SubmitError::Busy`] → HTTP 429).
 //!
+//! # Cell-level scheduling
+//!
+//! A campaign is expanded up front into a [`CampaignPlan`] — an ordered
+//! set of independent simulation cells — and **cells**, not campaigns,
+//! are what workers pull. One big figure no longer monopolizes a worker
+//! while the pool idles: campaigns from many tenants interleave cell by
+//! cell. Tenants (submitter keys) are served by weighted round-robin:
+//! each visit to a tenant grants a quantum of `priority` cells from its
+//! front campaign, then the cursor moves on, so a tenant's backlog never
+//! starves the others. Because simulations are bit-deterministic and
+//! [`CampaignPlan::merge_cells`] reassembles reports in grid order, the
+//! served artifact is byte-identical to a monolithic run no matter how
+//! execution interleaves.
+//!
 //! When a [`Journal`] is attached, every fresh enqueue is recorded before
-//! the submission returns, and on startup unfinished journal entries are
-//! replayed: digests whose artifact already landed in the store are
-//! marked done, everything else is requeued, and the journal is compacted
+//! the submission returns and every finished cell is recorded with its
+//! full report. On startup unfinished journal entries are replayed:
+//! digests whose artifact already landed in the store are marked done,
+//! everything else is requeued **minus its journaled cells** — only the
+//! cells that had not finished re-execute — and the journal is compacted
 //! down to the survivors.
 
 use std::collections::{HashMap, VecDeque};
@@ -24,18 +41,24 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use pythia_sim::stats::SimReport;
 use pythia_stats::json::Json;
 use pythia_sweep::codec::Campaign;
-use pythia_sweep::{engine, ResultStore, SweepResult};
+use pythia_sweep::{plan_campaign, CampaignPlan, ResultStore, SweepResult};
 
-use crate::journal::Journal;
+use crate::journal::{Journal, PendingJob, DEFAULT_TENANT};
+
+/// Upper bound on the accepted `priority` weight (quantum size): enough
+/// spread to express "urgent", small enough that one tenant cannot
+/// configure itself into a de-facto monopoly.
+pub const MAX_PRIORITY: u64 = 100;
 
 /// Lifecycle of one campaign job.
 #[derive(Debug, Clone)]
 pub enum JobStatus {
     /// Waiting in the queue.
     Queued,
-    /// A worker is simulating it.
+    /// At least one of its cells has been claimed by a worker.
     Running,
     /// Finished; the stripped result is held in memory (and on disk when a
     /// cache directory is configured).
@@ -83,12 +106,27 @@ pub enum SubmitError {
     Invalid(String),
 }
 
+/// A snapshot of a job's merged-so-far result.
+#[derive(Debug)]
+pub struct Partial {
+    /// The rows computable right now — the longest prefix of the final
+    /// row order whose reports exist; the complete artifact once the job
+    /// is done.
+    pub result: Arc<SweepResult>,
+    /// Completed cells.
+    pub done: usize,
+    /// Total cells in the plan.
+    pub total: usize,
+    /// Whether `result` is the final artifact.
+    pub complete: bool,
+}
+
 /// Monotonic service counters, readable without any lock.
 #[derive(Debug, Default)]
 pub struct Counters {
     /// Campaigns accepted (every non-error submission).
     pub submitted: AtomicU64,
-    /// Campaigns actually simulated by a worker.
+    /// Campaigns actually simulated by this process's workers.
     pub executed: AtomicU64,
     /// Submissions served from the in-memory done map or the disk store.
     pub cache_hits: AtomicU64,
@@ -103,6 +141,10 @@ pub struct Counters {
     /// Jobs recovered from the journal at startup (requeued or resolved
     /// from the disk store).
     pub replayed: AtomicU64,
+    /// Individual cells simulated by this process's workers.
+    pub cells_executed: AtomicU64,
+    /// Cells restored from journal records at startup instead of re-run.
+    pub cells_replayed: AtomicU64,
 }
 
 impl Counters {
@@ -118,23 +160,163 @@ impl Counters {
             .set("failed", get(&self.failed))
             .set("rejected", get(&self.rejected))
             .set("replayed", get(&self.replayed))
+            .set("cells_executed", get(&self.cells_executed))
+            .set("cells_replayed", get(&self.cells_replayed))
     }
+}
+
+/// The execution state of a not-yet-finished job. Dropped on completion
+/// so finished jobs don't pin plans or report sets in memory.
+struct Work {
+    plan: Arc<CampaignPlan>,
+    /// One slot per planned cell; filled as cells complete (in any
+    /// order — workers race, replay pre-fills).
+    slots: Vec<Option<SimReport>>,
+    /// Claim cursor: every slot before it is claimed or filled. Monotonic.
+    cursor: usize,
+    /// Slots handed to a worker or pre-filled by replay.
+    claimed: usize,
+    /// Completed cells (executed here or replayed).
+    done: usize,
+    /// Cells currently being simulated by a worker.
+    in_flight: usize,
 }
 
 struct Job {
     /// Campaign name, kept for status responses after completion.
     name: String,
-    /// The expanded campaign, taken by the worker that runs it (and absent
-    /// for disk-cache hits) so finished jobs don't pin whole grids in
-    /// memory.
-    campaign: Option<Campaign>,
+    /// Submitter key, for fair queueing and the per-tenant counters.
+    tenant: String,
+    /// Weighted-round-robin quantum.
+    priority: u64,
+    /// Planned cells (fixed at submission).
+    cells_total: usize,
+    /// Completed cells; mirrors `work` while running, stays at total
+    /// after completion.
+    cells_done: usize,
     status: JobStatus,
+    work: Option<Work>,
+}
+
+/// One tenant's ready queue (campaign digests with unclaimed cells).
+struct TenantQueue {
+    key: String,
+    ready: VecDeque<String>,
+    served_cells: u64,
 }
 
 #[derive(Default)]
 struct State {
-    queue: VecDeque<String>,
     jobs: HashMap<String, Job>,
+    /// Tenants in first-seen order; the round-robin universe.
+    tenants: Vec<TenantQueue>,
+    /// Round-robin cursor over `tenants`.
+    rr_pos: usize,
+    /// Cells left in the current tenant's quantum (0 = refresh on next
+    /// claim from it).
+    rr_credits: u64,
+}
+
+impl State {
+    /// Campaigns currently holding a ready-queue slot (the 429 gauge).
+    fn ready_campaigns(&self) -> usize {
+        self.tenants.iter().map(|t| t.ready.len()).sum()
+    }
+
+    fn enqueue(&mut self, tenant: &str, digest: String) {
+        match self.tenants.iter_mut().find(|t| t.key == tenant) {
+            Some(t) => t.ready.push_back(digest),
+            None => self.tenants.push(TenantQueue {
+                key: tenant.to_string(),
+                ready: VecDeque::from([digest]),
+                served_cells: 0,
+            }),
+        }
+    }
+}
+
+/// What a worker pulled from the ready queue.
+struct Claim {
+    digest: String,
+    /// Flat index into the plan's job list.
+    flat: usize,
+    plan: Arc<CampaignPlan>,
+    /// Whether this claim moved the job from queued to running (first
+    /// cell claimed — the `started` journal record).
+    first: bool,
+}
+
+/// Claims the next cell under weighted round-robin over tenants.
+///
+/// Each visit to a tenant grants up to `priority` consecutive cells from
+/// its front campaign before the cursor advances; idle tenants are
+/// skipped without consuming their quantum. Within a tenant, campaigns
+/// are FIFO; within a campaign, cells are claimed in flat plan order
+/// (skipping slots pre-filled by journal replay).
+fn claim_cell(state: &mut State) -> Option<Claim> {
+    let n = state.tenants.len();
+    for _ in 0..n {
+        let ti = state.rr_pos % n;
+        // Try this tenant's front campaigns (popping exhausted ones).
+        let claim = loop {
+            let Some(digest) = state.tenants[ti].ready.front().cloned() else {
+                break None;
+            };
+            let job = state.jobs.get_mut(&digest).expect("ready digest has a job");
+            let work = job.work.as_mut().expect("ready job has work");
+            while work.cursor < work.slots.len() && work.slots[work.cursor].is_some() {
+                work.cursor += 1;
+            }
+            if work.cursor >= work.slots.len() {
+                // Every cell is claimed or filled: out of the ready queue.
+                state.tenants[ti].ready.pop_front();
+                continue;
+            }
+            let flat = work.cursor;
+            work.cursor += 1;
+            while work.cursor < work.slots.len() && work.slots[work.cursor].is_some() {
+                work.cursor += 1;
+            }
+            work.claimed += 1;
+            work.in_flight += 1;
+            let first = matches!(job.status, JobStatus::Queued);
+            if first {
+                job.status = JobStatus::Running;
+            }
+            let plan = Arc::clone(&work.plan);
+            let priority = job.priority;
+            if work.cursor >= work.slots.len() {
+                state.tenants[ti].ready.pop_front();
+            }
+            break Some((
+                Claim {
+                    digest,
+                    flat,
+                    plan,
+                    first,
+                },
+                priority,
+            ));
+        };
+        match claim {
+            Some((claim, priority)) => {
+                if state.rr_credits == 0 {
+                    state.rr_credits = priority.max(1);
+                }
+                state.rr_credits -= 1;
+                if state.rr_credits == 0 {
+                    state.rr_pos = (ti + 1) % n;
+                }
+                return Some(claim);
+            }
+            None => {
+                // Idle tenant: move on without consuming a quantum.
+                state.rr_pos = (ti + 1) % n;
+                state.rr_credits = 0;
+            }
+        }
+    }
+    None
 }
 
 struct Inner {
@@ -142,7 +324,6 @@ struct Inner {
     work_ready: Condvar,
     job_finished: Condvar,
     queue_cap: usize,
-    sim_threads: usize,
     store: Option<ResultStore>,
     journal: Option<Journal>,
     counters: Counters,
@@ -155,30 +336,30 @@ struct Inner {
     shutdown: AtomicBool,
 }
 
-/// The campaign scheduler: owns the queue, the status map, and the worker
-/// pool. Cloneable handle semantics come from wrapping it in an `Arc` at
-/// the server layer.
+/// The campaign scheduler: owns the ready queues, the status map, and the
+/// worker pool. Cloneable handle semantics come from wrapping it in an
+/// `Arc` at the server layer.
 pub struct Scheduler {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Scheduler {
-    /// Starts a scheduler with `workers` worker threads, a queue bounded at
-    /// `queue_cap`, `sim_threads` simulation threads per job, an optional
-    /// on-disk result store, and an optional crash-safe journal.
+    /// Starts a scheduler with `workers` cell-worker threads, a ready
+    /// queue bounded at `queue_cap` campaigns, an optional on-disk result
+    /// store, and an optional crash-safe journal.
     ///
     /// Unfinished journal entries are replayed before the workers start:
     /// digests already resolvable from `store` are inserted as done,
     /// everything else is requeued (ignoring `queue_cap` — journaled work
-    /// was already accepted once), and the journal is compacted.
+    /// was already accepted once) with its journaled cells pre-filled,
+    /// and the journal is compacted.
     ///
     /// `workers == 0` is permitted (jobs queue but never run) — useful for
     /// deterministic backpressure tests; the CLI clamps to ≥ 1.
     pub fn start(
         workers: usize,
         queue_cap: usize,
-        sim_threads: usize,
         store: Option<ResultStore>,
         mut journal: Option<Journal>,
     ) -> Self {
@@ -191,7 +372,6 @@ impl Scheduler {
             work_ready: Condvar::new(),
             job_finished: Condvar::new(),
             queue_cap: queue_cap.max(1),
-            sim_threads: sim_threads.max(1),
             store,
             journal,
             counters: Counters::default(),
@@ -221,16 +401,40 @@ impl Scheduler {
         }
     }
 
-    /// Submits a campaign.
+    /// Submits a campaign for the default tenant at baseline priority.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Invalid`] on validation failure, [`SubmitError::Busy`]
     /// when the queue is full.
     pub fn submit(&self, campaign: Campaign) -> Result<Submission, SubmitError> {
+        self.submit_as(campaign, DEFAULT_TENANT, 1)
+    }
+
+    /// Submits a campaign under a tenant key with a weighted-round-robin
+    /// `priority` (clamped to `1..=`[`MAX_PRIORITY`]). The tenant and
+    /// priority bind to the *first* submission of a digest; coalescing
+    /// resubmissions attach without changing them.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] on validation failure, [`SubmitError::Busy`]
+    /// when the queue is full.
+    pub fn submit_as(
+        &self,
+        campaign: Campaign,
+        tenant: &str,
+        priority: u64,
+    ) -> Result<Submission, SubmitError> {
         campaign.validate().map_err(SubmitError::Invalid)?;
         let digest = campaign.digest();
         let c = &self.inner.counters;
+        let tenant = if tenant.is_empty() {
+            DEFAULT_TENANT
+        } else {
+            tenant
+        };
+        let priority = priority.clamp(1, MAX_PRIORITY);
 
         // Fast path: the digest is already known in this process.
         {
@@ -240,9 +444,10 @@ impl Scheduler {
             }
         }
 
-        // First sighting — probe the disk store WITHOUT holding the lock
-        // (the load reads and decodes a potentially large artifact; status
-        // polls and other submissions must not stall behind it).
+        // First sighting — expand the plan and probe the disk store
+        // WITHOUT holding the lock (both touch potentially large data;
+        // status polls and other submissions must not stall behind them).
+        let plan = plan_campaign(&campaign.name, &campaign.panels).map_err(SubmitError::Invalid)?;
         let disk_hit = match &self.inner.store {
             None => None,
             Some(store) => match store.load(&digest) {
@@ -262,14 +467,19 @@ impl Scheduler {
             return Ok(hit);
         }
 
+        let total = plan.job_count();
         if let Some(result) = disk_hit {
             let status = JobStatus::Done(Arc::new(result));
             state.jobs.insert(
                 digest.clone(),
                 Job {
                     name: campaign.name,
-                    campaign: None,
+                    tenant: tenant.to_string(),
+                    priority,
+                    cells_total: total,
+                    cells_done: total,
                     status: status.clone(),
+                    work: None,
                 },
             );
             c.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +492,7 @@ impl Scheduler {
             });
         }
 
-        if state.queue.len() >= self.inner.queue_cap {
+        if state.ready_campaigns() >= self.inner.queue_cap {
             c.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy {
                 queue_cap: self.inner.queue_cap,
@@ -292,20 +502,32 @@ impl Scheduler {
         // write this digest's `started` record before its `submitted`
         // record exists.
         if let Some(journal) = &self.inner.journal {
-            journal.record_submitted(&digest, &campaign);
+            journal.record_submitted(&digest, &campaign, tenant, priority);
         }
         state.jobs.insert(
             digest.clone(),
             Job {
                 name: campaign.name.clone(),
-                campaign: Some(campaign),
+                tenant: tenant.to_string(),
+                priority,
+                cells_total: total,
+                cells_done: 0,
                 status: JobStatus::Queued,
+                work: Some(Work {
+                    plan: Arc::new(plan),
+                    slots: vec![None; total],
+                    cursor: 0,
+                    claimed: 0,
+                    done: 0,
+                    in_flight: 0,
+                }),
             },
         );
-        state.queue.push_back(digest.clone());
+        state.enqueue(tenant, digest.clone());
         c.submitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
-        self.inner.work_ready.notify_one();
+        // Many cells just became claimable: wake every worker.
+        self.inner.work_ready.notify_all();
         Ok(Submission {
             digest,
             status: JobStatus::Queued,
@@ -345,12 +567,56 @@ impl Scheduler {
             .map(|j| (j.name.clone(), j.status.clone()))
     }
 
+    /// Cell progress of a digest: `(done, total)`.
+    pub fn progress(&self, digest: &str) -> Option<(usize, usize)> {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        state
+            .jobs
+            .get(digest)
+            .map(|j| (j.cells_done, j.cells_total))
+    }
+
     /// The result of a digest, if the job is done.
     pub fn result(&self, digest: &str) -> Option<Arc<SweepResult>> {
         match self.status(digest) {
             Some((_, JobStatus::Done(result))) => Some(result),
             _ => None,
         }
+    }
+
+    /// The merged-so-far snapshot of a digest: the final artifact for a
+    /// done job, or the longest computable row prefix for a queued or
+    /// running one (merged outside the scheduler lock). `None` for
+    /// unknown digests and failed jobs.
+    pub fn partial(&self, digest: &str) -> Option<Partial> {
+        let (plan, slots, done, total) = {
+            let state = self.inner.state.lock().expect("scheduler lock");
+            let job = state.jobs.get(digest)?;
+            match (&job.status, &job.work) {
+                (JobStatus::Done(result), _) => {
+                    return Some(Partial {
+                        result: Arc::clone(result),
+                        done: job.cells_done,
+                        total: job.cells_total,
+                        complete: true,
+                    })
+                }
+                (JobStatus::Failed(_), _) | (_, None) => return None,
+                (_, Some(work)) => (
+                    Arc::clone(&work.plan),
+                    work.slots.clone(),
+                    work.done,
+                    job.cells_total,
+                ),
+            }
+        };
+        let result = plan.merge_prefix(&slots).ok()?;
+        Some(Partial {
+            result: Arc::new(result),
+            done,
+            total,
+            complete: false,
+        })
     }
 
     /// Blocks until the job for `digest` leaves the queued/running states,
@@ -385,10 +651,36 @@ impl Scheduler {
         &self.inner.counters
     }
 
-    /// Queue occupancy and capacity, for status output.
+    /// Ready-queue occupancy and capacity (campaigns with unclaimed
+    /// cells), for status output and backpressure.
     pub fn queue_depth(&self) -> (usize, usize) {
         let state = self.inner.state.lock().expect("scheduler lock");
-        (state.queue.len(), self.inner.queue_cap)
+        (state.ready_campaigns(), self.inner.queue_cap)
+    }
+
+    /// Cell-level queue state: `(unclaimed, in_flight)` summed over every
+    /// unfinished job.
+    pub fn cell_depth(&self) -> (usize, usize) {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        let mut unclaimed = 0;
+        let mut in_flight = 0;
+        for job in state.jobs.values() {
+            if let Some(work) = &job.work {
+                unclaimed += work.slots.len() - work.claimed;
+                in_flight += work.in_flight;
+            }
+        }
+        (unclaimed, in_flight)
+    }
+
+    /// Per-tenant served-cell counters, in first-seen order.
+    pub fn tenants(&self) -> Vec<(String, u64)> {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        state
+            .tenants
+            .iter()
+            .map(|t| (t.key.clone(), t.served_cells))
+            .collect()
     }
 
     /// Worker occupancy: `(busy, total)`.
@@ -400,7 +692,7 @@ impl Scheduler {
     }
 
     /// Aggregate simulation telemetry since startup:
-    /// `(instructions, wall_seconds)` summed over executed jobs.
+    /// `(instructions, wall_seconds)` summed over executed cells.
     pub fn sim_totals(&self) -> (u64, f64) {
         (
             self.inner.sim_instructions.load(Ordering::Relaxed),
@@ -413,7 +705,7 @@ impl Scheduler {
         self.inner.store.as_ref()
     }
 
-    /// Stops the workers after their current job and joins them.
+    /// Stops the workers after their current cell and joins them.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work_ready.notify_all();
@@ -424,16 +716,33 @@ impl Scheduler {
 }
 
 /// Re-inserts journaled jobs at startup: store hits become done jobs,
-/// the rest requeue (in original submission order), and the journal is
-/// compacted down to the requeued survivors.
-fn replay_pending(inner: &Inner, pending: Vec<crate::journal::PendingJob>) {
-    let mut survivors: Vec<(String, Campaign)> = Vec::new();
+/// the rest requeue (in original submission order) with their journaled
+/// cells pre-filled, and the journal is compacted down to the requeued
+/// survivors. A job whose every cell was journaled is merged and marked
+/// done without touching a worker.
+fn replay_pending(inner: &Inner, pending: Vec<PendingJob>) {
+    let mut survivors: Vec<PendingJob> = Vec::new();
     let mut state = inner.state.lock().expect("scheduler lock");
     for job in pending {
         if state.jobs.contains_key(&job.digest) {
             continue;
         }
         inner.counters.replayed.fetch_add(1, Ordering::Relaxed);
+        let plan = match plan_campaign(&job.campaign.name, &job.campaign.panels) {
+            Ok(plan) => plan,
+            Err(e) => {
+                // Validation passed when the job was first accepted, so
+                // this is a code/journal version skew: drop, don't die.
+                eprintln!("serve: dropping journaled job {}: {e}", job.digest);
+                continue;
+            }
+        };
+        let total = plan.job_count();
+        let tenant = if job.tenant.is_empty() {
+            DEFAULT_TENANT.to_string()
+        } else {
+            job.tenant.clone()
+        };
         let disk_hit = inner
             .store
             .as_ref()
@@ -445,22 +754,88 @@ fn replay_pending(inner: &Inner, pending: Vec<crate::journal::PendingJob>) {
                 job.digest,
                 Job {
                     name: job.campaign.name,
-                    campaign: None,
+                    tenant,
+                    priority: job.priority.max(1),
+                    cells_total: total,
+                    cells_done: total,
                     status: JobStatus::Done(Arc::new(result)),
+                    work: None,
                 },
             );
             continue;
         }
+
+        let mut slots: Vec<Option<SimReport>> = vec![None; total];
+        let mut filled = 0usize;
+        for (index, report) in &job.cells {
+            // Out-of-range indices mean the plan shape changed across
+            // versions; the stale cells are ignored and re-run.
+            if *index < total && slots[*index].is_none() {
+                slots[*index] = Some(report.clone());
+                filled += 1;
+            }
+        }
+        inner
+            .counters
+            .cells_replayed
+            .fetch_add(filled as u64, Ordering::Relaxed);
+
+        if filled == total {
+            // Every cell was journaled — the process died between the
+            // last cell record and the artifact/done record. Merge now.
+            let reports: Vec<SimReport> =
+                slots.into_iter().map(|s| s.expect("filled slot")).collect();
+            let (status, name) = match plan.merge_cells(&reports) {
+                Ok(result) => {
+                    if let Some(store) = &inner.store {
+                        if let Err(e) = store.store(&job.digest, &result) {
+                            eprintln!("serve: failed to persist {}: {e}", job.digest);
+                        }
+                    }
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    (JobStatus::Done(Arc::new(result)), job.campaign.name)
+                }
+                Err(e) => {
+                    inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    (JobStatus::Failed(e), job.campaign.name)
+                }
+            };
+            state.jobs.insert(
+                job.digest,
+                Job {
+                    name,
+                    tenant,
+                    priority: job.priority.max(1),
+                    cells_total: total,
+                    cells_done: total,
+                    status,
+                    work: None,
+                },
+            );
+            continue;
+        }
+
         state.jobs.insert(
             job.digest.clone(),
             Job {
                 name: job.campaign.name.clone(),
-                campaign: Some(job.campaign.clone()),
+                tenant: tenant.clone(),
+                priority: job.priority.max(1),
+                cells_total: total,
+                cells_done: filled,
                 status: JobStatus::Queued,
+                work: Some(Work {
+                    plan: Arc::new(plan),
+                    slots,
+                    cursor: 0,
+                    claimed: filled,
+                    done: filled,
+                    in_flight: 0,
+                }),
             },
         );
-        state.queue.push_back(job.digest.clone());
-        survivors.push((job.digest, job.campaign));
+        state.enqueue(&tenant, job.digest.clone());
+        survivors.push(job);
     }
     drop(state);
     if let Some(journal) = &inner.journal {
@@ -472,80 +847,113 @@ fn replay_pending(inner: &Inner, pending: Vec<crate::journal::PendingJob>) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let (digest, campaign) = {
+        let claim = {
             let mut state = inner.state.lock().expect("scheduler lock");
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(digest) = state.queue.pop_front() {
-                    let job = state.jobs.get_mut(&digest).expect("queued job exists");
-                    job.status = JobStatus::Running;
-                    // Take (not clone) the campaign: once the job finishes,
-                    // only its name and result stay resident.
-                    let campaign = job.campaign.take().expect("queued job has its campaign");
-                    break (digest, campaign);
+                if let Some(claim) = claim_cell(&mut state) {
+                    break claim;
                 }
                 state = inner.work_ready.wait(state).expect("scheduler lock");
             }
         };
 
         inner.busy_workers.fetch_add(1, Ordering::Relaxed);
-        if let Some(journal) = &inner.journal {
-            journal.record_started(&digest);
-        }
-        // Capture the throughput telemetry before stripping it: the stored
-        // artifact stays deterministic, but the aggregate Minst/s survives
-        // in the metrics counters.
-        let outcome =
-            engine::run_all(&campaign.name, &campaign.panels, inner.sim_threads).map(|result| {
-                if let Some(t) = &result.throughput {
-                    inner
-                        .sim_instructions
-                        .fetch_add(t.instructions, Ordering::Relaxed);
-                    inner
-                        .sim_wall_nanos
-                        .fetch_add((t.wall_seconds * 1e9) as u64, Ordering::Relaxed);
-                }
-                result.stripped()
-            });
-        inner.counters.executed.fetch_add(1, Ordering::Relaxed);
-
-        let (status, ok) = match outcome {
-            Ok(result) => {
-                if let Some(store) = &inner.store {
-                    if let Err(e) = store.store(&digest, &result) {
-                        eprintln!("serve: failed to persist {digest}: {e}");
-                    }
-                }
-                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                (JobStatus::Done(Arc::new(result)), true)
+        if claim.first {
+            if let Some(journal) = &inner.journal {
+                journal.record_started(&claim.digest);
             }
-            Err(e) => {
-                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                (JobStatus::Failed(e), false)
+        }
+
+        let cell = &claim.plan.jobs()[claim.flat];
+        let started = std::time::Instant::now();
+        let report = cell.run();
+        let wall = started.elapsed();
+        inner
+            .sim_instructions
+            .fetch_add(cell.instructions, Ordering::Relaxed);
+        inner
+            .sim_wall_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        inner
+            .counters
+            .cells_executed
+            .fetch_add(1, Ordering::Relaxed);
+        // Journal the cell BEFORE the in-memory bookkeeping: a crash in
+        // between re-executes this one cell, and the duplicate record is
+        // deduplicated at replay (reports are bit-identical anyway).
+        if let Some(journal) = &inner.journal {
+            journal.record_cell(&claim.digest, claim.flat, &report);
+        }
+
+        let finished: Option<Work> = {
+            let mut guard = inner.state.lock().expect("scheduler lock");
+            let state = &mut *guard;
+            let job = state
+                .jobs
+                .get_mut(&claim.digest)
+                .expect("claimed job exists");
+            let work = job.work.as_mut().expect("claimed job has work");
+            work.slots[claim.flat] = Some(report);
+            work.done += 1;
+            work.in_flight -= 1;
+            job.cells_done = work.done;
+            if let Some(t) = state.tenants.iter_mut().find(|t| t.key == job.tenant) {
+                t.served_cells += 1;
+            }
+            if work.done == work.slots.len() {
+                // Last cell in: take the work out and merge off-lock.
+                job.work.take()
+            } else {
+                None
             }
         };
 
-        let mut state = inner.state.lock().expect("scheduler lock");
-        state
-            .jobs
-            .get_mut(&digest)
-            .expect("running job exists")
-            .status = status;
-        drop(state);
-        if let Some(journal) = &inner.journal {
-            journal.record_done(&digest, ok);
+        if let Some(work) = finished {
+            let reports: Vec<SimReport> = work
+                .slots
+                .into_iter()
+                .map(|s| s.expect("finished job has every report"))
+                .collect();
+            let outcome = work.plan.merge_cells(&reports);
+            inner.counters.executed.fetch_add(1, Ordering::Relaxed);
+            let (status, ok) = match outcome {
+                Ok(result) => {
+                    if let Some(store) = &inner.store {
+                        if let Err(e) = store.store(&claim.digest, &result) {
+                            eprintln!("serve: failed to persist {}: {e}", claim.digest);
+                        }
+                    }
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    (JobStatus::Done(Arc::new(result)), true)
+                }
+                Err(e) => {
+                    inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    (JobStatus::Failed(e), false)
+                }
+            };
+            let mut state = inner.state.lock().expect("scheduler lock");
+            state
+                .jobs
+                .get_mut(&claim.digest)
+                .expect("finished job exists")
+                .status = status;
+            drop(state);
+            if let Some(journal) = &inner.journal {
+                journal.record_done(&claim.digest, ok);
+            }
+            inner.job_finished.notify_all();
         }
         inner.busy_workers.fetch_sub(1, Ordering::Relaxed);
-        inner.job_finished.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pythia_sweep::{ConfigPoint, SweepSpec};
+    use pythia_sweep::{engine, ConfigPoint, SweepSpec};
     use pythia_workloads::all_suites;
     use std::time::Duration;
 
@@ -562,6 +970,23 @@ mod tests {
         )
     }
 
+    /// A campaign with `seeds` replications — `2 * seeds` cells (baseline
+    /// + measured per seed), for exercising cell-level interleaving.
+    fn seeded_campaign(tag: &str, measure: u64, seeds: u64) -> Campaign {
+        let w = all_suites()
+            .into_iter()
+            .find(|w| w.name == "429.mcf-184B")
+            .expect("known workload");
+        let seeds: Vec<u64> = (0..seeds).collect();
+        Campaign::single(
+            SweepSpec::new(tag)
+                .with_workloads([w])
+                .with_prefetchers(&["stride"])
+                .with_config(ConfigPoint::single_core("base", 1_000, measure))
+                .with_seeds(&seeds),
+        )
+    }
+
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "pythia-sched-{tag}-{}-{:?}",
@@ -574,7 +999,7 @@ mod tests {
 
     #[test]
     fn submit_run_and_memory_cache_hit() {
-        let s = Scheduler::start(1, 8, 1, None, None);
+        let s = Scheduler::start(1, 8, None, None);
         let campaign = tiny_campaign("sched-basic", 4_000);
         let sub = s.submit(campaign.clone()).expect("accepted");
         assert!(!sub.cached);
@@ -582,14 +1007,16 @@ mod tests {
             .wait(&sub.digest, Duration::from_secs(60))
             .expect("finishes");
         assert!(matches!(done, JobStatus::Done(_)));
+        assert_eq!(s.progress(&sub.digest), Some((2, 2)), "baseline + cell");
 
         let again = s.submit(campaign).expect("accepted");
         assert!(again.cached, "second submission hits the done map");
         assert!(matches!(again.status, JobStatus::Done(_)));
         assert_eq!(s.counters().executed.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters().cells_executed.load(Ordering::Relaxed), 2);
         assert_eq!(s.counters().cache_hits.load(Ordering::Relaxed), 1);
         let (instructions, wall) = s.sim_totals();
-        assert!(instructions > 0, "telemetry captured before stripping");
+        assert!(instructions > 0, "per-cell telemetry captured");
         assert!(wall > 0.0);
         s.shutdown();
     }
@@ -599,7 +1026,7 @@ mod tests {
         // One worker pinned down by a blocker job makes coalescing
         // deterministic: the second identical submission arrives while the
         // target job is still queued.
-        let s = Scheduler::start(1, 8, 1, None, None);
+        let s = Scheduler::start(1, 8, None, None);
         let blocker = s
             .submit(tiny_campaign("sched-blocker", 30_000))
             .expect("accepted");
@@ -626,7 +1053,7 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_busy() {
         // No workers: nothing ever drains, so occupancy is exact.
-        let s = Scheduler::start(0, 2, 1, None, None);
+        let s = Scheduler::start(0, 2, None, None);
         s.submit(tiny_campaign("bp-1", 4_000)).expect("slot 1");
         s.submit(tiny_campaign("bp-2", 4_000)).expect("slot 2");
         let err = s.submit(tiny_campaign("bp-3", 4_000)).unwrap_err();
@@ -635,12 +1062,16 @@ mod tests {
         // A coalescing resubmission still works when the queue is full.
         let again = s.submit(tiny_campaign("bp-1", 4_000)).expect("coalesces");
         assert!(again.coalesced);
+        // Cell-level gauges see the queued-but-unclaimed cells.
+        let (unclaimed, in_flight) = s.cell_depth();
+        assert_eq!(unclaimed, 4, "two campaigns x (baseline + cell)");
+        assert_eq!(in_flight, 0);
         s.shutdown();
     }
 
     #[test]
     fn invalid_campaigns_are_rejected_up_front() {
-        let s = Scheduler::start(0, 2, 1, None, None);
+        let s = Scheduler::start(0, 2, None, None);
         let invalid = Campaign::single(SweepSpec::new("empty"));
         match s.submit(invalid).unwrap_err() {
             SubmitError::Invalid(msg) => assert!(msg.contains("no work units"), "{msg}"),
@@ -648,6 +1079,128 @@ mod tests {
         }
         assert!(s.status("0123456789abcdef").is_none());
         s.shutdown();
+    }
+
+    #[test]
+    fn weighted_round_robin_interleaves_tenants_cell_by_cell() {
+        // No workers: claim synthetically and observe the schedule.
+        let s = Scheduler::start(0, 8, None, None);
+        let big = seeded_campaign("wrr-big", 4_000, 6); // 12 cells
+        let small = seeded_campaign("wrr-small", 4_000, 2); // 4 cells
+        let big_digest = big.digest();
+        let small_digest = small.digest();
+        s.submit_as(big, "alice", 1).expect("accepted");
+        s.submit_as(small, "bob", 1).expect("accepted");
+
+        let mut order = Vec::new();
+        {
+            let mut state = s.inner.state.lock().expect("lock");
+            while let Some(claim) = claim_cell(&mut state) {
+                order.push(claim.digest);
+            }
+        }
+        assert_eq!(order.len(), 16, "every cell of both campaigns claimed");
+        // Equal priorities alternate strictly until bob runs dry.
+        let expected: Vec<&String> = [&big_digest, &small_digest]
+            .into_iter()
+            .cycle()
+            .take(8)
+            .collect();
+        assert_eq!(order[..8].iter().collect::<Vec<_>>(), expected);
+        assert!(order[8..].iter().all(|d| d == &big_digest));
+        s.shutdown();
+    }
+
+    #[test]
+    fn priority_weights_the_quantum() {
+        let s = Scheduler::start(0, 8, None, None);
+        let heavy = seeded_campaign("prio-heavy", 4_000, 6); // 12 cells
+        let light = seeded_campaign("prio-light", 4_000, 6);
+        let heavy_digest = heavy.digest();
+        s.submit_as(heavy, "alice", 3).expect("accepted");
+        s.submit_as(light, "bob", 1).expect("accepted");
+
+        let mut order = Vec::new();
+        {
+            let mut state = s.inner.state.lock().expect("lock");
+            for _ in 0..8 {
+                order.push(claim_cell(&mut state).expect("cells left").digest);
+            }
+        }
+        // Priority 3 vs 1: alice gets 3 cells per visit, bob 1.
+        let alice_share = order.iter().filter(|d| **d == heavy_digest).count();
+        assert_eq!(alice_share, 6, "3:1 quantum over 8 claims");
+        s.shutdown();
+    }
+
+    #[test]
+    fn mid_campaign_kill_and_replay_resumes_only_unfinished_cells() {
+        let dir = tmp_dir("cell-replay");
+        let journal_path = dir.join("journal.jsonl");
+        let store_dir = dir.join("cache");
+        let campaign = seeded_campaign("cell-replay", 4_000, 4); // 8 cells
+        let digest = campaign.digest();
+        let direct = engine::run_all(&campaign.name, &campaign.panels, 1)
+            .expect("direct run")
+            .stripped();
+
+        // Phase 1: run with one worker and stop mid-campaign ("kill"):
+        // shutdown() lets the in-flight cell finish, then the process is
+        // gone — no `done` record, some `cell` records.
+        let phase1_cells = {
+            let store = ResultStore::open(&store_dir).expect("store");
+            let journal = Journal::open(&journal_path).expect("journal");
+            let s = Scheduler::start(1, 8, Some(store), Some(journal));
+            s.submit(campaign.clone()).expect("accepted");
+            // Wait until at least two cells completed, then pull the plug.
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            loop {
+                let (done, _) = s.progress(&digest).expect("known digest");
+                if done >= 2 {
+                    break;
+                }
+                assert!(std::time::Instant::now() < deadline, "no progress");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Keep the counters alive past shutdown(), which consumes `s`.
+            let inner = Arc::clone(&s.inner);
+            s.shutdown();
+            inner.counters.cells_executed.load(Ordering::Relaxed)
+        };
+        assert!(phase1_cells >= 2, "phase 1 made progress");
+        assert!(phase1_cells < 8, "phase 1 was killed mid-campaign");
+
+        // Phase 2: restart on the same dirs. Only the remaining cells
+        // may execute; the final artifact is byte-identical to a direct
+        // monolithic run.
+        {
+            let store = ResultStore::open(&store_dir).expect("store");
+            let journal = Journal::open(&journal_path).expect("journal");
+            let s = Scheduler::start(1, 8, Some(store), Some(journal));
+            assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 1);
+            assert_eq!(
+                s.counters().cells_replayed.load(Ordering::Relaxed),
+                phase1_cells,
+                "every journaled cell restored, none lost"
+            );
+            let done = s
+                .wait(&digest, Duration::from_secs(120))
+                .expect("resumed job finishes");
+            assert!(matches!(done, JobStatus::Done(_)));
+            assert_eq!(
+                s.counters().cells_executed.load(Ordering::Relaxed),
+                8 - phase1_cells,
+                "only the unfinished cells re-executed"
+            );
+            let resumed = s.result(&digest).expect("result");
+            assert_eq!(
+                resumed.to_json().render_pretty(),
+                direct.to_json().render_pretty(),
+                "resumed result matches a direct run byte-for-byte"
+            );
+            s.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -665,7 +1218,7 @@ mod tests {
         {
             let store = ResultStore::open(&store_dir).expect("store");
             let journal = Journal::open(&journal_path).expect("journal");
-            let s = Scheduler::start(0, 8, 1, Some(store), Some(journal));
+            let s = Scheduler::start(0, 8, Some(store), Some(journal));
             s.submit(a.clone()).expect("accepted");
             s.submit(b.clone()).expect("accepted");
             s.shutdown();
@@ -680,7 +1233,7 @@ mod tests {
         {
             let store = ResultStore::open(&store_dir).expect("store");
             let journal = Journal::open(&journal_path).expect("journal");
-            let s = Scheduler::start(1, 8, 1, Some(store), Some(journal));
+            let s = Scheduler::start(1, 8, Some(store), Some(journal));
             assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 2);
             for c in [&a, &b] {
                 let done = s
@@ -706,7 +1259,7 @@ mod tests {
         {
             let store = ResultStore::open(&store_dir).expect("store");
             let journal = Journal::open(&journal_path).expect("journal");
-            let s = Scheduler::start(1, 8, 1, Some(store), Some(journal));
+            let s = Scheduler::start(1, 8, Some(store), Some(journal));
             assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 0);
             let sub = s.submit(a.clone()).expect("accepted");
             assert!(sub.cached, "resubmission hits the disk store");
@@ -732,11 +1285,11 @@ mod tests {
         store.store(&a.digest(), &result).expect("persist");
         {
             let journal = Journal::open(&journal_path).expect("journal");
-            journal.record_submitted(&a.digest(), &a);
+            journal.record_submitted(&a.digest(), &a, DEFAULT_TENANT, 1);
         }
 
         let journal = Journal::open(&journal_path).expect("journal");
-        let s = Scheduler::start(0, 8, 1, Some(store), Some(journal));
+        let s = Scheduler::start(0, 8, Some(store), Some(journal));
         assert_eq!(s.counters().replayed.load(Ordering::Relaxed), 1);
         // Resolved from the store without a worker (there are none).
         assert!(s.result(&a.digest()).is_some());
@@ -747,5 +1300,65 @@ mod tests {
         assert!(text.is_empty(), "compacted journal is empty: {text:?}");
         s.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_merges_are_monotonic_prefixes_of_the_final_result() {
+        // No workers: fill cells via synthetic claims so every partial
+        // state is deterministic.
+        let s = Scheduler::start(0, 8, None, None);
+        let campaign = seeded_campaign("partial", 4_000, 3); // 6 cells
+        let digest = campaign.digest();
+        s.submit(campaign.clone()).expect("accepted");
+
+        let direct = engine::run_all(&campaign.name, &campaign.panels, 1)
+            .expect("direct")
+            .stripped();
+
+        let empty = s.partial(&digest).expect("known digest");
+        assert_eq!((empty.done, empty.total), (0, 6));
+        assert!(!empty.complete);
+        assert!(empty.result.baselines.is_empty() && empty.result.cells.is_empty());
+
+        // Complete cells one at a time (in plan order) and check each
+        // partial is a prefix of the final rows with monotonic progress.
+        let mut last_rows = 0usize;
+        for step in 0..6usize {
+            let (flat, plan) = {
+                let mut state = s.inner.state.lock().expect("lock");
+                let claim = claim_cell(&mut state).expect("cells left");
+                (claim.flat, claim.plan)
+            };
+            let report = plan.jobs()[flat].run();
+            {
+                let mut guard = s.inner.state.lock().expect("lock");
+                let state = &mut *guard;
+                let job = state.jobs.get_mut(&digest).expect("job");
+                let work = job.work.as_mut().expect("work");
+                work.slots[flat] = Some(report);
+                work.done += 1;
+                work.in_flight -= 1;
+                job.cells_done = work.done;
+            }
+            let partial = s.partial(&digest).expect("known digest");
+            assert_eq!(partial.done, step + 1, "progress is monotonic");
+            let rows = partial.result.baselines.len() + partial.result.cells.len();
+            assert!(rows >= last_rows, "rows never regress");
+            last_rows = rows;
+            assert_eq!(
+                partial.result.baselines[..],
+                direct.baselines[..partial.result.baselines.len()],
+                "baselines are a prefix of the final artifact"
+            );
+            assert_eq!(
+                partial.result.cells[..],
+                direct.cells[..partial.result.cells.len()],
+                "cells are a prefix of the final artifact"
+            );
+        }
+        let full = s.partial(&digest).expect("known digest");
+        assert_eq!(full.done, 6);
+        assert_eq!(*full.result, direct, "full prefix equals the direct run");
+        s.shutdown();
     }
 }

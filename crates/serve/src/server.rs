@@ -3,15 +3,17 @@
 //! | Route | Meaning |
 //! |---|---|
 //! | `GET /figures` | figure-registry listing (id, title, panels, cells, digest) |
-//! | `POST /campaigns` | submit `{"figure": id}`, `{"spec": {...}}` or `{"campaign": {...}}` |
-//! | `GET /campaigns/<digest>` | job status + service counters |
+//! | `POST /campaigns` | submit `{"figure": id}`, `{"spec": {...}}` or `{"campaign": {...}}`, optionally with `"tenant"` and `"priority"` |
+//! | `GET /campaigns/<digest>` | job status, cell progress + service counters |
 //! | `GET /campaigns/<digest>/result?format=md\|json\|csv` | rendered result (ETag / If-None-Match aware) |
-//! | `GET /metrics` | queue depth, worker occupancy, store + connection counters, Minst/s |
+//! | `GET /campaigns/<digest>/result?partial=1` | merged-so-far prefix (`206`) or the final result (`200`), with `x-cells-done`/`x-cells-total` |
+//! | `GET /metrics` | queue + cell depth, worker occupancy, per-tenant served cells, store + connection counters, Minst/s |
 //!
 //! Submissions answer `200` when the digest is already done (cache hit),
 //! `202` when queued/running/coalesced, `429` when the bounded queue is
 //! full, and `400` for malformed or invalid campaigns. Results answer
-//! `409` while the job is still in flight, and `304` when the client's
+//! `409` while the job is still in flight (unless `partial=1` asks for
+//! the merged-so-far prefix), and `304` when the client's
 //! `If-None-Match` matches the digest-derived `ETag`.
 //!
 //! Connections are persistent: each handler thread loops over requests
@@ -30,17 +32,19 @@ use pythia_sweep::codec::{is_digest, Campaign};
 use pythia_sweep::ResultStore;
 
 use crate::http::{write_response, Request, RequestError, RequestReader, Response, IO_TIMEOUT};
-use crate::journal::Journal;
+use crate::journal::{Journal, DEFAULT_TENANT};
 use crate::scheduler::{JobStatus, Scheduler, SubmitError};
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing campaigns (0 allowed for tests).
+    /// Worker slots accepting campaigns (0 allowed for tests).
     pub workers: usize,
     /// Bounded job-queue capacity (backpressure threshold).
     pub queue_cap: usize,
-    /// Simulation threads each worker fans a campaign out over.
+    /// Simulation parallelism per worker slot. Cells are the scheduling
+    /// unit, so the service runs `workers * sim_threads` cell workers —
+    /// the same peak parallelism the pre-cell scheduler had.
     pub sim_threads: usize,
     /// On-disk result store directory (`None` = in-memory only).
     pub cache_dir: Option<std::path::PathBuf>,
@@ -171,9 +175,8 @@ impl Server {
         };
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let scheduler = Arc::new(Scheduler::start(
-            config.workers,
+            config.workers * config.sim_threads.max(1),
             config.queue_cap,
-            config.sim_threads,
             store,
             journal,
         ));
@@ -321,6 +324,7 @@ pub fn route(scheduler: &Scheduler, conns: &ConnStats, request: &Request) -> Res
             digest,
             request.query("format").unwrap_or("json"),
             request.header("if-none-match"),
+            request.query("partial") == Some("1"),
         ),
         ("POST", _) | ("GET", _) => error_response(404, "no such route"),
         _ => error_response(405, "method not allowed"),
@@ -351,11 +355,12 @@ fn figures_response() -> Response {
     Response::json(200, body.clone())
 }
 
-/// Builds the `/metrics` snapshot: queue, workers, scheduler counters,
-/// store occupancy, connection gauges, and aggregate simulation
-/// throughput (Minst/s).
+/// Builds the `/metrics` snapshot: queue, cell gauges, workers,
+/// scheduler counters, per-tenant served cells, store occupancy,
+/// connection gauges, and aggregate simulation throughput (Minst/s).
 fn metrics_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
     let (depth, cap) = scheduler.queue_depth();
+    let (cells_queued, cells_in_flight) = scheduler.cell_depth();
     let (busy, total) = scheduler.occupancy();
     let (instructions, wall_seconds) = scheduler.sim_totals();
     let minst_per_sec = if wall_seconds > 0.0 {
@@ -380,10 +385,24 @@ fn metrics_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
             obj
         }
     };
+    let counters = scheduler.counters();
+    let mut tenants = Json::obj();
+    for (key, served) in scheduler.tenants() {
+        tenants = tenants.set(&key, served);
+    }
     let body = Json::obj()
         .set("queue", Json::obj().set("depth", depth).set("cap", cap))
+        .set(
+            "cells",
+            Json::obj()
+                .set("queued", cells_queued)
+                .set("in_flight", cells_in_flight)
+                .set("executed", counters.cells_executed.load(Ordering::Relaxed))
+                .set("replayed", counters.cells_replayed.load(Ordering::Relaxed)),
+        )
         .set("workers", Json::obj().set("busy", busy).set("total", total))
-        .set("counters", scheduler.counters().to_json())
+        .set("counters", counters.to_json())
+        .set("tenants", tenants)
         .set("store", store)
         .set("connections", conns.to_json())
         .set(
@@ -400,9 +419,7 @@ fn metrics_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
 /// Decodes a submission body into a campaign: `{"figure": id}` resolves
 /// through the figure registry, `{"spec": {...}}` wraps one canonical
 /// spec, `{"campaign": {...}}` is the full canonical form.
-fn campaign_of(body: &[u8]) -> Result<Campaign, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
-    let json = parse(text)?;
+fn campaign_of(json: &Json) -> Result<Campaign, String> {
     match (json.get("figure"), json.get("spec"), json.get("campaign")) {
         (Some(fig), None, None) => {
             let id = fig.as_str().ok_or("\"figure\" must be a string")?;
@@ -417,19 +434,49 @@ fn campaign_of(body: &[u8]) -> Result<Campaign, String> {
     }
 }
 
+/// Decodes the optional scheduling fields of a submission body:
+/// `"tenant"` (submitter key for fair queueing, default `"default"`) and
+/// `"priority"` (weighted-round-robin quantum, clamped by the scheduler
+/// to `1..=`[`crate::scheduler::MAX_PRIORITY`]).
+fn submit_params(json: &Json) -> Result<(String, u64), String> {
+    let tenant = match json.get("tenant") {
+        None => DEFAULT_TENANT.to_string(),
+        Some(t) => t.as_str().ok_or("\"tenant\" must be a string")?.to_string(),
+    };
+    let priority = match json.get("priority") {
+        None => 1,
+        Some(p) => p
+            .as_u64()
+            .ok_or("\"priority\" must be a non-negative integer")?,
+    };
+    Ok((tenant, priority))
+}
+
 fn submit(scheduler: &Scheduler, body: &[u8]) -> Response {
-    let campaign = match campaign_of(body) {
+    let json = match std::str::from_utf8(body)
+        .map_err(|_| "body is not utf-8".to_string())
+        .and_then(parse)
+    {
+        Ok(json) => json,
+        Err(e) => return error_response(400, &e),
+    };
+    let campaign = match campaign_of(&json) {
         Ok(c) => c,
         Err(e) => return error_response(400, &e),
     };
+    let (tenant, priority) = match submit_params(&json) {
+        Ok(params) => params,
+        Err(e) => return error_response(400, &e),
+    };
     let name = campaign.name.clone();
-    match scheduler.submit(campaign) {
+    match scheduler.submit_as(campaign, &tenant, priority) {
         Ok(submission) => {
             let status = if matches!(submission.status, JobStatus::Done(_) | JobStatus::Failed(_)) {
                 200
             } else {
                 202
             };
+            let (done, total) = scheduler.progress(&submission.digest).unwrap_or((0, 0));
             Response::json(
                 status,
                 Json::obj()
@@ -438,6 +485,7 @@ fn submit(scheduler: &Scheduler, body: &[u8]) -> Response {
                     .set("status", submission.status.label())
                     .set("cached", submission.cached)
                     .set("coalesced", submission.coalesced)
+                    .set("cells", Json::obj().set("done", done).set("total", total))
                     .render_pretty(),
             )
         }
@@ -460,6 +508,7 @@ fn status(scheduler: &Scheduler, digest: &str) -> Response {
         None => error_response(404, &format!("unknown campaign {digest:?}")),
         Some((name, job_status)) => {
             let (queued, queue_cap) = scheduler.queue_depth();
+            let (done, total) = scheduler.progress(digest).unwrap_or((0, 0));
             let mut out = Json::obj()
                 .set("digest", digest)
                 .set("name", name)
@@ -469,12 +518,13 @@ fn status(scheduler: &Scheduler, digest: &str) -> Response {
             }
             Response::json(
                 200,
-                out.set(
-                    "queue",
-                    Json::obj().set("depth", queued).set("cap", queue_cap),
-                )
-                .set("counters", scheduler.counters().to_json())
-                .render_pretty(),
+                out.set("cells", Json::obj().set("done", done).set("total", total))
+                    .set(
+                        "queue",
+                        Json::obj().set("depth", queued).set("cap", queue_cap),
+                    )
+                    .set("counters", scheduler.counters().to_json())
+                    .render_pretty(),
             )
         }
     }
@@ -497,21 +547,34 @@ fn if_none_match_hits(header: &str, etag: &str) -> bool {
     })
 }
 
+fn result_content_type(format_key: &str) -> &'static str {
+    match format_key {
+        "json" => "application/json",
+        "csv" => "text/csv; charset=utf-8",
+        _ => "text/markdown; charset=utf-8",
+    }
+}
+
 fn result(
     scheduler: &Scheduler,
     digest: &str,
     format: &str,
     if_none_match: Option<&str>,
+    partial: bool,
 ) -> Response {
     if !is_digest(digest) {
         return error_response(400, &format!("malformed digest {digest:?}"));
     }
+    if partial {
+        return partial_result(scheduler, digest, format);
+    }
     match scheduler.status(digest) {
         None => error_response(404, &format!("unknown campaign {digest:?}")),
         Some((_, JobStatus::Failed(e))) => error_response(409, &format!("campaign failed: {e}")),
-        Some((_, JobStatus::Queued | JobStatus::Running)) => {
-            error_response(409, "campaign not done yet; poll GET /campaigns/<digest>")
-        }
+        Some((_, JobStatus::Queued | JobStatus::Running)) => error_response(
+            409,
+            "campaign not done yet; poll GET /campaigns/<digest> or pass ?partial=1",
+        ),
         Some((_, JobStatus::Done(result))) => {
             // Normalize aliases so "md" and "markdown" share one ETag.
             let format_key = if format == "markdown" { "md" } else { format };
@@ -523,21 +586,48 @@ fn result(
             }
             match result.render(format) {
                 Err(e) => error_response(400, &e),
-                Ok(rendered) => {
-                    let content_type = match format_key {
-                        "json" => "application/json",
-                        "csv" => "text/csv; charset=utf-8",
-                        _ => "text/markdown; charset=utf-8",
-                    };
-                    Response {
-                        status: 200,
-                        content_type,
-                        body: rendered.into_bytes(),
-                        headers: vec![("etag".into(), etag)],
-                    }
-                }
+                Ok(rendered) => Response {
+                    status: 200,
+                    content_type: result_content_type(format_key),
+                    body: rendered.into_bytes(),
+                    headers: vec![("etag".into(), etag)],
+                },
             }
         }
+    }
+}
+
+/// `?partial=1`: the merged-so-far prefix of a running campaign (`206`)
+/// or the final artifact (`200` with its `ETag`), both carrying
+/// `x-cells-done` / `x-cells-total`. Every partial renders the same
+/// format the final result uses, and its rows are a prefix of the final
+/// row order — a polling client can trust every row it has already seen.
+fn partial_result(scheduler: &Scheduler, digest: &str, format: &str) -> Response {
+    match scheduler.partial(digest) {
+        None => match scheduler.status(digest) {
+            Some((_, JobStatus::Failed(e))) => {
+                error_response(409, &format!("campaign failed: {e}"))
+            }
+            _ => error_response(404, &format!("unknown campaign {digest:?}")),
+        },
+        Some(snapshot) => match snapshot.result.render(format) {
+            Err(e) => error_response(400, &e),
+            Ok(rendered) => {
+                let format_key = if format == "markdown" { "md" } else { format };
+                let mut response = Response {
+                    status: if snapshot.complete { 200 } else { 206 },
+                    content_type: result_content_type(format_key),
+                    body: rendered.into_bytes(),
+                    headers: Vec::new(),
+                };
+                if snapshot.complete {
+                    response = response.with_header("etag", result_etag(digest, format_key));
+                }
+                response
+                    .with_header("x-cells-done", snapshot.done.to_string())
+                    .with_header("x-cells-total", snapshot.total.to_string())
+            }
+        },
     }
 }
 
@@ -559,7 +649,7 @@ mod tests {
 
     #[test]
     fn routing_edges() {
-        let scheduler = Scheduler::start(0, 2, 1, None, None);
+        let scheduler = Scheduler::start(0, 2, None, None);
         let conns = ConnStats::default();
         assert_eq!(
             route(&scheduler, &conns, &req("GET", "/nope", b"")).status,

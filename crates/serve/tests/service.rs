@@ -40,6 +40,15 @@ fn submit_spec(addr: &str, spec: &SweepSpec) -> client::Submitted {
     client::submit(addr, &body).expect("submission accepted")
 }
 
+fn submit_spec_as(addr: &str, spec: &SweepSpec, tenant: &str, priority: u64) -> client::Submitted {
+    let body = Json::obj()
+        .set("spec", pythia_sweep::codec::spec_json(spec))
+        .set("tenant", tenant)
+        .set("priority", priority)
+        .render();
+    client::submit(addr, &body).expect("submission accepted")
+}
+
 /// The headline end-to-end test (acceptance criteria of the service PR):
 /// fig09 at tiny scale served over TCP == direct `run_all`, byte for byte;
 /// the resubmission is answered from cache without a second simulation.
@@ -394,6 +403,166 @@ fn metrics_endpoint_reports_live_state() {
         .and_then(|t| t.get("minst_per_sec"))
         .and_then(Json::as_f64)
         .is_some());
+}
+
+/// Fair queueing: a huge campaign from one tenant must not starve a
+/// small campaign from another on a bounded pool. The small one
+/// completes while the huge one is still mid-flight, and both tenants'
+/// served-cell counters advance.
+#[test]
+fn small_tenant_campaign_is_not_starved_by_a_huge_one() {
+    let (handle, addr) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 1,
+        ..ServeConfig::default()
+    });
+
+    // 24 seeds -> 48 cells (baseline + measured per seed) for alice;
+    // 2 seeds -> 4 cells for bob. One worker serves both: round-robin
+    // interleaves them cell by cell.
+    let huge_seeds: Vec<u64> = (0..24).collect();
+    let huge = tiny_spec("svc-fair-huge", 6_000).with_seeds(&huge_seeds);
+    let small = tiny_spec("svc-fair-small", 4_000).with_seeds(&[0, 1]);
+
+    let huge_sub = submit_spec_as(&addr, &huge, "alice", 1);
+    let small_sub = submit_spec_as(&addr, &small, "bob", 1);
+
+    client::wait_done(
+        &addr,
+        &small_sub.digest,
+        Duration::from_millis(10),
+        Duration::from_secs(300),
+    )
+    .expect("small campaign completes");
+
+    // The huge campaign is still running: interleaved progress, not
+    // head-of-line blocking.
+    let huge_status = client::status(&addr, &huge_sub.digest).expect("status");
+    let cells = |doc: &Json, key: &str| {
+        doc.get("cells")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .expect("cell progress present")
+    };
+    let huge_done = cells(&huge_status, "done");
+    let huge_total = cells(&huge_status, "total");
+    assert_eq!(huge_total, 48);
+    assert!(
+        huge_done < huge_total,
+        "huge campaign must still be in flight when the small one finishes \
+         ({huge_done}/{huge_total})"
+    );
+
+    // Both tenants' served counters advanced.
+    let metrics = client::metrics(&addr).expect("metrics");
+    let served = |tenant: &str| {
+        metrics
+            .get("tenants")
+            .and_then(|t| t.get(tenant))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("tenant {tenant} missing from metrics"))
+    };
+    assert!(served("alice") > 0, "alice was served while bob finished");
+    assert_eq!(served("bob"), 4, "bob's campaign is fully served");
+
+    client::wait_done(
+        &addr,
+        &huge_sub.digest,
+        Duration::from_millis(20),
+        Duration::from_secs(300),
+    )
+    .expect("huge campaign completes too");
+    let counters = handle.scheduler().counters();
+    assert_eq!(counters.cells_executed.load(Ordering::Relaxed), 52);
+}
+
+/// The `?partial=1` contract: `cells_done` is monotonic across polls,
+/// every partial body is a valid render whose rows are a prefix of the
+/// final artifact, and the final partial equals `GET /result` byte for
+/// byte.
+#[test]
+fn partial_results_are_monotonic_prefixes_of_the_final_artifact() {
+    let (_handle, addr) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        sim_threads: 1,
+        ..ServeConfig::default()
+    });
+
+    let seeds: Vec<u64> = (0..8).collect();
+    let spec = tiny_spec("svc-partial", 5_000).with_seeds(&seeds); // 16 cells
+    let submitted = submit_spec(&addr, &spec);
+
+    // Poll partials until the fetch reports completion.
+    let deadline = std::time::Instant::now() + Duration::from_secs(300);
+    let mut snapshots: Vec<client::PartialResult> = Vec::new();
+    loop {
+        let partial =
+            client::partial_result(&addr, &submitted.digest, "json").expect("partial fetch");
+        let complete = partial.complete;
+        snapshots.push(partial);
+        if complete {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "campaign never finished"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let final_body = client::result(&addr, &submitted.digest, "json").expect("final result");
+    let last = snapshots.last().expect("at least one snapshot");
+    assert_eq!(last.cells_done, 16);
+    assert_eq!(last.cells_total, 16);
+    assert_eq!(
+        last.body, final_body,
+        "the complete partial equals GET /result byte for byte"
+    );
+    assert!(
+        snapshots.iter().any(|s| !s.complete),
+        "at least one poll observed the campaign mid-flight"
+    );
+
+    let final_doc = pythia_stats::json::parse(&final_body).expect("final parses");
+    let rows = |doc: &Json, key: &str| -> Vec<String> {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .expect("row array")
+            .iter()
+            .map(Json::render)
+            .collect()
+    };
+    let final_baselines = rows(&final_doc, "baselines");
+    let final_cells = rows(&final_doc, "cells");
+
+    let mut last_done = 0;
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        assert!(
+            snapshot.cells_done >= last_done,
+            "poll {i}: cells_done regressed ({} < {last_done})",
+            snapshot.cells_done
+        );
+        last_done = snapshot.cells_done;
+        assert_eq!(snapshot.cells_total, 16, "poll {i}");
+        // Every partial is itself valid JSON whose rows are a prefix of
+        // the final row order.
+        let doc = pythia_stats::json::parse(&snapshot.body)
+            .unwrap_or_else(|e| panic!("poll {i} body: {e}"));
+        let baselines = rows(&doc, "baselines");
+        let cells = rows(&doc, "cells");
+        assert_eq!(
+            baselines[..],
+            final_baselines[..baselines.len()],
+            "poll {i}: baselines are a prefix"
+        );
+        assert_eq!(
+            cells[..],
+            final_cells[..cells.len()],
+            "poll {i}: cells are a prefix"
+        );
+    }
 }
 
 #[test]

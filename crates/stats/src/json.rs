@@ -507,9 +507,274 @@ pub fn sim_report_json(r: &SimReport) -> Json {
         )
 }
 
+/// Lossless `u64` for the wire codec: numbers within `f64`'s exact
+/// integer range ride as JSON numbers, anything larger as a decimal
+/// string (the same convention as the campaign spec codec).
+fn wire_u64(v: u64) -> Json {
+    if v <= 9_007_199_254_740_992 {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+fn wire_u64_of(j: &Json, key: &str) -> Result<u64, String> {
+    match j.get(key) {
+        Some(Json::Str(s)) => s
+            .parse()
+            .map_err(|_| format!("sim report: bad u64 string for {key:?}")),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("sim report: bad u64 for {key:?}")),
+        None => Err(format!("sim report: missing {key:?}")),
+    }
+}
+
+fn cache_wire_json(c: &pythia_sim::stats::CacheStats) -> Json {
+    Json::obj()
+        .set("demand_loads", wire_u64(c.demand_loads))
+        .set("demand_load_hits", wire_u64(c.demand_load_hits))
+        .set("demand_load_misses", wire_u64(c.demand_load_misses))
+        .set("demand_stores", wire_u64(c.demand_stores))
+        .set("demand_store_hits", wire_u64(c.demand_store_hits))
+        .set("demand_store_misses", wire_u64(c.demand_store_misses))
+        .set("prefetch_fills", wire_u64(c.prefetch_fills))
+        .set("prefetch_redundant", wire_u64(c.prefetch_redundant))
+        .set("useful_prefetches", wire_u64(c.useful_prefetches))
+        .set("useless_prefetches", wire_u64(c.useless_prefetches))
+        .set("late_prefetch_hits", wire_u64(c.late_prefetch_hits))
+        .set("mshr_stall_cycles", wire_u64(c.mshr_stall_cycles))
+        .set("mshr_stalls", wire_u64(c.mshr_stalls))
+        .set("dirty_evictions", wire_u64(c.dirty_evictions))
+        .set("evictions", wire_u64(c.evictions))
+}
+
+fn cache_from_wire(j: &Json) -> Result<pythia_sim::stats::CacheStats, String> {
+    Ok(pythia_sim::stats::CacheStats {
+        demand_loads: wire_u64_of(j, "demand_loads")?,
+        demand_load_hits: wire_u64_of(j, "demand_load_hits")?,
+        demand_load_misses: wire_u64_of(j, "demand_load_misses")?,
+        demand_stores: wire_u64_of(j, "demand_stores")?,
+        demand_store_hits: wire_u64_of(j, "demand_store_hits")?,
+        demand_store_misses: wire_u64_of(j, "demand_store_misses")?,
+        prefetch_fills: wire_u64_of(j, "prefetch_fills")?,
+        prefetch_redundant: wire_u64_of(j, "prefetch_redundant")?,
+        useful_prefetches: wire_u64_of(j, "useful_prefetches")?,
+        useless_prefetches: wire_u64_of(j, "useless_prefetches")?,
+        late_prefetch_hits: wire_u64_of(j, "late_prefetch_hits")?,
+        mshr_stall_cycles: wire_u64_of(j, "mshr_stall_cycles")?,
+        mshr_stalls: wire_u64_of(j, "mshr_stalls")?,
+        dirty_evictions: wire_u64_of(j, "dirty_evictions")?,
+        evictions: wire_u64_of(j, "evictions")?,
+    })
+}
+
+/// Serializes a full [`SimReport`] **losslessly** — every counter of
+/// every substructure, so [`sim_report_from_wire`] reconstructs a report
+/// equal to the original. This is the journal/wire form; the
+/// human-facing [`sim_report_json`] artifact stays a lossy summary.
+pub fn sim_report_wire_json(r: &SimReport) -> Json {
+    let core = |c: &pythia_sim::stats::CoreStats| {
+        Json::obj()
+            .set("instructions", wire_u64(c.instructions))
+            .set("cycles", wire_u64(c.cycles))
+            .set("loads", wire_u64(c.loads))
+            .set("stores", wire_u64(c.stores))
+            .set("branches", wire_u64(c.branches))
+            .set("branch_mispredicts", wire_u64(c.branch_mispredicts))
+    };
+    let pf = |p: &pythia_sim::stats::PrefetcherStats| {
+        Json::obj()
+            .set("issued", wire_u64(p.issued))
+            .set("redundant", wire_u64(p.redundant))
+            .set("useful", wire_u64(p.useful))
+            .set("useless", wire_u64(p.useless))
+    };
+    Json::obj()
+        .set("cores", Json::Arr(r.cores.iter().map(core).collect()))
+        .set(
+            "l1d",
+            Json::Arr(r.l1d.iter().map(cache_wire_json).collect()),
+        )
+        .set("l2", Json::Arr(r.l2.iter().map(cache_wire_json).collect()))
+        .set("llc", cache_wire_json(&r.llc))
+        .set(
+            "dram",
+            Json::obj()
+                .set("demand_reads", wire_u64(r.dram.demand_reads))
+                .set("prefetch_reads", wire_u64(r.dram.prefetch_reads))
+                .set("writes", wire_u64(r.dram.writes))
+                .set("row_hits", wire_u64(r.dram.row_hits))
+                .set("row_misses", wire_u64(r.dram.row_misses))
+                .set("bus_busy_cycles", wire_u64(r.dram.bus_busy_cycles))
+                .set(
+                    "bw_bucket_windows",
+                    Json::Arr(
+                        r.dram
+                            .bw_bucket_windows
+                            .iter()
+                            .map(|w| wire_u64(*w))
+                            .collect(),
+                    ),
+                ),
+        )
+        .set(
+            "prefetchers",
+            Json::Arr(r.prefetchers.iter().map(pf).collect()),
+        )
+}
+
+/// Decodes the lossless wire form produced by [`sim_report_wire_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or ill-typed key.
+pub fn sim_report_from_wire(j: &Json) -> Result<SimReport, String> {
+    let arr_of = |key: &str| -> Result<&[Json], String> {
+        j.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("sim report: missing array {key:?}"))
+    };
+    let cores = arr_of("cores")?
+        .iter()
+        .map(|c| {
+            Ok(pythia_sim::stats::CoreStats {
+                instructions: wire_u64_of(c, "instructions")?,
+                cycles: wire_u64_of(c, "cycles")?,
+                loads: wire_u64_of(c, "loads")?,
+                stores: wire_u64_of(c, "stores")?,
+                branches: wire_u64_of(c, "branches")?,
+                branch_mispredicts: wire_u64_of(c, "branch_mispredicts")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let l1d = arr_of("l1d")?
+        .iter()
+        .map(cache_from_wire)
+        .collect::<Result<Vec<_>, String>>()?;
+    let l2 = arr_of("l2")?
+        .iter()
+        .map(cache_from_wire)
+        .collect::<Result<Vec<_>, String>>()?;
+    let llc = cache_from_wire(j.get("llc").ok_or("sim report: missing llc")?)?;
+    let dram_j = j.get("dram").ok_or("sim report: missing dram")?;
+    let buckets = dram_j
+        .get("bw_bucket_windows")
+        .and_then(Json::as_arr)
+        .ok_or("sim report: missing bw_bucket_windows")?;
+    if buckets.len() != 4 {
+        return Err("sim report: bw_bucket_windows must have 4 entries".into());
+    }
+    let mut bw_bucket_windows = [0u64; 4];
+    for (slot, b) in bw_bucket_windows.iter_mut().zip(buckets) {
+        *slot = match b {
+            Json::Str(s) => s
+                .parse()
+                .map_err(|_| "sim report: bad bucket string".to_string())?,
+            v => v.as_u64().ok_or("sim report: bad bucket value")?,
+        };
+    }
+    let dram = pythia_sim::stats::DramStats {
+        demand_reads: wire_u64_of(dram_j, "demand_reads")?,
+        prefetch_reads: wire_u64_of(dram_j, "prefetch_reads")?,
+        writes: wire_u64_of(dram_j, "writes")?,
+        row_hits: wire_u64_of(dram_j, "row_hits")?,
+        row_misses: wire_u64_of(dram_j, "row_misses")?,
+        bus_busy_cycles: wire_u64_of(dram_j, "bus_busy_cycles")?,
+        bw_bucket_windows,
+    };
+    let prefetchers = arr_of("prefetchers")?
+        .iter()
+        .map(|p| {
+            Ok(pythia_sim::stats::PrefetcherStats {
+                issued: wire_u64_of(p, "issued")?,
+                redundant: wire_u64_of(p, "redundant")?,
+                useful: wire_u64_of(p, "useful")?,
+                useless: wire_u64_of(p, "useless")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SimReport {
+        cores,
+        l1d,
+        l2,
+        llc,
+        dram,
+        prefetchers,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_report_wire_codec_round_trips_every_field() {
+        use pythia_sim::stats::{CacheStats, CoreStats, DramStats, PrefetcherStats};
+        // Distinct values everywhere so a swapped or dropped field fails,
+        // plus one counter beyond f64's exact integer range.
+        let mut n = 1u64;
+        let mut next = || {
+            n += 1;
+            n
+        };
+        let cache = |next: &mut dyn FnMut() -> u64| CacheStats {
+            demand_loads: next(),
+            demand_load_hits: next(),
+            demand_load_misses: next(),
+            demand_stores: next(),
+            demand_store_hits: next(),
+            demand_store_misses: next(),
+            prefetch_fills: next(),
+            prefetch_redundant: next(),
+            useful_prefetches: next(),
+            useless_prefetches: next(),
+            late_prefetch_hits: next(),
+            mshr_stall_cycles: next(),
+            mshr_stalls: next(),
+            dirty_evictions: next(),
+            evictions: next(),
+        };
+        let report = SimReport {
+            cores: vec![
+                CoreStats {
+                    instructions: next(),
+                    cycles: next(),
+                    loads: next(),
+                    stores: next(),
+                    branches: next(),
+                    branch_mispredicts: next(),
+                },
+                CoreStats {
+                    instructions: u64::MAX,
+                    cycles: (1 << 53) + 1,
+                    ..Default::default()
+                },
+            ],
+            l1d: vec![cache(&mut next), cache(&mut next)],
+            l2: vec![cache(&mut next)],
+            llc: cache(&mut next),
+            dram: DramStats {
+                demand_reads: next(),
+                prefetch_reads: next(),
+                writes: next(),
+                row_hits: next(),
+                row_misses: next(),
+                bus_busy_cycles: next(),
+                bw_bucket_windows: [next(), next(), next(), u64::MAX - 1],
+            },
+            prefetchers: vec![PrefetcherStats {
+                issued: next(),
+                redundant: next(),
+                useful: next(),
+                useless: next(),
+            }],
+        };
+        let rendered = sim_report_wire_json(&report).render();
+        let parsed = parse(&rendered).expect("valid json");
+        let back = sim_report_from_wire(&parsed).expect("decodes");
+        assert_eq!(back, report, "wire codec is lossless");
+    }
 
     #[test]
     fn renders_and_parses_scalars() {

@@ -215,19 +215,326 @@ pub fn run_cached(
 }
 
 /// Runs several sweeps (e.g. the panels of one figure) and merges them
-/// under `name`. Each panel still fans out over `threads` workers, and a
-/// shared [`BaselineCache`] keeps panels with overlapping (units ×
-/// configs × seeds) from re-simulating each other's baselines — Fig. 9's
-/// two panels cover the same 50-workload pool, for example.
+/// under `name`.
+///
+/// Built on [`plan_campaign`]: the whole campaign — every panel's
+/// baselines and cells — fans out over `threads` workers as one batch of
+/// independent cell jobs, and [`CampaignPlan::merge_cells`] reassembles
+/// the result in grid order. Panels with overlapping (units × configs ×
+/// seeds) share baseline jobs — Fig. 9's two panels cover the same
+/// 50-workload pool, for example — exactly as the shared
+/// [`BaselineCache`] deduplicated them before.
 ///
 /// # Errors
 ///
 /// Returns the first validation error among the specs.
 pub fn run_all(name: &str, specs: &[SweepSpec], threads: usize) -> Result<SweepResult, String> {
-    let mut cache = BaselineCache::new();
-    let mut parts = Vec::with_capacity(specs.len());
-    for s in specs {
-        parts.push(run_cached(s, threads, &mut cache)?);
+    let plan = plan_campaign(name, specs)?;
+    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = plan
+        .jobs()
+        .iter()
+        .map(|j| {
+            let j = j.clone();
+            Box::new(move || j.run()) as Box<dyn FnOnce() -> SimReport + Send>
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let reports = run_parallel(jobs, threads.max(1));
+    let throughput = Throughput::new(plan.planned_instructions(), started.elapsed().as_secs_f64());
+    let mut out = plan.merge_cells(&reports)?;
+    out.throughput = Some(throughput);
+    Ok(out)
+}
+
+/// Coordinates of one schedulable simulation inside a planned campaign:
+/// the panel it was planned under and its position within that panel's
+/// deterministic expansion (baseline jobs first, then measured cells in
+/// grid order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Index of the panel ([`SweepSpec`]) this job was planned under. A
+    /// baseline shared by several panels belongs to the first panel that
+    /// needed it.
+    pub panel: usize,
+    /// Position within the panel's expansion.
+    pub index: usize,
+}
+
+/// One independent simulation of a planned campaign — the unit a
+/// cell-granular scheduler hands to a worker.
+///
+/// The job owns (cheap) clones of its grid coordinates; traces are opened
+/// lazily inside [`CellJob::run`], so holding a plan never holds a
+/// materialized trace.
+#[derive(Debug, Clone)]
+pub struct CellJob {
+    /// Where this job sits in the campaign.
+    pub id: CellId,
+    /// Instructions this job simulates across all cores (warmup +
+    /// measure), for throughput telemetry and progress accounting.
+    pub instructions: u64,
+    unit: WorkUnit,
+    kind: PrefetcherKind,
+    config: ConfigPoint,
+    seed: u64,
+}
+
+impl CellJob {
+    /// Runs the simulation. Deterministic: the same job always produces a
+    /// byte-identical report, on any thread, in any process.
+    pub fn run(&self) -> SimReport {
+        simulate(&self.unit, &self.kind, &self.config, self.seed)
     }
-    Ok(SweepResult::merge(name, parts))
+}
+
+/// One panel's share of a [`CampaignPlan`]: the spec plus the mapping
+/// from its rows back to flat job indices.
+#[derive(Debug)]
+struct PanelPlan {
+    spec: SweepSpec,
+    /// Flat job index of each baseline report, in (unit, config, seed)
+    /// expansion order. May point into an earlier panel when the baseline
+    /// coordinate is shared.
+    baseline_sources: Vec<usize>,
+    /// Flat index of this panel's first measured cell; the panel's
+    /// `spec.cell_count()` cells are contiguous from here.
+    cells_start: usize,
+}
+
+/// A campaign expanded into an ordered set of independent [`CellJob`]s
+/// plus the bookkeeping to reassemble their reports into a
+/// [`SweepResult`] byte-identical to the monolithic [`run_all`].
+///
+/// The flat job order is panel-major with each panel's baselines planned
+/// before its cells, and baselines deduplicated across panels (first
+/// panel wins), so a job's baseline always precedes it. Executing the
+/// jobs in *any* order and merging is equivalent to the monolithic run.
+#[derive(Debug)]
+pub struct CampaignPlan {
+    name: String,
+    jobs: Vec<CellJob>,
+    panels: Vec<PanelPlan>,
+}
+
+/// Expands a campaign (panels of one figure) into a [`CampaignPlan`].
+///
+/// The expansion mirrors [`run_all`] exactly: per panel in order,
+/// baseline jobs first (one per unit × config × seed coordinate not
+/// already planned — the shared-[`BaselineCache`] dedup), then every
+/// measured cell in grid order (unit-major, then config, then
+/// prefetcher, then seed).
+///
+/// # Errors
+///
+/// Returns the first [`SweepSpec::validate`] error among the panels.
+pub fn plan_campaign(name: &str, specs: &[SweepSpec]) -> Result<CampaignPlan, String> {
+    let mut jobs: Vec<CellJob> = Vec::new();
+    let mut panels: Vec<PanelPlan> = Vec::with_capacity(specs.len());
+    let mut planned_baselines: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for (pi, spec) in specs.iter().enumerate() {
+        spec.validate()?;
+        let mut within = 0usize;
+        let mut baseline_sources =
+            Vec::with_capacity(spec.units.len() * spec.configs.len() * spec.seeds.len());
+        for u in &spec.units {
+            for cp in &spec.configs {
+                for &seed in &spec.seeds {
+                    let key = BaselineCache::key(u, &spec.baseline.kind, cp, seed);
+                    let source = *planned_baselines.entry(key).or_insert_with(|| {
+                        let flat = jobs.len();
+                        jobs.push(CellJob {
+                            id: CellId {
+                                panel: pi,
+                                index: within,
+                            },
+                            instructions: (cp.warmup + cp.measure) * u.cores() as u64,
+                            unit: u.clone(),
+                            kind: spec.baseline.kind.clone(),
+                            config: cp.clone(),
+                            seed,
+                        });
+                        within += 1;
+                        flat
+                    });
+                    baseline_sources.push(source);
+                }
+            }
+        }
+        let cells_start = jobs.len();
+        for u in &spec.units {
+            for cp in &spec.configs {
+                for p in &spec.prefetchers {
+                    for &seed in &spec.seeds {
+                        jobs.push(CellJob {
+                            id: CellId {
+                                panel: pi,
+                                index: within,
+                            },
+                            instructions: (cp.warmup + cp.measure) * u.cores() as u64,
+                            unit: u.clone(),
+                            kind: p.kind.clone(),
+                            config: cp.clone(),
+                            seed,
+                        });
+                        within += 1;
+                    }
+                }
+            }
+        }
+        panels.push(PanelPlan {
+            spec: spec.clone(),
+            baseline_sources,
+            cells_start,
+        });
+    }
+    Ok(CampaignPlan {
+        name: name.to_string(),
+        jobs,
+        panels,
+    })
+}
+
+impl CampaignPlan {
+    /// The campaign name the merged result will carry.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The planned jobs, in flat (panel-major, baselines-first) order.
+    pub fn jobs(&self) -> &[CellJob] {
+        &self.jobs
+    }
+
+    /// Number of planned jobs (baselines + cells, after dedup).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total instructions the plan simulates, for throughput telemetry.
+    pub fn planned_instructions(&self) -> u64 {
+        self.jobs.iter().map(|j| j.instructions).sum()
+    }
+
+    /// Reassembles a complete set of cell reports — `reports[i]` from
+    /// `jobs()[i]`, executed in any order, by any worker — into the
+    /// [`SweepResult`] a monolithic [`run_all`] would produce, minus the
+    /// wall-clock telemetry (i.e. byte-identical to its
+    /// [`SweepResult::stripped`] form).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `reports.len() != job_count()`.
+    pub fn merge_cells(&self, reports: &[SimReport]) -> Result<SweepResult, String> {
+        if reports.len() != self.jobs.len() {
+            return Err(format!(
+                "campaign {:?}: {} report(s) for {} planned job(s)",
+                self.name,
+                reports.len(),
+                self.jobs.len()
+            ));
+        }
+        let slots: Vec<Option<&SimReport>> = reports.iter().map(Some).collect();
+        Ok(self.assemble(&slots))
+    }
+
+    /// Merges the completed prefix of a partially executed campaign:
+    /// `slots[i]` holds `jobs()[i]`'s report once that job has finished.
+    ///
+    /// Rows are emitted in final order and stop at the first row whose
+    /// report (or whose baseline's report) is still missing — per array,
+    /// so every partial's `baselines` and `cells` are exact prefixes of
+    /// the complete result's arrays, and a fully populated `slots`
+    /// reproduces [`CampaignPlan::merge_cells`] byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slots.len() != job_count()`.
+    pub fn merge_prefix(&self, slots: &[Option<SimReport>]) -> Result<SweepResult, String> {
+        if slots.len() != self.jobs.len() {
+            return Err(format!(
+                "campaign {:?}: {} slot(s) for {} planned job(s)",
+                self.name,
+                slots.len(),
+                self.jobs.len()
+            ));
+        }
+        let refs: Vec<Option<&SimReport>> = slots.iter().map(Option::as_ref).collect();
+        Ok(self.assemble(&refs))
+    }
+
+    /// Builds the result rows available from the given report slots,
+    /// truncating each row array at its first not-yet-computable row.
+    fn assemble(&self, slots: &[Option<&SimReport>]) -> SweepResult {
+        let mut baselines = Vec::new();
+        let mut cells = Vec::new();
+        let mut more_baselines = true;
+        let mut more_cells = true;
+        for panel in &self.panels {
+            let spec = &panel.spec;
+            let baseline_index = |ui: usize, ci: usize, si: usize| {
+                (ui * spec.configs.len() + ci) * spec.seeds.len() + si
+            };
+            'baselines: for (ui, u) in spec.units.iter().enumerate() {
+                for (ci, cp) in spec.configs.iter().enumerate() {
+                    for (si, &seed) in spec.seeds.iter().enumerate() {
+                        if !more_baselines {
+                            break 'baselines;
+                        }
+                        let Some(report) =
+                            slots[panel.baseline_sources[baseline_index(ui, ci, si)]]
+                        else {
+                            more_baselines = false;
+                            break 'baselines;
+                        };
+                        baselines.push(CellResult {
+                            sweep: spec.name.clone(),
+                            unit: u.label.clone(),
+                            group: u.group.clone(),
+                            prefetcher: spec.baseline.label.clone(),
+                            config: cp.label.clone(),
+                            seed,
+                            metrics: metrics::compare(report, report),
+                            raw: RawSummary::of(report),
+                        });
+                    }
+                }
+            }
+            let mut flat = panel.cells_start;
+            'cells: for (ui, u) in spec.units.iter().enumerate() {
+                for (ci, cp) in spec.configs.iter().enumerate() {
+                    for p in &spec.prefetchers {
+                        for (si, &seed) in spec.seeds.iter().enumerate() {
+                            if !more_cells {
+                                break 'cells;
+                            }
+                            let baseline =
+                                slots[panel.baseline_sources[baseline_index(ui, ci, si)]];
+                            let (Some(baseline), Some(report)) = (baseline, slots[flat]) else {
+                                more_cells = false;
+                                break 'cells;
+                            };
+                            flat += 1;
+                            cells.push(CellResult {
+                                sweep: spec.name.clone(),
+                                unit: u.label.clone(),
+                                group: u.group.clone(),
+                                prefetcher: p.label.clone(),
+                                config: cp.label.clone(),
+                                seed,
+                                metrics: metrics::compare(baseline, report),
+                                raw: RawSummary::of(report),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        SweepResult {
+            name: self.name.clone(),
+            baselines,
+            cells,
+            throughput: None,
+        }
+    }
 }

@@ -61,7 +61,7 @@ pub mod store;
 
 pub use agg::{Key, Value};
 pub use codec::Campaign;
-pub use engine::{run, run_cached, BaselineCache};
+pub use engine::{plan_campaign, run, run_cached, BaselineCache, CampaignPlan, CellId, CellJob};
 pub use result::{CellResult, RawSummary, SweepResult};
 pub use spec::{ConfigPoint, PrefetcherKind, PrefetcherSpec, SweepSpec, WorkUnit};
 pub use store::{run_campaign, ResultStore, StoreStats};
