@@ -33,8 +33,10 @@ USAGE:
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N]
   pythia-cli bench                              run the hot-path microbenchmarks
       [--filter SUBSTR] [--reps N] [--out FILE] (BENCH_micro.json) and optionally
-      [--baseline FILE] [--max-regress PCT]     gate against a baseline report
-      [--list]                                  (PYTHIA_BENCH_SCALE scales work)
+      [--baseline FILE] [--list]                gate against a baseline report
+      [--max-regress PCT[,name=PCT,...]]        (PYTHIA_BENCH_SCALE scales work)
+  pythia-cli bench --compare <old> <new>        print the per-benchmark delta
+                                                table between two saved reports
   pythia-cli trace record <workload> <file>     stream a workload to a binary
       [--instructions N]                        trace file (O(1) memory)
   pythia-cli trace replay <file> <prefetcher>   simulate straight from a trace
@@ -374,15 +376,35 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
 }
 
 /// `pythia-cli bench [--filter S] [--reps N] [--out F] [--baseline F]
-/// [--max-regress PCT] [--list]` — runs the `pythia-perf` microbenchmark
+/// [--max-regress SPEC] [--list]` — runs the `pythia-perf` microbenchmark
 /// registry, prints the results table, optionally writes
 /// `BENCH_micro.json`, and optionally gates against a baseline report.
+/// `--max-regress` takes either a uniform percentage (`25`) or a default
+/// plus per-benchmark overrides (`25,agent_step=15,qvstore_argmax=15`).
+///
+/// `pythia-cli bench --compare <old.json> <new.json>` skips running
+/// anything and prints the per-benchmark delta table (median, MAD,
+/// throughput ratio) between two saved reports instead.
 pub fn bench(args: &ParsedArgs) -> Result<(), String> {
     if args.flag("list") {
         println!("# Registered microbenchmarks\n");
         for def in pythia_perf::registry() {
             println!("  {} ({})", def.name, def.unit);
         }
+        return Ok(());
+    }
+
+    // `--compare old new` parses as option "compare" = old plus one
+    // positional (new) — the option grammar binds only the next word.
+    if let Some(old_path) = args.opt("compare") {
+        let old_path = old_path.to_string();
+        let new_path = args
+            .positionals
+            .first()
+            .ok_or("usage: pythia-cli bench --compare <old.json> <new.json>")?;
+        let old = load_bench_report(&old_path)?;
+        let new = load_bench_report(new_path)?;
+        print!("{}", new.compare_table(&old)?);
         return Ok(());
     }
 
@@ -409,31 +431,44 @@ pub fn bench(args: &ParsedArgs) -> Result<(), String> {
     }
 
     if let Some(path) = args.opt("baseline") {
-        let max_regress = args.opt_num("max-regress", 25.0f64)?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let baseline = pythia_stats::json::parse(&text)
-            .and_then(|v| pythia_stats::BenchReport::from_json(&v))
-            .map_err(|e| format!("{path}: {e}"))?;
-        let regressions = report.compare(&baseline, max_regress)?;
+        let gate = match args.opt("max-regress") {
+            Some(spec) => pythia_stats::RegressGate::parse(spec)?,
+            None => pythia_stats::RegressGate::uniform(25.0),
+        };
+        let baseline = load_bench_report(path)?;
+        let regressions = report.compare_gated(&baseline, &gate)?;
         if regressions.is_empty() {
-            println!("no benchmark regressed more than {max_regress}% vs {path}");
+            println!(
+                "no benchmark regressed past its threshold (default {}%) vs {path}",
+                gate.default_pct
+            );
         } else {
             for r in &regressions {
                 eprintln!(
-                    "regression: {} is {:.1}% slower than baseline ({:.2} vs {:.2} Munits/s)",
+                    "regression: {} is {:.1}% slower than baseline \
+                     ({:.2} vs {:.2} Munits/s, threshold {}%)",
                     r.name,
                     r.slowdown_pct,
                     r.current_units_per_sec / 1e6,
                     r.baseline_units_per_sec / 1e6,
+                    gate.threshold(&r.name),
                 );
             }
             return Err(format!(
-                "{} benchmark(s) regressed more than {max_regress}% vs {path}",
+                "{} benchmark(s) regressed past their thresholds vs {path}",
                 regressions.len()
             ));
         }
     }
     Ok(())
+}
+
+/// Loads and decodes a saved `BENCH_micro.json` report.
+fn load_bench_report(path: &str) -> Result<pythia_stats::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    pythia_stats::json::parse(&text)
+        .and_then(|v| pythia_stats::BenchReport::from_json(&v))
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 /// `pythia-cli trace <record|replay|info> ...`

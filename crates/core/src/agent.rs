@@ -83,12 +83,14 @@ pub struct Pythia {
     stats: PrefetcherStats,
     rewards_seen: RewardCounters,
     action_histogram: Vec<u64>,
-    /// Recycled state-vector buffers: evicted EQ entries hand their
-    /// allocation back here, so steady-state demand handling allocates
-    /// nothing per access.
-    state_pool: Vec<Vec<u64>>,
-    /// Reusable Q-row buffer for greedy action selection.
-    q_row: Vec<f32>,
+    /// The current demand's state vector, reused every step: once its
+    /// plane bases are hashed the state itself is dead, so it never
+    /// travels through the EQ.
+    state_scratch: Vec<u64>,
+    /// Recycled plane-bases buffers: each state is hashed exactly once
+    /// per demand, and the bases ride in the EQ entry until the SARSA
+    /// update consumes them, whereupon the allocation returns here.
+    bases_pool: Vec<Vec<usize>>,
 }
 
 impl Pythia {
@@ -114,8 +116,8 @@ impl Pythia {
             stats: PrefetcherStats::default(),
             rewards_seen: RewardCounters::default(),
             action_histogram: vec![0; n_actions],
-            state_pool: Vec::new(),
-            q_row: Vec::new(),
+            state_scratch: Vec::new(),
+            bases_pool: Vec::new(),
         }
     }
 
@@ -188,7 +190,21 @@ impl Prefetcher for Pythia {
     ) {
         let r = self.config.rewards;
 
-        // (1) Reward any earlier action whose prefetch this demand confirms.
+        // (1) Extract the state vector (into a recycled buffer), hash its
+        // Q-table plane bases exactly once, and kick off software
+        // prefetches of those rows: the EQ probe below is independent work
+        // that overlaps the table loads of the upcoming argmax. The bases
+        // ride in the EQ entry so the eviction-time SARSA update never
+        // re-hashes a state.
+        self.ctx.update(access);
+        let mut state = std::mem::take(&mut self.state_scratch);
+        self.ctx.state_into(&self.config.features, &mut state);
+        let mut bases = self.bases_pool.pop().unwrap_or_default();
+        self.qv.state_bases(&state, &mut bases);
+        self.state_scratch = state;
+        self.qv.prefetch_rows(&bases);
+
+        // (2) Reward any earlier action whose prefetch this demand confirms.
         let hit = if self.config.graded_timeliness {
             self.eq.reward_demand_hit_graded(
                 access.line,
@@ -210,23 +226,21 @@ impl Prefetcher for Pythia {
             crate::eq::DemandMatch::Miss => {}
         }
 
-        // (2) Extract the state vector (into a recycled buffer).
-        self.ctx.update(access);
-        let mut state = self.state_pool.pop().unwrap_or_default();
-        self.ctx.state_into(&self.config.features, &mut state);
-
-        // (3) ε-greedy action selection.
+        // (3) ε-greedy action selection (the integer-only argmax path).
         let n = self.config.actions.len();
         let action = if self.rng.gen::<f32>() <= self.config.epsilon {
             self.rng.gen_range(0..n)
         } else {
-            self.qv.argmax_with_row(&state, &mut self.q_row)
+            self.qv.argmax_prehashed(&bases)
         };
         self.action_histogram[action] += 1;
         let offset = self.config.actions[action];
 
-        // (4) Generate the prefetch and the EQ entry.
-        let mut entry = EqEntry::new(state, action, None, access.cycle);
+        // (4) Generate the prefetch and the EQ entry. The entry carries
+        // the plane bases, not the state: that is all the eviction-time
+        // SARSA update reads.
+        let mut entry = EqEntry::new(Vec::new(), action, None, access.cycle);
+        entry.bases = bases;
         if offset == 0 {
             self.assign_insertion_reward(&mut entry, 0, feedback);
         } else if addr::offset_stays_in_page(access.line, offset) {
@@ -250,19 +264,29 @@ impl Prefetcher for Pythia {
                 self.rewards_seen.inaccurate += 1;
             }
             let head = self.eq.head().expect("EQ non-empty after insert");
-            self.qv.sarsa_update(
-                &evicted.state,
+            self.qv.sarsa_update_prehashed(
+                &evicted.bases,
                 evicted.action,
                 evicted.reward.expect("assigned above") as f32,
-                &head.state,
+                &head.bases,
                 head.action,
                 self.config.alpha,
                 self.config.gamma,
             );
-            // Recycle the evicted entry's state allocation.
-            let mut buf = evicted.state;
-            buf.clear();
-            self.state_pool.push(buf);
+            // Recycle the evicted entry's bases allocation.
+            let mut bbuf = evicted.bases;
+            bbuf.clear();
+            self.bases_pool.push(bbuf);
+        }
+
+        // (6) Warm the next eviction's SARSA operands: the two oldest
+        // entries' Q-cells are known a full step ahead, so their loads can
+        // overlap everything the next demand does before its own update.
+        if self.eq.is_full() {
+            if let (Some(e1), Some(e2)) = self.eq.front_two() {
+                self.qv.prefetch_cells(&e1.bases, e1.action);
+                self.qv.prefetch_cells(&e2.bases, e2.action);
+            }
         }
     }
 

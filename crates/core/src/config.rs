@@ -215,6 +215,14 @@ impl PythiaConfig {
         r_max / (1.0 - self.gamma)
     }
 
+    /// [`q_init`](PythiaConfig::q_init) as the Q8.7 fixed-point store
+    /// actually represents it: the per-plane share is quantized to the
+    /// storage format, then summed back. This is the exact value a fresh
+    /// [`QvStore`](crate::QvStore) reports for every state-action pair.
+    pub fn q_init_quantized(&self) -> f32 {
+        crate::qvstore::quantize(self.q_init() / self.planes as f32) * self.planes as f32
+    }
+
     /// Index of the no-prefetch action in the action list, if present.
     pub fn no_prefetch_action(&self) -> Option<usize> {
         self.actions.iter().position(|&a| a == 0)

@@ -15,7 +15,7 @@
 //! The evicted entry, together with the (new) EQ head, feeds the SARSA
 //! update (Algorithm 1, lines 23–29).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplicative hasher for the cacheline-keyed index. The default
@@ -47,8 +47,17 @@ type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 /// One queued action awaiting its reward.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EqEntry {
-    /// State vector at the time the action was taken.
+    /// State vector at the time the action was taken. The agent leaves
+    /// this empty in its steady-state path: `bases` carry everything the
+    /// SARSA update needs, so hauling the raw state through the queue
+    /// would only add cache footprint. Producers that want the state for
+    /// introspection may still populate it.
     pub state: Vec<u64>,
+    /// Q-table plane bases of the state at selection time: bases depend
+    /// only on the state and table geometry, so the eviction-time SARSA
+    /// update can reuse them instead of re-hashing both states. Empty
+    /// when the producer did not precompute them.
+    pub bases: Vec<usize>,
     /// Index of the taken action in the action list.
     pub action: usize,
     /// Prefetched line for real prefetch actions; `None` for no-prefetch or
@@ -68,6 +77,7 @@ impl EqEntry {
     pub fn new(state: Vec<u64>, action: usize, prefetch_line: Option<u64>, issued_at: u64) -> Self {
         Self {
             state,
+            bases: Vec::new(),
             action,
             prefetch_line,
             reward: None,
@@ -106,19 +116,37 @@ const NO_LINK: u64 = u64::MAX;
 /// Every match still verifies its predicate on the entry itself, so the
 /// behaviour is identical to the linear scans the index replaced — just
 /// without touching 256 entries per demand.
+///
+/// Storage is a power-of-two ring addressed by sequence number: the entry
+/// with sequence `s` lives at slot `s & mask`, permanently, from insert to
+/// eviction. Live sequences form one contiguous range of at most
+/// `capacity ≤ slots.len()` values, so the masked mapping is collision
+/// free — and unlike a deque, chain walks and evictions never pay a
+/// wraparound branch or shift an index.
 #[derive(Debug, Clone)]
 pub struct EvaluationQueue {
-    entries: VecDeque<EqEntry>,
+    /// Ring of `capacity.next_power_of_two()` slots; non-live slots hold
+    /// an inert placeholder entry (empty vectors, no allocation).
+    slots: Vec<EqEntry>,
+    /// `slots.len() - 1`, for sequence-to-slot masking.
+    mask: u64,
     capacity: usize,
-    /// Sequence number of the front entry; `entries[i]` has sequence
-    /// `head_seq + i`.
+    /// Number of live entries, in sequences `head_seq..head_seq + len`.
+    len: usize,
+    /// Sequence number of the front (oldest) entry.
     head_seq: u64,
-    /// Parallel to `entries`: sequence number of the next newer entry
-    /// with the same prefetch line ([`NO_LINK`] at chain end) — an
-    /// intrusive per-line list, so indexing allocates nothing per entry.
-    links: VecDeque<u64>,
+    /// Parallel to `slots`: sequence number of the next newer entry with
+    /// the same prefetch line ([`NO_LINK`] at chain end) — an intrusive
+    /// per-line list, so indexing allocates nothing per entry.
+    links: Vec<u64>,
     /// Oldest and newest resident sequence number per prefetch line.
     by_line: LineMap<(u64, u64)>,
+}
+
+/// An inert placeholder for non-live ring slots: allocation-free and never
+/// reachable through the line index.
+fn placeholder() -> EqEntry {
+    EqEntry::new(Vec::new(), 0, None, 0)
 }
 
 impl EvaluationQueue {
@@ -129,23 +157,32 @@ impl EvaluationQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "EQ capacity must be non-zero");
+        let slots = capacity.next_power_of_two();
         Self {
-            entries: VecDeque::with_capacity(capacity + 1),
+            slots: (0..slots).map(|_| placeholder()).collect(),
+            mask: (slots - 1) as u64,
             capacity,
+            len: 0,
             head_seq: 0,
-            links: VecDeque::with_capacity(capacity + 1),
+            links: vec![NO_LINK; slots],
             by_line: LineMap::default(),
         }
     }
 
     /// Number of entries currently queued.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    /// Ring slot of a live sequence number.
+    #[inline]
+    fn slot(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
     }
 
     /// First resident entry for `line` (queue order) passing `pred`.
@@ -155,12 +192,11 @@ impl EvaluationQueue {
         line: u64,
         pred: impl Fn(&EqEntry) -> bool,
     ) -> Option<&mut EqEntry> {
-        let head_seq = self.head_seq;
         let (mut seq, _) = *self.by_line.get(&line)?;
         loop {
-            let i = (seq - head_seq) as usize;
-            if pred(&self.entries[i]) {
-                return Some(&mut self.entries[i]);
+            let i = (seq & self.mask) as usize;
+            if pred(&self.slots[i]) {
+                return Some(&mut self.slots[i]);
             }
             seq = self.links[i];
             if seq == NO_LINK {
@@ -238,13 +274,13 @@ impl EvaluationQueue {
     /// Inserts an entry; if the queue is at capacity, evicts and returns the
     /// oldest entry (Algorithm 1, line 23).
     pub fn insert(&mut self, entry: EqEntry) -> Option<EqEntry> {
+        let seq = self.head_seq + self.len as u64;
         if let Some(line) = entry.prefetch_line {
-            let seq = self.head_seq + self.entries.len() as u64;
             match self.by_line.entry(line) {
                 std::collections::hash_map::Entry::Occupied(mut o) => {
                     // Chain behind the current newest same-line entry.
                     let (_, tail) = *o.get();
-                    self.links[(tail - self.head_seq) as usize] = seq;
+                    self.links[(tail & self.mask) as usize] = seq;
                     o.get_mut().1 = seq;
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
@@ -252,11 +288,13 @@ impl EvaluationQueue {
                 }
             }
         }
-        let evicted = if self.entries.len() >= self.capacity {
-            let evicted = self.entries.pop_front();
-            let link = self.links.pop_front().expect("links parallel to entries");
+        let evicted = if self.len >= self.capacity {
+            let i = self.slot(self.head_seq);
+            let evicted = std::mem::replace(&mut self.slots[i], placeholder());
+            let link = self.links[i];
             self.head_seq += 1;
-            if let Some(line) = evicted.as_ref().and_then(|e| e.prefetch_line) {
+            self.len -= 1;
+            if let Some(line) = evicted.prefetch_line {
                 // The evicted entry is the oldest resident, so it heads its
                 // line's chain.
                 if link == NO_LINK {
@@ -265,26 +303,46 @@ impl EvaluationQueue {
                     self.by_line.get_mut(&line).expect("indexed entry").0 = link;
                 }
             }
-            evicted
+            Some(evicted)
         } else {
             None
         };
-        self.entries.push_back(entry);
-        self.links.push_back(NO_LINK);
+        let i = self.slot(seq);
+        self.slots[i] = entry;
+        self.links[i] = NO_LINK;
+        self.len += 1;
         evicted
     }
 
     /// The current head (oldest entry) — the (S₂, A₂) of the SARSA update.
     pub fn head(&self) -> Option<&EqEntry> {
-        self.entries.front()
+        (self.len > 0).then(|| &self.slots[self.slot(self.head_seq)])
+    }
+
+    /// Whether the next insert will evict.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// The two oldest entries: when the queue is full these are exactly
+    /// the (S₁, A₁) and (S₂, A₂) operands of the *next* insert's SARSA
+    /// update, so callers can warm their Q-cells a step ahead.
+    pub fn front_two(&self) -> (Option<&EqEntry>, Option<&EqEntry>) {
+        (
+            (self.len > 0).then(|| &self.slots[self.slot(self.head_seq)]),
+            (self.len > 1).then(|| &self.slots[self.slot(self.head_seq + 1)]),
+        )
     }
 
     /// Clears the queue (Algorithm 1, line 3).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.links.clear();
+        for s in &mut self.slots {
+            *s = placeholder();
+        }
+        self.links.fill(NO_LINK);
         self.by_line.clear();
         self.head_seq = 0;
+        self.len = 0;
     }
 }
 

@@ -11,11 +11,14 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::PythiaConfig;
+use crate::qvstore::QV_ENTRY_BITS;
 
 /// Storage breakdown of a Pythia configuration (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageBreakdown {
-    /// QVStore bits: vaults × planes × entries × actions × 16 b.
+    /// QVStore bits: vaults × planes × entries × actions ×
+    /// [`QV_ENTRY_BITS`] — the Q8.7 fixed-point entries the store
+    /// actually allocates, not an assumed width.
     pub qvstore_bits: u64,
     /// EQ bits: entries × (state + action idx + reward + filled + address).
     pub eq_bits: u64,
@@ -45,7 +48,7 @@ pub fn storage(config: &PythiaConfig) -> StorageBreakdown {
         * config.planes as u64
         * entries
         * config.actions.len() as u64
-        * 16;
+        * QV_ENTRY_BITS;
     // Table 4 EQ entry: state (21 b) + action index (5 b) + reward (5 b) +
     // filled bit (1 b) + address (16 b) = 48 b.
     let state_bits = 21u64;
@@ -122,6 +125,25 @@ mod tests {
             (s.total_kb() - 25.5).abs() < 0.01,
             "total {} KB",
             s.total_kb()
+        );
+    }
+
+    #[test]
+    fn qvstore_reports_the_true_fixed_point_budget() {
+        // The live store, the cost model and the paper's Table 4 hardware
+        // budget must all agree on the bit count: 2 vaults × 3 planes ×
+        // 128 entries × 16 actions × 16-bit Q8.7 entries = 196,608 bits.
+        let cfg = PythiaConfig::basic();
+        let live = crate::qvstore::QvStore::new(&cfg).storage_bits();
+        assert_eq!(live, storage(&cfg).qvstore_bits);
+        assert_eq!(live, 196_608);
+        assert_eq!(live / 8 / 1024, 24, "Table 4 budgets the QVStore 24 KB");
+        // The in-memory representation matches the accounted width exactly:
+        // an i16 per entry, no hidden f32 shadow copies.
+        assert_eq!(crate::qvstore::QV_ENTRY_BITS, 16);
+        assert_eq!(
+            std::mem::size_of::<i16>() as u64 * 8,
+            crate::qvstore::QV_ENTRY_BITS
         );
     }
 

@@ -158,6 +158,18 @@ pub fn exponential_grid(levels: u32) -> Vec<HyperPoint> {
     out
 }
 
+/// The learning rate the Q8.7 fixed-point SARSA update actually applies:
+/// the store quantizes `α / planes` to 1/2¹⁶ steps, so the deep end of
+/// [`exponential_grid`] (α ≤ ~1e-5 with 3 planes) rounds to an effective
+/// rate of zero — the agent stops learning rather than learning slowly.
+/// DSE reports use this to flag grid points that collapsed onto each
+/// other.
+pub fn effective_alpha(alpha: f32, planes: usize) -> f32 {
+    let step = (1u64 << 16) as f64;
+    let quantized = (alpha as f64 / planes as f64 * step).round() / step;
+    (quantized * planes as f64) as f32
+}
+
 /// §4.3.3 two-phase tuning: evaluate every grid point with the (cheap)
 /// `screen` objective, keep the `top_k`, then re-evaluate those with the
 /// (expensive) `confirm` objective and return the winner.
@@ -268,6 +280,19 @@ mod tests {
         let grid = exponential_grid(10);
         assert_eq!(grid.len(), 1000);
         assert!(grid.iter().all(|p| p.gamma < 1.0));
+    }
+
+    #[test]
+    fn effective_alpha_mirrors_the_fixed_point_quantization() {
+        // Table 2's α = 0.0065 survives quantization (within one step of
+        // the 1/2¹⁶ grid, scaled back by the plane count)...
+        let a = effective_alpha(0.0065, 3);
+        assert!((a - 0.0065).abs() <= 3.0 / 65536.0, "a={a}");
+        assert!(a > 0.0);
+        // ...but the deep end of the exponential grid rounds to exactly
+        // zero: those points no longer learn at all.
+        assert_eq!(effective_alpha(1e-6, 3), 0.0);
+        assert_eq!(effective_alpha(1e-9, 3), 0.0);
     }
 
     #[test]

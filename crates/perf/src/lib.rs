@@ -161,12 +161,30 @@ pub fn registry() -> Vec<BenchDef> {
                 (
                     n as u64,
                     Box::new(move || {
-                        let mut row = Vec::new();
                         let mut acc = 0usize;
                         for i in 0..n as u64 {
-                            acc = acc.wrapping_add(
-                                store.argmax_with_row(&[i % 4096, (i * 7) % 4096], &mut row),
-                            );
+                            acc = acc.wrapping_add(store.argmax(&[i % 4096, (i * 7) % 4096]));
+                        }
+                        black_box(acc);
+                    }),
+                )
+            },
+        },
+        BenchDef {
+            // The 127-entry full action list of the paper's exploration
+            // study: 31 SWAR blocks of four plus a scalar tail lane.
+            name: "qvstore_argmax_full",
+            unit: "ops",
+            build: |scale| {
+                let n = scaled(200_000, scale);
+                let cfg = PythiaConfig::tuned().with_actions(PythiaConfig::full_actions());
+                let store = QvStore::new(&cfg);
+                (
+                    n as u64,
+                    Box::new(move || {
+                        let mut acc = 0usize;
+                        for i in 0..n as u64 {
+                            acc = acc.wrapping_add(store.argmax(&[i % 4096, (i * 7) % 4096]));
                         }
                         black_box(acc);
                     }),
@@ -404,7 +422,7 @@ mod tests {
     #[test]
     fn filtered_run_selects_by_substring() {
         let report = run_filtered(Some("qvstore"), &tiny());
-        assert_eq!(report.benchmarks.len(), 2);
+        assert_eq!(report.benchmarks.len(), 3);
         assert!(report
             .benchmarks
             .iter()

@@ -1138,7 +1138,10 @@ mod tests {
         let dir = tmp_dir("cell-replay");
         let journal_path = dir.join("journal.jsonl");
         let store_dir = dir.join("cache");
-        let campaign = seeded_campaign("cell-replay", 4_000, 4); // 8 cells
+        // Cells must be slow enough that the 5 ms progress polls below
+        // observe the campaign mid-flight — too-small cells all finish
+        // between two polls and the "killed mid-campaign" setup fails.
+        let campaign = seeded_campaign("cell-replay", 100_000, 4); // 8 cells
         let digest = campaign.digest();
         let direct = engine::run_all(&campaign.name, &campaign.panels, 1)
             .expect("direct run")

@@ -193,6 +193,16 @@ pub trait Prefetcher {
     /// requests turned out useful (first demand hit on a prefetched line).
     fn on_useful(&mut self, _line: u64) {}
 
+    /// Batch form of [`on_useful`](Prefetcher::on_useful): the simulator
+    /// collects every useful line observed on one demand path and delivers
+    /// them in a single virtual call. The default forwards line-by-line,
+    /// in order — overriding either method is equivalent.
+    fn on_useful_batch(&mut self, lines: &[u64]) {
+        for &line in lines {
+            self.on_useful(line);
+        }
+    }
+
     /// Called when a prefetched line was evicted unused.
     fn on_useless(&mut self, _line: u64) {}
 

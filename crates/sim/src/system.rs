@@ -40,12 +40,22 @@ use crate::prefetch::{
 use crate::stats::{CoreStats, SimReport};
 use crate::trace::{TraceRecord, TraceSource};
 
+/// Records pulled from a core's [`TraceSource`] per refill: large enough
+/// to amortize the virtual `next_batch` dispatch, small enough that the
+/// buffer stays in L1.
+const RECORD_BATCH: usize = 64;
+
 struct CoreUnit {
     model: CoreModel,
     l1d: Cache,
     l2: Cache,
     prefetcher: Box<dyn Prefetcher>,
     source: Box<dyn TraceSource>,
+    /// Buffered trace records ([`RECORD_BATCH`] per refill) with a read
+    /// cursor: the steady-state record fetch is an array read, not a
+    /// virtual call.
+    records: Vec<TraceRecord>,
+    records_pos: usize,
     measure_start_cycle: u64,
     finished: bool,
     final_stats: Option<CoreStats>,
@@ -54,17 +64,28 @@ struct CoreUnit {
 impl CoreUnit {
     /// The next trace record, wrapping the source at end of pass (the
     /// paper's replay methodology — cores wrap until their budget
-    /// retires).
+    /// retires). Records are pulled through the per-core buffer; the
+    /// buffered stream is record-for-record identical to calling
+    /// `source.next_record()` directly.
     #[inline]
     fn next_record(&mut self) -> TraceRecord {
-        match self.source.next_record() {
-            Some(r) => r,
-            None => {
-                self.source.reset();
-                self.source
-                    .next_record()
-                    .expect("trace source must yield at least one record")
-            }
+        if self.records_pos == self.records.len() {
+            self.refill_records();
+        }
+        let r = self.records[self.records_pos];
+        self.records_pos += 1;
+        r
+    }
+
+    #[cold]
+    fn refill_records(&mut self) {
+        self.records.clear();
+        self.records_pos = 0;
+        if self.source.next_batch(&mut self.records, RECORD_BATCH) == 0 {
+            // End of pass exactly at the buffer boundary: wrap.
+            self.source.reset();
+            let got = self.source.next_batch(&mut self.records, RECORD_BATCH);
+            assert!(got > 0, "trace source must yield at least one record");
         }
     }
 }
@@ -127,6 +148,8 @@ impl System {
                 l2: Cache::new("L2", &config.l2),
                 prefetcher: Box::new(NoPrefetcher::new()),
                 source,
+                records: Vec::with_capacity(RECORD_BATCH),
+                records_pos: 0,
                 measure_start_cycle: 0,
                 finished: false,
                 final_stats: None,
@@ -346,9 +369,10 @@ impl System {
             }
         }
 
-        // Notify the prefetcher of useful prefetches observed on this path.
-        for &l in &useful_lines {
-            self.cores[idx].prefetcher.on_useful(l);
+        // Notify the prefetcher of useful prefetches observed on this path
+        // (one batched virtual call for the whole demand).
+        if !useful_lines.is_empty() {
+            self.cores[idx].prefetcher.on_useful_batch(&useful_lines);
         }
         self.scratch.useful_lines = useful_lines;
 
@@ -495,20 +519,60 @@ impl System {
             .expect("at least one core")
     }
 
+    /// The clocks core `idx` races against while it keeps the scheduling
+    /// slot: the minimum over cores *before* it (which `idx` must stay
+    /// strictly below — [`next_core`](System::next_core)'s `min_by_key`
+    /// breaks ties toward the lowest index) and the minimum over cores
+    /// *after* it (which `idx` only has to stay at or below).
+    fn rival_clocks(&self, idx: usize) -> (u64, u64) {
+        let min_now = |cores: &[CoreUnit]| {
+            cores
+                .iter()
+                .map(|c| c.model.now())
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        (min_now(&self.cores[..idx]), min_now(&self.cores[idx + 1..]))
+    }
+
     /// Runs `warmup` instructions per core with statistics frozen, then
     /// measures `measure` instructions per core, replaying traces as needed.
+    ///
+    /// Scheduling is slice-based but cycle-exact: instead of re-scanning
+    /// every core clock per instruction, the chosen core keeps stepping
+    /// while its clock provably keeps it the `min_by_key` winner (stepping
+    /// a core only advances *its own* clock, so the rival minima are
+    /// constants within a slice). The instruction interleaving — and hence
+    /// the [`SimReport`] — is bit-identical to the per-instruction scan,
+    /// while consecutive steps of one core amortize its agent dispatch,
+    /// feature extraction and EQ probing across a hot slice.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimReport {
         assert!(measure > 0, "measurement phase must be non-empty");
-        // Warmup phase.
+        // Warmup phase. A core past its warmup budget still takes steps
+        // whenever it holds the slot, to preserve contention (its extra
+        // instructions are warmup too).
         if warmup > 0 {
             while self.cores.iter().any(|c| c.model.retired() < warmup) {
                 let idx = self.next_core();
-                if self.cores[idx].model.retired() < warmup {
+                let (lo, hi) = self.rival_clocks(idx);
+                // Only `idx`'s retired count moves within the slice, so
+                // the phase-exit check reduces to `idx`'s own budget when
+                // every other core is already done.
+                let others_below = self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .any(|(j, c)| j != idx && c.model.retired() < warmup);
+                loop {
                     self.step_core(idx);
-                } else {
-                    // This core is ahead; step it anyway to preserve
-                    // contention (its extra instructions are warmup too).
-                    self.step_core(idx);
+                    let core = &self.cores[idx].model;
+                    if !others_below && core.retired() >= warmup {
+                        break;
+                    }
+                    let now = core.now();
+                    if now >= lo || now > hi {
+                        break;
+                    }
                 }
             }
         }
@@ -517,14 +581,29 @@ impl System {
         // Measured phase.
         while self.cores.iter().any(|c| !c.finished) {
             let idx = self.next_core();
-            self.step_core(idx);
-            let core = &mut self.cores[idx];
-            if !core.finished && core.model.retired() >= measure {
-                core.finished = true;
-                let mut stats = *core.model.stats();
-                let end = core.model.now().max(core.model.retire_timestamp());
-                stats.cycles = end - core.measure_start_cycle;
-                core.final_stats = Some(stats);
+            let (lo, hi) = self.rival_clocks(idx);
+            let others_unfinished = self
+                .cores
+                .iter()
+                .enumerate()
+                .any(|(j, c)| j != idx && !c.finished);
+            loop {
+                self.step_core(idx);
+                let core = &mut self.cores[idx];
+                if !core.finished && core.model.retired() >= measure {
+                    core.finished = true;
+                    let mut stats = *core.model.stats();
+                    let end = core.model.now().max(core.model.retire_timestamp());
+                    stats.cycles = end - core.measure_start_cycle;
+                    core.final_stats = Some(stats);
+                }
+                if !others_unfinished && core.finished {
+                    break;
+                }
+                let now = core.model.now();
+                if now >= lo || now > hi {
+                    break;
+                }
             }
         }
 

@@ -160,6 +160,27 @@ pub trait TraceSource: Send {
     /// Records per pass, when known up front (`None` for unbounded or
     /// unknown-length streams).
     fn len_hint(&self) -> Option<u64>;
+
+    /// Appends up to `max` records to `out`, returning how many were
+    /// produced — fewer than `max` (possibly zero) only when the current
+    /// pass ends. Semantically identical to `max` calls of
+    /// [`next_record`](TraceSource::next_record); sources with random
+    /// access (in-memory vectors, the buffered file reader) override it
+    /// so the simulator's per-core record buffer amortizes the virtual
+    /// dispatch down to one call per batch.
+    fn next_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_record() {
+                Some(r) => {
+                    out.push(r);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// A [`TraceSource`] over an in-memory record vector.
@@ -203,6 +224,14 @@ impl TraceSource for VecSource {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.records.len() as u64)
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let end = self.records.len().min(self.pos + max);
+        out.extend_from_slice(&self.records[self.pos..end]);
+        let n = end - self.pos;
+        self.pos = end;
+        n
     }
 }
 
@@ -727,6 +756,29 @@ impl TraceSource for FileTraceSource {
     fn len_hint(&self) -> Option<u64> {
         Some(self.total)
     }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        // One remaining-count check per batch instead of per record; the
+        // decode loop then runs straight against the refill buffer.
+        let n = (self.remaining).min(max as u64) as usize;
+        for _ in 0..n {
+            let record = self
+                .reader
+                .next_record()
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "trace file {} changed during replay: {e}",
+                        self.path.display()
+                    )
+                })
+                .unwrap_or_else(|| {
+                    panic!("trace file {} truncated during replay", self.path.display())
+                });
+            out.push(record);
+        }
+        self.remaining -= n as u64;
+        n
+    }
 }
 
 /// Summary of a trace file computed by [`trace_file_info`] in one
@@ -889,6 +941,49 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn vec_source_rejects_empty() {
         let _ = VecSource::new(Vec::new());
+    }
+
+    #[test]
+    fn next_batch_matches_record_by_record_streaming() {
+        let records = sample();
+        // VecSource override.
+        let mut src = VecSource::new(records.clone());
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(&mut out, 4), 4);
+        assert_eq!(src.next_batch(&mut out, 4), 2, "pass ends short");
+        assert_eq!(src.next_batch(&mut out, 4), 0);
+        assert_eq!(out, records);
+        src.reset();
+        assert_eq!(src.next_batch(&mut out, 100), records.len());
+
+        // FileTraceSource override.
+        let path = temp_path("batch.pytr");
+        std::fs::write(&path, encode_trace(&records)).expect("write trace");
+        let mut src = FileTraceSource::open(&path).expect("open");
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(&mut out, 4), 4);
+        assert_eq!(src.next_batch(&mut out, 4), 2);
+        assert_eq!(src.next_batch(&mut out, 4), 0);
+        assert_eq!(out, records);
+        std::fs::remove_file(&path).ok();
+
+        // Trait-default fallback (a source without an override).
+        struct OneByOne(VecSource);
+        impl TraceSource for OneByOne {
+            fn next_record(&mut self) -> Option<TraceRecord> {
+                self.0.next_record()
+            }
+            fn reset(&mut self) {
+                self.0.reset();
+            }
+            fn len_hint(&self) -> Option<u64> {
+                self.0.len_hint()
+            }
+        }
+        let mut src = OneByOne(VecSource::new(records.clone()));
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(&mut out, 100), records.len());
+        assert_eq!(out, records);
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {

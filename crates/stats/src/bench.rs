@@ -111,6 +111,65 @@ pub struct BenchReport {
     pub benchmarks: Vec<BenchMeasurement>,
 }
 
+/// Regression thresholds for [`BenchReport::compare_gated`]: a default
+/// slowdown percentage plus per-benchmark overrides, parsed from the
+/// `--max-regress` grammar `"25"` or `"25,agent_step=15,qvstore_argmax=15"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressGate {
+    /// Threshold applied to benchmarks without an override.
+    pub default_pct: f64,
+    /// `(benchmark name, threshold percent)` overrides.
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl RegressGate {
+    /// A gate with one uniform threshold.
+    pub fn uniform(default_pct: f64) -> Self {
+        Self {
+            default_pct,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Parses the `--max-regress` spec: a leading default percentage,
+    /// then comma-separated `name=pct` overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed component.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(',');
+        let default = parts.next().expect("split yields at least one part");
+        let default_pct = default
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("--max-regress: bad default percentage {default:?}"))?;
+        let mut overrides = Vec::new();
+        for part in parts {
+            let (name, pct) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--max-regress: expected name=pct, got {part:?}"))?;
+            let pct = pct
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--max-regress: bad percentage in {part:?}"))?;
+            overrides.push((name.trim().to_string(), pct));
+        }
+        Ok(Self {
+            default_pct,
+            overrides,
+        })
+    }
+
+    /// The threshold applying to `name`.
+    pub fn threshold(&self, name: &str) -> f64 {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(self.default_pct, |(_, pct)| *pct)
+    }
+}
+
 /// One benchmark's regression verdict from [`BenchReport::compare`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -195,12 +254,25 @@ impl BenchReport {
         baseline: &Self,
         max_regress_pct: f64,
     ) -> Result<Vec<Regression>, String> {
-        if (self.scale - baseline.scale).abs() > 1e-12 {
-            return Err(format!(
-                "scale mismatch: current report ran at {} but baseline at {}",
-                self.scale, baseline.scale
-            ));
-        }
+        self.compare_gated(baseline, &RegressGate::uniform(max_regress_pct))
+    }
+
+    /// Like [`compare`](BenchReport::compare), but with per-benchmark
+    /// thresholds: each benchmark is judged against
+    /// [`RegressGate::threshold`] for its name, so CI can hold the hot
+    /// kernels (`agent_step`, `qvstore_argmax`) to a tighter budget than
+    /// the noisier end-to-end fixtures.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two reports ran at different
+    /// `PYTHIA_BENCH_SCALE`s (their numbers are not comparable).
+    pub fn compare_gated(
+        &self,
+        baseline: &Self,
+        gate: &RegressGate,
+    ) -> Result<Vec<Regression>, String> {
+        self.check_same_scale(baseline)?;
         let mut out = Vec::new();
         for b in &self.benchmarks {
             let Some(base) = baseline.benchmarks.iter().find(|x| x.name == b.name) else {
@@ -211,7 +283,7 @@ impl BenchReport {
                 continue;
             }
             let slowdown_pct = (1.0 - cur / was) * 100.0;
-            if slowdown_pct > max_regress_pct {
+            if slowdown_pct > gate.threshold(&b.name) {
                 out.push(Regression {
                     name: b.name.clone(),
                     baseline_units_per_sec: was,
@@ -221,6 +293,82 @@ impl BenchReport {
             }
         }
         Ok(out)
+    }
+
+    /// Renders the per-benchmark delta table of `self` (the "new" report)
+    /// against `baseline` (the "old" one) — median, MAD, and the
+    /// throughput ratio new/old, where `> 1.00x` means faster. Benchmarks
+    /// present on only one side are listed with `-` on the missing side so
+    /// additions and retirements stay visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two reports ran at different
+    /// `PYTHIA_BENCH_SCALE`s (their numbers are not comparable).
+    pub fn compare_table(&self, baseline: &Self) -> Result<String, String> {
+        self.check_same_scale(baseline)?;
+        let mut t = Table::new(&[
+            "benchmark",
+            "median old",
+            "median new",
+            "mad old",
+            "mad new",
+            "ratio",
+        ]);
+        let missing = || "-".to_string();
+        for base in &baseline.benchmarks {
+            let row = match self.benchmarks.iter().find(|x| x.name == base.name) {
+                Some(cur) => {
+                    let (old, new) = (base.units_per_sec(), cur.units_per_sec());
+                    let ratio = if old > 0.0 {
+                        format!("{:.2}x", new / old)
+                    } else {
+                        missing()
+                    };
+                    [
+                        base.name.clone(),
+                        format_ns(base.median_ns),
+                        format_ns(cur.median_ns),
+                        format_ns(base.mad_ns),
+                        format_ns(cur.mad_ns),
+                        ratio,
+                    ]
+                }
+                None => [
+                    base.name.clone(),
+                    format_ns(base.median_ns),
+                    missing(),
+                    format_ns(base.mad_ns),
+                    missing(),
+                    missing(),
+                ],
+            };
+            t.row(&row);
+        }
+        for cur in &self.benchmarks {
+            if baseline.benchmarks.iter().any(|x| x.name == cur.name) {
+                continue;
+            }
+            t.row(&[
+                cur.name.clone(),
+                missing(),
+                format_ns(cur.median_ns),
+                missing(),
+                format_ns(cur.mad_ns),
+                missing(),
+            ]);
+        }
+        Ok(t.to_markdown())
+    }
+
+    fn check_same_scale(&self, baseline: &Self) -> Result<(), String> {
+        if (self.scale - baseline.scale).abs() > 1e-12 {
+            return Err(format!(
+                "scale mismatch: current report ran at {} but baseline at {}",
+                self.scale, baseline.scale
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -292,6 +440,69 @@ mod tests {
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].name, "b");
         assert!(regressions[0].slowdown_pct > 49.0);
+    }
+
+    #[test]
+    fn gate_parses_default_and_overrides() {
+        let gate = RegressGate::parse("25,agent_step=15, qvstore_argmax = 10").expect("parses");
+        assert_eq!(gate.default_pct, 25.0);
+        assert_eq!(gate.threshold("agent_step"), 15.0);
+        assert_eq!(gate.threshold("qvstore_argmax"), 10.0);
+        assert_eq!(gate.threshold("e2e_single_core"), 25.0);
+
+        assert_eq!(
+            RegressGate::parse("40").expect("parses"),
+            RegressGate::uniform(40.0)
+        );
+        assert!(RegressGate::parse("nope").is_err());
+        assert!(RegressGate::parse("25,agent_step").is_err());
+        assert!(RegressGate::parse("25,agent_step=fast").is_err());
+    }
+
+    #[test]
+    fn gated_compare_applies_per_benchmark_thresholds() {
+        let base = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![measurement("agent_step", 100.0), measurement("e2e", 100.0)],
+        };
+        let current = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            // Both 20% slower: over agent_step's 15% override, under the
+            // 25% default that still covers e2e.
+            benchmarks: vec![measurement("agent_step", 125.0), measurement("e2e", 125.0)],
+        };
+        let gate = RegressGate::parse("25,agent_step=15").expect("parses");
+        let regressions = current.compare_gated(&base, &gate).expect("comparable");
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "agent_step");
+    }
+
+    #[test]
+    fn compare_table_shows_deltas_and_one_sided_benchmarks() {
+        let base = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![measurement("a", 200.0), measurement("retired", 50.0)],
+        };
+        let current = BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            benchmarks: vec![measurement("a", 100.0), measurement("added", 70.0)],
+        };
+        let table = current.compare_table(&base).expect("comparable");
+        // `a` doubled in throughput (200 ns -> 100 ns median).
+        assert!(table.contains("2.00x"), "ratio missing from:\n{table}");
+        assert!(table.contains("retired"));
+        assert!(table.contains("added"));
+        assert!(table.contains('-'), "one-sided rows use - placeholders");
+
+        let mismatched = BenchReport {
+            scale: 0.5,
+            ..current.clone()
+        };
+        assert!(mismatched.compare_table(&base).is_err());
     }
 
     #[test]

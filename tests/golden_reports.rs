@@ -28,6 +28,14 @@ const SCALE: &str = "0.01";
 const THREADS: usize = 4;
 
 /// `(figure id, FNV-1a-64 digest of the stripped result JSON)`.
+///
+/// Re-goldened once for the Q8.7 fixed-point QVStore: 18 of 20 digests
+/// were unchanged (the batched core-slice scheduler is byte-identical,
+/// and quantized Q-values reproduced the f32 trajectories everywhere
+/// else); only the hyperparameter-sensitivity figures moved — fig20,
+/// whose deep exponential-grid α points (≤ 1e-5) now quantize to an
+/// effective learning rate of zero, and fig23, where warmup-length
+/// trajectories straddle quantization ties.
 const GOLDEN: &[(&str, u64)] = &[
     ("fig01", 0x5f2ce0158dc557d3),
     ("fig07", 0x7f94374a592d27f9),
@@ -43,10 +51,10 @@ const GOLDEN: &[(&str, u64)] = &[
     ("fig15", 0x258d9e8a365538bd),
     ("fig16", 0x4abaee87a8d6dcf4),
     ("fig17", 0xf64942f22694b879),
-    ("fig20", 0x1eaf0844f140c38d),
+    ("fig20", 0xde1366cf90900b4b),
     ("fig21", 0xe5e92dfc0e25b4cf),
     ("fig22", 0xe5779ff0bfd506c4),
-    ("fig23", 0x401a6ff69b37eb04),
+    ("fig23", 0xead0af668dacd36b),
     ("tab02", 0x57c5218fbfd99be6),
     ("ablation", 0x4dcb70a206d8d0f9),
 ];

@@ -355,6 +355,196 @@ proptest! {
     }
 }
 
+/// Slow f64 reference model of the QVStore: the same plane hash
+/// ([`pythia_core::qvstore::plane_slot`]) and layout, but double-precision
+/// cells and no SWAR — the oracle the Q8.7 fixed-point implementation
+/// must track within quantization tolerance. Max vault combine (the
+/// paper's default, which `PythiaConfig::basic()` selects).
+struct QvModelF64 {
+    planes: usize,
+    index_bits: u32,
+    /// Sparse cell overrides keyed by `(vault, plane, slot, action)`;
+    /// untouched cells hold `init`.
+    cells: std::collections::HashMap<(usize, usize, usize, usize), f64>,
+    init: f64,
+}
+
+impl QvModelF64 {
+    fn new(cfg: &PythiaConfig) -> Self {
+        Self {
+            planes: cfg.planes,
+            index_bits: cfg.plane_index_bits,
+            cells: std::collections::HashMap::new(),
+            // The store quantizes its per-plane init; start from the same
+            // value so the models agree exactly at t=0.
+            init: f64::from(pythia_core::qvstore::quantize(
+                cfg.q_init() / cfg.planes as f32,
+            )),
+        }
+    }
+
+    fn cell(&self, vault: usize, plane: usize, value: u64, action: usize) -> f64 {
+        let slot = pythia_core::qvstore::plane_slot(value, plane, self.index_bits);
+        *self
+            .cells
+            .get(&(vault, plane, slot, action))
+            .unwrap_or(&self.init)
+    }
+
+    fn q(&self, state: &[u64], action: usize) -> f64 {
+        state
+            .iter()
+            .enumerate()
+            .map(|(v, &value)| {
+                (0..self.planes)
+                    .map(|p| self.cell(v, p, value, action))
+                    .sum::<f64>()
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The SARSA update in f64, with α and γ pre-quantized to the same
+    /// 1/2¹⁶ grid the fixed-point path uses (so the only divergence left
+    /// is the store's per-plane Q8.7 write-back rounding).
+    #[allow(clippy::too_many_arguments)]
+    fn sarsa(
+        &mut self,
+        s1: &[u64],
+        a1: usize,
+        r: f64,
+        s2: &[u64],
+        a2: usize,
+        alpha: f64,
+        gamma: f64,
+    ) {
+        let gamma_q = (gamma * 65536.0).round() / 65536.0;
+        let per_plane_rate = (alpha / self.planes as f64 * 65536.0).round() / 65536.0;
+        let delta = r + gamma_q * self.q(s2, a2) - self.q(s1, a1);
+        let step = per_plane_rate * delta;
+        let (floor, cap) = (
+            f64::from(i16::MIN) / f64::from(pythia_core::qvstore::Q_ONE),
+            f64::from(i16::MAX) / f64::from(pythia_core::qvstore::Q_ONE),
+        );
+        for (v, &value) in s1.iter().enumerate() {
+            for p in 0..self.planes {
+                let slot = pythia_core::qvstore::plane_slot(value, p, self.index_bits);
+                let cell = self.cells.entry((v, p, slot, a1)).or_insert(self.init);
+                *cell = (*cell + step).clamp(floor, cap);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fixed_point_sarsa_tracks_f64_reference(
+        updates in proptest::collection::vec(
+            (0u64..40, 0usize..16, -20i16..=20, 0u64..40, 0usize..16),
+            1..60,
+        ),
+        alpha_pct in 5u32..30,
+    ) {
+        let cfg = PythiaConfig::basic();
+        let alpha = alpha_pct as f32 / 100.0;
+        let mut store = QvStore::new(&cfg);
+        let mut model = QvModelF64::new(&cfg);
+        for &(v1, a1, r, v2, a2) in &updates {
+            let (s1, s2) = ([v1, v1 ^ 7], [v2, v2 ^ 7]);
+            store.sarsa_update(&s1, a1, r as f32, &s2, a2, alpha, cfg.gamma);
+            model.sarsa(&s1, a1, r as f64, &s2, a2, alpha as f64, cfg.gamma as f64);
+        }
+        // Each update's per-plane write-back rounds to the Q8.7 grid
+        // (≤ half an LSB per plane); allow that per update plus slack for
+        // the TD-error feedback of the accumulated drift.
+        let tol = (updates.len() as f64 + 1.0)
+            * cfg.planes as f64
+            * (f64::from(pythia_core::qvstore::Q_ONE).recip())
+            + 0.2;
+        for &(v1, _, _, v2, _) in &updates {
+            for probe in [[v1, v1 ^ 7], [v2, v2 ^ 7]] {
+                for a in 0..cfg.actions.len() {
+                    let got = f64::from(store.q(&probe, a));
+                    let want = model.q(&probe, a);
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "q({probe:?}, {a}): fixed-point {got} vs f64 reference {want}, tol {tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_argmax_matches_float_row_scan(
+        updates in proptest::collection::vec(
+            (0u64..60, 0usize..127, -20i16..=20),
+            0..120,
+        ),
+        probes in proptest::collection::vec(0u64..200, 1..30),
+        full_list in any::<bool>(),
+    ) {
+        // The basic 16-action list runs pure SWAR blocks; the full
+        // 127-action list also exercises the scalar tail lanes.
+        let cfg = if full_list {
+            PythiaConfig::basic().with_actions(PythiaConfig::full_actions())
+        } else {
+            PythiaConfig::basic()
+        };
+        let n_actions = cfg.actions.len();
+        let mut store = QvStore::new(&cfg);
+        for &(v, a, r) in &updates {
+            let s = [v, v ^ 7];
+            store.sarsa_update(&s, a % n_actions, r as f32, &s, a % n_actions, 0.2, cfg.gamma);
+        }
+        for &p in &probes {
+            let probe = [p, p ^ 7];
+            let best = store.argmax(&probe);
+            // Exact agreement with a scalar scan of the float row,
+            // including the lowest-index tie-break.
+            let row = store.q_row(&probe);
+            let mut scan = 0usize;
+            for (a, &q) in row.iter().enumerate().skip(1) {
+                if q > row[scan] {
+                    scan = a;
+                }
+            }
+            prop_assert_eq!(best, scan, "probe {:?}: row {:?}", probe, row);
+        }
+    }
+
+    #[test]
+    fn fixed_point_saturation_never_wraps(
+        updates in proptest::collection::vec(
+            (0u64..10, 0usize..16, any::<bool>(), 10_000u32..1_000_000),
+            1..200,
+        ),
+        alpha_pct in 10u32..=100,
+    ) {
+        // Enormous α·δ products must pin partials at the i16 rails, never
+        // wrap past them: the combined Q stays inside the representable
+        // window after every single update.
+        let cfg = PythiaConfig::basic();
+        let alpha = alpha_pct as f32 / 100.0;
+        let cap = cfg.planes as f32 * f32::from(i16::MAX) / pythia_core::qvstore::Q_ONE as f32;
+        let floor = cfg.planes as f32 * f32::from(i16::MIN) / pythia_core::qvstore::Q_ONE as f32;
+        let mut store = QvStore::new(&cfg);
+        for &(v, a, negative, magnitude) in &updates {
+            let r = if negative { -(magnitude as f32) } else { magnitude as f32 };
+            let s = [v, v ^ 7];
+            store.sarsa_update(&s, a, r, &s, a, alpha, cfg.gamma);
+            let q = store.q(&s, a);
+            prop_assert!(
+                (floor..=cap).contains(&q),
+                "q({s:?}, {a}) = {q} escaped [{floor}, {cap}] after reward {r}"
+            );
+            for (vault, &value) in s.iter().enumerate() {
+                let f = store.feature_q(vault, value, a);
+                prop_assert!((floor..=cap).contains(&f), "feature_q wrapped: {f}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
