@@ -11,8 +11,9 @@ use pythia_core::tuning::{exponential_grid, HyperPoint};
 use pythia_core::{ControlFlow, DataFlow, Feature, PythiaConfig};
 use pythia_sim::config::SystemConfig;
 use pythia_sweep::{ConfigPoint, SweepSpec, WorkUnit};
+use pythia_workloads::profiles::{derive_seed, Profile, CAMPAIGN_SEED};
 use pythia_workloads::suites::cvp_unseen;
-use pythia_workloads::{all_suites, mixes, suite, Suite};
+use pythia_workloads::{all_suites, mixes, suite, PatternKind, Suite, TraceSpec, Workload};
 
 use crate::{budget, Budget};
 
@@ -479,6 +480,100 @@ fn ablation() -> Vec<SweepSpec> {
     vec![spec]
 }
 
+/// One [`WorkUnit`] per workload of a robustness profile, grouped under
+/// the profile's label so [`pythia_sweep::SweepResult::robustness`] can
+/// score hostile groups against the `expected` reference.
+fn profile_units(p: Profile) -> Vec<WorkUnit> {
+    p.workloads(CAMPAIGN_SEED)
+        .into_iter()
+        .map(|w| {
+            let mut u = WorkUnit::single(w);
+            u.group = p.label().to_string();
+            u
+        })
+        .collect()
+}
+
+/// `robust01`: every registry prefetcher (plus Pythia) over the three
+/// robustness profiles. Scored as speedup/coverage/overprediction deltas
+/// against the `expected` group.
+fn robust01() -> Vec<SweepSpec> {
+    let mut prefetchers: Vec<&str> = pythia::prefetchers::registry::available()
+        .iter()
+        .filter(|&&p| p != "none")
+        .copied()
+        .collect();
+    prefetchers.push("pythia");
+    let units = Profile::all().into_iter().flat_map(profile_units);
+    vec![SweepSpec::new("robust01")
+        .with_units(units)
+        .with_prefetchers(&prefetchers)
+        .with_config(point("base", Budget::Sweep))]
+}
+
+/// `robust02`: phase agility. A three-pattern mix is served steady (each
+/// constituent its own workload, the `steady` reference group) and phased
+/// at increasingly rapid switch periods; fragile prefetchers decay as the
+/// period shrinks.
+fn robust02() -> Vec<SweepSpec> {
+    use PatternKind::*;
+    let constituents: [(&str, PatternKind); 3] = [
+        ("stream", Stream { store_every: 0 }),
+        (
+            "delta",
+            DeltaChain {
+                deltas: vec![1, 1, 3],
+            },
+        ),
+        ("cloud", CloudMix { hot_pct: 10 }),
+    ];
+    let unit = |name: String, kind: PatternKind, group: &str| -> WorkUnit {
+        let spec = TraceSpec::new(name.clone(), kind).with_seed(derive_seed(CAMPAIGN_SEED, &name));
+        let mut u = WorkUnit::single(Workload {
+            name,
+            suite: Suite::CvpUnseen,
+            spec,
+        });
+        u.group = group.to_string();
+        u
+    };
+    let mut units: Vec<WorkUnit> = constituents
+        .iter()
+        .map(|(n, k)| unit(format!("steady-{n}"), k.clone(), "steady"))
+        .collect();
+    for plen in [8_000u32, 2_000, 500, 64] {
+        let group = format!("plen-{plen}");
+        units.push(unit(
+            group.clone(),
+            Phased {
+                phases: constituents.iter().map(|(_, k)| k.clone()).collect(),
+                phase_len: plen,
+            },
+            &group,
+        ));
+    }
+    vec![SweepSpec::new("robust02")
+        .with_units(units)
+        .with_prefetchers(&HEADLINE_PREFETCHERS)
+        .with_config(point("base", Budget::Sweep))]
+}
+
+/// `robust03`: adversarial robustness under bandwidth pressure — the
+/// expected and adversarial profiles swept across DRAM MTPS levels.
+fn robust03() -> Vec<SweepSpec> {
+    let units = [Profile::Expected, Profile::Adversarial]
+        .into_iter()
+        .flat_map(profile_units);
+    vec![SweepSpec::new("robust03")
+        .with_units(units)
+        .with_prefetchers(&HEADLINE_PREFETCHERS)
+        .with_configs(
+            [150u64, 600, 2400, 9600]
+                .iter()
+                .map(|&mtps| mtps_point(mtps, Budget::MultiCore)),
+        )]
+}
+
 /// A registered figure: an id, a title, and the campaign(s) behind it.
 pub struct FigureDef {
     /// Registry id (`"fig09"`, `"tab02"`, ...).
@@ -592,6 +687,21 @@ pub fn registry() -> Vec<FigureDef> {
             title: "Ablations of Pythia design choices",
             build: ablation,
         },
+        FigureDef {
+            id: "robust01",
+            title: "Robustness of every registry prefetcher across trace profiles",
+            build: robust01,
+        },
+        FigureDef {
+            id: "robust02",
+            title: "Phase agility: steady vs phased pattern mixes",
+            build: robust02,
+        },
+        FigureDef {
+            id: "robust03",
+            title: "Adversarial robustness under bandwidth pressure",
+            build: robust03,
+        },
     ]
 }
 
@@ -666,6 +776,26 @@ mod tests {
     fn tab02_grid_has_one_variant_per_hyper_point() {
         let panels = specs("tab02").unwrap();
         assert_eq!(panels[0].prefetchers.len(), exponential_grid(4).len());
+    }
+
+    #[test]
+    fn robust_campaigns_cover_profiles() {
+        let panels = specs("robust01").unwrap();
+        assert_eq!(panels.len(), 1);
+        let groups: std::collections::BTreeSet<&str> =
+            panels[0].units.iter().map(|u| u.group.as_str()).collect();
+        for g in ["expected", "stress", "adversarial"] {
+            assert!(groups.contains(g), "missing group {g}");
+        }
+        assert!(
+            panels[0].prefetchers.iter().any(|p| p.label == "pythia"),
+            "registry sweep must include pythia"
+        );
+        // The reference group leads in spec order so the robustness table
+        // scores against it.
+        assert_eq!(panels[0].units[0].group, "expected");
+        assert_eq!(specs("robust02").unwrap()[0].units[0].group, "steady");
+        assert_eq!(specs("robust03").unwrap()[0].configs.len(), 4);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use pythia_sim::trace::{trace_file_info, FileTraceSource, TraceSource, TraceWrit
 use pythia_stats::json::sim_report_json;
 use pythia_stats::metrics::compare as compare_metrics;
 use pythia_stats::report::Table;
+use pythia_workloads::profiles::{profile_stats, trace_stats, Profile, CAMPAIGN_SEED};
 use pythia_workloads::suites::{all_suites, cvp_unseen};
 use pythia_workloads::Workload;
 
@@ -43,6 +44,12 @@ USAGE:
       [--warmup N] [--measure N] [--mtps N]     file; byte-identical to the
       [--llc-kb N] [--report-json FILE]         equivalent `run`
   pythia-cli trace info <file> [--json]         print trace header and stats
+  pythia-cli trace gen <profile>                generate a robustness profile
+      [--seed N] [--instructions N]             (expected|stress|adversarial):
+      [--out DIR] [--stats-json [FILE]]         summary table, binary traces,
+                                                or coverage/phase-map stats
+                                                (sweep robust01..03 scores
+                                                prefetchers across profiles)
   pythia-cli storage                            print storage/overhead tables
   pythia-cli serve                              run the campaign service: job
       [--addr 127.0.0.1:7071] [--workers N]     scheduling, in-flight dedup, a
@@ -340,7 +347,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
         }
     };
 
-    let rendered = match &provenance {
+    let mut rendered = match &provenance {
         None => result.render(format)?,
         Some((cached, digest)) => match format {
             "json" => result
@@ -355,6 +362,16 @@ pub fn sweep(args: &ParsedArgs) -> Result<(), String> {
             other => result.render(other)?,
         },
     };
+    // Robustness campaigns carry their scoreboard in the md rendering only
+    // (JSON/CSV stay raw cell data, so golden digests pin the campaign).
+    if campaign.name.starts_with("robust") && matches!(format, "md" | "markdown") {
+        if let Some(reference) = result.distinct(pythia_sweep::Key::Group).first() {
+            rendered.push_str(&format!(
+                "\n## Robustness vs `{reference}` (Δ of per-group geomeans)\n\n{}",
+                result.robustness(reference).to_markdown()
+            ));
+        }
+    }
     match args.opt("out") {
         None => print!("{rendered}"),
         Some(path) => {
@@ -471,19 +488,114 @@ fn load_bench_report(path: &str) -> Result<pythia_stats::BenchReport, String> {
         .map_err(|e| format!("{path}: {e}"))
 }
 
-/// `pythia-cli trace <record|replay|info> ...`
+/// `pythia-cli trace <record|replay|info|gen> ...`
 pub fn trace(args: &ParsedArgs) -> Result<(), String> {
     match args.positionals.first().map(String::as_str) {
         Some("record") => trace_record(args),
         Some("replay") => trace_replay(args),
         Some("info") => trace_info(args),
+        Some("gen") => trace_gen(args),
         _ => Err(
             "usage: pythia-cli trace record <workload> <file> [--instructions N]\n\
              \x20      pythia-cli trace replay <file> <prefetcher> [options]\n\
-             \x20      pythia-cli trace info <file>"
+             \x20      pythia-cli trace info <file>\n\
+             \x20      pythia-cli trace gen <profile> [--seed N] [--out DIR] [--stats-json [FILE]]"
                 .into(),
         ),
     }
+}
+
+/// `pythia-cli trace gen <profile>` — renders a robustness profile
+/// (expected / stress / adversarial). Default output is a per-trace
+/// summary table; `--out DIR` additionally records each trace as a binary
+/// file; `--stats-json` emits the full stats bundle (access counts,
+/// coverage ratio, phase map) — to a file when given a value, alone on
+/// stdout as a bare flag (so it pipes into JSON tooling).
+fn trace_gen(args: &ParsedArgs) -> Result<(), String> {
+    let [_, profile_name] = args.positionals.as_slice() else {
+        return Err("usage: pythia-cli trace gen <expected|stress|adversarial> \
+             [--seed N] [--instructions N] [--out DIR] [--stats-json [FILE]]"
+            .into());
+    };
+    let profile = Profile::parse(profile_name).ok_or_else(|| {
+        format!("unknown profile {profile_name:?}; profiles: expected, stress, adversarial")
+    })?;
+    let seed = args.opt_num("seed", CAMPAIGN_SEED)?;
+    let n = args.opt_num("instructions", 100_000usize)?;
+    if n == 0 {
+        return Err("--instructions must be positive".into());
+    }
+    let workloads = profile.workloads(seed);
+    // A bare `--stats-json` owns stdout (pure JSON), so side notices from
+    // `--out` go to stderr in that mode.
+    let json_to_stdout = args.flag("stats-json") && args.opt("stats-json").is_none();
+    if let Some(dir) = args.opt("out") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for w in &workloads {
+            let path = format!("{dir}/{}.trace", w.name);
+            let mut writer = TraceWriter::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut source = w.source(n);
+            while let Some(r) = source.next_record() {
+                writer
+                    .write_record(&r)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+            writer.finish().map_err(|e| format!("{path}: {e}"))?;
+        }
+        let notice = format!(
+            "wrote {} {} traces ({n} instructions each) to {dir}",
+            workloads.len(),
+            profile.label()
+        );
+        if json_to_stdout {
+            eprintln!("{notice}");
+        } else {
+            println!("{notice}");
+        }
+    }
+    if args.flag("stats-json") {
+        let json = profile_stats(profile, seed, n).render_pretty();
+        match args.opt("stats-json") {
+            Some(path) => {
+                write_artifact(path, &json)?;
+                println!("wrote {} profile stats to {path}", profile.label());
+            }
+            None => print!("{json}"),
+        }
+        return Ok(());
+    }
+    println!(
+        "# Profile {} — {} (seed {seed})\n",
+        profile.label(),
+        profile.description()
+    );
+    let mut t = Table::new(&[
+        "trace",
+        "pattern",
+        "seed",
+        "mem accesses",
+        "distinct lines",
+        "coverage",
+    ]);
+    for w in &workloads {
+        let s = trace_stats(w, n);
+        let get = |k: &str| s.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        t.row(&[
+            w.name.clone(),
+            pattern_label(&w.spec.kind).to_string(),
+            w.spec.seed.to_string(),
+            get("mem_accesses").to_string(),
+            get("distinct_lines").to_string(),
+            format!(
+                "{:.4}",
+                s.get("coverage_ratio")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            ),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    Ok(())
 }
 
 /// `pythia-cli trace record <workload> <file>` — streams the workload's

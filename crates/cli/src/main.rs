@@ -10,6 +10,7 @@
 //! pythia-cli trace record <workload> <file> [--instructions N]
 //! pythia-cli trace replay <file> <prefetcher> [--warmup N] [--measure N]
 //! pythia-cli trace info <file> [--json]
+//! pythia-cli trace gen <profile> [--seed N] [--out DIR] [--stats-json [F]]
 //! pythia-cli storage                           # Tables 4/7/8 summary
 //! pythia-cli serve [--addr A] [--workers N] [--cache-dir DIR]
 //! pythia-cli submit <figure> --addr HOST:PORT [--format md|json|csv]

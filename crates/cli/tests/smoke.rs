@@ -232,6 +232,80 @@ fn trace_info_reports_header_and_mix() {
 }
 
 #[test]
+fn trace_gen_stats_json_is_pure_and_parses() {
+    // A bare `--stats-json` must own stdout (pure JSON, pipeable).
+    let out = cli(&[
+        "trace",
+        "gen",
+        "adversarial",
+        "--instructions",
+        "2000",
+        "--stats-json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = pythia_stats::json::parse(&text).expect("stdout must be pure JSON");
+    assert_eq!(
+        json.get("profile").and_then(|v| v.as_str()),
+        Some("adversarial")
+    );
+    let traces = json.get("traces").and_then(|v| v.as_arr()).expect("traces");
+    assert!(!traces.is_empty());
+    for t in traces {
+        let ratio = t
+            .get("coverage_ratio")
+            .and_then(|v| v.as_f64())
+            .expect("coverage_ratio");
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio={ratio}");
+        assert!(t.get("phase_map").and_then(|v| v.as_arr()).is_some());
+    }
+}
+
+#[test]
+fn trace_gen_writes_traces_and_summary() {
+    let dir = std::env::temp_dir().join("pythia_cli_gen");
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_str().expect("utf-8 temp path");
+    let out = cli(&[
+        "trace",
+        "gen",
+        "expected",
+        "--instructions",
+        "2000",
+        "--out",
+        dir_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("# Profile expected"), "{text}");
+    assert!(text.contains("coverage"), "{text}");
+    let files: Vec<_> = std::fs::read_dir(&dir).expect("out dir").collect();
+    assert_eq!(files.len(), 6, "one trace file per expected-profile unit");
+    // Spot-check one file decodes.
+    let bytes = std::fs::read(dir.join("exp-stream.trace")).expect("trace file");
+    let records = pythia_sim::trace::decode_trace(bytes.as_slice()).expect("decodable");
+    assert_eq!(records.len(), 2000);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_gen_rejects_unknown_profile() {
+    let out = cli(&["trace", "gen", "bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown profile"));
+}
+
+#[test]
+fn sweep_robust_campaigns_are_listed() {
+    let out = cli(&["sweep", "--list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for id in ["robust01", "robust02", "robust03"] {
+        assert!(text.contains(id), "sweep --list must show {id}");
+    }
+}
+
+#[test]
 fn trace_rejects_bad_subcommand_and_bad_file() {
     let out = cli(&["trace", WORKLOAD, "out.pytr"]);
     assert!(!out.status.success());

@@ -175,6 +175,56 @@ impl SweepResult {
         t
     }
 
+    /// Robustness scoreboard: one row per prefetcher, scoring every
+    /// non-reference group as the delta of its speedup / coverage /
+    /// overprediction geomeans against the `reference` group (the
+    /// `robust01`–`robust03` aggregation; reference is normally the
+    /// `expected` profile). A robust prefetcher keeps speedup and coverage
+    /// deltas near zero on hostile groups without an overprediction blowup;
+    /// a fragile one shows large negative speedup/coverage deltas or a
+    /// large positive overprediction delta.
+    pub fn robustness(&self, reference: &str) -> Table {
+        let groups: Vec<String> = distinct(&self.cells, Key::Group)
+            .into_iter()
+            .filter(|g| g != reference)
+            .collect();
+        let metrics = [
+            ("speedup", Value::Speedup),
+            ("coverage", Value::Coverage),
+            ("overpred", Value::Overprediction),
+        ];
+        let mut headers: Vec<String> = vec!["prefetcher".into()];
+        for (name, _) in &metrics {
+            headers.push(format!("{name}@{reference}"));
+            for g in &groups {
+                headers.push(format!("Δ{name}@{g}"));
+            }
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        let geo_for = |pf: &str, group: &str, value: Value| -> f64 {
+            let vs: Vec<f64> = self
+                .cells
+                .iter()
+                .filter(|c| c.prefetcher == pf && c.group == group)
+                .map(|c| value.of(c))
+                .collect();
+            geomean(&vs)
+        };
+        for pf in distinct(&self.cells, Key::Prefetcher) {
+            let mut row = vec![pf.clone()];
+            for (_, value) in &metrics {
+                let base = geo_for(&pf, reference, *value);
+                row.push(format!("{base:.3}"));
+                for g in &groups {
+                    row.push(format!("{:+.3}", geo_for(&pf, g, *value) - base));
+                }
+            }
+            t.row(&row);
+        }
+        t
+    }
+
     /// Baseline-MPKI-weighted average coverage and overprediction of one
     /// prefetcher across the result's cells (the Fig. 7 aggregation:
     /// baseline MPKI proxies the baseline miss count each workload
@@ -276,6 +326,20 @@ mod tests {
         // (0.8*10 + 0.4*30) / 40 = 0.5
         assert!((cov - 0.5).abs() < 1e-12);
         assert!((over - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_scores_deltas_vs_reference_group() {
+        let t = result().robustness("A");
+        let md = t.to_markdown();
+        assert!(md.contains("speedup@A"));
+        assert!(md.contains("Δspeedup@B"));
+        // spp: speedup geomean 2.0 on A, 8.0 on B -> delta +6.0.
+        assert!(md.contains("2.000"));
+        assert!(md.contains("+6.000"));
+        // pythia: 4.0 on A, 16.0 on B -> delta +12.0.
+        assert!(md.contains("+12.000"));
+        assert_eq!(t.len(), 2, "one row per prefetcher");
     }
 
     #[test]

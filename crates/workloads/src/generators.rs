@@ -37,8 +37,9 @@ pub enum PatternKind {
         /// Footprints (line offsets within a 2 KB region, 0..32), one per
         /// trigger PC.
         patterns: Vec<Vec<u8>>,
-        /// Fraction (percent) of region visits that deviate (extra noise
-        /// line) — keeps Bingo's accuracy below 100%.
+        /// Fraction (percent) of region visits that deviate: an extra noise
+        /// line inserted at a seeded random position mid-visit — keeps
+        /// Bingo's accuracy below 100% and perturbs region learning.
         noise_pct: u8,
     },
     /// Repeating delta sequence applied within pages, advancing to the next
@@ -66,7 +67,10 @@ pub enum PatternKind {
     Phased {
         /// The sub-patterns to cycle through.
         phases: Vec<PatternKind>,
-        /// Memory accesses per phase.
+        /// Memory accesses per phase. Every memory record counts —
+        /// element-level re-accesses included — and a switch takes effect
+        /// at the next fresh cacheline, so a phase boundary can overshoot
+        /// by at most `accesses_per_line - 1` records.
         phase_len: u32,
     },
 }
@@ -245,6 +249,11 @@ impl TraceStream {
         if roll < self.spec.mem_pct as u32 {
             let (pc, addr, is_write, dependent) = match self.cursor.take() {
                 Some(c) => {
+                    // Element re-accesses are memory records too: charge
+                    // them against the pattern's phase budget (`Phased`
+                    // counts *memory accesses*, not fresh cachelines)
+                    // without advancing any pattern cursor.
+                    self.state.note_extra_access();
                     let elem = (self.repeat - c.left) % 8; // 8 elements of 8 B per line
                     let addr = c.line_base + elem * 8;
                     let (pc, w) = (c.pc, c.is_write);
@@ -514,7 +523,13 @@ impl PatternState {
                 let pattern = &patterns[which];
                 let mut lines: Vec<u8> = pattern.clone();
                 if rng.gen_range(0..100u32) < *noise_pct as u32 {
-                    lines.push(rng.gen_range(0..32));
+                    // The deviating line lands at a seeded random point
+                    // *inside* the visit (never before the trigger), so it
+                    // genuinely perturbs region learning instead of always
+                    // trailing the footprint.
+                    let noise = rng.gen_range(0..32);
+                    let pos = rng.gen_range(1..=lines.len());
+                    lines.insert(pos, noise);
                 }
                 let trigger = lines[0] as u64 % 32;
                 for &o in lines[1..].iter().rev() {
@@ -526,18 +541,17 @@ impl PatternState {
                 let current = *line % total_lines;
                 let d = deltas[*idx];
                 *idx = (*idx + 1) % deltas.len();
-                let next = *line as i64 + d as i64;
-                // Overflowing the page advances to the start of the next
-                // page, keeping the chain phase.
-                *line = if next < 0 {
-                    current / LINES_PER_PAGE * LINES_PER_PAGE + LINES_PER_PAGE
+                // Crossing the page boundary in either direction (negative
+                // deltas underflow it) advances to the start of the next
+                // page, keeping the chain phase: `idx` runs on so the delta
+                // sequence resumes where it left off.
+                let next = current as i64 + d as i64;
+                let crossed = next < 0 || next as u64 / LINES_PER_PAGE != current / LINES_PER_PAGE;
+                *line = if crossed {
+                    (current / LINES_PER_PAGE + 1) * LINES_PER_PAGE
                 } else {
                     next as u64
                 };
-                if *line / LINES_PER_PAGE != current / LINES_PER_PAGE {
-                    *line = (current / LINES_PER_PAGE + 1) * LINES_PER_PAGE;
-                    *idx = 0;
-                }
                 (0x403000 + *idx as u64 * 4, current * 64, false, false)
             }
             Self::IrregularGraph {
@@ -595,6 +609,21 @@ impl PatternState {
                 *remaining -= 1;
                 states[*idx].next_access(footprint_pages, rng)
             }
+        }
+    }
+
+    /// Charges one additional memory record (an element re-access) against
+    /// the current phase budget, without advancing any pattern cursor.
+    fn note_extra_access(&mut self) {
+        if let Self::Phased {
+            states,
+            idx,
+            remaining,
+            ..
+        } = self
+        {
+            *remaining = remaining.saturating_sub(1);
+            states[*idx].note_extra_access();
         }
     }
 }
@@ -725,15 +754,193 @@ mod tests {
 
     #[test]
     fn footprint_respected() {
-        let s = spec(PatternKind::CloudMix { hot_pct: 0 }).with_footprint_pages(128);
-        let t = s.generate();
-        let base = (s.seed % 1024 + 1) * 0x1_0000_0000;
-        for r in &t {
-            if let Some(m) = r.mem {
-                let off = m.addr - base;
-                assert!(off < 128 * PAGE_SIZE, "access outside footprint: {off:#x}");
+        // Every pattern kind must stay inside its declared footprint.
+        let kinds = vec![
+            PatternKind::Stream { store_every: 3 },
+            PatternKind::Stride { lines: 7 },
+            PatternKind::PageVisit {
+                offsets: vec![0, 23, 41],
+            },
+            PatternKind::SpatialFootprint {
+                patterns: vec![vec![0, 3, 7, 12], vec![1, 2, 30]],
+                noise_pct: 20,
+            },
+            PatternKind::DeltaChain {
+                deltas: vec![2, -5, 3],
+            },
+            PatternKind::IrregularGraph {
+                vertices: 100_000,
+                avg_degree: 8,
+            },
+            PatternKind::PointerChase,
+            PatternKind::CloudMix { hot_pct: 30 },
+            PatternKind::Phased {
+                phases: vec![
+                    PatternKind::Stream { store_every: 0 },
+                    PatternKind::PointerChase,
+                ],
+                phase_len: 100,
+            },
+        ];
+        for kind in kinds {
+            let s = spec(kind.clone()).with_footprint_pages(128);
+            let t = s.generate();
+            let base = (s.seed % 1024 + 1) * 0x1_0000_0000;
+            for r in &t {
+                if let Some(m) = r.mem {
+                    let off = m.addr - base;
+                    assert!(
+                        off < 128 * PAGE_SIZE,
+                        "{kind:?}: access outside footprint: {off:#x}"
+                    );
+                }
             }
         }
+    }
+
+    /// Regression: `Phased` counts *every* memory record against the phase
+    /// budget — element re-accesses included. Before the fix, only fresh
+    /// cachelines were charged, stretching phases by ~`accesses_per_line`×.
+    #[test]
+    fn phased_phase_length_counts_every_memory_record() {
+        let mut s = spec(PatternKind::Phased {
+            phases: vec![
+                PatternKind::Stream { store_every: 0 },
+                PatternKind::PointerChase,
+            ],
+            phase_len: 100,
+        })
+        .with_accesses_per_line(4);
+        s.mem_pct = 100;
+        s.branch_pct = 0;
+        let t = s.generate();
+        // With mem_pct=100 every record is a memory access, and 4 accesses
+        // per line divides phase_len=100, so boundaries land exactly on
+        // record indices 100, 200, ... Dependent loads only occur in the
+        // PointerChase phases (odd 100-record windows).
+        let dep_indices: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.depends_on_prev_load)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!dep_indices.is_empty(), "pointer-chase phase never ran");
+        let first = dep_indices[0];
+        assert!(
+            (100..104).contains(&first),
+            "first chase access at record {first}, expected the phase \
+             boundary at 100 (pre-fix it lands near 400)"
+        );
+        for &i in &dep_indices {
+            assert_eq!(
+                (i / 100) % 2,
+                1,
+                "dependent load at record {i} outside a PointerChase phase"
+            );
+        }
+    }
+
+    /// Regression: `DeltaChain` keeps the chain phase across page crossings
+    /// (the delta index is never reset), and a crossing in either direction
+    /// advances to the start of the next page. Before the fix, every
+    /// crossing reset the delta sequence to its first element.
+    #[test]
+    fn delta_chain_keeps_phase_across_page_crossings() {
+        // [2, -5, 3] underflows page 0 immediately (the `next < 0` path);
+        // [5, -2, 9] climbs through pages, crossing repeatedly in both
+        // directions.
+        for deltas in [vec![2i8, -5, 3], vec![5i8, -2, 9]] {
+            let mut s = spec(PatternKind::DeltaChain {
+                deltas: deltas.clone(),
+            })
+            .with_accesses_per_line(1)
+            .with_footprint_pages(8);
+            s.mem_pct = 100;
+            s.branch_pct = 0;
+            let t = s.generate();
+            let base_line = (s.seed % 1024 + 1) * 0x1_0000_0000 / 64;
+            let total_lines = 8 * LINES_PER_PAGE;
+            let mems: Vec<(u64, u64)> = t
+                .iter()
+                .filter_map(|r| r.mem.map(|m| (r.pc, addr::line_of(m.addr) - base_line)))
+                .collect();
+            // The PC encodes the post-increment delta index: it must rotate
+            // strictly through the cycle, page crossings notwithstanding.
+            for (i, w) in mems.windows(2).enumerate() {
+                let idx0 = ((w[0].0 - 0x403000) / 4) as usize;
+                let idx1 = ((w[1].0 - 0x403000) / 4) as usize;
+                assert_eq!(
+                    idx1,
+                    (idx0 + 1) % deltas.len(),
+                    "delta index reset at access {i} (deltas {deltas:?})"
+                );
+                // The step either applied the scheduled delta in-page, or
+                // advanced to the start of the next page. Record i's PC
+                // holds the post-increment index, so the delta applied
+                // between records i and i+1 is the one *before* it.
+                let applied = deltas[(idx0 + deltas.len() - 1) % deltas.len()];
+                let expected = w[0].1 as i64 + applied as i64;
+                let line1 = w[1].1 as i64;
+                let page0 = w[0].1 / LINES_PER_PAGE;
+                // A page advance past the last page wraps to the start of
+                // the footprint.
+                let next_page_start = ((page0 + 1) * LINES_PER_PAGE % total_lines) as i64;
+                assert!(
+                    line1 == expected || line1 == next_page_start,
+                    "access {i}: line {line1} is neither {expected} \
+                     (in-page delta {applied}) nor page advance \
+                     {next_page_start}"
+                );
+            }
+            // The trace must actually exercise a page crossing and a
+            // negative in-page delta, or this test proves nothing.
+            let crossings = mems
+                .windows(2)
+                .filter(|w| w[1].1 % LINES_PER_PAGE == 0 && w[1].1 != w[0].1 + 1)
+                .count();
+            let negatives = mems.windows(2).filter(|w| w[1].1 < w[0].1).count();
+            assert!(crossings > 0, "no page crossing with deltas {deltas:?}");
+            assert!(negatives > 0, "no negative step with deltas {deltas:?}");
+        }
+    }
+
+    /// Regression: `SpatialFootprint` noise lands at a seeded random point
+    /// *inside* the visit. Before the fix it was appended after the
+    /// pattern, so every deviating visit ended — never interrupted — with
+    /// the noise line.
+    #[test]
+    fn spatial_footprint_noise_lands_mid_visit() {
+        let pattern = vec![0u8, 3, 7, 12];
+        let mut s = spec(PatternKind::SpatialFootprint {
+            patterns: vec![pattern.clone()],
+            noise_pct: 100,
+        })
+        .with_accesses_per_line(1);
+        s.mem_pct = 100;
+        s.branch_pct = 0;
+        let t = s.generate();
+        use std::collections::HashMap;
+        let mut by_region: HashMap<u64, Vec<u64>> = HashMap::new();
+        for r in &t {
+            if let Some(m) = r.mem {
+                by_region
+                    .entry(m.addr / 2048)
+                    .or_default()
+                    .push(m.addr % 2048 / 64);
+            }
+        }
+        // With noise_pct=100 every complete visit has 5 accesses (pattern
+        // plus one noise line). Count visits whose first 4 offsets already
+        // deviate from the pattern — i.e. the noise arrived mid-visit.
+        let complete: Vec<&Vec<u64>> = by_region.values().filter(|v| v.len() == 5).collect();
+        assert!(complete.len() > 20, "too few complete visits");
+        let expected: Vec<u64> = pattern.iter().map(|&o| o as u64).collect();
+        let mid_noise = complete.iter().filter(|v| v[..4] != expected[..]).count();
+        assert!(
+            mid_noise * 4 >= complete.len(),
+            "noise never lands mid-visit: {mid_noise}/{}",
+            complete.len()
+        );
     }
 
     #[test]

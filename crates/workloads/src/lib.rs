@@ -30,7 +30,10 @@
 //!
 //! [`suites`] names ~50 workloads across the five suites (Table 6) plus the
 //! unseen CVP-2-like categories of §6.4, and [`mixes`] builds the
-//! homogeneous/heterogeneous multi-programmed mixes of §5.1.
+//! homogeneous/heterogeneous multi-programmed mixes of §5.1. [`profiles`]
+//! packages the generators into the named `expected` / `stress` /
+//! `adversarial` robustness profiles with derived per-trace seeds and
+//! streamed JSON summary stats.
 //!
 //! Traces stream: [`TraceSpec::stream`] / [`Workload::source`] yield
 //! records on demand as `pythia_sim::trace::TraceSource`s, so simulated
@@ -38,7 +41,9 @@
 //! are the collecting conveniences.
 
 pub mod generators;
+pub mod profiles;
 pub mod suites;
 
 pub use generators::{PatternKind, TraceSpec, TraceStream};
+pub use profiles::{derive_seed, profile_stats, trace_stats, Profile, CAMPAIGN_SEED};
 pub use suites::{all_suites, mixes, suite, Suite, Workload};

@@ -1,0 +1,83 @@
+//! Determinism of the robustness campaigns (`robust01`–`robust03`).
+//!
+//! The robustness score is a delta between per-group geomeans, so a single
+//! perturbed cell silently shifts every verdict. These tests pin the two
+//! properties the campaigns rely on: the sweep engine renders byte-identical
+//! artifacts at any thread count, and the profile workload lists themselves
+//! are reproducible from the campaign seed alone.
+
+use pythia_stats::json::Json;
+use pythia_workloads::profiles::{Profile, CAMPAIGN_SEED};
+
+/// Tiny instruction budgets so all three campaigns run in seconds.
+const SCALE: &str = "0.01";
+
+/// Render a campaign's result artifact at the given thread count, minus the
+/// wall-clock `throughput` telemetry — the only field allowed to vary.
+fn render(id: &str, threads: usize) -> String {
+    let specs = pythia_bench::figures::specs(id).expect("campaign is registered");
+    let json = pythia_sweep::engine::run_all(id, &specs, threads)
+        .expect("campaign runs clean")
+        .to_json();
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "throughput")
+                .collect(),
+        ),
+        other => other,
+    }
+    .render()
+}
+
+#[test]
+fn robust_campaigns_parallel_matches_serial_byte_for_byte() {
+    std::env::set_var("PYTHIA_BENCH_SCALE", SCALE);
+    for id in ["robust01", "robust02", "robust03"] {
+        let serial = render(id, 1);
+        let parallel = render(id, 4);
+        assert_eq!(
+            serial, parallel,
+            "{id}: 1-thread and 4-thread artifacts must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn profile_workloads_are_reproducible_and_disjoint() {
+    for profile in Profile::all() {
+        let a = profile.workloads(CAMPAIGN_SEED);
+        let b = profile.workloads(CAMPAIGN_SEED);
+        assert_eq!(a.len(), b.len(), "{profile:?}: stable trace count");
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.name, wb.name, "{profile:?}: stable trace names");
+            assert_eq!(
+                wa.spec.seed, wb.spec.seed,
+                "{}: per-trace seed must derive from the campaign seed",
+                wa.name
+            );
+        }
+        // A different campaign seed must re-seed every trace: campaigns can
+        // be re-rolled without any trace accidentally pinning the old seed.
+        let rerolled = profile.workloads(CAMPAIGN_SEED ^ 0x5eed);
+        for (wa, wr) in a.iter().zip(&rerolled) {
+            assert_ne!(
+                wa.spec.seed, wr.spec.seed,
+                "{}: trace seed ignores the campaign seed",
+                wa.name
+            );
+        }
+    }
+    // Trace names are globally unique across profiles so grouped sweep rows
+    // never collide.
+    let mut names: Vec<String> = Profile::all()
+        .into_iter()
+        .flat_map(|p| p.workloads(CAMPAIGN_SEED))
+        .map(|w| w.name)
+        .collect();
+    let total = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), total, "trace names must be unique");
+}
