@@ -1,10 +1,14 @@
 //! Subcommand implementations for `pythia-cli`.
 
-use pythia::runner::{build_prefetcher, run_sources, run_workload, RunSpec};
+use pythia::runner::{
+    build_prefetcher, run_sources, run_workload, run_workload_telemetry, RunSpec,
+};
 use pythia_core::hw_model;
 use pythia_core::PythiaConfig;
+use pythia_obs::logger::Level;
 use pythia_sim::config::SystemConfig;
 use pythia_sim::stats::{SimReport, Throughput};
+use pythia_sim::system::WindowRow;
 use pythia_sim::trace::{trace_file_info, FileTraceSource, TraceSource, TraceWriter};
 use pythia_stats::json::sim_report_json;
 use pythia_stats::metrics::compare as compare_metrics;
@@ -23,6 +27,8 @@ USAGE:
   pythia-cli list                               list workloads and prefetchers
   pythia-cli run <workload> <prefetcher>        simulate one configuration
       [--warmup N] [--measure N] [--mtps N] [--llc-kb N] [--report-json FILE]
+      [--telemetry-json FILE]                   per-window telemetry JSONL
+      [--telemetry-window N]                    (report stays byte-identical)
   pythia-cli compare <workload>                 race prefetchers on a workload
       [--prefetchers spp,bingo,mlop,pythia] [--warmup N] [--measure N]
   pythia-cli sweep <figure>                     run a figure/table campaign in
@@ -36,8 +42,11 @@ USAGE:
       [--filter SUBSTR] [--reps N] [--out FILE] (BENCH_micro.json) and optionally
       [--baseline FILE] [--list]                gate against a baseline report
       [--max-regress PCT[,name=PCT,...]]        (PYTHIA_BENCH_SCALE scales work)
+      [--sections]                              per-phase span-timer breakdown
+                                                of the agent hot path instead
   pythia-cli bench --compare <old> <new>        print the per-benchmark delta
                                                 table between two saved reports
+                                                (warns on cross-host compares)
   pythia-cli trace record <workload> <file>     stream a workload to a binary
       [--instructions N]                        trace file (O(1) memory)
   pythia-cli trace replay <file> <prefetcher>   simulate straight from a trace
@@ -56,6 +65,9 @@ USAGE:
       [--threads N] [--queue N]                 content-addressed result cache,
       [--cache-dir DIR] [--cache-max-bytes N]   a crash-safe job journal and
       [--max-conns N] [--journal FILE]          GET /metrics behind an HTTP API
+      [--log-level error|warn|info|debug]       (/metrics?format=prom for
+                                                Prometheus text exposition;
+                                                logs are JSONL on stderr)
   pythia-cli submit <figure> --addr HOST:PORT   submit a campaign to a running
       [--format md|json|csv] [--out FILE]       service, poll to completion
       [--poll-ms N] [--timeout-s N]             (printing cell progress) and
@@ -206,6 +218,26 @@ fn maybe_write_report_json(args: &ParsedArgs, report: &SimReport) -> Result<(), 
     Ok(())
 }
 
+/// Renders per-window telemetry rows as JSONL: one object per closed
+/// window per core, in core-major order.
+fn telemetry_jsonl(windows: &[Vec<WindowRow>]) -> String {
+    let mut out = String::new();
+    for (core, rows) in windows.iter().enumerate() {
+        for row in rows {
+            let mut obj = pythia_stats::json::Json::obj()
+                .set("core", core as u64)
+                .set("window", row.index)
+                .set("at", row.at);
+            for (name, value) in &row.fields {
+                obj = obj.set(name, *value);
+            }
+            out.push_str(&obj.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// `pythia-cli run <workload> <prefetcher>`
 pub fn run(args: &ParsedArgs) -> Result<(), String> {
     let [workload, prefetcher] = args.positionals.as_slice() else {
@@ -218,12 +250,32 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
     }
     let w = find_workload(workload)?;
     let spec = spec_from(args)?;
+    let window = args.opt_num("telemetry-window", 100_000u64)?;
+    if window == 0 {
+        return Err("--telemetry-window must be positive".into());
+    }
+    // The telemetry sink rides alongside the measured run; the report it
+    // returns is byte-identical to the untelemetered one (test-pinned),
+    // so both paths share the summary printer.
+    let mut windows = None;
     let (baseline, report, throughput) = timed_pair(
         &spec,
         || run_workload(&w, "none", &spec),
-        || run_workload(&w, prefetcher, &spec),
+        || match args.opt("telemetry-json") {
+            None => run_workload(&w, prefetcher, &spec),
+            Some(_) => {
+                let (report, rows) = run_workload_telemetry(&w, prefetcher, &spec, window);
+                windows = Some(rows);
+                report
+            }
+        },
     );
     print_run_summary(&w.name, prefetcher, &baseline, &report, throughput);
+    if let (Some(path), Some(windows)) = (args.opt("telemetry-json"), &windows) {
+        write_artifact(path, &telemetry_jsonl(windows))?;
+        let rows: usize = windows.iter().map(Vec::len).sum();
+        println!("wrote {rows} telemetry window(s) to {path}");
+    }
     maybe_write_report_json(args, &report)
 }
 
@@ -411,6 +463,23 @@ pub fn bench(args: &ParsedArgs) -> Result<(), String> {
         return Ok(());
     }
 
+    // `--sections` profiles where the agent hot path spends its time
+    // instead of running the registry: the span-timer breakdown of one
+    // sectioned demand step (feature extract, EQ probe, argmax, EQ
+    // insert, SARSA) plus the L1 probe fixture.
+    if args.flag("sections") {
+        let profile = pythia_perf::sections::profile_sections(pythia_bench::scale());
+        println!("# Agent hot-path section breakdown\n");
+        print!("{}", profile.to_markdown());
+        println!(
+            "\nprofiled {} agent steps + {} cache probes ({:.1} ms sectioned)",
+            profile.agent_ops,
+            profile.cache_ops,
+            profile.total_ns() as f64 / 1e6
+        );
+        return Ok(());
+    }
+
     // `--compare old new` parses as option "compare" = old plus one
     // positional (new) — the option grammar binds only the next word.
     if let Some(old_path) = args.opt("compare") {
@@ -421,6 +490,9 @@ pub fn bench(args: &ParsedArgs) -> Result<(), String> {
             .ok_or("usage: pythia-cli bench --compare <old.json> <new.json>")?;
         let old = load_bench_report(&old_path)?;
         let new = load_bench_report(new_path)?;
+        if let Some(warning) = new.host_mismatch(&old) {
+            eprintln!("warning: {warning}");
+        }
         print!("{}", new.compare_table(&old)?);
         return Ok(());
     }
@@ -453,6 +525,9 @@ pub fn bench(args: &ParsedArgs) -> Result<(), String> {
             None => pythia_stats::RegressGate::uniform(25.0),
         };
         let baseline = load_bench_report(path)?;
+        if let Some(warning) = report.host_mismatch(&baseline) {
+            eprintln!("warning: {warning}");
+        }
         let regressions = report.compare_gated(&baseline, &gate)?;
         if regressions.is_empty() {
             println!(
@@ -710,7 +785,8 @@ fn trace_info(args: &ParsedArgs) -> Result<(), String> {
 
 /// `pythia-cli serve [--addr A] [--workers N] [--threads N] [--queue N]
 /// [--cache-dir DIR] [--cache-max-bytes N] [--max-conns N]
-/// [--journal FILE]` — runs the campaign service until killed.
+/// [--journal FILE] [--log-level LVL]` — runs the campaign service
+/// until killed.
 pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     let addr = args.opt("addr").unwrap_or("127.0.0.1:7071");
     let workers = args.opt_num("workers", 1usize)?.max(1);
@@ -730,6 +806,14 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
             _ => return Err(format!("--threads: bad value {v:?}")),
         },
     };
+    // The service defaults to lifecycle logging (`info`); the library
+    // default stays `warn` for embedded use.
+    let log_level = match args.opt("log-level") {
+        None => Level::Info,
+        Some(name) => Level::parse(name).ok_or_else(|| {
+            format!("--log-level: unknown level {name:?} (error|warn|info|debug)")
+        })?,
+    };
     let config = pythia_serve::ServeConfig {
         workers,
         queue_cap,
@@ -738,6 +822,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         cache_max_bytes,
         max_conns,
         journal: args.opt("journal").map(std::path::PathBuf::from),
+        log_level,
         ..pythia_serve::ServeConfig::default()
     };
     let server = pythia_serve::Server::bind(addr, &config)?;
@@ -757,7 +842,8 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
 
 /// `pythia-cli submit <figure> --addr HOST:PORT` — submits a campaign
 /// (optionally under a `--tenant` key with a fair-queueing `--priority`),
-/// polls it to completion printing cell progress, and fetches the
+/// polls it to completion printing cell progress (with elapsed wall time
+/// and the service's aggregate Minst/s from `/metrics`), and fetches the
 /// rendered result.
 pub fn submit(args: &ParsedArgs) -> Result<(), String> {
     let [figure] = args.positionals.as_slice() else {
@@ -778,12 +864,28 @@ pub fn submit(args: &ParsedArgs) -> Result<(), String> {
         submitted.digest, submitted.status, submitted.cached
     );
     // Progress lines go to stderr (like the submission banner) so stdout
-    // stays a clean artifact stream for `--out`-less pipelines.
+    // stays a clean artifact stream for `--out`-less pipelines. Each line
+    // carries elapsed wall time plus the service's aggregate simulation
+    // throughput pulled from `GET /metrics` (best-effort: a failed poll
+    // just omits the rate).
+    let started = std::time::Instant::now();
     let mut last_done = None;
     pythia_serve::client::wait_done_with(addr, &submitted.digest, poll, timeout, |done, total| {
         if last_done != Some(done) {
             last_done = Some(done);
-            eprintln!("progress: {done}/{total} cells");
+            let rate = pythia_serve::client::metrics(addr)
+                .ok()
+                .and_then(|m| {
+                    m.get("throughput")
+                        .and_then(|t| t.get("minst_per_sec"))
+                        .and_then(|v| v.as_f64())
+                })
+                .map(|minst| format!(", {minst:.2} Minst/s"))
+                .unwrap_or_default();
+            eprintln!(
+                "progress: {done}/{total} cells ({:.1} s elapsed{rate})",
+                started.elapsed().as_secs_f64()
+            );
         }
     })?;
     let rendered = pythia_serve::client::result(addr, &submitted.digest, format)?;

@@ -845,3 +845,82 @@ fn serve_submit_round_trip_over_a_real_socket() {
     server.kill().expect("stop serve");
     server.wait().expect("reap serve");
 }
+
+#[test]
+fn run_telemetry_json_writes_windows_without_perturbing_the_report() {
+    let dir = std::env::temp_dir().join("pythia_cli_telemetry_smoke");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let plain = dir.join("plain.json");
+    let telemetered = dir.join("telemetered.json");
+    let windows = dir.join("windows.jsonl");
+
+    let mut args: Vec<&str> = vec!["run", WORKLOAD, "pythia"];
+    args.extend_from_slice(FAST);
+    let plain_path = plain.to_str().expect("utf-8 path");
+    let telemetered_path = telemetered.to_str().expect("utf-8 path");
+    let windows_path = windows.to_str().expect("utf-8 path");
+
+    let mut plain_args = args.clone();
+    plain_args.extend_from_slice(&["--report-json", plain_path]);
+    let out = cli(&plain_args);
+    assert!(out.status.success(), "plain run: {}", stderr(&out));
+
+    let mut tele_args = args;
+    tele_args.extend_from_slice(&[
+        "--report-json",
+        telemetered_path,
+        "--telemetry-json",
+        windows_path,
+        "--telemetry-window",
+        "1000",
+    ]);
+    let out = cli(&tele_args);
+    assert!(out.status.success(), "telemetry run: {}", stderr(&out));
+    assert!(stdout(&out).contains("telemetry window(s)"));
+
+    // The telemetry sink is strictly read-only: the report artifact is
+    // byte-identical with and without it.
+    let a = std::fs::read(&plain).expect("plain report");
+    let b = std::fs::read(&telemetered).expect("telemetered report");
+    assert_eq!(a, b, "telemetry must not perturb the report");
+
+    // Every JSONL row parses and carries the per-window schema.
+    let text = std::fs::read_to_string(&windows).expect("windows artifact");
+    let rows: Vec<_> = text.lines().collect();
+    assert!(rows.len() >= 4, "expected >= 4 windows, got {}", rows.len());
+    for line in rows {
+        let row = pythia_stats::json::parse(line).expect("row parses");
+        for key in ["core", "window", "at", "instructions", "ipc", "coverage"] {
+            assert!(row.get(key).is_some(), "row missing {key}: {line}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_sections_prints_the_phase_breakdown() {
+    let out = bench_cli(&["bench", "--sections"], None);
+    assert!(out.status.success(), "bench --sections: {}", stderr(&out));
+    let text = stdout(&out);
+    for section in [
+        "feature_extract",
+        "eq_probe",
+        "argmax",
+        "eq_insert",
+        "sarsa",
+        "cache_probe",
+    ] {
+        assert!(
+            text.contains(section),
+            "breakdown missing {section}: {text}"
+        );
+    }
+    assert!(text.contains("| section |"), "expected the table header");
+}
+
+#[test]
+fn serve_rejects_unknown_log_level() {
+    let out = cli(&["serve", "--log-level", "loud", "--addr", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--log-level"), "{}", stderr(&out));
+}

@@ -46,8 +46,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use pythia_obs::spans::{NoopSectioner, Sectioner};
 use pythia_sim::addr;
-use pythia_sim::prefetch::{DemandAccess, FillEvent, PrefetchRequest, Prefetcher, SystemFeedback};
+use pythia_sim::prefetch::{
+    AgentProbe, DemandAccess, FillEvent, PrefetchRequest, Prefetcher, SystemFeedback,
+};
 use pythia_sim::stats::PrefetcherStats;
 
 use crate::config::PythiaConfig;
@@ -175,18 +178,22 @@ impl Pythia {
             self.rewards_seen.coverage_loss += 1;
         }
     }
-}
 
-impl Prefetcher for Pythia {
-    fn name(&self) -> &str {
-        "pythia"
-    }
-
-    fn on_demand_into(
+    /// One demand step with per-phase span sectioning — the hot path of
+    /// [`Prefetcher::on_demand_into`], generic over a
+    /// [`Sectioner`] so the uninstrumented call (via
+    /// [`NoopSectioner`]) monomorphizes to the exact bare code while
+    /// `pythia-cli bench --sections` can thread a
+    /// [`pythia_obs::spans::SpanTimer`] through the same body.
+    ///
+    /// Section names: `feature_extract`, `eq_probe`, `argmax`,
+    /// `eq_insert`, `sarsa`.
+    pub fn on_demand_sectioned<S: Sectioner>(
         &mut self,
         access: &DemandAccess,
         feedback: &SystemFeedback,
         out: &mut Vec<PrefetchRequest>,
+        sections: &mut S,
     ) {
         let r = self.config.rewards;
 
@@ -196,6 +203,7 @@ impl Prefetcher for Pythia {
         // that overlaps the table loads of the upcoming argmax. The bases
         // ride in the EQ entry so the eviction-time SARSA update never
         // re-hashes a state.
+        sections.enter("feature_extract");
         self.ctx.update(access);
         let mut state = std::mem::take(&mut self.state_scratch);
         self.ctx.state_into(&self.config.features, &mut state);
@@ -203,8 +211,10 @@ impl Prefetcher for Pythia {
         self.qv.state_bases(&state, &mut bases);
         self.state_scratch = state;
         self.qv.prefetch_rows(&bases);
+        sections.exit("feature_extract");
 
         // (2) Reward any earlier action whose prefetch this demand confirms.
+        sections.enter("eq_probe");
         let hit = if self.config.graded_timeliness {
             self.eq.reward_demand_hit_graded(
                 access.line,
@@ -225,8 +235,10 @@ impl Prefetcher for Pythia {
             crate::eq::DemandMatch::AccurateLate => self.rewards_seen.accurate_late += 1,
             crate::eq::DemandMatch::Miss => {}
         }
+        sections.exit("eq_probe");
 
         // (3) ε-greedy action selection (the integer-only argmax path).
+        sections.enter("argmax");
         let n = self.config.actions.len();
         let action = if self.rng.gen::<f32>() <= self.config.epsilon {
             self.rng.gen_range(0..n)
@@ -235,10 +247,12 @@ impl Prefetcher for Pythia {
         };
         self.action_histogram[action] += 1;
         let offset = self.config.actions[action];
+        sections.exit("argmax");
 
         // (4) Generate the prefetch and the EQ entry. The entry carries
         // the plane bases, not the state: that is all the eviction-time
         // SARSA update reads.
+        sections.enter("eq_insert");
         let mut entry = EqEntry::new(Vec::new(), action, None, access.cycle);
         entry.bases = bases;
         if offset == 0 {
@@ -254,7 +268,9 @@ impl Prefetcher for Pythia {
 
         // (5) Insert into EQ; on eviction, finalize the reward and apply the
         // SARSA update against the new EQ head.
-        if let Some(mut evicted) = self.eq.insert(entry) {
+        let evicted = self.eq.insert(entry);
+        sections.exit("eq_insert");
+        if let Some(mut evicted) = evicted {
             if evicted.reward.is_none() {
                 evicted.reward = Some(if feedback.bandwidth_high {
                     r.inaccurate_high_bw
@@ -263,6 +279,7 @@ impl Prefetcher for Pythia {
                 });
                 self.rewards_seen.inaccurate += 1;
             }
+            sections.enter("sarsa");
             let head = self.eq.head().expect("EQ non-empty after insert");
             self.qv.sarsa_update_prehashed(
                 &evicted.bases,
@@ -273,6 +290,7 @@ impl Prefetcher for Pythia {
                 self.config.alpha,
                 self.config.gamma,
             );
+            sections.exit("sarsa");
             // Recycle the evicted entry's bases allocation.
             let mut bbuf = evicted.bases;
             bbuf.clear();
@@ -288,6 +306,23 @@ impl Prefetcher for Pythia {
                 self.qv.prefetch_cells(&e2.bases, e2.action);
             }
         }
+    }
+}
+
+impl Prefetcher for Pythia {
+    fn name(&self) -> &str {
+        "pythia"
+    }
+
+    fn on_demand_into(
+        &mut self,
+        access: &DemandAccess,
+        feedback: &SystemFeedback,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        // The no-op sectioner monomorphizes this call to the exact
+        // pre-sectioning hot path.
+        self.on_demand_sectioned(access, feedback, out, &mut NoopSectioner);
     }
 
     fn on_fill(&mut self, event: &FillEvent) {
@@ -314,6 +349,17 @@ impl Prefetcher for Pythia {
 
     fn storage_bits(&self) -> u64 {
         hw_model::storage(&self.config).total_bits()
+    }
+
+    fn telemetry_probe(&self) -> Option<AgentProbe> {
+        let (q_min, q_mean, q_max) = self.qv.table_stats();
+        Some(AgentProbe {
+            q_min,
+            q_mean,
+            q_max,
+            eq_len: self.eq.len(),
+            eq_capacity: self.config.eq_size,
+        })
     }
 }
 

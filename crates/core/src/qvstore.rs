@@ -788,6 +788,34 @@ impl QvStore {
         self.updates += 1;
     }
 
+    /// Min/mean/max over every stored plane-partial Q entry, in Q-value
+    /// units (raw Q8.7 entries scaled by `1/Q_ONE`).
+    ///
+    /// These are *per-plane partials* — a full state Q-value sums one
+    /// partial per plane — but their drift over a run is exactly the
+    /// learning signal the telemetry layer wants to plot, and a flat
+    /// read of the table is cheap and observation-only.
+    pub fn table_stats(&self) -> (f32, f32, f32) {
+        let mut min = i16::MAX;
+        let mut max = i16::MIN;
+        let mut sum: i64 = 0;
+        for &cell in &self.table {
+            min = min.min(cell);
+            max = max.max(cell);
+            sum += cell as i64;
+        }
+        if self.table.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let scale = 1.0 / Q_ONE as f32;
+        let mean = sum as f64 / self.table.len() as f64;
+        (
+            min as f32 * scale,
+            (mean / Q_ONE as f64) as f32,
+            max as f32 * scale,
+        )
+    }
+
     /// Total Q-value storage in bits ([`QV_ENTRY_BITS`]-bit fixed-point
     /// entries per Table 4).
     pub fn storage_bits(&self) -> u64 {

@@ -1,0 +1,27 @@
+//! Lints a Prometheus text-exposition file with [`pythia_obs::prom::lint`].
+//!
+//! CI fetches `GET /metrics?format=prom` from a live service and runs
+//! this over the capture:
+//!
+//! ```console
+//! $ cargo run -p pythia-obs --example prom_lint -- metrics.prom
+//! ```
+//!
+//! Exits nonzero and prints every finding when the exposition is
+//! malformed.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: prom_lint <file.prom>");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let errors = pythia_obs::prom::lint(&text);
+    if errors.is_empty() {
+        println!("{path}: clean ({} lines)", text.lines().count());
+        return;
+    }
+    for e in &errors {
+        eprintln!("{path}: {e}");
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,49 @@
+//! # pythia-obs
+//!
+//! The workspace's telemetry core: hand-rolled and dependency-free so any
+//! crate can use it without cycles (this crate depends on nothing, not
+//! even the vendored shims).
+//!
+//! The pieces, and who uses them:
+//!
+//! * [`metrics`] — monotonic [`metrics::Counter`]s, [`metrics::Gauge`]s,
+//!   and log2-bucketed [`metrics::Histogram`]s with p50/p95/p99
+//!   summaries, grouped under an explicit [`metrics::Registry`] that is
+//!   *threaded through call sites* — there are no globals anywhere in
+//!   this crate. `pythia-serve` registers per-route request latency,
+//!   cell queue-wait/execution, and journal fsync instruments here.
+//! * [`spans`] — hierarchical span timers behind the [`spans::Sectioner`]
+//!   trait. The hot path is generic over the sectioner, and the
+//!   [`spans::NoopSectioner`] compiles to nothing, so instrumented code
+//!   pays zero cost when sections are off. `pythia-core` sections its
+//!   agent step with it; `pythia-cli bench --sections` reports the
+//!   breakdown.
+//! * [`window`] — a windowed time-series recorder: fixed-width windows
+//!   along a monotonic position axis (e.g. retired instructions), each
+//!   emitting one row of named samples. `pythia-sim` drives one per core
+//!   for `pythia-cli run --telemetry-json`.
+//! * [`logger`] — a leveled structured logger emitting one JSON object
+//!   per line (`ts`, `level`, `target`, `msg`, then fields).
+//!   `pythia-serve` routes its diagnostics through it.
+//! * [`prom`] — Prometheus text exposition: a renderer over a
+//!   [`metrics::Registry`] (plus ad-hoc families) and a [`prom::lint`]
+//!   checker used by tests and CI to validate `GET /metrics?format=prom`.
+//! * [`host`] — cheap host provenance (hostname, detected CPU features)
+//!   stamped into benchmark reports so saved baselines are
+//!   self-describing.
+//!
+//! Telemetry is strictly observational: nothing in this crate feeds back
+//! into simulation state, and the workspace pins `SimReport`s
+//! byte-identical with telemetry on vs. off.
+
+pub mod host;
+pub mod logger;
+pub mod metrics;
+pub mod prom;
+pub mod spans;
+pub mod window;
+
+pub use logger::{Level, Logger};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use spans::{NoopSectioner, Sectioner, SpanTimer};
+pub use window::{WindowRecorder, WindowRow};

@@ -1,0 +1,224 @@
+//! A leveled structured logger: one JSON object per line.
+//!
+//! Every line carries `ts` (unix seconds, millisecond precision),
+//! `level`, `target` (the emitting subsystem), `msg`, then any
+//! call-site fields — machine-parseable with the same tools that read
+//! the rest of the repo's JSONL artifacts. There is no global logger:
+//! whoever constructs one threads the `Arc` through call sites, exactly
+//! like [`crate::metrics::Registry`].
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was not recovered.
+    Error,
+    /// Something was dropped, skipped, or degraded, but service continues.
+    Warn,
+    /// Normal lifecycle events.
+    Info,
+    /// High-volume diagnostic detail.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used on the wire and on the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a CLI level name.
+    pub fn parse(name: &str) -> Option<Level> {
+        match name {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A leveled JSONL logger writing to an owned sink (stderr by default).
+pub struct Logger {
+    level: Level,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A logger emitting to stderr, keeping lines at or above `level`.
+    pub fn stderr(level: Level) -> Logger {
+        Logger::to_writer(level, Box::new(std::io::stderr()))
+    }
+
+    /// A logger emitting to an arbitrary sink (used by tests).
+    pub fn to_writer(level: Level, sink: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            level,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether a line at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level
+    }
+
+    /// Emits one line: `{"ts":...,"level":...,"target":...,"msg":...,
+    /// <fields>...}`. Write failures are swallowed — logging must never
+    /// take the service down.
+    pub fn log(&self, level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as f64 / 1000.0)
+            .unwrap_or(0.0);
+        let mut line = format!(
+            "{{\"ts\":{ts:.3},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+            level.as_str(),
+            json_escape(target),
+            json_escape(msg),
+        );
+        for (key, value) in fields {
+            line.push_str(&format!(
+                ",\"{}\":\"{}\"",
+                json_escape(key),
+                json_escape(value)
+            ));
+        }
+        line.push_str("}\n");
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, target: &str, msg: &str, fields: &[(&str, String)]) {
+        self.log(Level::Error, target, msg, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, target: &str, msg: &str, fields: &[(&str, String)]) {
+        self.log(Level::Warn, target, msg, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, target: &str, msg: &str, fields: &[(&str, String)]) {
+        self.log(Level::Info, target, msg, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, target: &str, msg: &str, fields: &[(&str, String)]) {
+        self.log(Level::Debug, target, msg, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink the test can read back.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_jsonl_with_fields() {
+        let cap = Capture::default();
+        let logger = Logger::to_writer(Level::Info, Box::new(cap.clone()));
+        logger.warn(
+            "scheduler",
+            "dropping job",
+            &[
+                ("digest", "abc123".to_string()),
+                ("error", "bad \"spec\"".to_string()),
+            ],
+        );
+        let bytes = cap.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.ends_with('}') || line.ends_with("}\n"), "{line:?}");
+        assert!(line.contains("\"level\":\"warn\""), "{line:?}");
+        assert!(line.contains("\"target\":\"scheduler\""), "{line:?}");
+        assert!(line.contains("\"msg\":\"dropping job\""), "{line:?}");
+        assert!(line.contains("\"digest\":\"abc123\""), "{line:?}");
+        assert!(
+            line.contains("bad \\\"spec\\\""),
+            "escaped quotes: {line:?}"
+        );
+        assert!(line.contains("\"ts\":"), "{line:?}");
+    }
+
+    #[test]
+    fn threshold_filters_lines() {
+        let cap = Capture::default();
+        let logger = Logger::to_writer(Level::Warn, Box::new(cap.clone()));
+        logger.info("x", "suppressed", &[]);
+        logger.debug("x", "suppressed", &[]);
+        assert!(cap.0.lock().unwrap().is_empty());
+        logger.error("x", "kept", &[]);
+        assert!(!cap.0.lock().unwrap().is_empty());
+        assert!(logger.enabled(Level::Error));
+        assert!(!logger.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("trace"), None);
+    }
+}

@@ -1,0 +1,404 @@
+//! Prometheus text exposition: a renderer over [`Registry`] snapshots
+//! (plus ad-hoc families) and a [`lint`] checker for the output.
+//!
+//! The renderer emits the version-0.0.4 text format: `# HELP` / `# TYPE`
+//! once per family, then one sample per line, histograms expanded into
+//! cumulative `_bucket{le=...}` series plus `_sum` / `_count`. The
+//! linter is what CI and the serve tests run against
+//! `GET /metrics?format=prom` — it validates structure (HELP/TYPE
+//! pairs, no duplicate families or samples, samples only under declared
+//! families, cumulative buckets) and that every sample value is finite.
+
+use crate::logger::json_escape;
+use crate::metrics::{Family, Histogram, Instrument, Kind, Registry};
+
+/// An incremental builder for Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn format_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", json_escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a family: one `# HELP` + `# TYPE` pair. `kind` is a
+    /// Prometheus type string (`counter`, `gauge`, `histogram`).
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emits one sample line under the most recently declared family.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&format!(
+            "{name}{} {}\n",
+            format_labels(labels),
+            format_value(value)
+        ));
+    }
+
+    /// Emits a histogram's cumulative `_bucket` series plus `_sum` and
+    /// `_count` under the family `name`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let counts = h.bucket_counts();
+        let mut cumulative = 0u64;
+        let with_le = |le: &str, cumulative: u64, out: &mut String| {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("le", le));
+            out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                format_labels(&all)
+            ));
+        };
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if i < counts.len() - 1 {
+                with_le(
+                    &Histogram::bucket_bound(i).to_string(),
+                    cumulative,
+                    &mut self.out,
+                );
+            } else {
+                with_le("+Inf", cumulative, &mut self.out);
+            }
+        }
+        self.out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            format_labels(labels),
+            h.sum()
+        ));
+        self.out.push_str(&format!(
+            "{name}_count{} {}\n",
+            format_labels(labels),
+            h.count()
+        ));
+    }
+
+    /// Appends every family of a registry snapshot.
+    pub fn registry(&mut self, registry: &Registry) {
+        for family in registry.snapshot() {
+            self.render_family(&family);
+        }
+    }
+
+    fn render_family(&mut self, family: &Family) {
+        let kind = match family.kind {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        };
+        self.family(&family.name, &family.help, kind);
+        for sample in &family.samples {
+            let labels: Vec<(&str, &str)> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match &sample.instrument {
+                Instrument::Counter(c) => self.sample(&family.name, &labels, c.get() as f64),
+                Instrument::Gauge(g) => self.sample(&family.name, &labels, g.get() as f64),
+                Instrument::Histogram(h) => self.histogram(&family.name, &labels, h),
+            }
+        }
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a registry snapshot as Prometheus text.
+pub fn render(registry: &Registry) -> String {
+    let mut text = PromText::new();
+    text.registry(registry);
+    text.finish()
+}
+
+/// Validates Prometheus text exposition. Returns every violation found
+/// (empty = clean): duplicate family declarations, missing HELP/TYPE
+/// pairs, invalid types, samples without a declared family, duplicate
+/// samples, non-finite or unparseable values, and non-cumulative or
+/// incomplete histogram bucket series.
+pub fn lint(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    // name -> (has_help, has_type, type)
+    let mut families: Vec<(String, bool, bool, String)> = Vec::new();
+    let mut samples_seen: Vec<String> = Vec::new();
+    // (series key without le) -> (last cumulative, saw +Inf, inf value)
+    let mut buckets: Vec<(String, u64, bool, u64)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    let family_entry = |families: &mut Vec<(String, bool, bool, String)>, name: &str| -> usize {
+        match families.iter().position(|(n, ..)| n == name) {
+            Some(i) => i,
+            None => {
+                families.push((name.to_string(), false, false, String::new()));
+                families.len() - 1
+            }
+        }
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            let i = family_entry(&mut families, name);
+            if families[i].1 {
+                errors.push(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            families[i].1 = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                errors.push(format!("line {lineno}: invalid TYPE {kind:?} for {name}"));
+            }
+            let i = family_entry(&mut families, name);
+            if families[i].2 {
+                errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            families[i].2 = true;
+            families[i].3 = kind.to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // Sample line: name[{labels}] value
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => {
+                errors.push(format!("line {lineno}: malformed sample {line:?}"));
+                continue;
+            }
+        };
+        let name = series.split('{').next().unwrap_or("").trim();
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                // Histogram structural checks keyed by the series minus
+                // its le label.
+                let family = families.iter().find(|(n, ..)| {
+                    n == name
+                        || (name.ends_with("_bucket") && *n == name[..name.len() - 7])
+                        || (name.ends_with("_sum") && *n == name[..name.len() - 4])
+                        || (name.ends_with("_count") && *n == name[..name.len() - 6])
+                });
+                match family {
+                    None => errors.push(format!(
+                        "line {lineno}: sample {name} has no HELP/TYPE declaration"
+                    )),
+                    Some((fname, _, _, ftype)) => {
+                        let suffixed = *fname != name;
+                        if suffixed && ftype != "histogram" && ftype != "summary" {
+                            errors.push(format!(
+                                "line {lineno}: sample {name} has no HELP/TYPE declaration"
+                            ));
+                        }
+                        if ftype == "histogram" && name.ends_with("_bucket") {
+                            let le = series
+                                .split("le=\"")
+                                .nth(1)
+                                .and_then(|s| s.split('"').next())
+                                .unwrap_or("");
+                            // Canonical series key: the le pair stripped,
+                            // dangling separators and empty label sets
+                            // cleaned up, so `h_bucket{route="x",le="1"}`
+                            // and `h_count{route="x"}` key identically.
+                            let key = series
+                                .replace(&format!("le=\"{le}\""), "")
+                                .replace(",}", "}")
+                                .replace("{,", "{")
+                                .replace("{}", "");
+                            let c = v as u64;
+                            match buckets.iter_mut().find(|(k, ..)| *k == key) {
+                                Some(entry) => {
+                                    if c < entry.1 {
+                                        errors.push(format!(
+                                            "line {lineno}: bucket series {name} is not cumulative"
+                                        ));
+                                    }
+                                    entry.1 = c;
+                                    if le == "+Inf" {
+                                        entry.2 = true;
+                                        entry.3 = c;
+                                    }
+                                }
+                                None => buckets.push((key, c, le == "+Inf", c)),
+                            }
+                        }
+                        if ftype == "histogram" && name.ends_with("_count") {
+                            counts.push((series.to_string(), v as u64));
+                        }
+                    }
+                }
+            }
+            Ok(v) => errors.push(format!("line {lineno}: non-finite sample value {v}")),
+            Err(_) => errors.push(format!("line {lineno}: unparseable sample value {value:?}")),
+        }
+        if samples_seen.iter().any(|s| s == series) {
+            errors.push(format!("line {lineno}: duplicate sample {series}"));
+        }
+        samples_seen.push(series.to_string());
+    }
+
+    for (name, has_help, has_type, _) in &families {
+        if !has_help {
+            errors.push(format!("family {name} has TYPE but no HELP"));
+        }
+        if !has_type {
+            errors.push(format!("family {name} has HELP but no TYPE"));
+        }
+    }
+    for (key, _, saw_inf, _) in &buckets {
+        if !saw_inf {
+            errors.push(format!("bucket series {key} has no le=\"+Inf\" bucket"));
+        }
+    }
+    for (key, _, saw_inf, inf) in &buckets {
+        // The +Inf bucket must agree with the exact matching _count
+        // series (same label set minus le).
+        if !saw_inf {
+            continue;
+        }
+        let count_key = key.replace("_bucket", "_count");
+        if let Some((_, c)) = counts.iter().find(|(k, _)| *k == count_key) {
+            if inf != c {
+                errors.push(format!(
+                    "series {key}: le=\"+Inf\" bucket {inf} != _count {c}"
+                ));
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_gauges_histograms_cleanly() {
+        let r = Registry::new();
+        r.counter_with(
+            "http_requests_total",
+            "Requests served.",
+            &[("route", "metrics")],
+        )
+        .add(3);
+        r.gauge("queue_depth", "Jobs queued.").set(2);
+        let h = r.histogram("request_ns", "Request latency (ns).");
+        for v in [10u64, 2000, 90_000] {
+            h.record(v);
+        }
+        let text = render(&r);
+        assert!(text.contains("# HELP http_requests_total Requests served.\n"));
+        assert!(text.contains("# TYPE http_requests_total counter\n"));
+        assert!(text.contains("http_requests_total{route=\"metrics\"} 3\n"));
+        assert!(text.contains("queue_depth 2\n"));
+        assert!(text.contains("request_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("request_ns_count 3\n"));
+        assert!(text.contains("request_ns_sum 92010\n"));
+        let errors = lint(&text);
+        assert!(
+            errors.is_empty(),
+            "linter must pass the renderer: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_catches_duplicate_families() {
+        let text = "# HELP x a\n# TYPE x counter\n# HELP x again\n# TYPE x counter\nx 1\n";
+        let errors = lint(text);
+        assert!(
+            errors.iter().any(|e| e.contains("duplicate HELP")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("duplicate TYPE")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_catches_missing_pairs_and_undeclared_samples() {
+        let errors = lint("# HELP lonely no type\nundeclared 4\n");
+        assert!(
+            errors.iter().any(|e| e.contains("has HELP but no TYPE")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("no HELP/TYPE declaration")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_catches_bad_values_and_duplicates() {
+        let text = "# HELP x a\n# TYPE x gauge\nx NaN\nx 1\nx 1\n";
+        let errors = lint(text);
+        assert!(
+            errors.iter().any(|e| e.contains("non-finite")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("duplicate sample")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_catches_non_cumulative_buckets() {
+        let text = "# HELP h a\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 5\n";
+        let errors = lint(text);
+        assert!(
+            errors.iter().any(|e| e.contains("not cumulative")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_requires_inf_bucket() {
+        let text = "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 5\nh_count 5\n";
+        let errors = lint(text);
+        assert!(errors.iter().any(|e| e.contains("+Inf")), "{errors:?}");
+    }
+}

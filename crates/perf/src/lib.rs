@@ -22,6 +22,7 @@
 //! ```
 
 pub mod fixtures;
+pub mod sections;
 
 use std::hint::black_box;
 
@@ -369,9 +370,14 @@ pub fn run_filtered(filter: Option<&str>, harness: &Harness) -> BenchReport {
         .filter(|d| filter.is_none_or(|f| d.name.contains(f)))
         .map(|d| run_benchmark(d, harness, scale))
         .collect();
+    let host = pythia_obs::host::host_info();
     BenchReport {
         name: "micro".into(),
         scale,
+        host: Some(pythia_stats::bench::BenchHost {
+            cpu_features: host.features_label(),
+            hostname: host.hostname,
+        }),
         benchmarks,
     }
 }

@@ -1,0 +1,146 @@
+//! Per-phase span-timer breakdown of the agent hot path.
+//!
+//! The registry's `agent_step` benchmark answers "how fast is one
+//! demand step?"; this module answers "where inside it does the time
+//! go?". It drives the same deterministic fixtures through
+//! [`Pythia::on_demand_sectioned`] with a [`SpanTimer`] attached, so
+//! the breakdown covers the paper's named phases — feature extraction,
+//! EQ probe, argmax, EQ insert, SARSA update — plus a `cache_probe`
+//! section timing the L1 probe fixture the same way. `pythia-cli bench
+//! --sections` renders the result as a table.
+
+use std::hint::black_box;
+
+use pythia_core::{Pythia, PythiaConfig};
+use pythia_obs::spans::{Sectioner, SpanTimer, SpanTotal};
+use pythia_sim::cache::{AccessKind, Cache, Lookup};
+use pythia_sim::config::SystemConfig;
+use pythia_sim::prefetch::SystemFeedback;
+
+use crate::fixtures::{self, scaled};
+
+/// A per-phase wall-time breakdown of the hot-path fixtures.
+#[derive(Debug, Clone)]
+pub struct SectionProfile {
+    /// Demand accesses driven through the sectioned agent step.
+    pub agent_ops: u64,
+    /// L1 probes timed under the `cache_probe` section.
+    pub cache_ops: u64,
+    /// Accumulated totals, in first-completed order.
+    pub sections: Vec<SpanTotal>,
+}
+
+impl SectionProfile {
+    /// Sum of all section time (the percentage denominator).
+    pub fn total_ns(&self) -> u64 {
+        self.sections.iter().map(|s| s.total_ns).sum()
+    }
+
+    /// Renders the breakdown as a markdown table: section, calls,
+    /// total milliseconds, share of the profiled time, and mean
+    /// nanoseconds per call.
+    pub fn to_markdown(&self) -> String {
+        let total = self.total_ns().max(1) as f64;
+        let mut out = String::from(
+            "| section | calls | total (ms) | share | ns/call |\n\
+             |---|---:|---:|---:|---:|\n",
+        );
+        for s in &self.sections {
+            let ms = s.total_ns as f64 / 1e6;
+            let share = 100.0 * s.total_ns as f64 / total;
+            let per_call = s.total_ns as f64 / s.calls.max(1) as f64;
+            out.push_str(&format!(
+                "| {} | {} | {ms:.3} | {share:.1}% | {per_call:.0} |\n",
+                s.name, s.calls
+            ));
+        }
+        out
+    }
+}
+
+/// Profiles the sectioned agent step and the L1 probe at `scale`
+/// (same `PYTHIA_BENCH_SCALE` semantics as the registry benchmarks).
+///
+/// Per-section timestamps cost two `Instant::now()` calls per phase,
+/// so absolute numbers run slightly hotter than the untimed
+/// `agent_step` benchmark; the *shares* are what this report is for.
+pub fn profile_sections(scale: f64) -> SectionProfile {
+    let mut timer = SpanTimer::new();
+
+    let agent_ops = scaled(300_000, scale);
+    let mut agent = Pythia::new(PythiaConfig::tuned());
+    let fb = SystemFeedback::idle();
+    let mut out = Vec::new();
+    for a in fixtures::demand_stream(agent_ops) {
+        out.clear();
+        agent.on_demand_sectioned(&a, &fb, &mut out, &mut timer);
+        black_box(out.len());
+    }
+
+    let cache_ops = scaled(500_000, scale);
+    let cfg = SystemConfig::single_core();
+    let mut cache = Cache::new("sections-l1", &cfg.l1d);
+    let mut hits = 0u64;
+    for (i, line) in fixtures::line_stream(cache_ops).enumerate() {
+        timer.enter("cache_probe");
+        match cache.access(line, AccessKind::DemandLoad, i as u64) {
+            Lookup::Hit { .. } => hits += 1,
+            Lookup::Miss => {
+                cache.fill(line, i as u64 + 20, AccessKind::DemandLoad, 0);
+            }
+        }
+        timer.exit("cache_probe");
+    }
+    black_box(hits);
+
+    SectionProfile {
+        agent_ops: agent_ops as u64,
+        cache_ops: cache_ops as u64,
+        sections: timer.report().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_the_named_phases() {
+        let profile = profile_sections(0.01);
+        let names: Vec<_> = profile.sections.iter().map(|s| s.name).collect();
+        for required in [
+            "feature_extract",
+            "eq_probe",
+            "argmax",
+            "eq_insert",
+            "sarsa",
+            "cache_probe",
+        ] {
+            assert!(names.contains(&required), "missing section {required}");
+        }
+        assert!(profile.total_ns() > 0);
+        // Every demand access extracts features exactly once.
+        let fe = profile
+            .sections
+            .iter()
+            .find(|s| s.name == "feature_extract")
+            .expect("present");
+        assert_eq!(fe.calls, profile.agent_ops);
+        let probe = profile
+            .sections
+            .iter()
+            .find(|s| s.name == "cache_probe")
+            .expect("present");
+        assert_eq!(probe.calls, profile.cache_ops);
+    }
+
+    #[test]
+    fn markdown_table_lists_every_section() {
+        let profile = profile_sections(0.01);
+        let table = profile.to_markdown();
+        for s in &profile.sections {
+            assert!(table.contains(s.name), "table missing {}", s.name);
+        }
+        assert!(table.starts_with("| section |"));
+    }
+}

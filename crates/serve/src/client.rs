@@ -250,6 +250,19 @@ pub fn metrics(addr: &str) -> Result<Json, String> {
     json_of(&body)
 }
 
+/// Fetches `GET /metrics?format=prom` — the Prometheus text exposition.
+///
+/// # Errors
+///
+/// Returns a message on transport errors or non-200 responses.
+pub fn metrics_prom(addr: &str) -> Result<String, String> {
+    let (code, body) = http::request(addr, "GET", "/metrics?format=prom", b"")?;
+    if code != 200 {
+        return Err(error_of(code, &body));
+    }
+    String::from_utf8(body).map_err(|_| "response is not utf-8".to_string())
+}
+
 /// Outcome of a conditional result fetch.
 #[derive(Debug, Clone)]
 pub enum CachedFetch {

@@ -38,11 +38,13 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pythia_sim::stats::SimReport;
 use pythia_stats::json::{sim_report_from_wire, sim_report_wire_json, Json};
 use pythia_sweep::codec::Campaign;
+
+use crate::obs::ServeObs;
 
 /// Tenant key recorded when a submission names none.
 pub const DEFAULT_TENANT: &str = "default";
@@ -67,16 +69,28 @@ pub struct PendingJob {
 }
 
 /// An append-only journal of job lifecycle events.
-#[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     file: Mutex<File>,
     pending: Vec<PendingJob>,
+    /// Shared observability bundle: fsync-latency histogram + logger.
+    obs: Arc<ServeObs>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal at `path`, replaying any
-    /// existing records into the pending list.
+    /// Opens (creating if needed) the journal at `path` with a private
+    /// default observability bundle (warn-level stderr logging). The
+    /// server passes its shared bundle via [`Journal::open_with_obs`]
+    /// instead, so fsync timings land in the service registry.
     ///
     /// # Errors
     ///
@@ -84,6 +98,17 @@ impl Journal {
     /// created or read. Corrupt lines are skipped with a warning, not an
     /// error: a torn trailing line is the normal crash artifact.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, String> {
+        Self::open_with_obs(path, Arc::new(ServeObs::default()))
+    }
+
+    /// Opens the journal with a shared observability bundle (see
+    /// [`Journal::open`] for semantics and errors).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file or its parent directory cannot be
+    /// created or read.
+    pub fn open_with_obs(path: impl Into<PathBuf>, obs: Arc<ServeObs>) -> Result<Self, String> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -92,7 +117,7 @@ impl Journal {
             }
         }
         let pending = match std::fs::read_to_string(&path) {
-            Ok(text) => replay(&text, &path),
+            Ok(text) => replay(&text, &path, &obs),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(format!("{}: {e}", path.display())),
         };
@@ -105,6 +130,7 @@ impl Journal {
             path,
             file: Mutex::new(file),
             pending,
+            obs,
         })
     }
 
@@ -182,14 +208,25 @@ impl Journal {
     }
 
     fn append(&self, line: &str) {
+        let started = std::time::Instant::now();
         let mut file = self.file.lock().expect("journal lock poisoned");
         let outcome = file
             .write_all(line.as_bytes())
             .and_then(|()| file.flush())
             .and_then(|()| file.sync_data());
+        self.obs
+            .journal_fsync_us
+            .record(started.elapsed().as_micros() as u64);
         if let Err(e) = outcome {
             // Fail-soft: losing durability beats refusing service.
-            eprintln!("journal append failed ({}): {e}", self.path.display());
+            self.obs.logger().error(
+                "journal",
+                "append failed",
+                &[
+                    ("path", self.path.display().to_string()),
+                    ("error", e.to_string()),
+                ],
+            );
         }
     }
 }
@@ -214,7 +251,7 @@ fn cell_line(digest: &str, index: usize, report: &SimReport) -> String {
 }
 
 /// Replays journal text into the pending-job list.
-fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
+fn replay(text: &str, path: &Path, obs: &ServeObs) -> Vec<PendingJob> {
     // Digest → position in `order`; preserves first-submission order.
     let mut order: Vec<PendingJob> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -222,10 +259,14 @@ fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
             continue;
         }
         let skip = |what: &str| {
-            eprintln!(
-                "journal {}: skipping {what} at line {}",
-                path.display(),
-                lineno + 1
+            obs.logger().warn(
+                "journal",
+                "skipping record",
+                &[
+                    ("path", path.display().to_string()),
+                    ("what", what.to_string()),
+                    ("line", (lineno + 1).to_string()),
+                ],
             );
         };
         let Ok(json) = pythia_stats::json::parse(line) else {
@@ -296,11 +337,7 @@ fn replay(text: &str, path: &Path) -> Vec<PendingJob> {
                 order.retain(|p| p.digest != digest);
             }
             other => {
-                eprintln!(
-                    "journal {}: unknown event {other:?} at line {}",
-                    path.display(),
-                    lineno + 1
-                );
+                skip(&format!("unknown event {other:?}"));
             }
         }
     }

@@ -49,9 +49,11 @@
 pub mod client;
 pub mod http;
 pub mod journal;
+pub mod obs;
 pub mod scheduler;
 pub mod server;
 
 pub use journal::Journal;
+pub use obs::ServeObs;
 pub use scheduler::{JobStatus, Scheduler, SubmitError};
 pub use server::{ConnStats, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,188 @@
+//! Service observability: one [`ServeObs`] bundle — structured logger,
+//! metric [`Registry`], and pre-registered instrument handles — threaded
+//! explicitly through the server, scheduler and journal (no globals).
+//!
+//! The handles cover the service's hot paths:
+//!
+//! * per-route request latency and response body size (`handle_connection`),
+//! * cell queue wait (submission → worker claim) and execution time
+//!   (`worker_loop`),
+//! * journal fsync latency (`Journal::append`).
+//!
+//! Everything is registered in the bundle's [`Registry`], so
+//! `GET /metrics?format=prom` renders the whole set with
+//! [`pythia_obs::prom::render`] and the JSON `/metrics` view folds in
+//! percentile summaries. Components constructed without an explicit
+//! bundle (unit tests, bare [`crate::scheduler::Scheduler::start`]) get a
+//! private default bundle logging at `warn`, which preserves the old
+//! "errors reach stderr" behaviour without test noise.
+
+use std::sync::Arc;
+
+use pythia_obs::logger::{Level, Logger};
+use pythia_obs::metrics::{Histogram, Registry};
+
+/// Route keys used as the `route` label of the HTTP histograms — a small
+/// fixed vocabulary so label cardinality stays bounded no matter what
+/// paths clients probe.
+pub const ROUTE_KEYS: &[&str] = &["figures", "metrics", "submit", "status", "result", "other"];
+
+/// Classifies a request into one of [`ROUTE_KEYS`].
+pub fn route_key(method: &str, path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["figures"]) => "figures",
+        ("GET", ["metrics"]) => "metrics",
+        ("POST", ["campaigns"]) => "submit",
+        ("GET", ["campaigns", _]) => "status",
+        ("GET", ["campaigns", _, "result"]) => "result",
+        _ => "other",
+    }
+}
+
+/// Per-route instrument handles.
+struct RouteMetrics {
+    key: &'static str,
+    latency_us: Arc<Histogram>,
+    body_bytes: Arc<Histogram>,
+}
+
+/// The service's observability bundle. Built once per server (or once
+/// per bare scheduler/journal in tests) and shared by `Arc`.
+pub struct ServeObs {
+    logger: Logger,
+    registry: Registry,
+    routes: Vec<RouteMetrics>,
+    /// Time a cell spent between job enqueue and worker claim, in µs.
+    pub cell_queue_wait_us: Arc<Histogram>,
+    /// Wall time a worker spent simulating one cell, in µs.
+    pub cell_execution_us: Arc<Histogram>,
+    /// Latency of one journal append (write + flush + fsync), in µs.
+    pub journal_fsync_us: Arc<Histogram>,
+}
+
+impl ServeObs {
+    /// A bundle logging to stderr at `level`.
+    pub fn new(level: Level) -> Self {
+        Self::with_logger(Logger::stderr(level))
+    }
+
+    /// A bundle with a caller-supplied logger (tests capture output this
+    /// way).
+    pub fn with_logger(logger: Logger) -> Self {
+        let registry = Registry::new();
+        let routes = ROUTE_KEYS
+            .iter()
+            .map(|&key| RouteMetrics {
+                key,
+                latency_us: registry.histogram_with(
+                    "pythia_http_request_duration_us",
+                    "Request handling latency per route, in microseconds",
+                    &[("route", key)],
+                ),
+                body_bytes: registry.histogram_with(
+                    "pythia_http_response_bytes",
+                    "Response body size per route, in bytes",
+                    &[("route", key)],
+                ),
+            })
+            .collect();
+        let cell_queue_wait_us = registry.histogram(
+            "pythia_cell_queue_wait_us",
+            "Cell wait between job enqueue and worker claim, in microseconds",
+        );
+        let cell_execution_us = registry.histogram(
+            "pythia_cell_execution_us",
+            "Cell simulation wall time, in microseconds",
+        );
+        let journal_fsync_us = registry.histogram(
+            "pythia_journal_fsync_us",
+            "Journal append latency (write+flush+fsync), in microseconds",
+        );
+        Self {
+            logger,
+            registry,
+            routes,
+            cell_queue_wait_us,
+            cell_execution_us,
+            journal_fsync_us,
+        }
+    }
+
+    /// The structured logger.
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// The metric registry (for Prometheus rendering and JSON summaries).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one served request against its route's histograms.
+    pub fn record_request(&self, route: &str, latency_us: u64, body_bytes: u64) {
+        if let Some(r) = self.routes.iter().find(|r| r.key == route) {
+            r.latency_us.record(latency_us);
+            r.body_bytes.record(body_bytes);
+        }
+    }
+
+    /// The latency histogram of one route (JSON summaries, tests).
+    pub fn route_latency(&self, route: &str) -> Option<&Arc<Histogram>> {
+        self.routes
+            .iter()
+            .find(|r| r.key == route)
+            .map(|r| &r.latency_us)
+    }
+}
+
+impl Default for ServeObs {
+    /// Warn-level stderr logging: errors still surface, tests stay quiet.
+    fn default() -> Self {
+        Self::new(Level::Warn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_classification() {
+        assert_eq!(route_key("GET", "/figures"), "figures");
+        assert_eq!(route_key("GET", "/metrics"), "metrics");
+        assert_eq!(route_key("POST", "/campaigns"), "submit");
+        assert_eq!(route_key("GET", "/campaigns/0123456789abcdef"), "status");
+        assert_eq!(
+            route_key("GET", "/campaigns/0123456789abcdef/result"),
+            "result"
+        );
+        assert_eq!(route_key("PUT", "/figures"), "other");
+        assert_eq!(route_key("GET", "/nope"), "other");
+    }
+
+    #[test]
+    fn request_recording_lands_in_the_right_route() {
+        let obs = ServeObs::default();
+        obs.record_request("metrics", 150, 900);
+        obs.record_request("other", 10, 20);
+        let h = obs.route_latency("metrics").expect("known route");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 150);
+        assert_eq!(obs.route_latency("figures").expect("known").count(), 0);
+        // Unknown keys are dropped, not panicked on.
+        obs.record_request("bogus", 1, 1);
+    }
+
+    #[test]
+    fn registry_renders_clean_prometheus_text() {
+        let obs = ServeObs::default();
+        obs.record_request("submit", 2_000, 512);
+        obs.cell_execution_us.record(30_000);
+        let text = pythia_obs::prom::render(obs.registry());
+        assert!(text.contains("pythia_http_request_duration_us_bucket"));
+        assert!(text.contains("route=\"submit\""));
+        let problems = pythia_obs::prom::lint(&text);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+}

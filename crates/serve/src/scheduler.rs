@@ -47,6 +47,7 @@ use pythia_sweep::codec::Campaign;
 use pythia_sweep::{plan_campaign, CampaignPlan, ResultStore, SweepResult};
 
 use crate::journal::{Journal, PendingJob, DEFAULT_TENANT};
+use crate::obs::ServeObs;
 
 /// Upper bound on the accepted `priority` weight (quantum size): enough
 /// spread to express "urgent", small enough that one tenant cannot
@@ -169,6 +170,9 @@ impl Counters {
 /// so finished jobs don't pin plans or report sets in memory.
 struct Work {
     plan: Arc<CampaignPlan>,
+    /// When the job entered the ready queue — each cell's queue wait
+    /// (enqueue → worker claim) is measured against it.
+    enqueued_at: std::time::Instant,
     /// One slot per planned cell; filled as cells complete (in any
     /// order — workers race, replay pre-fills).
     slots: Vec<Option<SimReport>>,
@@ -244,6 +248,8 @@ struct Claim {
     /// Whether this claim moved the job from queued to running (first
     /// cell claimed — the `started` journal record).
     first: bool,
+    /// How long the cell sat in the ready queue before this claim.
+    queue_wait: std::time::Duration,
 }
 
 /// Claims the next cell under weighted round-robin over tenants.
@@ -284,6 +290,7 @@ fn claim_cell(state: &mut State) -> Option<Claim> {
                 job.status = JobStatus::Running;
             }
             let plan = Arc::clone(&work.plan);
+            let queue_wait = work.enqueued_at.elapsed();
             let priority = job.priority;
             if work.cursor >= work.slots.len() {
                 state.tenants[ti].ready.pop_front();
@@ -294,6 +301,7 @@ fn claim_cell(state: &mut State) -> Option<Claim> {
                     flat,
                     plan,
                     first,
+                    queue_wait,
                 },
                 priority,
             ));
@@ -334,6 +342,8 @@ struct Inner {
     /// Total simulation wall time in nanoseconds.
     sim_wall_nanos: AtomicU64,
     shutdown: AtomicBool,
+    /// Shared observability bundle (logger + metric registry).
+    obs: Arc<ServeObs>,
 }
 
 /// The campaign scheduler: owns the ready queues, the status map, and the
@@ -361,7 +371,26 @@ impl Scheduler {
         workers: usize,
         queue_cap: usize,
         store: Option<ResultStore>,
+        journal: Option<Journal>,
+    ) -> Self {
+        Self::start_with_obs(
+            workers,
+            queue_cap,
+            store,
+            journal,
+            Arc::new(ServeObs::default()),
+        )
+    }
+
+    /// [`Scheduler::start`] with a shared observability bundle — the
+    /// server passes the bundle its journal and connection handlers use,
+    /// so every latency histogram lands in one registry.
+    pub fn start_with_obs(
+        workers: usize,
+        queue_cap: usize,
+        store: Option<ResultStore>,
         mut journal: Option<Journal>,
+        obs: Arc<ServeObs>,
     ) -> Self {
         let pending = journal
             .as_mut()
@@ -380,6 +409,7 @@ impl Scheduler {
             sim_instructions: AtomicU64::new(0),
             sim_wall_nanos: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            obs,
         });
 
         if !pending.is_empty() {
@@ -455,7 +485,11 @@ impl Scheduler {
                 Err(e) => {
                     // A corrupt artifact must not take the digest down
                     // permanently: fall through and re-simulate.
-                    eprintln!("serve: ignoring corrupt cache artifact for {digest}: {e}");
+                    self.inner.obs.logger().warn(
+                        "scheduler",
+                        "ignoring corrupt cache artifact",
+                        &[("digest", digest.clone()), ("error", e)],
+                    );
                     None
                 }
             },
@@ -515,6 +549,7 @@ impl Scheduler {
                 status: JobStatus::Queued,
                 work: Some(Work {
                     plan: Arc::new(plan),
+                    enqueued_at: std::time::Instant::now(),
                     slots: vec![None; total],
                     cursor: 0,
                     claimed: 0,
@@ -705,6 +740,11 @@ impl Scheduler {
         self.inner.store.as_ref()
     }
 
+    /// The shared observability bundle (logger + metric registry).
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.inner.obs
+    }
+
     /// Stops the workers after their current cell and joins them.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
@@ -733,7 +773,11 @@ fn replay_pending(inner: &Inner, pending: Vec<PendingJob>) {
             Err(e) => {
                 // Validation passed when the job was first accepted, so
                 // this is a code/journal version skew: drop, don't die.
-                eprintln!("serve: dropping journaled job {}: {e}", job.digest);
+                inner.obs.logger().warn(
+                    "scheduler",
+                    "dropping journaled job",
+                    &[("digest", job.digest.clone()), ("error", e)],
+                );
                 continue;
             }
         };
@@ -789,7 +833,11 @@ fn replay_pending(inner: &Inner, pending: Vec<PendingJob>) {
                 Ok(result) => {
                     if let Some(store) = &inner.store {
                         if let Err(e) = store.store(&job.digest, &result) {
-                            eprintln!("serve: failed to persist {}: {e}", job.digest);
+                            inner.obs.logger().error(
+                                "scheduler",
+                                "failed to persist result",
+                                &[("digest", job.digest.clone()), ("error", e)],
+                            );
                         }
                     }
                     inner.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -826,6 +874,7 @@ fn replay_pending(inner: &Inner, pending: Vec<PendingJob>) {
                 status: JobStatus::Queued,
                 work: Some(Work {
                     plan: Arc::new(plan),
+                    enqueued_at: std::time::Instant::now(),
                     slots,
                     cursor: 0,
                     claimed: filled,
@@ -840,7 +889,10 @@ fn replay_pending(inner: &Inner, pending: Vec<PendingJob>) {
     drop(state);
     if let Some(journal) = &inner.journal {
         if let Err(e) = journal.compact(&survivors) {
-            eprintln!("serve: journal compaction failed: {e}");
+            inner
+                .obs
+                .logger()
+                .error("scheduler", "journal compaction failed", &[("error", e)]);
         }
     }
 }
@@ -867,10 +919,24 @@ fn worker_loop(inner: &Inner) {
             }
         }
 
+        inner
+            .obs
+            .cell_queue_wait_us
+            .record(claim.queue_wait.as_micros() as u64);
         let cell = &claim.plan.jobs()[claim.flat];
         let started = std::time::Instant::now();
         let report = cell.run();
         let wall = started.elapsed();
+        inner.obs.cell_execution_us.record(wall.as_micros() as u64);
+        inner.obs.logger().debug(
+            "scheduler",
+            "cell executed",
+            &[
+                ("digest", claim.digest.clone()),
+                ("cell", claim.flat.to_string()),
+                ("wall_us", wall.as_micros().to_string()),
+            ],
+        );
         inner
             .sim_instructions
             .fetch_add(cell.instructions, Ordering::Relaxed);
@@ -923,7 +989,11 @@ fn worker_loop(inner: &Inner) {
                 Ok(result) => {
                     if let Some(store) = &inner.store {
                         if let Err(e) = store.store(&claim.digest, &result) {
-                            eprintln!("serve: failed to persist {}: {e}", claim.digest);
+                            inner.obs.logger().error(
+                                "scheduler",
+                                "failed to persist result",
+                                &[("digest", claim.digest.clone()), ("error", e)],
+                            );
                         }
                     }
                     inner.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -944,6 +1014,11 @@ fn worker_loop(inner: &Inner) {
             if let Some(journal) = &inner.journal {
                 journal.record_done(&claim.digest, ok);
             }
+            inner.obs.logger().info(
+                "scheduler",
+                "campaign finished",
+                &[("digest", claim.digest.clone()), ("ok", ok.to_string())],
+            );
             inner.job_finished.notify_all();
         }
         inner.busy_workers.fetch_sub(1, Ordering::Relaxed);

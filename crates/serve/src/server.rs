@@ -27,12 +27,16 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use pythia_obs::logger::Level;
+use pythia_obs::metrics::Histogram;
+use pythia_obs::prom::PromText;
 use pythia_stats::json::{parse, Json};
 use pythia_sweep::codec::{is_digest, Campaign};
 use pythia_sweep::ResultStore;
 
 use crate::http::{write_response, Request, RequestError, RequestReader, Response, IO_TIMEOUT};
 use crate::journal::{Journal, DEFAULT_TENANT};
+use crate::obs::{self, ServeObs};
 use crate::scheduler::{JobStatus, Scheduler, SubmitError};
 
 /// Server construction parameters.
@@ -59,6 +63,10 @@ pub struct ServeConfig {
     /// `journal.jsonl` inside `cache_dir` when unset; `None` with no
     /// `cache_dir` means no journal.
     pub journal: Option<std::path::PathBuf>,
+    /// Structured-log threshold (JSONL on stderr). The library default
+    /// is `Level::Warn` (quiet for embedded/test use); the CLI defaults
+    /// `--log-level` to `info`.
+    pub log_level: Level,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +80,7 @@ impl Default for ServeConfig {
             max_conns: 64,
             idle_timeout: IO_TIMEOUT,
             journal: None,
+            log_level: Level::Warn,
         }
     }
 }
@@ -156,6 +165,7 @@ impl Server {
     /// Returns a message when the address cannot be bound or the cache
     /// directory/journal cannot be opened.
     pub fn bind(addr: &str, config: &ServeConfig) -> Result<Self, String> {
+        let obs = Arc::new(ServeObs::new(config.log_level));
         let store = match &config.cache_dir {
             None => None,
             Some(dir) => Some(ResultStore::open_bounded(
@@ -171,14 +181,15 @@ impl Server {
         });
         let journal = match journal_path {
             None => None,
-            Some(path) => Some(Journal::open(path)?),
+            Some(path) => Some(Journal::open_with_obs(path, Arc::clone(&obs))?),
         };
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        let scheduler = Arc::new(Scheduler::start(
+        let scheduler = Arc::new(Scheduler::start_with_obs(
             config.workers * config.sim_threads.max(1),
             config.queue_cap,
             store,
             journal,
+            obs,
         ));
         Ok(Self {
             listener,
@@ -241,9 +252,11 @@ impl Server {
         let addr = self.local_addr()?;
         let scheduler = Arc::clone(&self.scheduler);
         let conns = Arc::clone(&self.conns);
+        let obs = Arc::clone(scheduler.obs());
         std::thread::spawn(move || {
             if let Err(e) = self.serve_forever() {
-                eprintln!("serve: accept loop stopped: {e}");
+                obs.logger()
+                    .error("server", "accept loop stopped", &[("error", e)]);
             }
         });
         Ok(ServerHandle {
@@ -278,7 +291,13 @@ fn handle_connection(
             Ok(request) => {
                 conns.requests.fetch_add(1, Ordering::Relaxed);
                 let keep_alive = !request.close;
+                let started = std::time::Instant::now();
                 let response = route(scheduler, conns, &request);
+                scheduler.obs().record_request(
+                    obs::route_key(&request.method, &request.path),
+                    started.elapsed().as_micros() as u64,
+                    response.body.len() as u64,
+                );
                 if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -300,7 +319,11 @@ fn handle_connection(
                 return;
             }
             Err(RequestError::Io(e)) => {
-                eprintln!("serve: dropping connection: {e}");
+                scheduler.obs().logger().warn(
+                    "server",
+                    "dropping connection",
+                    &[("error", e.to_string())],
+                );
                 return;
             }
         }
@@ -316,7 +339,10 @@ pub fn route(scheduler: &Scheduler, conns: &ConnStats, request: &Request) -> Res
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["figures"]) => figures_response(),
-        ("GET", ["metrics"]) => metrics_response(scheduler, conns),
+        ("GET", ["metrics"]) => match request.query("format") {
+            Some("prom") => metrics_prom_response(scheduler, conns),
+            _ => metrics_response(scheduler, conns),
+        },
         ("POST", ["campaigns"]) => submit(scheduler, &request.body),
         ("GET", ["campaigns", digest]) => status(scheduler, digest),
         ("GET", ["campaigns", digest, "result"]) => result(
@@ -412,8 +438,167 @@ fn metrics_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
                 .set("sim_wall_seconds", Json::Num(wall_seconds))
                 .set("minst_per_sec", Json::Num(minst_per_sec)),
         )
+        .set("latency", latency_json(scheduler))
         .render_pretty();
     Response::json(200, body)
+}
+
+/// Percentile summary of one histogram as JSON (`_us` units come from
+/// the histogram's own name/help).
+fn summary_json(h: &Histogram) -> Json {
+    let s = h.summary();
+    Json::obj()
+        .set("count", s.count)
+        .set("sum", s.sum)
+        .set("p50", s.p50)
+        .set("p95", s.p95)
+        .set("p99", s.p99)
+        .set("max", s.max)
+}
+
+/// The `latency` key of `/metrics`: per-route request latency plus the
+/// scheduler's cell queue-wait/execution and journal fsync summaries
+/// (all in microseconds).
+fn latency_json(scheduler: &Scheduler) -> Json {
+    let obs = scheduler.obs();
+    let mut routes = Json::obj();
+    for key in obs::ROUTE_KEYS {
+        if let Some(h) = obs.route_latency(key) {
+            routes = routes.set(key, summary_json(h));
+        }
+    }
+    Json::obj()
+        .set("routes_us", routes)
+        .set("cell_queue_wait_us", summary_json(&obs.cell_queue_wait_us))
+        .set("cell_execution_us", summary_json(&obs.cell_execution_us))
+        .set("journal_fsync_us", summary_json(&obs.journal_fsync_us))
+}
+
+/// `GET /metrics?format=prom`: the Prometheus text exposition (0.0.4)
+/// view — the registry's histograms plus the scheduler, store and
+/// connection counters as explicit families. The output always passes
+/// [`pythia_obs::prom::lint`] (pinned by tests and the CI serve job).
+fn metrics_prom_response(scheduler: &Scheduler, conns: &ConnStats) -> Response {
+    let mut t = PromText::new();
+    t.registry(scheduler.obs().registry());
+
+    let (depth, cap) = scheduler.queue_depth();
+    t.family(
+        "pythia_queue_depth",
+        "Campaigns holding a ready-queue slot",
+        "gauge",
+    );
+    t.sample("pythia_queue_depth", &[], depth as f64);
+    t.family("pythia_queue_cap", "Ready-queue capacity", "gauge");
+    t.sample("pythia_queue_cap", &[], cap as f64);
+
+    let (cells_queued, cells_in_flight) = scheduler.cell_depth();
+    t.family(
+        "pythia_cells_queued",
+        "Unclaimed cells across unfinished jobs",
+        "gauge",
+    );
+    t.sample("pythia_cells_queued", &[], cells_queued as f64);
+    t.family(
+        "pythia_cells_in_flight",
+        "Cells currently simulating",
+        "gauge",
+    );
+    t.sample("pythia_cells_in_flight", &[], cells_in_flight as f64);
+
+    let (busy, total) = scheduler.occupancy();
+    t.family(
+        "pythia_workers_busy",
+        "Workers simulating a cell right now",
+        "gauge",
+    );
+    t.sample("pythia_workers_busy", &[], busy as f64);
+    t.family("pythia_workers_total", "Configured worker threads", "gauge");
+    t.sample("pythia_workers_total", &[], total as f64);
+
+    let counters = scheduler.counters();
+    let get = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+    t.family(
+        "pythia_scheduler_events_total",
+        "Monotonic scheduler counters by event",
+        "counter",
+    );
+    for (event, value) in [
+        ("submitted", get(&counters.submitted)),
+        ("executed", get(&counters.executed)),
+        ("cache_hits", get(&counters.cache_hits)),
+        ("coalesced", get(&counters.coalesced)),
+        ("completed", get(&counters.completed)),
+        ("failed", get(&counters.failed)),
+        ("rejected", get(&counters.rejected)),
+        ("replayed", get(&counters.replayed)),
+        ("cells_executed", get(&counters.cells_executed)),
+        ("cells_replayed", get(&counters.cells_replayed)),
+    ] {
+        t.sample("pythia_scheduler_events_total", &[("event", event)], value);
+    }
+
+    let (hits, misses) = match scheduler.store() {
+        None => (0.0, 0.0),
+        Some(store) => (get(&store.stats().hits), get(&store.stats().misses)),
+    };
+    t.family(
+        "pythia_store_hits_total",
+        "Result-store lookup hits",
+        "counter",
+    );
+    t.sample("pythia_store_hits_total", &[], hits);
+    t.family(
+        "pythia_store_misses_total",
+        "Result-store lookup misses",
+        "counter",
+    );
+    t.sample("pythia_store_misses_total", &[], misses);
+
+    t.family(
+        "pythia_connections_active",
+        "Connections currently open",
+        "gauge",
+    );
+    t.sample(
+        "pythia_connections_active",
+        &[],
+        conns.active.load(Ordering::Relaxed) as f64,
+    );
+    t.family(
+        "pythia_connections_total",
+        "Monotonic connection counters by event",
+        "counter",
+    );
+    for (event, value) in [
+        ("accepted", get(&conns.accepted)),
+        ("rejected", get(&conns.rejected)),
+        ("requests", get(&conns.requests)),
+        ("timeouts", get(&conns.timeouts)),
+    ] {
+        t.sample("pythia_connections_total", &[("event", event)], value);
+    }
+
+    let (instructions, wall_seconds) = scheduler.sim_totals();
+    t.family(
+        "pythia_sim_instructions_total",
+        "Instructions simulated by this process",
+        "counter",
+    );
+    t.sample("pythia_sim_instructions_total", &[], instructions as f64);
+    t.family(
+        "pythia_sim_wall_seconds_total",
+        "Wall time spent simulating cells",
+        "counter",
+    );
+    t.sample("pythia_sim_wall_seconds_total", &[], wall_seconds);
+
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: t.finish().into_bytes(),
+        headers: Vec::new(),
+    }
 }
 
 /// Decodes a submission body into a campaign: `{"figure": id}` resolves

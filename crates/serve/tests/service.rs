@@ -625,3 +625,115 @@ fn idle_connections_get_408_and_close() {
     // platform-dependent), but the stream is done serving.
     let _ = stream.write_all(b"GET /figures HTTP/1.1\r\n\r\n");
 }
+
+/// Schema pin for the `/metrics` JSON view: every key path listed here
+/// must stay present. Additions are free; removing or renaming any of
+/// these is a breaking change for monitoring clients and must fail here.
+#[test]
+fn metrics_json_schema_is_pinned() {
+    let (_handle, addr) = spawn(ServeConfig {
+        workers: 0,
+        queue_cap: 4,
+        sim_threads: 1,
+        ..ServeConfig::default()
+    });
+    submit_spec(&addr, &tiny_spec("svc-schema", 4_000));
+    let metrics = client::metrics(&addr).expect("metrics parse");
+
+    const REQUIRED: &[&str] = &[
+        "queue.depth",
+        "queue.cap",
+        "cells.queued",
+        "cells.in_flight",
+        "cells.executed",
+        "cells.replayed",
+        "workers.busy",
+        "workers.total",
+        "counters.submitted",
+        "counters.executed",
+        "counters.cache_hits",
+        "counters.coalesced",
+        "counters.completed",
+        "counters.failed",
+        "counters.rejected",
+        "counters.replayed",
+        "counters.cells_executed",
+        "counters.cells_replayed",
+        "tenants",
+        "store.enabled",
+        "connections.active",
+        "connections.accepted",
+        "connections.rejected",
+        "connections.requests",
+        "connections.timeouts",
+        "throughput.sim_instructions",
+        "throughput.sim_wall_seconds",
+        "throughput.minst_per_sec",
+        "latency.routes_us.metrics.count",
+        "latency.routes_us.submit.p99",
+        "latency.cell_queue_wait_us.count",
+        "latency.cell_execution_us.count",
+        "latency.journal_fsync_us.count",
+    ];
+    let mut missing = Vec::new();
+    for path in REQUIRED {
+        let mut node = Some(&metrics);
+        for key in path.split('.') {
+            node = node.and_then(|n| n.get(key));
+        }
+        if node.is_none() {
+            missing.push(*path);
+        }
+    }
+    assert!(missing.is_empty(), "removed /metrics keys: {missing:?}");
+}
+
+/// `GET /metrics?format=prom` passes the in-repo Prometheus linter and
+/// carries the acceptance families: per-route request latency, cell
+/// queue-wait, cell execution time, and store hit/miss counters.
+#[test]
+fn metrics_prom_lints_clean_and_names_required_families() {
+    let dir = std::env::temp_dir().join(format!("pythia-serve-prom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (handle, addr) = spawn(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        sim_threads: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let submitted = submit_spec(&addr, &tiny_spec("svc-prom", 4_000));
+    client::wait_done(
+        &addr,
+        &submitted.digest,
+        Duration::from_millis(25),
+        Duration::from_secs(60),
+    )
+    .expect("campaign completes");
+    // A second fetch of the JSON view makes the route histograms move.
+    let _ = client::metrics(&addr).expect("metrics json");
+
+    let text = client::metrics_prom(&addr).expect("prom text");
+    let problems = pythia_obs::prom::lint(&text);
+    assert!(problems.is_empty(), "prom lint: {problems:?}");
+    for family in [
+        "pythia_http_request_duration_us",
+        "pythia_cell_queue_wait_us",
+        "pythia_cell_execution_us",
+        "pythia_journal_fsync_us",
+        "pythia_store_hits_total",
+        "pythia_store_misses_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "missing family {family} in:\n{text}"
+        );
+    }
+    // The executed cells left real observations behind.
+    assert!(
+        text.contains("pythia_cell_execution_us_count 2"),
+        "two cells executed:\n{text}"
+    );
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -150,6 +150,25 @@ pub struct FillEvent {
     pub prefetched: bool,
 }
 
+/// A read-only snapshot of a learning prefetcher's internal state, for
+/// windowed telemetry (Q-value drift, evaluation-queue pressure).
+///
+/// Produced by [`Prefetcher::telemetry_probe`]; prefetchers without
+/// internal learning state return `None` from the default method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentProbe {
+    /// Minimum stored Q entry (plane-partial units for Pythia).
+    pub q_min: f32,
+    /// Mean stored Q entry.
+    pub q_mean: f32,
+    /// Maximum stored Q entry.
+    pub q_max: f32,
+    /// Entries currently resident in the evaluation queue.
+    pub eq_len: usize,
+    /// Evaluation-queue capacity.
+    pub eq_capacity: usize,
+}
+
 /// A hardware prefetcher.
 ///
 /// Implementations live in `pythia-prefetchers` (the baselines of Table 7)
@@ -217,6 +236,15 @@ pub trait Prefetcher {
     /// Estimated metadata storage in bits (Table 7 reproduction).
     fn storage_bits(&self) -> u64 {
         0
+    }
+
+    /// A strictly read-only snapshot of internal learning state for the
+    /// windowed telemetry layer. The default (`None`) suits stateless
+    /// and table-free prefetchers; Pythia reports its Q-table spread and
+    /// EQ occupancy. Implementations must not mutate any state here —
+    /// the workspace pins reports byte-identical with telemetry on/off.
+    fn telemetry_probe(&self) -> Option<AgentProbe> {
+        None
     }
 }
 

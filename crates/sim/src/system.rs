@@ -37,8 +37,10 @@ use crate::dram::{BandwidthMonitor, Dram, DramRequestKind};
 use crate::prefetch::{
     DemandAccess, FillEvent, NoPrefetcher, PrefetchRequest, Prefetcher, SystemFeedback,
 };
-use crate::stats::{CoreStats, SimReport};
+use crate::stats::{CacheStats, CoreStats, PrefetcherStats, SimReport};
 use crate::trace::{TraceRecord, TraceSource};
+use pythia_obs::window::WindowRecorder;
+pub use pythia_obs::window::WindowRow;
 
 /// Records pulled from a core's [`TraceSource`] per refill: large enough
 /// to amortize the virtual `next_batch` dispatch, small enough that the
@@ -90,6 +92,36 @@ impl CoreUnit {
     }
 }
 
+/// Per-core telemetry state: a window recorder plus the stat snapshot at
+/// the previous window boundary, so each closed window reports *deltas*
+/// over its own instruction span. Strictly an observer — it only reads
+/// counters the simulator already maintains, so enabling telemetry cannot
+/// perturb the simulation (`tests/telemetry.rs` pins reports byte-identical
+/// with telemetry on vs. off).
+struct CoreTelemetry {
+    recorder: WindowRecorder,
+    last_instructions: u64,
+    last_cycles: u64,
+    last_l2: CacheStats,
+    last_pf: PrefetcherStats,
+    /// Set once the final (possibly partial) window has been flushed at
+    /// core completion; later contention-only steps are ignored.
+    done: bool,
+}
+
+impl CoreTelemetry {
+    fn new(width: u64) -> Self {
+        Self {
+            recorder: WindowRecorder::new(width),
+            last_instructions: 0,
+            last_cycles: 0,
+            last_l2: CacheStats::default(),
+            last_pf: PrefetcherStats::default(),
+            done: false,
+        }
+    }
+}
+
 /// Reusable per-access scratch buffers, threaded through
 /// [`System::step_core`] → `access_hierarchy` so the per-access hot path
 /// performs no heap allocation in steady state. One set per system is
@@ -110,6 +142,9 @@ pub struct System {
     dram: Dram,
     monitor: BandwidthMonitor,
     scratch: AccessCtx,
+    /// Opt-in windowed telemetry (one recorder per core); `None` costs a
+    /// single branch per measured step.
+    telemetry: Option<Vec<CoreTelemetry>>,
 }
 
 impl std::fmt::Debug for System {
@@ -165,6 +200,7 @@ impl System {
                 config.bandwidth_high_pct,
             ),
             scratch: AccessCtx::default(),
+            telemetry: None,
             config,
         }
     }
@@ -191,6 +227,118 @@ impl System {
     /// The configuration this system was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Enables windowed telemetry: during the measured phase each core
+    /// closes one [`WindowRow`] every `window_width` retired instructions
+    /// (plus a final partial window at completion) capturing per-window
+    /// IPC, L2 hit ratio, prefetch coverage/accuracy/overprediction, and —
+    /// for learning prefetchers — Q-value spread and EQ occupancy via
+    /// [`Prefetcher::telemetry_probe`]. The sink is strictly read-only:
+    /// the [`SimReport`] is byte-identical with telemetry on or off.
+    pub fn enable_telemetry(&mut self, window_width: u64) {
+        self.telemetry = Some(
+            self.cores
+                .iter()
+                .map(|_| CoreTelemetry::new(window_width))
+                .collect(),
+        );
+    }
+
+    /// Takes the telemetry rows accumulated by the last [`System::run`],
+    /// one `Vec<WindowRow>` per core, disabling telemetry in the process.
+    /// Returns `None` if telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<Vec<Vec<WindowRow>>> {
+        self.telemetry
+            .take()
+            .map(|ts| ts.into_iter().map(|t| t.recorder.into_rows()).collect())
+    }
+
+    /// Rearms telemetry for a fresh measured phase, preserving the
+    /// configured window width.
+    fn reset_telemetry(&mut self) {
+        if let Some(ts) = self.telemetry.as_mut() {
+            for t in ts.iter_mut() {
+                *t = CoreTelemetry::new(t.recorder.width());
+            }
+        }
+    }
+
+    /// Telemetry hook, called once per measured step of core `idx`. Closes
+    /// a window when the core crosses a window boundary, and flushes the
+    /// final partial window when the core retires its measured budget.
+    /// Reads simulator state only; never mutates it.
+    fn poll_telemetry(&mut self, idx: usize) {
+        let Some(ts) = self.telemetry.as_mut() else {
+            return;
+        };
+        let core = &self.cores[idx];
+        let t = &mut ts[idx];
+        if t.done {
+            return;
+        }
+        let retired = core.model.retired();
+        let boundary = t.recorder.due(retired);
+        if !boundary && !core.finished {
+            return;
+        }
+        // Deltas since the previous window boundary.
+        let cycles = core.model.now() - core.measure_start_cycle;
+        let l2 = *core.l2.stats();
+        let pf = core.prefetcher.stats();
+        let d_instr = retired - t.last_instructions;
+        let d_cycles = cycles.saturating_sub(t.last_cycles);
+        let d_accesses = l2.demand_accesses() - t.last_l2.demand_accesses();
+        let d_hits = (l2.demand_load_hits + l2.demand_store_hits)
+            - (t.last_l2.demand_load_hits + t.last_l2.demand_store_hits);
+        let d_misses = l2.demand_misses() - t.last_l2.demand_misses();
+        let d_issued = pf.issued - t.last_pf.issued;
+        let d_useful = pf.useful - t.last_pf.useful;
+        let d_useless = pf.useless - t.last_pf.useless;
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let probe = core.prefetcher.telemetry_probe();
+        let (q_min, q_mean, q_max, eq_occupancy) = match probe {
+            Some(p) => (
+                p.q_min as f64,
+                p.q_mean as f64,
+                p.q_max as f64,
+                if p.eq_capacity == 0 {
+                    0.0
+                } else {
+                    p.eq_len as f64 / p.eq_capacity as f64
+                },
+            ),
+            None => (0.0, 0.0, 0.0, 0.0),
+        };
+        t.recorder.close(
+            retired,
+            vec![
+                ("instructions", d_instr as f64),
+                ("cycles", d_cycles as f64),
+                ("ipc", ratio(d_instr, d_cycles)),
+                ("l2_hit_ratio", ratio(d_hits, d_accesses)),
+                ("coverage", ratio(d_useful, d_useful + d_misses)),
+                ("accuracy", ratio(d_useful, d_issued)),
+                ("overprediction", ratio(d_useless, d_issued)),
+                ("q_min", q_min),
+                ("q_mean", q_mean),
+                ("q_max", q_max),
+                ("eq_occupancy", eq_occupancy),
+            ],
+        );
+        t.last_instructions = retired;
+        t.last_cycles = cycles;
+        t.last_l2 = l2;
+        t.last_pf = pf;
+        if core.finished {
+            t.done = true;
+        }
     }
 
     fn feedback(&self) -> SystemFeedback {
@@ -577,6 +725,7 @@ impl System {
             }
         }
         self.reset_all_stats();
+        self.reset_telemetry();
 
         // Measured phase.
         while self.cores.iter().any(|c| !c.finished) {
@@ -597,6 +746,10 @@ impl System {
                     stats.cycles = end - core.measure_start_cycle;
                     core.final_stats = Some(stats);
                 }
+                if self.telemetry.is_some() {
+                    self.poll_telemetry(idx);
+                }
+                let core = &self.cores[idx];
                 if !others_unfinished && core.finished {
                     break;
                 }
@@ -657,6 +810,50 @@ mod tests {
         // A pure load stream misses the LLC constantly.
         assert!(report.llc.demand_load_misses > 0);
         assert!(report.dram.demand_reads > 0);
+    }
+
+    #[test]
+    fn telemetry_windows_cover_the_measured_phase() {
+        let mut sys = System::new(
+            SystemConfig::single_core(),
+            vec![stream_trace(20_000, 0x1000_0000)],
+        );
+        sys.enable_telemetry(2_500);
+        let report = sys.run(2_000, 10_000);
+        let rows = sys.take_telemetry().expect("telemetry enabled");
+        assert_eq!(rows.len(), 1);
+        let core_rows = &rows[0];
+        // 10_000 instructions / 2_500 per window = 4 full windows.
+        assert_eq!(core_rows.len(), 4);
+        let total: f64 = core_rows
+            .iter()
+            .map(|r| {
+                r.fields
+                    .iter()
+                    .find(|(k, _)| *k == "instructions")
+                    .unwrap()
+                    .1
+            })
+            .sum();
+        assert_eq!(total as u64, report.cores[0].instructions);
+        assert_eq!(core_rows.last().unwrap().at, 10_000);
+        // A second take returns None (telemetry consumed).
+        assert!(sys.take_telemetry().is_none());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_report() {
+        let run = |telemetry: bool| {
+            let mut sys = System::new(
+                SystemConfig::single_core(),
+                vec![stream_trace(20_000, 0x1000_0000)],
+            );
+            if telemetry {
+                sys.enable_telemetry(1_000);
+            }
+            sys.run(2_000, 10_000)
+        };
+        assert_eq!(format!("{:?}", run(false)), format!("{:?}", run(true)));
     }
 
     #[test]

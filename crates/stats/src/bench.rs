@@ -98,6 +98,18 @@ impl BenchMeasurement {
     }
 }
 
+/// Host provenance stamped into a report: wall-clock numbers are
+/// host-sensitive, so comparisons across different machines deserve a
+/// warning. `None` on reports written before the field existed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchHost {
+    /// Machine hostname.
+    pub hostname: String,
+    /// CPU feature label (e.g. `"sse4.2+avx+avx2+fma"`) — dispatch
+    /// decisions like the AVX2 argmax depend on it.
+    pub cpu_features: String,
+}
+
 /// A full microbenchmark report — what `BENCH_micro.json` holds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -107,6 +119,9 @@ pub struct BenchReport {
     /// different scales are not comparable; the regression check refuses
     /// to compare across scales).
     pub scale: f64,
+    /// Provenance of the machine that produced the numbers (`None` on
+    /// pre-provenance baselines).
+    pub host: Option<BenchHost>,
     /// One entry per benchmark, in registry order.
     pub benchmarks: Vec<BenchMeasurement>,
 }
@@ -186,13 +201,21 @@ pub struct Regression {
 impl BenchReport {
     /// Serializes the report (the `BENCH_micro.json` schema).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut out = Json::obj()
             .set("name", self.name.as_str())
-            .set("scale", self.scale)
-            .set(
-                "benchmarks",
-                Json::Arr(self.benchmarks.iter().map(BenchMeasurement::json).collect()),
-            )
+            .set("scale", self.scale);
+        if let Some(host) = &self.host {
+            out = out.set(
+                "host",
+                Json::obj()
+                    .set("hostname", host.hostname.as_str())
+                    .set("cpu_features", host.cpu_features.as_str()),
+            );
+        }
+        out.set(
+            "benchmarks",
+            Json::Arr(self.benchmarks.iter().map(BenchMeasurement::json).collect()),
+        )
     }
 
     /// Parses a report emitted by [`BenchReport::to_json`].
@@ -210,6 +233,20 @@ impl BenchReport {
             .get("scale")
             .and_then(Json::as_f64)
             .ok_or("report missing number \"scale\"")?;
+        // Optional: reports written before host provenance existed parse
+        // to `host: None`.
+        let host = v.get("host").map(|h| BenchHost {
+            hostname: h
+                .get("hostname")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            cpu_features: h
+                .get("cpu_features")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
         let benchmarks = v
             .get("benchmarks")
             .and_then(Json::as_arr)
@@ -220,6 +257,7 @@ impl BenchReport {
         Ok(Self {
             name,
             scale,
+            host,
             benchmarks,
         })
     }
@@ -361,6 +399,23 @@ impl BenchReport {
         Ok(t.to_markdown())
     }
 
+    /// A warning message when the two reports carry host provenance and
+    /// it differs — wall-clock throughput is not comparable across
+    /// machines, so `bench --compare` and `--baseline` print this before
+    /// the verdict. `None` when the hosts match or either side predates
+    /// provenance stamping.
+    pub fn host_mismatch(&self, baseline: &Self) -> Option<String> {
+        let (cur, base) = (self.host.as_ref()?, baseline.host.as_ref()?);
+        if cur == base {
+            return None;
+        }
+        Some(format!(
+            "host mismatch: current report from {} [{}] but baseline from {} [{}]; \
+             wall-clock numbers are not comparable across hosts",
+            cur.hostname, cur.cpu_features, base.hostname, base.cpu_features
+        ))
+    }
+
     fn check_same_scale(&self, baseline: &Self) -> Result<(), String> {
         if (self.scale - baseline.scale).abs() > 1e-12 {
             return Err(format!(
@@ -414,6 +469,7 @@ mod tests {
     fn json_roundtrip() {
         let report = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 0.5,
             benchmarks: vec![measurement("a", 500.0), measurement("b", 900.0)],
         };
@@ -424,14 +480,49 @@ mod tests {
     }
 
     #[test]
+    fn host_provenance_roundtrips_and_detects_mismatch() {
+        let stamped = |hostname: &str| BenchReport {
+            name: "micro".into(),
+            scale: 1.0,
+            host: Some(BenchHost {
+                hostname: hostname.into(),
+                cpu_features: "avx2+fma".into(),
+            }),
+            benchmarks: vec![measurement("a", 100.0)],
+        };
+        let report = stamped("ci-runner");
+        let text = report.to_json().render_pretty();
+        let parsed =
+            BenchReport::from_json(&crate::json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(parsed, report);
+
+        // Same host: no warning. Different host: a warning naming both.
+        assert!(report.host_mismatch(&stamped("ci-runner")).is_none());
+        let warning = report
+            .host_mismatch(&stamped("laptop"))
+            .expect("hosts differ");
+        assert!(warning.contains("ci-runner") && warning.contains("laptop"));
+
+        // Pre-provenance baselines never warn.
+        let legacy = BenchReport {
+            host: None,
+            ..stamped("ci-runner")
+        };
+        assert!(report.host_mismatch(&legacy).is_none());
+        assert!(legacy.host_mismatch(&report).is_none());
+    }
+
+    #[test]
     fn compare_flags_only_real_regressions() {
         let base = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![measurement("a", 100.0), measurement("b", 100.0)],
         };
         let current = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             // `a` got 10% slower (under threshold), `b` 2x slower.
             benchmarks: vec![measurement("a", 110.0), measurement("b", 200.0)],
@@ -463,11 +554,13 @@ mod tests {
     fn gated_compare_applies_per_benchmark_thresholds() {
         let base = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![measurement("agent_step", 100.0), measurement("e2e", 100.0)],
         };
         let current = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             // Both 20% slower: over agent_step's 15% override, under the
             // 25% default that still covers e2e.
@@ -483,11 +576,13 @@ mod tests {
     fn compare_table_shows_deltas_and_one_sided_benchmarks() {
         let base = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![measurement("a", 200.0), measurement("retired", 50.0)],
         };
         let current = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![measurement("a", 100.0), measurement("added", 70.0)],
         };
@@ -509,11 +604,13 @@ mod tests {
     fn compare_rejects_scale_mismatch() {
         let base = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![],
         };
         let current = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 0.1,
             benchmarks: vec![],
         };
@@ -524,6 +621,7 @@ mod tests {
     fn markdown_lists_every_benchmark() {
         let report = BenchReport {
             name: "micro".into(),
+            host: None,
             scale: 1.0,
             benchmarks: vec![BenchMeasurement::from_times(
                 "agent_step",

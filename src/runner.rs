@@ -28,7 +28,7 @@ use pythia_prefetchers::stride::StridePrefetcher;
 use pythia_sim::config::SystemConfig;
 use pythia_sim::prefetch::Prefetcher;
 use pythia_sim::stats::SimReport;
-use pythia_sim::system::System;
+use pythia_sim::system::{System, WindowRow};
 use pythia_sim::trace::TraceSource;
 use pythia_stats::metrics::{self, Metrics};
 use pythia_workloads::Workload;
@@ -162,12 +162,58 @@ pub fn run_sources(
     prefetcher: &str,
     spec: &RunSpec,
 ) -> SimReport {
+    let mut system = build_system(sources, prefetcher, spec);
+    system.run(spec.warmup, spec.measure)
+}
+
+/// Like [`run_workload`], but with the simulator's windowed telemetry
+/// enabled: alongside the [`SimReport`], returns one vector of
+/// [`WindowRow`]s per core, each row covering `window` retired
+/// instructions of the measured phase. Telemetry is strictly read-only,
+/// so the report is byte-identical to [`run_workload`]'s
+/// (pinned by `tests/telemetry.rs`).
+pub fn run_workload_telemetry(
+    workload: &Workload,
+    prefetcher: &str,
+    spec: &RunSpec,
+    window: u64,
+) -> (SimReport, Vec<Vec<WindowRow>>) {
+    assert_eq!(
+        spec.system.cores, 1,
+        "run_workload_telemetry is single-core; use run_sources_telemetry"
+    );
+    run_sources_telemetry(
+        vec![workload.source(spec.trace_len())],
+        prefetcher,
+        spec,
+        window,
+    )
+}
+
+/// Telemetry-enabled variant of [`run_sources`] (see
+/// [`run_workload_telemetry`]).
+pub fn run_sources_telemetry(
+    sources: Vec<Box<dyn TraceSource>>,
+    prefetcher: &str,
+    spec: &RunSpec,
+    window: u64,
+) -> (SimReport, Vec<Vec<WindowRow>>) {
+    let mut system = build_system(sources, prefetcher, spec);
+    system.enable_telemetry(window);
+    let report = system.run(spec.warmup, spec.measure);
+    let rows = system.take_telemetry().expect("telemetry was enabled");
+    (report, rows)
+}
+
+/// Shared constructor for [`run_sources`] / [`run_sources_telemetry`]:
+/// both paths must derive identical per-core seeds or the telemetry
+/// variant would simulate a different system.
+fn build_system(sources: Vec<Box<dyn TraceSource>>, prefetcher: &str, spec: &RunSpec) -> System {
     let name = prefetcher.to_string();
-    let mut system = System::with_prefetchers(spec.system, sources, move |core| {
+    System::with_prefetchers(spec.system, sources, move |core| {
         build_prefetcher(&name, 0x517e_a5e5 ^ core as u64)
             .unwrap_or_else(|| panic!("unknown prefetcher {name:?}"))
-    });
-    system.run(spec.warmup, spec.measure)
+    })
 }
 
 /// Runs raw trace sources with per-core prefetchers built by `factory`.

@@ -1,0 +1,71 @@
+//! The telemetry sink's read-only contract: enabling per-window
+//! telemetry must not perturb the simulation by a single byte.
+//!
+//! [`run_workload_telemetry`] runs the same deterministic system as
+//! [`run_workload`] with a window recorder attached; these tests pin the
+//! [`SimReport`] byte-identical with telemetry on vs. off across three
+//! prefetchers and two robustness profiles, and sanity-check the window
+//! stream itself.
+
+use pythia::runner::{run_workload, run_workload_telemetry, RunSpec};
+use pythia_sim::stats::SimReport;
+use pythia_workloads::profiles::{Profile, CAMPAIGN_SEED};
+
+fn spec() -> RunSpec {
+    RunSpec::single_core().with_budget(20_000, 60_000)
+}
+
+/// Byte-level fingerprint of a report: every counter, in a stable order.
+fn fingerprint(report: &SimReport) -> Vec<u8> {
+    format!("{report:?}").into_bytes()
+}
+
+#[test]
+fn telemetry_is_byte_invisible_across_prefetchers_and_profiles() {
+    let spec = spec();
+    for profile in [Profile::Expected, Profile::Stress] {
+        // The first workload of each profile keeps the matrix cheap while
+        // still crossing two very different access-pattern families.
+        let w = profile.workloads(CAMPAIGN_SEED).remove(0);
+        for prefetcher in ["pythia", "spp", "bingo"] {
+            let plain = run_workload(&w, prefetcher, &spec);
+            let (telemetered, windows) = run_workload_telemetry(&w, prefetcher, &spec, 10_000);
+            assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&telemetered),
+                "{}/{prefetcher}: telemetry must not perturb the report",
+                profile.label()
+            );
+            // The window stream itself must be present and well-formed.
+            assert_eq!(windows.len(), 1, "single-core run has one core");
+            let rows = &windows[0];
+            assert!(!rows.is_empty(), "measured phase must close windows");
+            let instructions: f64 = rows
+                .iter()
+                .map(|r| {
+                    r.fields
+                        .iter()
+                        .find(|(name, _)| *name == "instructions")
+                        .map(|(_, v)| *v)
+                        .expect("window carries instructions")
+                })
+                .sum();
+            assert_eq!(
+                instructions as u64,
+                telemetered.cores[0].instructions,
+                "{}/{prefetcher}: windows must cover the measured phase",
+                profile.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_reruns_are_deterministic() {
+    let w = Profile::Expected.workloads(CAMPAIGN_SEED).remove(0);
+    let spec = spec();
+    let (a, wa) = run_workload_telemetry(&w, "pythia", &spec, 10_000);
+    let (b, wb) = run_workload_telemetry(&w, "pythia", &spec, 10_000);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(wa, wb, "window rows must be reproducible");
+}
